@@ -1,0 +1,161 @@
+// Command vqf is a small command-line front end for the vector quotient
+// filter: it builds a filter from newline-delimited keys and answers
+// membership queries, or runs an interactive session.
+//
+// Usage:
+//
+//	vqf -n 1000000 [-fpr 0.004] [-load keys.txt] [-i]
+//
+// With -load, every line of the file is added to the filter; remaining
+// stdin lines are then queried, echoing "present"/"absent" per line. With
+// -i, stdin is an interactive command stream:
+//
+//	add <key>     insert a key
+//	has <key>     query a key
+//	del <key>     remove a key
+//	stats         print count / capacity / load factor / size
+//	save <path>   serialize the filter to a file
+//	quit          exit
+//
+// A serialized filter (from `save` or -out) can be reopened with -in,
+// skipping the build entirely.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vqf"
+)
+
+func main() {
+	n := flag.Uint64("n", 1_000_000, "expected number of keys")
+	fpr := flag.Float64("fpr", 0.0047, "target false-positive rate")
+	load := flag.String("load", "", "file of newline-delimited keys to add")
+	in := flag.String("in", "", "reopen a serialized filter instead of creating one")
+	outPath := flag.String("out", "", "serialize the filter to this file before exiting")
+	interactive := flag.Bool("i", false, "interactive command mode")
+	flag.Parse()
+
+	var f *vqf.Filter
+	if *in != "" {
+		file, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vqf: %v\n", err)
+			os.Exit(1)
+		}
+		f, err = vqf.Read(bufio.NewReader(file))
+		file.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vqf: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "reopened filter: %d keys, load %.3f\n", f.Count(), f.LoadFactor())
+	} else {
+		f = vqf.New(*n, vqf.WithFalsePositiveRate(*fpr))
+	}
+	saveTo := func(path string) error {
+		file, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		w := bufio.NewWriter(file)
+		if _, err := f.WriteTo(w); err != nil {
+			file.Close()
+			return err
+		}
+		if err := w.Flush(); err != nil {
+			file.Close()
+			return err
+		}
+		return file.Close()
+	}
+	if *outPath != "" {
+		defer func() {
+			if err := saveTo(*outPath); err != nil {
+				fmt.Fprintf(os.Stderr, "vqf: save: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
+
+	if *load != "" {
+		file, err := os.Open(*load)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vqf: %v\n", err)
+			os.Exit(1)
+		}
+		sc := bufio.NewScanner(file)
+		added := 0
+		for sc.Scan() {
+			if err := f.AddString(sc.Text()); err != nil {
+				fmt.Fprintf(os.Stderr, "vqf: filter full after %d keys\n", added)
+				os.Exit(1)
+			}
+			added++
+		}
+		file.Close()
+		if err := sc.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "vqf: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "loaded %d keys (load factor %.3f, %d KiB)\n",
+			added, f.LoadFactor(), f.SizeBytes()/1024)
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+
+	if !*interactive {
+		for sc.Scan() {
+			if f.ContainsString(sc.Text()) {
+				fmt.Fprintln(out, "present")
+			} else {
+				fmt.Fprintln(out, "absent")
+			}
+		}
+		return
+	}
+
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		cmd := fields[0]
+		arg := ""
+		if len(fields) > 1 {
+			arg = strings.Join(fields[1:], " ")
+		}
+		switch cmd {
+		case "add":
+			if err := f.AddString(arg); err != nil {
+				fmt.Fprintf(out, "error: %v\n", err)
+			} else {
+				fmt.Fprintln(out, "ok")
+			}
+		case "has":
+			fmt.Fprintln(out, f.ContainsString(arg))
+		case "del":
+			fmt.Fprintln(out, f.RemoveString(arg))
+		case "stats":
+			fmt.Fprintf(out, "count=%d capacity=%d load=%.4f size=%dB fpr=%.6f\n",
+				f.Count(), f.Capacity(), f.LoadFactor(), f.SizeBytes(), f.FalsePositiveRate())
+		case "save":
+			if err := saveTo(arg); err != nil {
+				fmt.Fprintf(out, "error: %v\n", err)
+			} else {
+				fmt.Fprintln(out, "saved")
+			}
+		case "quit", "exit":
+			return
+		default:
+			fmt.Fprintf(out, "unknown command %q (add/has/del/stats/quit)\n", cmd)
+		}
+		out.Flush()
+	}
+}

@@ -1,0 +1,342 @@
+// Command vqfbench regenerates every table and figure of the vector quotient
+// filter paper's evaluation (Section 7) plus the analytic artifacts of
+// Sections 5–6. Each experiment is a subcommand; `vqfbench all` runs the full
+// suite. Output is aligned text (or CSV with -csv) with one series per paper
+// line or bar.
+//
+// Usage:
+//
+//	vqfbench [flags] <experiment>
+//
+// Experiments:
+//
+//	table1   analytic bits-per-item formulas (Table 1)
+//	fig2     false-positive rate vs bits per element (Figure 2)
+//	fig3     mini-filter overhead vs s/b ratio (Figure 3)
+//	table2   empirical space, FPR and efficiency (Table 2)
+//	fig4     in-RAM throughput vs load factor (Figure 4a–d)
+//	fig5     in-cache throughput vs load factor (Figure 5a–d)
+//	fig6     aggregate throughput, 8/16-bit × RAM/cache (Figure 6a–d)
+//	table3   write-heavy mixed workload at 90% load (Table 3)
+//	table4   multi-threaded insert scaling (Table 4)
+//	maxload  maximum load factor per design variant (§3.4, §6.2)
+//	choices  block-occupancy dispersion: two-choice vs single (Theorem 1)
+//	ablation SWAR vs scalar block operations (§7.7 analog)
+//	all      everything above
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"vqf/internal/analysis"
+	"vqf/internal/harness"
+)
+
+type config struct {
+	logSlotsRAM   uint
+	logSlotsCache uint
+	queries       int
+	mixedOps      int
+	probes        int
+	seed          uint64
+	csv           bool
+	which         string
+	repeat        int
+}
+
+func main() {
+	var cfg config
+	fs := flag.NewFlagSet("vqfbench", flag.ExitOnError)
+	fs.UintVar(&cfg.logSlotsRAM, "logslots", 22,
+		"log2 of slot count for in-RAM experiments (paper: 28)")
+	fs.UintVar(&cfg.logSlotsCache, "cachelogslots", 19,
+		"log2 of slot count for in-cache experiments (paper: 22)")
+	fs.IntVar(&cfg.queries, "queries", 200000, "lookups per sweep measurement point")
+	fs.IntVar(&cfg.mixedOps, "ops", 3000000, "operations for the table3 mixed workload (paper: 100M)")
+	fs.IntVar(&cfg.probes, "probes", 2000000, "random probes for table2 FPR measurement")
+	fs.Uint64Var(&cfg.seed, "seed", 42, "workload seed")
+	fs.StringVar(&cfg.which, "which", "", "fig6 sub-panel: a, b, c or d (default: all four)")
+	fs.IntVar(&cfg.repeat, "repeat", 1, "repetitions to average for fig4/fig5 sweeps")
+	fs.BoolVar(&cfg.csv, "csv", false, "emit CSV instead of aligned text")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: vqfbench [flags] <experiment>\n\nexperiments: table1 fig2 fig3 table2 fig4 fig5 fig6 table3 table4 maxload maxloadscale choices ablation all\n\nflags:\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(os.Args[1:])
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	cmd := fs.Arg(0)
+	experiments := map[string]func(config){
+		"table1":       runTable1,
+		"fig2":         runFig2,
+		"fig3":         runFig3,
+		"table2":       runTable2,
+		"fig4":         runFig4,
+		"fig5":         runFig5,
+		"fig6":         runFig6,
+		"table3":       runTable3,
+		"table4":       runTable4,
+		"maxload":      runMaxLoad,
+		"maxloadscale": runMaxLoadScale,
+		"choices":      runChoices,
+		"ablation":     runAblation,
+	}
+	if cmd == "all" {
+		for _, name := range []string{"table1", "fig2", "fig3", "table2", "fig4",
+			"fig5", "fig6", "table3", "table4", "maxload", "choices", "ablation"} {
+			fmt.Printf("==== %s ====\n", name)
+			experiments[name](cfg)
+			fmt.Println()
+		}
+		return
+	}
+	run, ok := experiments[cmd]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "vqfbench: unknown experiment %q\n", cmd)
+		fs.Usage()
+		os.Exit(2)
+	}
+	run(cfg)
+}
+
+func emit(cfg config, t *harness.Table) {
+	if cfg.csv {
+		fmt.Print(t.CSV())
+	} else {
+		fmt.Print(t.String())
+	}
+}
+
+func runTable1(cfg config) {
+	fmt.Println("Table 1: analytic space usage (bits per item)")
+	t := harness.NewTable("eps", "bloom", "quotient", "cuckoo", "morton", "vqf")
+	for _, eps := range []float64{1.0 / 256, 1.0 / 1024, 1.0 / 65536} {
+		b := analysis.Table1(eps)
+		t.AddRow(fmt.Sprintf("2^%.0f", -log2(eps)), b.Bloom, b.Quotient, b.Cuckoo, b.Morton, b.VQF)
+	}
+	emit(cfg, t)
+}
+
+func runFig2(cfg config) {
+	fmt.Println("Figure 2: -log2(FPR) vs bits per element (higher is better)")
+	t := harness.NewTable("bits/elem", "vqf", "quotient", "cuckoo", "bloom")
+	for _, p := range analysis.Figure2(5, 25, 1) {
+		t.AddRow(p.BitsPerElement, p.VQF, p.Quotient, p.Cuckoo, p.Bloom)
+	}
+	emit(cfg, t)
+}
+
+func runFig3(cfg config) {
+	fmt.Println("Figure 3: mini-filter overhead bits vs s/b (lower is better)")
+	t := harness.NewTable("s/b", "log2(s/b)+b/s")
+	for _, p := range analysis.Figure3(0.5, 1.0, 0.025) {
+		t.AddRow(fmt.Sprintf("%.3f", p.Ratio), p.Overhead)
+	}
+	emit(cfg, t)
+	fmt.Printf("optimal: s/b = ln2 = %.4f -> %.4f bits\n",
+		analysis.OptimalRatio(), analysis.OverheadBits(analysis.OptimalRatio()))
+	for _, c := range analysis.ChosenConfigs() {
+		fmt.Printf("chosen:  s=%d b=%d (s/b=%.3f) -> %.4f bits\n", c.S, c.B, c.Ratio, c.Overhead)
+	}
+}
+
+func runTable2(cfg config) {
+	fmt.Printf("Table 2: empirical space and FPR (2^%d slots)\n", cfg.logSlotsRAM)
+	for _, set := range []struct {
+		label string
+		specs []harness.Spec
+	}{
+		{"target FPR 2^-8", append(harness.SpecsFPR8(), harness.SpecBloom8())},
+		{"target FPR 2^-16", harness.SpecsFPR16()},
+	} {
+		fmt.Println(set.label)
+		t := harness.NewTable("filter", "items", "log2(FPR)", "space(MB)", "bits/key", "efficiency")
+		for _, row := range harness.RunSpace(set.specs, 1<<cfg.logSlotsRAM, cfg.probes, cfg.seed) {
+			t.AddRow(row.Name, row.Items, row.LogFPR, row.SpaceMB, row.BitsPerKey, row.Efficiency)
+		}
+		emit(cfg, t)
+	}
+}
+
+func sweepTables(cfg config, logSlots uint, specs []harness.Spec) {
+	results := make([]harness.SweepResult, 0, len(specs))
+	for _, spec := range specs {
+		results = append(results,
+			harness.RunSweepAveraged(spec, 1<<logSlots, cfg.queries, cfg.repeat, cfg.seed))
+	}
+	panels := []struct {
+		label string
+		pick  func(harness.SweepPoint) float64
+	}{
+		{"(a) insertion Mops/s", func(p harness.SweepPoint) float64 { return p.InsertMops }},
+		{"(b) deletion Mops/s", func(p harness.SweepPoint) float64 { return p.DeleteMops }},
+		{"(c) successful lookup Mops/s", func(p harness.SweepPoint) float64 { return p.PosLookupMops }},
+		{"(d) random lookup Mops/s", func(p harness.SweepPoint) float64 { return p.RandLookupMops }},
+	}
+	for _, panel := range panels {
+		fmt.Println(panel.label)
+		header := []string{"load%"}
+		for _, r := range results {
+			header = append(header, r.Name)
+		}
+		t := harness.NewTable(header...)
+		for i := 0; ; i++ {
+			row := []any{(i + 1) * 5}
+			any := false
+			for _, r := range results {
+				if i < len(r.Points) {
+					row = append(row, panel.pick(r.Points[i]))
+					any = true
+				} else {
+					row = append(row, "-")
+				}
+			}
+			if !any {
+				break
+			}
+			t.AddRow(row...)
+		}
+		emit(cfg, t)
+	}
+}
+
+func runFig4(cfg config) {
+	fmt.Printf("Figure 4: in-RAM throughput vs load factor (2^%d slots, FPR 2^-8)\n", cfg.logSlotsRAM)
+	sweepTables(cfg, cfg.logSlotsRAM, harness.SpecsFPR8())
+}
+
+func runFig5(cfg config) {
+	fmt.Printf("Figure 5: in-cache throughput vs load factor (2^%d slots, FPR 2^-8)\n", cfg.logSlotsCache)
+	sweepTables(cfg, cfg.logSlotsCache, harness.SpecsFPR8())
+}
+
+func runFig6(cfg config) {
+	panels := map[string]struct {
+		label    string
+		logSlots uint
+		specs    []harness.Spec
+	}{
+		"a": {"Figure 6a: aggregate, RAM, FPR 2^-8", cfg.logSlotsRAM,
+			append([]harness.Spec{harness.SpecVQF8Generic()}, harness.SpecsFPR8()...)},
+		"b": {"Figure 6b: aggregate, cache, FPR 2^-8", cfg.logSlotsCache,
+			append([]harness.Spec{harness.SpecVQF8Generic()}, harness.SpecsFPR8()...)},
+		"c": {"Figure 6c: aggregate, RAM, FPR 2^-16", cfg.logSlotsRAM,
+			append([]harness.Spec{harness.SpecVQF16Generic()}, harness.SpecsFPR16()...)},
+		"d": {"Figure 6d: aggregate, cache, FPR 2^-16", cfg.logSlotsCache,
+			append([]harness.Spec{harness.SpecVQF16Generic()}, harness.SpecsFPR16()...)},
+	}
+	order := []string{"a", "b", "c", "d"}
+	if cfg.which != "" {
+		order = strings.Split(cfg.which, "")
+	}
+	for _, key := range order {
+		p, ok := panels[key]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "vqfbench: unknown fig6 panel %q\n", key)
+			os.Exit(2)
+		}
+		fmt.Println(p.label)
+		t := harness.NewTable("filter", "insert", "pos-lookup", "rand-lookup", "delete")
+		for _, spec := range p.specs {
+			r := harness.RunAggregate(spec, 1<<p.logSlots, cfg.seed)
+			if r.Failed {
+				t.AddRow(r.Name, "FAILED", "-", "-", "-")
+				continue
+			}
+			t.AddRow(r.Name, r.InsertMops, r.PosLookupMops, r.RandLookupMops, r.DeleteMops)
+		}
+		emit(cfg, t)
+	}
+}
+
+func runTable3(cfg config) {
+	fmt.Printf("Table 3: write-heavy mixed workload at 90%% load (%d ops, 2^%d slots)\n",
+		cfg.mixedOps, cfg.logSlotsRAM)
+	t := harness.NewTable("filter", "Mops/s")
+	for _, spec := range []harness.Spec{
+		harness.SpecVQF8Shortcut(), harness.SpecCF12(), harness.SpecMF8(),
+	} {
+		r := harness.RunMixed(spec, 1<<cfg.logSlotsRAM, cfg.mixedOps, cfg.seed)
+		if r.Failed {
+			t.AddRow(r.Name, "FAILED")
+			continue
+		}
+		t.AddRow(r.Name, r.Mops)
+	}
+	emit(cfg, t)
+}
+
+func runTable4(cfg config) {
+	fmt.Printf("Table 4: concurrent insert scaling (2^%d slots; GOMAXPROCS=%d, physical cores gate real scaling)\n",
+		cfg.logSlotsRAM, runtime.GOMAXPROCS(0))
+	t := harness.NewTable("threads", "Mops/s")
+	for _, r := range harness.RunThreadScaling(1<<cfg.logSlotsRAM, []int{1, 2, 3, 4}, cfg.seed) {
+		t.AddRow(r.Threads, r.Mops)
+	}
+	emit(cfg, t)
+}
+
+func runMaxLoad(cfg config) {
+	fmt.Printf("Max load factor by design variant (2^%d slots)\n", cfg.logSlotsRAM)
+	t := harness.NewTable("config", "max load")
+	for _, r := range harness.RunMaxLoad(1<<cfg.logSlotsRAM, cfg.seed) {
+		t.AddRow(r.Config, fmt.Sprintf("%.4f", r.MaxLoad))
+	}
+	emit(cfg, t)
+}
+
+func runMaxLoadScale(cfg config) {
+	fmt.Println("Max load factor vs filter scale (the xor trick's failure probability")
+	fmt.Println("grows with filter size, §3.4; all values drop slowly as blocks multiply)")
+	t := harness.NewTable("log2(slots)", "independent", "xor-trick", "shortcut-75%")
+	for logSlots := uint(16); logSlots <= cfg.logSlotsRAM; logSlots += 2 {
+		rows := harness.RunMaxLoad(1<<logSlots, cfg.seed)
+		byName := map[string]float64{}
+		for _, r := range rows {
+			byName[r.Config] = r.MaxLoad
+		}
+		t.AddRow(logSlots,
+			fmt.Sprintf("%.4f", byName["independent-hash, no shortcut"]),
+			fmt.Sprintf("%.4f", byName["xor-trick, no shortcut"]),
+			fmt.Sprintf("%.4f", byName["shortcut 75% (36/48)"]))
+	}
+	emit(cfg, t)
+}
+
+func runChoices(cfg config) {
+	fmt.Printf("Placement-policy ablation at 85%% load (2^%d slots)\n", cfg.logSlotsCache)
+	t := harness.NewTable("policy", "load", "mean occ", "stddev", "max occ", "full blocks %")
+	for _, r := range harness.RunChoices(1<<cfg.logSlotsCache, 0.85, cfg.seed) {
+		t.AddRow(r.Policy, r.Load, r.MeanOcc, r.StddevOcc, r.MaxOcc, r.FullPct)
+	}
+	emit(cfg, t)
+}
+
+func runAblation(cfg config) {
+	fmt.Printf("SWAR vs scalar block operations (§7.7 analog, 2^%d slots)\n", cfg.logSlotsRAM)
+	t := harness.NewTable("variant", "insert", "pos-lookup", "rand-lookup", "delete")
+	for _, spec := range []harness.Spec{
+		harness.SpecVQF8Shortcut(), harness.SpecVQF8Generic(),
+		harness.SpecVQF16Shortcut(), harness.SpecVQF16Generic(),
+	} {
+		r := harness.RunAggregate(spec, 1<<cfg.logSlotsRAM, cfg.seed)
+		t.AddRow(r.Name, r.InsertMops, r.PosLookupMops, r.RandLookupMops, r.DeleteMops)
+	}
+	emit(cfg, t)
+}
+
+func log2(x float64) float64 {
+	l := 0.0
+	for x < 1 {
+		x *= 2
+		l++
+	}
+	return l
+}

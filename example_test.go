@@ -1,0 +1,100 @@
+package vqf_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"vqf"
+)
+
+// The package-level example: build a filter, add keys, query, delete.
+func Example() {
+	f := vqf.New(100_000)
+	f.AddString("alpha")
+	f.AddString("beta")
+
+	fmt.Println(f.ContainsString("alpha"))
+	fmt.Println(f.ContainsString("gamma"))
+
+	f.RemoveString("alpha")
+	fmt.Println(f.ContainsString("alpha"))
+	// Output:
+	// true
+	// false
+	// false
+}
+
+// Pre-hashed keys skip the internal hash: useful when the application
+// already computes a 64-bit hash for sharding or caching.
+func ExampleFilter_AddHash() {
+	f := vqf.New(1000)
+	const h = 0x9e3779b97f4a7c15
+	f.AddHash(h)
+	fmt.Println(f.ContainsHash(h))
+	// Output:
+	// true
+}
+
+// Filters serialize with WriteTo and reopen with Read; the hash seed travels
+// with the data, so queries behave identically after a round trip.
+func ExampleFilter_WriteTo() {
+	f := vqf.New(1000, vqf.WithSeed(42))
+	f.AddString("persisted")
+
+	var buf bytes.Buffer
+	f.WriteTo(&buf)
+
+	g, _ := vqf.Read(&buf)
+	fmt.Println(g.ContainsString("persisted"))
+	fmt.Println(g.Count())
+	// Output:
+	// true
+	// 1
+}
+
+// WithFalsePositiveRate selects the 16-bit-fingerprint geometry for
+// FPR-sensitive applications.
+func ExampleWithFalsePositiveRate() {
+	f := vqf.New(1000, vqf.WithFalsePositiveRate(1.0/65536))
+	fmt.Printf("%.6f\n", f.FalsePositiveRate())
+	// Output:
+	// 0.000024
+}
+
+// A Map associates a one-byte value with each key — here, a shard ID.
+func ExampleMap() {
+	m := vqf.NewMap(1000)
+	m.PutString("user:42", 3)
+
+	shard, ok := m.GetString("user:42")
+	fmt.Println(shard, ok)
+
+	m.UpdateString("user:42", 7)
+	shard, _ = m.GetString("user:42")
+	fmt.Println(shard)
+	// Output:
+	// 3 true
+	// 7
+}
+
+// NewConcurrent returns a filter safe for use from many goroutines; the
+// paper's per-block lock bits make operations on distinct blocks proceed
+// in parallel.
+func ExampleNewConcurrent() {
+	f := vqf.NewConcurrent(10_000)
+	done := make(chan bool)
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			for i := 0; i < 100; i++ {
+				f.AddUint64(uint64(w*1000 + i))
+			}
+			done <- true
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	fmt.Println(f.Count())
+	// Output:
+	// 400
+}

@@ -1,0 +1,58 @@
+// Quickstart: the five-minute tour of the vqf package — create a filter,
+// add keys of various types, query, observe the false-positive contract,
+// delete, and inspect space usage.
+package main
+
+import (
+	"fmt"
+
+	"vqf"
+)
+
+func main() {
+	// A filter sized for one million keys at the default ε ≈ 2⁻⁸.
+	f := vqf.New(1_000_000)
+	fmt.Printf("created filter: capacity %d slots, %.1f KiB, fpr %.4f\n",
+		f.Capacity(), float64(f.SizeBytes())/1024, f.FalsePositiveRate())
+
+	// Keys can be bytes, strings, uint64s, or pre-hashed 64-bit values.
+	f.Add([]byte("alpha"))
+	f.AddString("beta")
+	f.AddUint64(42)
+
+	fmt.Println(`contains "alpha":`, f.Contains([]byte("alpha"))) // true
+	fmt.Println(`contains "beta": `, f.ContainsString("beta"))    // true
+	fmt.Println("contains 42:     ", f.ContainsUint64(42))        // true
+	fmt.Println(`contains "gamma":`, f.ContainsString("gamma"))   // false (w.h.p.)
+
+	// No false negatives, ever: every added key is found.
+	for i := uint64(0); i < 100_000; i++ {
+		if err := f.AddUint64(i); err != nil {
+			panic(err)
+		}
+	}
+	for i := uint64(0); i < 100_000; i++ {
+		if !f.ContainsUint64(i) {
+			panic("false negative — impossible")
+		}
+	}
+
+	// False positives occur at ≈ the configured rate for absent keys.
+	fp := 0
+	const probes = 100_000
+	for i := uint64(0); i < probes; i++ {
+		if f.ContainsUint64(1_000_000_000 + i) {
+			fp++
+		}
+	}
+	fmt.Printf("false-positive rate on absent keys: %.5f (analytic bound %.5f at full load)\n",
+		float64(fp)/probes, f.FalsePositiveRate())
+
+	// Deletion removes previously added keys.
+	f.RemoveString("beta")
+	fmt.Println(`after delete, contains "beta":`, f.ContainsString("beta"))
+
+	fmt.Printf("final: %d keys at load factor %.3f in %.1f KiB (%.2f bits/key)\n",
+		f.Count(), f.LoadFactor(), float64(f.SizeBytes())/1024,
+		float64(f.SizeBytes()*8)/float64(f.Count()))
+}

@@ -1,0 +1,87 @@
+// Web-cache summary example: the networking use case from the paper's
+// introduction (summary caches à la Fan et al.). A cluster of cache nodes
+// each maintains a compact summary of its neighbours' contents; before
+// fetching from origin, a node asks the summaries whether a peer likely has
+// the object. Cache contents churn constantly, so the summary must support
+// concurrent inserts AND deletes at high load — the write-heavy regime of
+// the paper's Table 3, here driven through the thread-safe filter from
+// several goroutines at once.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"vqf"
+	"vqf/internal/workload"
+)
+
+const (
+	cacheCapacity = 200_000 // objects a peer cache holds
+	workers       = 4
+	opsPerWorker  = 150_000
+)
+
+func main() {
+	// The peer's summary, shared by all request-handling goroutines.
+	summary := vqf.NewConcurrent(cacheCapacity)
+
+	// Pre-fill to ~90% of the cache capacity: a warm cache.
+	warm := workload.NewStream(3).Keys(cacheCapacity * 9 / 10)
+	for _, url := range warm {
+		if err := summary.AddHash(url); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Printf("warm summary: %d objects, %.1f KiB (%.2f bits/object), load %.3f\n",
+		summary.Count(), float64(summary.SizeBytes())/1024,
+		float64(summary.SizeBytes()*8)/float64(summary.Count()), summary.LoadFactor())
+
+	// Each worker simulates a request handler: every admission to the local
+	// cache evicts the oldest object (delete + insert on the summary), and
+	// lookups check peer membership. Keys are pre-hashed URLs.
+	var wg sync.WaitGroup
+	var randHits, randTotal, cachedHits, evictions atomic.Uint64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			reqs := workload.NewStream(uint64(100 + w))
+			fifo := append([]uint64(nil), warm[w*len(warm)/workers:(w+1)*len(warm)/workers]...)
+			for i := 0; i < opsPerWorker; i++ {
+				switch i % 3 {
+				case 0: // peer-membership query for a random (almost surely absent) URL
+					randTotal.Add(1)
+					if summary.ContainsHash(reqs.Next()) {
+						randHits.Add(1)
+					}
+				case 1: // query for a URL we know is cached
+					if !summary.ContainsHash(fifo[i%len(fifo)]) {
+						panic("false negative on a cached object")
+					}
+					cachedHits.Add(1)
+				default: // admission: evict oldest, admit new
+					old := fifo[0]
+					fifo = fifo[1:]
+					if !summary.RemoveHash(old) {
+						panic("summary lost a cached object")
+					}
+					newURL := reqs.Next()
+					if err := summary.AddHash(newURL); err != nil {
+						panic(err)
+					}
+					fifo = append(fifo, newURL)
+					evictions.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	fmt.Printf("%d workers × %d ops: %d cached-object hits, %d evictions\n",
+		workers, opsPerWorker, cachedHits.Load(), evictions.Load())
+	fmt.Printf("final summary: %d objects at load %.3f\n", summary.Count(), summary.LoadFactor())
+	fmt.Printf("absent-URL false-positive rate: %.5f (analytic full-load bound %.5f)\n",
+		float64(randHits.Load())/float64(randTotal.Load()), summary.FalsePositiveRate())
+}

@@ -1,0 +1,67 @@
+package vqf
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzRead feeds arbitrary bytes to the filter deserializer: it must reject
+// malformed input with an error, never panic, and round-trip its own output.
+func FuzzRead(f *testing.F) {
+	var buf bytes.Buffer
+	g := New(100)
+	g.AddString("seed")
+	g.WriteTo(&buf)
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 100))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything accepted must be a usable filter that re-serializes.
+		got.ContainsString("probe")
+		var out bytes.Buffer
+		if _, err := got.WriteTo(&out); err != nil {
+			t.Fatalf("re-serialize of accepted filter failed: %v", err)
+		}
+	})
+}
+
+// FuzzFilterOps drives the public API with fuzz-chosen keys: added keys must
+// always be found, and Count must track adds minus removes of added keys.
+func FuzzFilterOps(f *testing.F) {
+	seed := make([]byte, 0, 64)
+	for i := 0; i < 8; i++ {
+		var rec [8]byte
+		binary.LittleEndian.PutUint64(rec[:], uint64(i)*7919)
+		seed = append(seed, rec[:]...)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		filter := New(1000)
+		var added []uint64
+		for i := 0; i+7 < len(data) && len(added) < 900; i += 8 {
+			k := binary.LittleEndian.Uint64(data[i:])
+			if err := filter.AddUint64(k); err != nil {
+				break
+			}
+			added = append(added, k)
+		}
+		for _, k := range added {
+			if !filter.ContainsUint64(k) {
+				t.Fatalf("false negative for %d", k)
+			}
+		}
+		for _, k := range added {
+			if !filter.RemoveUint64(k) {
+				t.Fatalf("remove of added key %d failed", k)
+			}
+		}
+		if filter.Count() != 0 {
+			t.Fatalf("count %d after removing all", filter.Count())
+		}
+	})
+}

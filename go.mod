@@ -1,0 +1,3 @@
+module vqf
+
+go 1.22

@@ -1,0 +1,128 @@
+// Package analysis implements the paper's Section 5 space analysis: the
+// bits-per-item formulas of Table 1, the false-positive-rate-versus-space
+// curves of Figure 2, and the metadata-overhead curve of Figure 3.
+package analysis
+
+import "math"
+
+// Load factors assumed by the paper when comparing filters (Table 1 and
+// Figure 2): quotient, cuckoo and Morton filters operate to 95% occupancy
+// (multiplicative overhead 1.053), the VQF to 93% (1.0753), Bloom to 100%.
+const (
+	LoadQF    = 0.95
+	LoadVQF   = 0.93
+	LoadBloom = 1.00
+)
+
+// BitsPerItem returns each filter's bits-per-item at false-positive rate eps,
+// per Table 1 of the paper.
+type BitsPerItem struct {
+	Bloom, Quotient, Cuckoo, Morton, VQF float64
+}
+
+// Table1 evaluates the Table 1 space formulas at false-positive rate eps.
+func Table1(eps float64) BitsPerItem {
+	lg := -math.Log2(eps)
+	return BitsPerItem{
+		Bloom:    1.44 * lg,
+		Quotient: (lg + 2.125) / LoadQF,
+		Cuckoo:   (lg + 3) / LoadQF,
+		Morton:   (lg + 2.5) / LoadQF,
+		VQF:      (lg + 2.914) / LoadVQF,
+	}
+}
+
+// Figure2Point holds one x-value of Figure 2: the achievable −log₂(ε) for a
+// space budget of bits per element, per filter (higher is better).
+type Figure2Point struct {
+	BitsPerElement float64
+	Bloom          float64
+	Quotient       float64
+	Cuckoo         float64
+	VQF            float64
+}
+
+// Figure2 returns the −log₂(ε)-versus-space curves of Figure 2 for
+// bits-per-element values from lo to hi in the given step.
+func Figure2(lo, hi, step float64) []Figure2Point {
+	var out []Figure2Point
+	for x := lo; x <= hi+1e-9; x += step {
+		out = append(out, Figure2Point{
+			BitsPerElement: x,
+			// Bloom: ε = 2^(−x·ln2), i.e. −log₂ε = x·ln2.
+			Bloom: clampNonNeg(x * math.Ln2),
+			// Fingerprint filters: x = (−log₂ε + K)/α → −log₂ε = x·α − K.
+			Quotient: clampNonNeg(x*LoadQF - 2.125),
+			Cuckoo:   clampNonNeg(x*LoadQF - 3),
+			VQF:      clampNonNeg(x*LoadVQF - 2.914),
+		})
+	}
+	return out
+}
+
+func clampNonNeg(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// OverheadBits is Figure 3's y-axis: the metadata overhead log₂(s/b)+b/s of
+// a mini-filter with s slots and b buckets, as a function of u = s/b.
+func OverheadBits(u float64) float64 {
+	return math.Log2(u) + 1/u
+}
+
+// OptimalRatio is the s/b ratio minimizing OverheadBits: ln 2.
+func OptimalRatio() float64 { return math.Ln2 }
+
+// Figure3Point is one sample of the Figure 3 curve.
+type Figure3Point struct {
+	Ratio    float64 // s/b
+	Overhead float64 // log₂(s/b)+b/s
+}
+
+// Figure3 samples the overhead curve over [lo, hi].
+func Figure3(lo, hi, step float64) []Figure3Point {
+	var out []Figure3Point
+	for u := lo; u <= hi+1e-9; u += step {
+		out = append(out, Figure3Point{Ratio: u, Overhead: OverheadBits(u)})
+	}
+	return out
+}
+
+// ChosenConfigs returns the paper's two implementation points on the
+// Figure 3 curve: (s=48, b=80) and (s=28, b=36).
+func ChosenConfigs() []struct {
+	S, B     int
+	Ratio    float64
+	Overhead float64
+} {
+	configs := []struct{ S, B int }{{48, 80}, {28, 36}}
+	out := make([]struct {
+		S, B     int
+		Ratio    float64
+		Overhead float64
+	}, len(configs))
+	for i, c := range configs {
+		u := float64(c.S) / float64(c.B)
+		out[i].S, out[i].B = c.S, c.B
+		out[i].Ratio = u
+		out[i].Overhead = OverheadBits(u)
+	}
+	return out
+}
+
+// VQFAnalyticFPR returns the vector quotient filter's analytic full-load
+// false-positive rate for a geometry with s slots, b buckets and r-bit
+// fingerprints: ε ≤ 2·(s/b)·2⁻ʳ (paper §5).
+func VQFAnalyticFPR(s, b, r int) float64 {
+	return 2 * float64(s) / float64(b) * math.Pow(2, -float64(r))
+}
+
+// SpaceEfficiency is the paper's Table 2 metric: n·log₂(1/ε)/S, where n is
+// the item count at maximum occupancy, eps the achieved false-positive rate,
+// and sizeBits the filter's total size in bits.
+func SpaceEfficiency(n uint64, eps float64, sizeBits uint64) float64 {
+	return float64(n) * -math.Log2(eps) / float64(sizeBits)
+}

@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestTable1AtOnePercent(t *testing.T) {
+	// ε = 2⁻⁸: log₂(1/ε) = 8.
+	got := Table1(1.0 / 256)
+	if !approx(got.Bloom, 1.44*8, 0.01) {
+		t.Errorf("Bloom = %.3f", got.Bloom)
+	}
+	if !approx(got.Quotient, (8+2.125)/0.95, 0.01) {
+		t.Errorf("Quotient = %.3f", got.Quotient)
+	}
+	if !approx(got.Cuckoo, (8+3)/0.95, 0.01) {
+		t.Errorf("Cuckoo = %.3f", got.Cuckoo)
+	}
+	if !approx(got.Morton, (8+2.5)/0.95, 0.01) {
+		t.Errorf("Morton = %.3f", got.Morton)
+	}
+	if !approx(got.VQF, (8+2.914)/0.93, 0.01) {
+		t.Errorf("VQF = %.3f", got.VQF)
+	}
+	// Ordering at ε=2⁻⁸: QF < Morton < Cuckoo, and QF < VQF (the VQF's lower
+	// additive overhead is offset by its lower max load factor).
+	if !(got.Quotient < got.Morton && got.Morton < got.Cuckoo && got.Quotient < got.VQF) {
+		t.Errorf("unexpected ordering: %+v", got)
+	}
+	// At ε=2⁻¹⁶ the Bloom filter's multiplicative overhead dominates and it
+	// is the largest of all.
+	tight := Table1(1.0 / 65536)
+	for name, v := range map[string]float64{
+		"QF": tight.Quotient, "CF": tight.Cuckoo, "MF": tight.Morton, "VQF": tight.VQF,
+	} {
+		if v >= tight.Bloom {
+			t.Errorf("at ε=2⁻¹⁶, %s (%.2f) should be below Bloom (%.2f)", name, v, tight.Bloom)
+		}
+	}
+}
+
+func TestBloomCrossover(t *testing.T) {
+	// Paper §2: the quotient filter beats Bloom whenever ε ≤ 1/64.
+	atLoose := Table1(1.0 / 16)
+	if atLoose.Quotient < atLoose.Bloom {
+		t.Errorf("at ε=1/16 Bloom should be smaller: QF=%.2f BF=%.2f",
+			atLoose.Quotient, atLoose.Bloom)
+	}
+	atTight := Table1(1.0 / 256)
+	if atTight.Quotient > atTight.Bloom {
+		t.Errorf("at ε=2⁻⁸ QF should be smaller: QF=%.2f BF=%.2f",
+			atTight.Quotient, atTight.Bloom)
+	}
+}
+
+func TestFigure2Monotone(t *testing.T) {
+	pts := Figure2(5, 25, 1)
+	if len(pts) != 21 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].VQF < pts[i-1].VQF || pts[i].Bloom < pts[i-1].Bloom {
+			t.Fatal("curves must be nondecreasing in space budget")
+		}
+	}
+	// At large budgets the Bloom filter's 1.44× multiplicative overhead
+	// makes it worst; at small budgets its zero additive overhead wins.
+	last := pts[len(pts)-1]
+	if last.Bloom >= last.VQF || last.Bloom >= last.Quotient {
+		t.Errorf("at 25 bits Bloom should achieve the lowest −log₂ε: %+v", last)
+	}
+	first := pts[0]
+	if first.Bloom <= first.VQF {
+		t.Errorf("at 5 bits Bloom should achieve the highest −log₂ε: %+v", first)
+	}
+}
+
+func TestFigure3PaperValues(t *testing.T) {
+	// §6.1: the chosen configs give 0.93 and 0.923 overhead bits; optimum
+	// 0.914 at s/b = ln 2.
+	configs := ChosenConfigs()
+	if !approx(configs[0].Overhead, 0.93, 0.005) {
+		t.Errorf("(48,80) overhead = %.4f, want ≈0.930", configs[0].Overhead)
+	}
+	if !approx(configs[1].Overhead, 0.923, 0.005) {
+		t.Errorf("(28,36) overhead = %.4f, want ≈0.923", configs[1].Overhead)
+	}
+	if !approx(OverheadBits(OptimalRatio()), 0.914, 0.001) {
+		t.Errorf("optimal overhead = %.4f, want ≈0.914", OverheadBits(OptimalRatio()))
+	}
+}
+
+func TestFigure3OptimalIsMinimum(t *testing.T) {
+	opt := OverheadBits(OptimalRatio())
+	for _, p := range Figure3(0.5, 1.0, 0.01) {
+		if p.Overhead < opt-1e-9 {
+			t.Fatalf("overhead at %.2f (%.5f) below the analytic optimum %.5f",
+				p.Ratio, p.Overhead, opt)
+		}
+	}
+}
+
+func TestVQFAnalyticFPR(t *testing.T) {
+	// Paper abstract/§5: prototype supports ε ≈ 0.004 (8-bit) and
+	// ≈ 0.000023 (16-bit).
+	if got := VQFAnalyticFPR(48, 80, 8); !approx(got, 0.0047, 0.0003) {
+		t.Errorf("8-bit FPR = %.5f", got)
+	}
+	if got := VQFAnalyticFPR(28, 36, 16); !approx(got, 0.000023, 0.000002) {
+		t.Errorf("16-bit FPR = %.7f", got)
+	}
+}
+
+func TestSpaceEfficiency(t *testing.T) {
+	// A perfect filter storing n items at ε with exactly n·log₂(1/ε) bits
+	// has efficiency 1.
+	if got := SpaceEfficiency(1000, 1.0/256, 8000); !approx(got, 1.0, 1e-9) {
+		t.Errorf("efficiency = %f, want 1", got)
+	}
+	if got := SpaceEfficiency(1000, 1.0/256, 16000); !approx(got, 0.5, 1e-9) {
+		t.Errorf("efficiency = %f, want 0.5", got)
+	}
+}

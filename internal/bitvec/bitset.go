@@ -1,0 +1,51 @@
+package bitvec
+
+import "math/bits"
+
+// Bitset is a fixed-size bit array backed by uint64 words. It is the storage
+// substrate for the Bloom filter family and for occupancy tracking in the
+// benchmark harness.
+type Bitset struct {
+	words []uint64
+	n     uint64
+}
+
+// NewBitset returns a Bitset holding n bits, all zero.
+func NewBitset(n uint64) *Bitset {
+	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the number of bits in the set.
+func (b *Bitset) Len() uint64 { return b.n }
+
+// Set sets bit i.
+func (b *Bitset) Set(i uint64) { b.words[i>>6] |= 1 << (i & 63) }
+
+// Clear clears bit i.
+func (b *Bitset) Clear(i uint64) { b.words[i>>6] &^= 1 << (i & 63) }
+
+// Test reports whether bit i is set.
+func (b *Bitset) Test(i uint64) bool { return b.words[i>>6]>>(i&63)&1 == 1 }
+
+// Count returns the number of set bits.
+func (b *Bitset) Count() uint64 {
+	var c uint64
+	for _, w := range b.words {
+		c += uint64(bits.OnesCount64(w))
+	}
+	return c
+}
+
+// Reset clears every bit.
+func (b *Bitset) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// SizeBits returns the number of bits of storage the bitset occupies,
+// including slack in the final word.
+func (b *Bitset) SizeBits() uint64 { return uint64(len(b.words)) * 64 }
+
+// Words exposes the backing words for serialization.
+func (b *Bitset) Words() []uint64 { return b.words }

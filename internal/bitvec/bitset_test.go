@@ -1,0 +1,72 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBitsetSetTestClear(t *testing.T) {
+	b := NewBitset(1000)
+	if b.Len() != 1000 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	for _, i := range []uint64{0, 1, 63, 64, 65, 127, 999} {
+		if b.Test(i) {
+			t.Errorf("bit %d set in fresh bitset", i)
+		}
+		b.Set(i)
+		if !b.Test(i) {
+			t.Errorf("bit %d not set after Set", i)
+		}
+	}
+	if b.Count() != 7 {
+		t.Errorf("Count = %d, want 7", b.Count())
+	}
+	b.Clear(64)
+	if b.Test(64) {
+		t.Error("bit 64 still set after Clear")
+	}
+	if b.Count() != 6 {
+		t.Errorf("Count = %d, want 6", b.Count())
+	}
+	b.Reset()
+	if b.Count() != 0 {
+		t.Errorf("Count after Reset = %d", b.Count())
+	}
+}
+
+func TestBitsetCountMatchesModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	b := NewBitset(4096)
+	model := map[uint64]bool{}
+	for i := 0; i < 10000; i++ {
+		pos := uint64(rng.Intn(4096))
+		if rng.Intn(2) == 0 {
+			b.Set(pos)
+			model[pos] = true
+		} else {
+			b.Clear(pos)
+			delete(model, pos)
+		}
+	}
+	if int(b.Count()) != len(model) {
+		t.Fatalf("Count = %d, model = %d", b.Count(), len(model))
+	}
+	for pos := range model {
+		if !b.Test(pos) {
+			t.Fatalf("bit %d missing", pos)
+		}
+	}
+}
+
+func TestBitsetSizeBits(t *testing.T) {
+	if got := NewBitset(1).SizeBits(); got != 64 {
+		t.Errorf("SizeBits(1) = %d", got)
+	}
+	if got := NewBitset(64).SizeBits(); got != 64 {
+		t.Errorf("SizeBits(64) = %d", got)
+	}
+	if got := NewBitset(65).SizeBits(); got != 128 {
+		t.Errorf("SizeBits(65) = %d", got)
+	}
+}

@@ -1,0 +1,94 @@
+package bitvec
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+// Property: inserting a 0 at p shifts every select result at or above p's
+// rank up by exactly one position.
+func TestPropertyInsertZeroShiftsSelect(t *testing.T) {
+	prop := func(x uint64, p8, k8 uint8) bool {
+		p := uint(p8) % 64
+		k := uint(k8) % 32
+		pos := Select64(x, k)
+		if pos >= 63 {
+			return true // shifted out of range; nothing to compare
+		}
+		y := InsertZero64(x, p)
+		want := pos
+		if pos >= p {
+			want = pos + 1
+		}
+		return Select64(y, k) == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: rank and popcount agree at the boundaries and rank is monotone.
+func TestPropertyRankMonotone(t *testing.T) {
+	prop := func(x uint64, i8 uint8) bool {
+		i := uint(i8) % 64
+		if Rank64(x, 0) != 0 {
+			return false
+		}
+		if Rank64(x, 64) != uint(bits.OnesCount64(x)) {
+			return false
+		}
+		return Rank64(x, i+1) >= Rank64(x, i)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RemoveBit128 reduces the total popcount by the removed bit's
+// value and preserves bits below p exactly.
+func TestPropertyRemoveBitPopcount(t *testing.T) {
+	prop := func(lo, hi uint64, p8 uint8) bool {
+		p := uint(p8) % 128
+		before := bits.OnesCount64(lo) + bits.OnesCount64(hi)
+		bit := 0
+		if Bit128(lo, hi, p) {
+			bit = 1
+		}
+		nl, nh := RemoveBit128(lo, hi, p)
+		after := bits.OnesCount64(nl) + bits.OnesCount64(nh)
+		if after != before-bit {
+			return false
+		}
+		// Bits strictly below p are untouched.
+		for i := uint(0); i < p; i++ {
+			if Bit128(nl, nh, i) != Bit128(lo, hi, i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Select128 partitions correctly across the word boundary.
+func TestPropertySelect128Boundary(t *testing.T) {
+	prop := func(lo, hi uint64, k8 uint8) bool {
+		k := uint(k8) % 128
+		pos := Select128(lo, hi, k)
+		pcLo := uint(bits.OnesCount64(lo))
+		switch {
+		case pos == 128:
+			return pcLo+uint(bits.OnesCount64(hi)) <= k
+		case pos < 64:
+			return k < pcLo
+		default:
+			return k >= pcLo
+		}
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10000}); err != nil {
+		t.Fatal(err)
+	}
+}

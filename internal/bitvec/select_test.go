@@ -1,0 +1,191 @@
+package bitvec
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// selectRef is the obvious loop implementation Select64 must agree with.
+func selectRef(x uint64, k uint) uint {
+	for i := uint(0); i < 64; i++ {
+		if x>>i&1 == 1 {
+			if k == 0 {
+				return i
+			}
+			k--
+		}
+	}
+	return 64
+}
+
+func TestSelect64KnownValues(t *testing.T) {
+	cases := []struct {
+		x    uint64
+		k    uint
+		want uint
+	}{
+		{0, 0, 64},
+		{1, 0, 0},
+		{1, 1, 64},
+		{0b100, 0, 2}, // the paper's example: select(001000000, 0) = 2
+		{0b1010, 0, 1},
+		{0b1010, 1, 3},
+		{0b1010, 2, 64},
+		{^uint64(0), 0, 0},
+		{^uint64(0), 63, 63},
+		{1 << 63, 0, 63},
+		{0xff00000000000000, 3, 59},
+	}
+	for _, c := range cases {
+		if got := Select64(c.x, c.k); got != c.want {
+			t.Errorf("Select64(%#x, %d) = %d, want %d", c.x, c.k, got, c.want)
+		}
+	}
+}
+
+func TestSelect64ExhaustiveSmall(t *testing.T) {
+	// Every 16-bit value in the low, middle and high byte positions, every k.
+	for v := 0; v < 1<<16; v += 7 {
+		for _, shift := range []uint{0, 24, 48} {
+			x := uint64(v) << shift
+			for k := uint(0); k <= uint(bits.OnesCount64(x)); k++ {
+				if got, want := Select64(x, k), selectRef(x, k); got != want {
+					t.Fatalf("Select64(%#x, %d) = %d, want %d", x, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSelect64MatchesReferenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		x := rng.Uint64()
+		k := uint(rng.Intn(66))
+		if got, want := Select64(x, k), selectRef(x, k); got != want {
+			t.Fatalf("Select64(%#x, %d) = %d, want %d", x, k, got, want)
+		}
+	}
+}
+
+func TestSelect64Property(t *testing.T) {
+	// Property: if Select64(x,k) = i < 64 then bit i is set and rank(x,i) = k.
+	f := func(x uint64, k8 uint8) bool {
+		k := uint(k8) % 64
+		i := Select64(x, k)
+		if i == 64 {
+			return uint(bits.OnesCount64(x)) <= k
+		}
+		return x>>i&1 == 1 && Rank64(x, i) == k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRank64(t *testing.T) {
+	cases := []struct {
+		x    uint64
+		i    uint
+		want uint
+	}{
+		{0, 10, 0},
+		{^uint64(0), 0, 0},
+		{^uint64(0), 64, 64},
+		{^uint64(0), 13, 13},
+		{0b1011, 3, 2},
+		{0b1011, 4, 3},
+	}
+	for _, c := range cases {
+		if got := Rank64(c.x, c.i); got != c.want {
+			t.Errorf("Rank64(%#x, %d) = %d, want %d", c.x, c.i, got, c.want)
+		}
+	}
+}
+
+func TestRankSelectInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		x := rng.Uint64()
+		pc := uint(bits.OnesCount64(x))
+		for k := uint(0); k < pc; k++ {
+			pos := Select64(x, k)
+			if Rank64(x, pos) != k {
+				t.Fatalf("rank(select(%#x,%d)) != %d", x, k, k)
+			}
+		}
+	}
+}
+
+func TestSelect128(t *testing.T) {
+	cases := []struct {
+		lo, hi uint64
+		k      uint
+		want   uint
+	}{
+		{0, 0, 0, 128},
+		{1, 0, 0, 0},
+		{0, 1, 0, 64},
+		{0, 1 << 63, 0, 127},
+		{^uint64(0), ^uint64(0), 127, 127},
+		{^uint64(0), 1, 64, 64},
+		{0b11, 0b11, 2, 64},
+		{0b11, 0b11, 3, 65},
+		{0b11, 0b11, 4, 128},
+	}
+	for _, c := range cases {
+		if got := Select128(c.lo, c.hi, c.k); got != c.want {
+			t.Errorf("Select128(%#x, %#x, %d) = %d, want %d", c.lo, c.hi, c.k, got, c.want)
+		}
+	}
+}
+
+func TestRank128SelectConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 3000; i++ {
+		lo, hi := rng.Uint64(), rng.Uint64()
+		pc := uint(bits.OnesCount64(lo) + bits.OnesCount64(hi))
+		for k := uint(0); k < pc; k += 3 {
+			pos := Select128(lo, hi, k)
+			if pos >= 128 {
+				t.Fatalf("select128 returned %d for k=%d pc=%d", pos, k, pc)
+			}
+			if !Bit128(lo, hi, pos) {
+				t.Fatalf("bit at select128 position %d not set", pos)
+			}
+			if Rank128(lo, hi, pos) != k {
+				t.Fatalf("rank128(select128(...,%d)) mismatch", k)
+			}
+		}
+	}
+}
+
+func BenchmarkSelect64(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]uint64, 1024)
+	for i := range xs {
+		xs[i] = rng.Uint64()
+	}
+	b.ResetTimer()
+	var sink uint
+	for i := 0; i < b.N; i++ {
+		sink += Select64(xs[i&1023], uint(i&31))
+	}
+	_ = sink
+}
+
+func BenchmarkSelect128(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]uint64, 2048)
+	for i := range xs {
+		xs[i] = rng.Uint64()
+	}
+	b.ResetTimer()
+	var sink uint
+	for i := 0; i < b.N; i++ {
+		sink += Select128(xs[i&2047], xs[(i+1)&2047], uint(i&63))
+	}
+	_ = sink
+}

@@ -1,0 +1,76 @@
+package bitvec
+
+// The vector quotient filter inserts a 0 bit into (and removes a bit from)
+// a block's metadata word on every update. The paper implements these with
+// PDEP/PEXT and lookup tables; here they are explicit shift arithmetic with
+// the same constant instruction count.
+
+// InsertZero64 inserts a 0 bit at position p of x: bits at positions >= p
+// move up by one, the former bit 63 is discarded, and bit p becomes 0.
+// p must be < 64.
+func InsertZero64(x uint64, p uint) uint64 {
+	low := x & (1<<p - 1)
+	high := x &^ (1<<p - 1)
+	return low | high<<1
+}
+
+// InsertOne64 inserts a 1 bit at position p of x, shifting bits >= p up by
+// one and discarding the former bit 63. p must be < 64.
+func InsertOne64(x uint64, p uint) uint64 {
+	return InsertZero64(x, p) | 1<<p
+}
+
+// RemoveBit64 removes the bit at position p of x: bits above p move down by
+// one and bit 63 becomes 0. p must be < 64.
+func RemoveBit64(x uint64, p uint) uint64 {
+	low := x & (1<<p - 1)
+	high := x >> 1 &^ (1<<p - 1)
+	return low | high
+}
+
+// InsertZero128 inserts a 0 bit at position p of the 128-bit word
+// (hi<<64)|lo, shifting bits >= p up by one and discarding the former
+// bit 127. p must be < 128.
+func InsertZero128(lo, hi uint64, p uint) (uint64, uint64) {
+	if p >= 64 {
+		return lo, InsertZero64(hi, p-64)
+	}
+	carry := lo >> 63
+	return InsertZero64(lo, p), hi<<1 | carry
+}
+
+// InsertOne128 inserts a 1 bit at position p of (hi<<64)|lo. p must be < 128.
+func InsertOne128(lo, hi uint64, p uint) (uint64, uint64) {
+	lo, hi = InsertZero128(lo, hi, p)
+	if p >= 64 {
+		return lo, hi | 1<<(p-64)
+	}
+	return lo | 1<<p, hi
+}
+
+// RemoveBit128 removes the bit at position p of (hi<<64)|lo, shifting bits
+// above p down by one; bit 127 becomes 0. p must be < 128.
+func RemoveBit128(lo, hi uint64, p uint) (uint64, uint64) {
+	if p >= 64 {
+		return lo, RemoveBit64(hi, p-64)
+	}
+	lo = RemoveBit64(lo, p)
+	lo |= hi << 63 // former bit 64 becomes bit 63
+	return lo, hi >> 1
+}
+
+// Bit128 reports whether bit p of (hi<<64)|lo is set. p must be < 128.
+func Bit128(lo, hi uint64, p uint) bool {
+	if p >= 64 {
+		return hi>>(p-64)&1 == 1
+	}
+	return lo>>p&1 == 1
+}
+
+// SetBit128 returns the word with bit p set. p must be < 128.
+func SetBit128(lo, hi uint64, p uint) (uint64, uint64) {
+	if p >= 64 {
+		return lo, hi | 1<<(p-64)
+	}
+	return lo | 1<<p, hi
+}

@@ -1,0 +1,169 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bits128 expands a 128-bit word into a []bool for reference computations.
+func bits128(lo, hi uint64) []bool {
+	out := make([]bool, 128)
+	for i := uint(0); i < 64; i++ {
+		out[i] = lo>>i&1 == 1
+		out[64+i] = hi>>i&1 == 1
+	}
+	return out
+}
+
+func pack128(b []bool) (lo, hi uint64) {
+	for i := uint(0); i < 64; i++ {
+		if b[i] {
+			lo |= 1 << i
+		}
+		if b[64+i] {
+			hi |= 1 << i
+		}
+	}
+	return
+}
+
+func TestInsertZero64(t *testing.T) {
+	cases := []struct {
+		x    uint64
+		p    uint
+		want uint64
+	}{
+		{0b1111, 0, 0b11110},
+		{0b1111, 2, 0b11011},
+		{0b1111, 4, 0b01111},
+		{0, 13, 0},
+		{^uint64(0), 0, ^uint64(0) - 1},
+		{1 << 63, 0, 0}, // top bit shifted out
+	}
+	for _, c := range cases {
+		if got := InsertZero64(c.x, c.p); got != c.want {
+			t.Errorf("InsertZero64(%#b, %d) = %#b, want %#b", c.x, c.p, got, c.want)
+		}
+	}
+}
+
+func TestInsertOne64(t *testing.T) {
+	if got := InsertOne64(0b1001, 1); got != 0b10011 {
+		t.Errorf("InsertOne64(0b1001, 1) = %#b, want 0b10011", got)
+	}
+	if got := InsertOne64(0, 63); got != 1<<63 {
+		t.Errorf("InsertOne64(0, 63) = %#x", got)
+	}
+}
+
+func TestRemoveBit64(t *testing.T) {
+	cases := []struct {
+		x    uint64
+		p    uint
+		want uint64
+	}{
+		{0b11011, 2, 0b1111},
+		{0b11110, 0, 0b1111},
+		{0b01111, 4, 0b1111},
+		{^uint64(0), 31, ^uint64(0) >> 1},
+	}
+	for _, c := range cases {
+		if got := RemoveBit64(c.x, c.p); got != c.want {
+			t.Errorf("RemoveBit64(%#b, %d) = %#b, want %#b", c.x, c.p, got, c.want)
+		}
+	}
+}
+
+func TestInsertThenRemove64IsIdentityOnLow63(t *testing.T) {
+	f := func(x uint64, p8 uint8) bool {
+		p := uint(p8) % 64
+		// After inserting at p and removing at p, the low 63 bits must be
+		// unchanged (bit 63 is discarded by the insert).
+		y := RemoveBit64(InsertZero64(x, p), p)
+		mask := uint64(1)<<63 - 1
+		return y&mask == x&mask
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertZero128MatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 5000; i++ {
+		lo, hi := rng.Uint64(), rng.Uint64()
+		p := uint(rng.Intn(128))
+		gotLo, gotHi := InsertZero128(lo, hi, p)
+		ref := bits128(lo, hi)
+		shifted := make([]bool, 128)
+		copy(shifted, ref[:p])
+		copy(shifted[p+1:], ref[p:127])
+		wantLo, wantHi := pack128(shifted)
+		if gotLo != wantLo || gotHi != wantHi {
+			t.Fatalf("InsertZero128(%#x,%#x,%d) = %#x,%#x want %#x,%#x",
+				lo, hi, p, gotLo, gotHi, wantLo, wantHi)
+		}
+	}
+}
+
+func TestRemoveBit128MatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		lo, hi := rng.Uint64(), rng.Uint64()
+		p := uint(rng.Intn(128))
+		gotLo, gotHi := RemoveBit128(lo, hi, p)
+		ref := bits128(lo, hi)
+		shifted := make([]bool, 128)
+		copy(shifted, ref[:p])
+		copy(shifted[p:], ref[p+1:])
+		wantLo, wantHi := pack128(shifted)
+		if gotLo != wantLo || gotHi != wantHi {
+			t.Fatalf("RemoveBit128(%#x,%#x,%d) = %#x,%#x want %#x,%#x",
+				lo, hi, p, gotLo, gotHi, wantLo, wantHi)
+		}
+	}
+}
+
+func TestInsertOne128SetsBit(t *testing.T) {
+	f := func(lo, hi uint64, p8 uint8) bool {
+		p := uint(p8) % 128
+		gl, gh := InsertOne128(lo, hi, p)
+		return Bit128(gl, gh, p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertRemove128RoundTrip(t *testing.T) {
+	f := func(lo, hi uint64, p8 uint8) bool {
+		p := uint(p8) % 128
+		il, ih := InsertZero128(lo, hi, p)
+		rl, rh := RemoveBit128(il, ih, p)
+		// Bit 127 is discarded by the insert; compare the rest.
+		mask := uint64(1)<<63 - 1
+		return rl == lo && rh&mask == hi&mask
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetBit128AndBit128(t *testing.T) {
+	var lo, hi uint64
+	lo, hi = SetBit128(lo, hi, 0)
+	lo, hi = SetBit128(lo, hi, 63)
+	lo, hi = SetBit128(lo, hi, 64)
+	lo, hi = SetBit128(lo, hi, 127)
+	for _, p := range []uint{0, 63, 64, 127} {
+		if !Bit128(lo, hi, p) {
+			t.Errorf("bit %d not set", p)
+		}
+	}
+	for _, p := range []uint{1, 62, 65, 126} {
+		if Bit128(lo, hi, p) {
+			t.Errorf("bit %d unexpectedly set", p)
+		}
+	}
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"vqf/internal/minifilter"
+)
+
+// CFilter8 is the thread-safe vector quotient filter with 8-bit fingerprints
+// (paper §6.3). Each block's top metadata bit is a spin lock; an operation
+// locks at most two blocks, always in increasing index order, so the filter
+// scales with cores as long as threads mostly touch distinct blocks.
+type CFilter8 struct {
+	blocks []minifilter.Block8
+	mask   uint64
+	count  atomic.Uint64
+	opts   Options
+	thresh uint
+}
+
+// NewCFilter8 creates a thread-safe filter with at least nslots slots; see
+// NewFilter8 for sizing semantics. IndependentHash and Generic options are
+// not supported on the concurrent variants and are ignored.
+func NewCFilter8(nslots uint64, opts Options) *CFilter8 {
+	k := blocksFor(nslots, minifilter.B8Slots)
+	f := &CFilter8{
+		blocks: make([]minifilter.Block8, k),
+		mask:   k - 1,
+		opts:   opts,
+		thresh: opts.threshold(minifilter.B8Slots, defThreshold8),
+	}
+	for i := range f.blocks {
+		f.blocks[i].Reset()
+		// Locked-mode convention: the stored top bit is purely the lock flag.
+		// A fresh block is empty, so the natural top bit is already 0.
+	}
+	return f
+}
+
+// Capacity returns the total number of fingerprint slots.
+func (f *CFilter8) Capacity() uint64 { return uint64(len(f.blocks)) * minifilter.B8Slots }
+
+// Count returns the number of fingerprints currently stored.
+func (f *CFilter8) Count() uint64 { return f.count.Load() }
+
+// LoadFactor returns Count divided by Capacity.
+func (f *CFilter8) LoadFactor() float64 { return float64(f.Count()) / float64(f.Capacity()) }
+
+// SizeBytes returns the memory footprint of the block array.
+func (f *CFilter8) SizeBytes() uint64 { return uint64(len(f.blocks)) * 64 }
+
+// Insert adds the pre-hashed key h, returning false if both candidate blocks
+// are full. Safe for concurrent use.
+func (f *CFilter8) Insert(h uint64) bool {
+	b1, bucket, fp, tag := split8(h, f.mask)
+	blk1 := &f.blocks[b1]
+	blk1.Lock()
+	occ1 := blk1.OccupancyLocked()
+	if !f.opts.NoShortcut && occ1 < f.thresh {
+		blk1.InsertLocked(bucket, fp)
+		blk1.Unlock()
+		f.count.Add(1)
+		return true
+	}
+	b2 := secondary(h, b1, tag, f.mask, false)
+	if b2 == b1 {
+		ok := blk1.InsertLocked(bucket, fp)
+		blk1.Unlock()
+		if ok {
+			f.count.Add(1)
+		}
+		return ok
+	}
+	blk2 := &f.blocks[b2]
+	// Lock-ordering protocol: if the secondary block has the lower index,
+	// release the primary and re-acquire in increasing order (§6.3).
+	if b2 < b1 {
+		blk1.Unlock()
+		blk2.Lock()
+		blk1.Lock()
+		occ1 = blk1.OccupancyLocked()
+	} else {
+		blk2.Lock()
+	}
+	occ2 := blk2.OccupancyLocked()
+	tgt, other := blk1, blk2
+	if occ2 < occ1 {
+		tgt, other = blk2, blk1
+	}
+	other.Unlock()
+	ok := tgt.InsertLocked(bucket, fp)
+	tgt.Unlock()
+	if ok {
+		f.count.Add(1)
+	}
+	return ok
+}
+
+// Contains reports whether the pre-hashed key h may be in the filter. Safe
+// for concurrent use; each block is locked only for the duration of its
+// fingerprint scan.
+func (f *CFilter8) Contains(h uint64) bool {
+	b1, bucket, fp, tag := split8(h, f.mask)
+	blk1 := &f.blocks[b1]
+	blk1.Lock()
+	found := blk1.ContainsLocked(bucket, fp)
+	blk1.Unlock()
+	if found {
+		return true
+	}
+	b2 := secondary(h, b1, tag, f.mask, false)
+	if b2 == b1 {
+		return false
+	}
+	blk2 := &f.blocks[b2]
+	blk2.Lock()
+	found = blk2.ContainsLocked(bucket, fp)
+	blk2.Unlock()
+	return found
+}
+
+// Remove deletes one previously inserted instance of the pre-hashed key h.
+// Safe for concurrent use.
+func (f *CFilter8) Remove(h uint64) bool {
+	b1, bucket, fp, tag := split8(h, f.mask)
+	blk1 := &f.blocks[b1]
+	blk1.Lock()
+	ok := blk1.RemoveLocked(bucket, fp)
+	blk1.Unlock()
+	if ok {
+		f.count.Add(^uint64(0))
+		return true
+	}
+	b2 := secondary(h, b1, tag, f.mask, false)
+	if b2 == b1 {
+		return false
+	}
+	blk2 := &f.blocks[b2]
+	blk2.Lock()
+	ok = blk2.RemoveLocked(bucket, fp)
+	blk2.Unlock()
+	if ok {
+		f.count.Add(^uint64(0))
+	}
+	return ok
+}
+
+// CFilter16 is the thread-safe vector quotient filter with 16-bit
+// fingerprints; see CFilter8.
+type CFilter16 struct {
+	blocks []minifilter.Block16
+	mask   uint64
+	count  atomic.Uint64
+	opts   Options
+	thresh uint
+}
+
+// NewCFilter16 creates a thread-safe 16-bit-fingerprint filter.
+func NewCFilter16(nslots uint64, opts Options) *CFilter16 {
+	k := blocksFor(nslots, minifilter.B16Slots)
+	f := &CFilter16{
+		blocks: make([]minifilter.Block16, k),
+		mask:   k - 1,
+		opts:   opts,
+		thresh: opts.threshold(minifilter.B16Slots, defThreshold16),
+	}
+	for i := range f.blocks {
+		f.blocks[i].Reset()
+	}
+	return f
+}
+
+// Capacity returns the total number of fingerprint slots.
+func (f *CFilter16) Capacity() uint64 { return uint64(len(f.blocks)) * minifilter.B16Slots }
+
+// Count returns the number of fingerprints currently stored.
+func (f *CFilter16) Count() uint64 { return f.count.Load() }
+
+// LoadFactor returns Count divided by Capacity.
+func (f *CFilter16) LoadFactor() float64 { return float64(f.Count()) / float64(f.Capacity()) }
+
+// SizeBytes returns the memory footprint of the block array.
+func (f *CFilter16) SizeBytes() uint64 { return uint64(len(f.blocks)) * 64 }
+
+// Insert adds the pre-hashed key h. Safe for concurrent use.
+func (f *CFilter16) Insert(h uint64) bool {
+	b1, bucket, fp, tag := split16(h, f.mask)
+	blk1 := &f.blocks[b1]
+	blk1.Lock()
+	occ1 := blk1.OccupancyLocked()
+	if !f.opts.NoShortcut && occ1 < f.thresh {
+		blk1.InsertLocked(bucket, fp)
+		blk1.Unlock()
+		f.count.Add(1)
+		return true
+	}
+	b2 := secondary(h, b1, tag, f.mask, false)
+	if b2 == b1 {
+		ok := blk1.InsertLocked(bucket, fp)
+		blk1.Unlock()
+		if ok {
+			f.count.Add(1)
+		}
+		return ok
+	}
+	blk2 := &f.blocks[b2]
+	if b2 < b1 {
+		blk1.Unlock()
+		blk2.Lock()
+		blk1.Lock()
+		occ1 = blk1.OccupancyLocked()
+	} else {
+		blk2.Lock()
+	}
+	occ2 := blk2.OccupancyLocked()
+	tgt, other := blk1, blk2
+	if occ2 < occ1 {
+		tgt, other = blk2, blk1
+	}
+	other.Unlock()
+	ok := tgt.InsertLocked(bucket, fp)
+	tgt.Unlock()
+	if ok {
+		f.count.Add(1)
+	}
+	return ok
+}
+
+// Contains reports whether the pre-hashed key h may be in the filter. Safe
+// for concurrent use.
+func (f *CFilter16) Contains(h uint64) bool {
+	b1, bucket, fp, tag := split16(h, f.mask)
+	blk1 := &f.blocks[b1]
+	blk1.Lock()
+	found := blk1.ContainsLocked(bucket, fp)
+	blk1.Unlock()
+	if found {
+		return true
+	}
+	b2 := secondary(h, b1, tag, f.mask, false)
+	if b2 == b1 {
+		return false
+	}
+	blk2 := &f.blocks[b2]
+	blk2.Lock()
+	found = blk2.ContainsLocked(bucket, fp)
+	blk2.Unlock()
+	return found
+}
+
+// Remove deletes one previously inserted instance of the pre-hashed key h.
+// Safe for concurrent use.
+func (f *CFilter16) Remove(h uint64) bool {
+	b1, bucket, fp, tag := split16(h, f.mask)
+	blk1 := &f.blocks[b1]
+	blk1.Lock()
+	ok := blk1.RemoveLocked(bucket, fp)
+	blk1.Unlock()
+	if ok {
+		f.count.Add(^uint64(0))
+		return true
+	}
+	b2 := secondary(h, b1, tag, f.mask, false)
+	if b2 == b1 {
+		return false
+	}
+	blk2 := &f.blocks[b2]
+	blk2.Lock()
+	ok = blk2.RemoveLocked(bucket, fp)
+	blk2.Unlock()
+	if ok {
+		f.count.Add(^uint64(0))
+	}
+	return ok
+}

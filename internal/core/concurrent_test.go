@@ -1,0 +1,182 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestCFilter8SingleThreadedSemantics(t *testing.T) {
+	// Used single-threaded, the concurrent filter must behave like Filter8.
+	cf := NewCFilter8(1<<14, Options{})
+	sf := NewFilter8(1<<14, Options{})
+	rng := rand.New(rand.NewSource(1))
+	var keys []uint64
+	for step := 0; step < 30000; step++ {
+		switch rng.Intn(3) {
+		case 0:
+			h := rng.Uint64()
+			a, b := cf.Insert(h), sf.Insert(h)
+			if a != b {
+				t.Fatalf("step %d: insert diverged", step)
+			}
+			if a {
+				keys = append(keys, h)
+			}
+		case 1:
+			if len(keys) == 0 {
+				continue
+			}
+			i := rng.Intn(len(keys))
+			h := keys[i]
+			keys[i] = keys[len(keys)-1]
+			keys = keys[:len(keys)-1]
+			if a, b := cf.Remove(h), sf.Remove(h); a != b {
+				t.Fatalf("step %d: remove diverged", step)
+			}
+		case 2:
+			h := rng.Uint64()
+			if a, b := cf.Contains(h), sf.Contains(h); a != b {
+				t.Fatalf("step %d: contains diverged", step)
+			}
+		}
+		if cf.Count() != sf.Count() {
+			t.Fatalf("step %d: counts diverged %d vs %d", step, cf.Count(), sf.Count())
+		}
+	}
+}
+
+func TestCFilter8ParallelInsertsAllFound(t *testing.T) {
+	f := NewCFilter8(1<<16, Options{})
+	const workers = 4
+	perWorker := f.Capacity() * 85 / 100 / workers
+	var wg sync.WaitGroup
+	keys := make([][]uint64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w + 10)))
+			for i := uint64(0); i < perWorker; i++ {
+				h := rng.Uint64()
+				if !f.Insert(h) {
+					t.Errorf("worker %d: insert %d failed", w, i)
+					return
+				}
+				keys[w] = append(keys[w], h)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if f.Count() != perWorker*workers {
+		t.Fatalf("Count = %d, want %d", f.Count(), perWorker*workers)
+	}
+	for w := range keys {
+		for _, h := range keys[w] {
+			if !f.Contains(h) {
+				t.Fatalf("false negative after concurrent inserts")
+			}
+		}
+	}
+}
+
+func TestCFilter8ConcurrentMixedWorkload(t *testing.T) {
+	f := NewCFilter8(1<<14, Options{})
+	const workers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var mine []uint64
+			for i := 0; i < 20000; i++ {
+				switch {
+				case len(mine) > 0 && rng.Intn(3) == 0:
+					h := mine[len(mine)-1]
+					mine = mine[:len(mine)-1]
+					if !f.Remove(h) {
+						t.Error("own key missing on remove")
+						return
+					}
+				case rng.Intn(2) == 0 && uint64(len(mine)) < f.Capacity()/8:
+					h := rng.Uint64()
+					if f.Insert(h) {
+						mine = append(mine, h)
+					}
+				default:
+					f.Contains(rng.Uint64())
+				}
+			}
+			for _, h := range mine {
+				if !f.Remove(h) {
+					t.Error("own key missing at drain")
+					return
+				}
+			}
+		}(int64(w + 50))
+	}
+	wg.Wait()
+	if f.Count() != 0 {
+		t.Fatalf("Count = %d after drain", f.Count())
+	}
+}
+
+func TestCFilter16ParallelInserts(t *testing.T) {
+	f := NewCFilter16(1<<14, Options{})
+	const workers = 4
+	perWorker := f.Capacity() * 85 / 100 / workers
+	var wg sync.WaitGroup
+	keys := make([][]uint64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w + 30)))
+			for i := uint64(0); i < perWorker; i++ {
+				h := rng.Uint64()
+				if !f.Insert(h) {
+					t.Errorf("worker %d: insert failed", w)
+					return
+				}
+				keys[w] = append(keys[w], h)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := range keys {
+		for _, h := range keys[w] {
+			if !f.Contains(h) {
+				t.Fatal("false negative after concurrent inserts")
+			}
+		}
+	}
+}
+
+func TestCFilter16SingleThreadedSemantics(t *testing.T) {
+	cf := NewCFilter16(1<<13, Options{})
+	sf := NewFilter16(1<<13, Options{})
+	rng := rand.New(rand.NewSource(2))
+	for step := 0; step < 20000; step++ {
+		h := rng.Uint64()
+		if rng.Intn(2) == 0 {
+			if a, b := cf.Insert(h), sf.Insert(h); a != b {
+				t.Fatalf("step %d: insert diverged", step)
+			}
+		} else {
+			if a, b := cf.Contains(h), sf.Contains(h); a != b {
+				t.Fatalf("step %d: contains diverged", step)
+			}
+		}
+	}
+}
+
+func TestCFilter8ReachesHighLoadFactor(t *testing.T) {
+	f := NewCFilter8(1<<14, Options{})
+	rng := rand.New(rand.NewSource(3))
+	for f.Insert(rng.Uint64()) {
+	}
+	if lf := f.LoadFactor(); lf < 0.90 {
+		t.Errorf("max load factor %.4f below 0.90", lf)
+	}
+}

@@ -1,0 +1,113 @@
+// Package core implements the vector quotient filter (VQF) of Pandey et al.,
+// SIGMOD 2021: an approximate-membership data structure that hashes items to
+// two cache-line-sized mini-filter blocks with power-of-two-choices placement.
+// Items are never relocated after insertion, so every operation touches at
+// most two cache lines and modifies at most one, at any load factor.
+//
+// Four filter types are provided: Filter8 and Filter16 (single-threaded,
+// ε ≈ 2⁻⁸ and ε ≈ 2⁻¹⁶), and CFilter8 and CFilter16 (thread-safe via the
+// per-block lock bit of paper §6.3).
+//
+// All filters consume pre-hashed 64-bit keys. The bits of a key hash h are
+// used as: bucket index (low 16 bits, range-reduced), fingerprint (next 8 or
+// 16 bits), and primary block index (bits above those). The secondary block
+// is derived with the xor trick b2 = b1 ⊕ (tag·Murmur3Mul) over a
+// power-of-two block count, which makes the mapping an involution so that a
+// delete can find an item's partner block from either side (§3.4).
+package core
+
+import (
+	"math/bits"
+
+	"vqf/internal/hashing"
+	"vqf/internal/minifilter"
+)
+
+// Options configure a filter's insertion policy. The zero value enables the
+// paper's recommended configuration: shortcut optimization at the 75%
+// threshold, xor-linked block pair, SWAR block operations.
+type Options struct {
+	// NoShortcut disables the §6.2 shortcut optimization (always inspect
+	// both candidate blocks and pick the emptier).
+	NoShortcut bool
+
+	// ShortcutThreshold is the occupancy (in slots) at or above which the
+	// shortcut is abandoned and both blocks are inspected. Zero means the
+	// geometry default: the paper's 75% (36/48) for 8-bit fingerprints, and
+	// 64% (18/28) for 16-bit fingerprints — the smaller blocks leave only
+	// seven slots of two-choice headroom above 75%, which measurably lowers
+	// the achievable load factor at scale. Raising the threshold reduces the
+	// maximum load factor sharply (§6.2).
+	ShortcutThreshold uint
+
+	// IndependentHash derives the secondary block from an independent hash
+	// of the key instead of the xor trick. This removes the xor trick's
+	// size-dependent failure probability but makes deletion unsafe (§3.4);
+	// Remove must not be used on such a filter.
+	IndependentHash bool
+
+	// Generic routes all block operations through loop-based scalar
+	// implementations instead of broadword/SWAR ones. This is the ablation
+	// baseline corresponding to the paper's §7.7 AVX-512-vs-AVX2 experiment.
+	Generic bool
+}
+
+func (o Options) threshold(slots, def uint) uint {
+	t := o.ShortcutThreshold
+	if t == 0 {
+		t = def
+	}
+	if t > slots {
+		t = slots // a threshold beyond capacity would let the shortcut path hit a full block
+	}
+	return t
+}
+
+// Geometry-default shortcut thresholds (see Options.ShortcutThreshold).
+const (
+	defThreshold8  = 36 // 75% of 48
+	defThreshold16 = 18 // 64% of 28
+)
+
+// blocksFor returns the power-of-two number of blocks needed for nslots slots
+// of capacity with slotsPerBlock slots each.
+func blocksFor(nslots uint64, slotsPerBlock uint64) uint64 {
+	if nslots == 0 {
+		nslots = 1
+	}
+	need := (nslots + slotsPerBlock - 1) / slotsPerBlock
+	k := uint64(1) << bits.Len64(need-1)
+	if k < 2 {
+		k = 2 // two-choice placement needs at least two blocks
+	}
+	return k
+}
+
+// split8 decomposes a 64-bit key hash for the 8-bit-fingerprint geometry.
+func split8(h uint64, mask uint64) (b1 uint64, bucket uint, fp byte, tag uint64) {
+	bucket = uint(uint32(h&0xffff) * minifilter.B8Buckets >> 16)
+	fp = byte(h >> 16)
+	b1 = (h >> 24) & mask
+	// The tag feeding the xor trick is the full mini-filter hash
+	// (bucket, fingerprint): items indistinguishable inside a block must map
+	// to the same partner block.
+	tag = uint64(bucket)<<8 | uint64(fp)
+	return
+}
+
+// split16 decomposes a 64-bit key hash for the 16-bit-fingerprint geometry.
+func split16(h uint64, mask uint64) (b1 uint64, bucket uint, fp uint16, tag uint64) {
+	bucket = uint(uint32(h&0xffff) * minifilter.B16Buckets >> 16)
+	fp = uint16(h >> 16)
+	b1 = (h >> 32) & mask
+	tag = uint64(bucket)<<16 | uint64(fp)
+	return
+}
+
+// secondary returns the partner block index for (b1, tag) under opts.
+func secondary(h, b1, tag, mask uint64, independent bool) uint64 {
+	if independent {
+		return hashing.Mix64(h) & mask
+	}
+	return hashing.AltIndex(b1, tag, mask)
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCountOfVQF(t *testing.T) {
+	f := NewFilter8(1<<10, Options{})
+	const h = 0x0123456789abcdef
+	for want := uint64(1); want <= 10; want++ {
+		if !f.Insert(h) {
+			t.Fatalf("insert %d failed", want)
+		}
+		if got := f.CountOf(h); got != want {
+			t.Fatalf("CountOf = %d, want %d", got, want)
+		}
+	}
+	for want := uint64(9); ; want-- {
+		if !f.Remove(h) {
+			t.Fatal("remove failed")
+		}
+		if got := f.CountOf(h); got != want {
+			t.Fatalf("CountOf = %d, want %d", got, want)
+		}
+		if want == 0 {
+			break
+		}
+	}
+}
+
+func TestCountOfSpansBothBlocks(t *testing.T) {
+	// Insert enough duplicates that they overflow from the primary into the
+	// secondary block; CountOf must see all of them.
+	f := NewFilter8(96, Options{NoShortcut: true}) // 2 blocks
+	// The fingerprint byte (h>>16) must be odd so the xor trick maps the two
+	// candidate blocks to distinct indices under the 1-bit block mask.
+	const h = 0xabcdef9876553210
+	inserted := uint64(0)
+	for i := 0; i < 96; i++ {
+		if !f.Insert(h) {
+			break
+		}
+		inserted++
+	}
+	if inserted < 90 {
+		t.Fatalf("only %d duplicate inserts before full", inserted)
+	}
+	if got := f.CountOf(h); got != inserted {
+		t.Fatalf("CountOf = %d, want %d", got, inserted)
+	}
+}
+
+func TestCountOfRandomAbsent(t *testing.T) {
+	f := NewFilter8(1<<12, Options{})
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		f.Insert(rng.Uint64())
+	}
+	nonzero := 0
+	for i := 0; i < 50000; i++ {
+		if f.CountOf(rng.Uint64()) > 0 {
+			nonzero++
+		}
+	}
+	if rate := float64(nonzero) / 50000; rate > 0.01 {
+		t.Errorf("absent-key nonzero-count rate %.5f", rate)
+	}
+}

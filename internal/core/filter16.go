@@ -1,0 +1,140 @@
+package core
+
+import "vqf/internal/minifilter"
+
+// Filter16 is a single-threaded vector quotient filter with 16-bit
+// fingerprints (target false-positive rate ≈ 2⁻¹⁶; empirically ≈ 0.000023,
+// paper §5). Blocks hold 28 slots across 36 buckets in one 64-byte cache
+// line.
+type Filter16 struct {
+	blocks []minifilter.Block16
+	mask   uint64
+	count  uint64
+	opts   Options
+	thresh uint
+}
+
+// NewFilter16 creates a filter with at least nslots fingerprint slots; see
+// NewFilter8 for sizing semantics.
+func NewFilter16(nslots uint64, opts Options) *Filter16 {
+	k := blocksFor(nslots, minifilter.B16Slots)
+	f := &Filter16{
+		blocks: make([]minifilter.Block16, k),
+		mask:   k - 1,
+		opts:   opts,
+		thresh: opts.threshold(minifilter.B16Slots, defThreshold16),
+	}
+	for i := range f.blocks {
+		f.blocks[i].Reset()
+	}
+	return f
+}
+
+// Capacity returns the total number of fingerprint slots.
+func (f *Filter16) Capacity() uint64 {
+	return uint64(len(f.blocks)) * minifilter.B16Slots
+}
+
+// Count returns the number of fingerprints currently stored.
+func (f *Filter16) Count() uint64 { return f.count }
+
+// LoadFactor returns Count divided by Capacity.
+func (f *Filter16) LoadFactor() float64 {
+	return float64(f.count) / float64(f.Capacity())
+}
+
+// NumBlocks returns the number of mini-filter blocks.
+func (f *Filter16) NumBlocks() uint64 { return uint64(len(f.blocks)) }
+
+// SizeBytes returns the memory footprint of the block array.
+func (f *Filter16) SizeBytes() uint64 { return uint64(len(f.blocks)) * 64 }
+
+// Insert adds the pre-hashed key h to the filter; see Filter8.Insert.
+func (f *Filter16) Insert(h uint64) bool {
+	b1, bucket, fp, tag := split16(h, f.mask)
+	if f.opts.Generic {
+		return f.insertGeneric(h, b1, bucket, fp, tag)
+	}
+	blk1 := &f.blocks[b1]
+	occ1 := blk1.Occupancy()
+	if !f.opts.NoShortcut && occ1 < f.thresh {
+		blk1.Insert(bucket, fp)
+		f.count++
+		return true
+	}
+	b2 := secondary(h, b1, tag, f.mask, f.opts.IndependentHash)
+	blk := blk1
+	if f.blocks[b2].Occupancy() < occ1 {
+		blk = &f.blocks[b2]
+	}
+	if !blk.Insert(bucket, fp) {
+		return false
+	}
+	f.count++
+	return true
+}
+
+func (f *Filter16) insertGeneric(h, b1 uint64, bucket uint, fp uint16, tag uint64) bool {
+	blk1 := &f.blocks[b1]
+	occ1 := blk1.OccupancyGeneric()
+	if !f.opts.NoShortcut && occ1 < f.thresh {
+		blk1.InsertGeneric(bucket, fp)
+		f.count++
+		return true
+	}
+	b2 := secondary(h, b1, tag, f.mask, f.opts.IndependentHash)
+	blk := blk1
+	if f.blocks[b2].OccupancyGeneric() < occ1 {
+		blk = &f.blocks[b2]
+	}
+	if !blk.InsertGeneric(bucket, fp) {
+		return false
+	}
+	f.count++
+	return true
+}
+
+// Contains reports whether the pre-hashed key h may be in the filter.
+func (f *Filter16) Contains(h uint64) bool {
+	b1, bucket, fp, tag := split16(h, f.mask)
+	if f.opts.Generic {
+		if f.blocks[b1].ContainsGeneric(bucket, fp) {
+			return true
+		}
+		b2 := secondary(h, b1, tag, f.mask, f.opts.IndependentHash)
+		return f.blocks[b2].ContainsGeneric(bucket, fp)
+	}
+	if f.blocks[b1].Contains(bucket, fp) {
+		return true
+	}
+	b2 := secondary(h, b1, tag, f.mask, f.opts.IndependentHash)
+	return f.blocks[b2].Contains(bucket, fp)
+}
+
+// Remove deletes one previously inserted instance of the pre-hashed key h;
+// see Filter8.Remove for the deletion-safety contract.
+func (f *Filter16) Remove(h uint64) bool {
+	b1, bucket, fp, tag := split16(h, f.mask)
+	b2 := secondary(h, b1, tag, f.mask, f.opts.IndependentHash)
+	if f.opts.Generic {
+		if f.blocks[b1].RemoveGeneric(bucket, fp) || f.blocks[b2].RemoveGeneric(bucket, fp) {
+			f.count--
+			return true
+		}
+		return false
+	}
+	if f.blocks[b1].Remove(bucket, fp) || f.blocks[b2].Remove(bucket, fp) {
+		f.count--
+		return true
+	}
+	return false
+}
+
+// BlockOccupancies returns the occupancy of every block.
+func (f *Filter16) BlockOccupancies() []uint {
+	out := make([]uint, len(f.blocks))
+	for i := range f.blocks {
+		out[i] = f.blocks[i].Occupancy()
+	}
+	return out
+}

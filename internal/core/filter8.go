@@ -1,0 +1,152 @@
+package core
+
+import "vqf/internal/minifilter"
+
+// Filter8 is a single-threaded vector quotient filter with 8-bit fingerprints
+// (target false-positive rate ≈ 2⁻⁸; empirically ≈ 0.004, paper §5). Blocks
+// hold 48 slots across 80 buckets in one 64-byte cache line.
+type Filter8 struct {
+	blocks []minifilter.Block8
+	mask   uint64
+	count  uint64
+	opts   Options
+	thresh uint
+}
+
+// NewFilter8 creates a filter with at least nslots fingerprint slots. The
+// block count is rounded up to a power of two (required by the xor trick);
+// use Capacity to read the resulting slot count. The filter supports load
+// factors up to ≈ 93% of Capacity with the shortcut optimization enabled
+// (≈ 94.4% without).
+func NewFilter8(nslots uint64, opts Options) *Filter8 {
+	k := blocksFor(nslots, minifilter.B8Slots)
+	f := &Filter8{
+		blocks: make([]minifilter.Block8, k),
+		mask:   k - 1,
+		opts:   opts,
+		thresh: opts.threshold(minifilter.B8Slots, defThreshold8),
+	}
+	for i := range f.blocks {
+		f.blocks[i].Reset()
+	}
+	return f
+}
+
+// Capacity returns the total number of fingerprint slots.
+func (f *Filter8) Capacity() uint64 {
+	return uint64(len(f.blocks)) * minifilter.B8Slots
+}
+
+// Count returns the number of fingerprints currently stored.
+func (f *Filter8) Count() uint64 { return f.count }
+
+// LoadFactor returns Count divided by Capacity.
+func (f *Filter8) LoadFactor() float64 {
+	return float64(f.count) / float64(f.Capacity())
+}
+
+// NumBlocks returns the number of mini-filter blocks.
+func (f *Filter8) NumBlocks() uint64 { return uint64(len(f.blocks)) }
+
+// SizeBytes returns the memory footprint of the block array.
+func (f *Filter8) SizeBytes() uint64 { return uint64(len(f.blocks)) * 64 }
+
+// Insert adds the pre-hashed key h to the filter. It returns false if both
+// candidate blocks are full, which with high probability does not happen
+// below ≈ 93% load factor.
+func (f *Filter8) Insert(h uint64) bool {
+	b1, bucket, fp, tag := split8(h, f.mask)
+	if f.opts.Generic {
+		return f.insertGeneric(h, b1, bucket, fp, tag)
+	}
+	blk1 := &f.blocks[b1]
+	occ1 := blk1.Occupancy()
+	if !f.opts.NoShortcut && occ1 < f.thresh {
+		// Shortcut (§6.2): the primary block is emptier than the threshold,
+		// so skip the secondary block entirely — one cache line touched.
+		blk1.Insert(bucket, fp)
+		f.count++
+		return true
+	}
+	b2 := secondary(h, b1, tag, f.mask, f.opts.IndependentHash)
+	blk := blk1
+	if f.blocks[b2].Occupancy() < occ1 {
+		blk = &f.blocks[b2]
+	}
+	if !blk.Insert(bucket, fp) {
+		return false
+	}
+	f.count++
+	return true
+}
+
+func (f *Filter8) insertGeneric(h, b1 uint64, bucket uint, fp byte, tag uint64) bool {
+	blk1 := &f.blocks[b1]
+	occ1 := blk1.OccupancyGeneric()
+	if !f.opts.NoShortcut && occ1 < f.thresh {
+		blk1.InsertGeneric(bucket, fp)
+		f.count++
+		return true
+	}
+	b2 := secondary(h, b1, tag, f.mask, f.opts.IndependentHash)
+	blk := blk1
+	if f.blocks[b2].OccupancyGeneric() < occ1 {
+		blk = &f.blocks[b2]
+	}
+	if !blk.InsertGeneric(bucket, fp) {
+		return false
+	}
+	f.count++
+	return true
+}
+
+// Contains reports whether the pre-hashed key h may be in the filter. False
+// positives occur with probability ≈ 2·(s/b)·2⁻⁸; false negatives never
+// occur for inserted keys.
+func (f *Filter8) Contains(h uint64) bool {
+	b1, bucket, fp, tag := split8(h, f.mask)
+	if f.opts.Generic {
+		if f.blocks[b1].ContainsGeneric(bucket, fp) {
+			return true
+		}
+		b2 := secondary(h, b1, tag, f.mask, f.opts.IndependentHash)
+		return f.blocks[b2].ContainsGeneric(bucket, fp)
+	}
+	if f.blocks[b1].Contains(bucket, fp) {
+		return true
+	}
+	b2 := secondary(h, b1, tag, f.mask, f.opts.IndependentHash)
+	return f.blocks[b2].Contains(bucket, fp)
+}
+
+// Remove deletes one previously inserted instance of the pre-hashed key h.
+// It returns false if no matching fingerprint is found. Removing a key that
+// was never inserted may evict a colliding key (as in all deletion-capable
+// filters); doing so on a filter built with IndependentHash can additionally
+// produce false negatives and must be avoided.
+func (f *Filter8) Remove(h uint64) bool {
+	b1, bucket, fp, tag := split8(h, f.mask)
+	b2 := secondary(h, b1, tag, f.mask, f.opts.IndependentHash)
+	if f.opts.Generic {
+		if f.blocks[b1].RemoveGeneric(bucket, fp) || f.blocks[b2].RemoveGeneric(bucket, fp) {
+			f.count--
+			return true
+		}
+		return false
+	}
+	if f.blocks[b1].Remove(bucket, fp) || f.blocks[b2].Remove(bucket, fp) {
+		f.count--
+		return true
+	}
+	return false
+}
+
+// BlockOccupancies returns the occupancy of every block; the harness uses it
+// to measure placement variance for the power-of-two-choices experiments.
+func (f *Filter8) BlockOccupancies() []uint {
+	out := make([]uint, len(f.blocks))
+	for i := range f.blocks {
+		out[i] = f.blocks[i].Occupancy()
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"vqf/internal/minifilter"
+)
+
+// Binary serialization for the single-threaded filters. The format is a
+// little-endian header (magic, version, geometry, options, count) followed by
+// the raw block array. Filters can be built offline and shipped alongside
+// the data they summarize — the way storage systems persist SSTable filters.
+
+const (
+	magic8         = 0x31465156 // "VQF1"
+	magic16        = 0x32465156 // "VQF2"
+	serialVersion  = 1
+	headerBytes    = 4 + 2 + 2 + 8 + 8 + 8 // magic, version, flags, blocks, count, reserved
+	flagNoShortcut = 1 << 0
+	flagIndepHash  = 1 << 1
+)
+
+// ErrBadFormat is returned when deserializing data that is not a filter of
+// the expected type and version.
+var ErrBadFormat = errors.New("core: malformed filter serialization")
+
+func writeHeader(w io.Writer, magic uint32, nblocks, count uint64, opts Options) error {
+	var hdr [headerBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:], magic)
+	binary.LittleEndian.PutUint16(hdr[4:], serialVersion)
+	var flags uint16
+	if opts.NoShortcut {
+		flags |= flagNoShortcut
+	}
+	if opts.IndependentHash {
+		flags |= flagIndepHash
+	}
+	binary.LittleEndian.PutUint16(hdr[6:], flags)
+	binary.LittleEndian.PutUint64(hdr[8:], nblocks)
+	binary.LittleEndian.PutUint64(hdr[16:], count)
+	_, err := w.Write(hdr[:])
+	return err
+}
+
+func readHeader(r io.Reader, wantMagic uint32) (nblocks, count uint64, opts Options, err error) {
+	var hdr [headerBytes]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, opts, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != wantMagic {
+		return 0, 0, opts, fmt.Errorf("%w: bad magic", ErrBadFormat)
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:]); v != serialVersion {
+		return 0, 0, opts, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, v)
+	}
+	flags := binary.LittleEndian.Uint16(hdr[6:])
+	opts.NoShortcut = flags&flagNoShortcut != 0
+	opts.IndependentHash = flags&flagIndepHash != 0
+	nblocks = binary.LittleEndian.Uint64(hdr[8:])
+	count = binary.LittleEndian.Uint64(hdr[16:])
+	if nblocks < 2 || nblocks&(nblocks-1) != 0 || nblocks > 1<<40 {
+		return 0, 0, opts, fmt.Errorf("%w: block count %d not a power of two >= 2", ErrBadFormat, nblocks)
+	}
+	return nblocks, count, opts, nil
+}
+
+// WriteTo serializes the filter. It implements io.WriterTo.
+func (f *Filter8) WriteTo(w io.Writer) (int64, error) {
+	if err := writeHeader(w, magic8, uint64(len(f.blocks)), f.count, f.opts); err != nil {
+		return 0, err
+	}
+	n := int64(headerBytes)
+	buf := make([]byte, 64)
+	for i := range f.blocks {
+		b := &f.blocks[i]
+		binary.LittleEndian.PutUint64(buf[0:], b.MetaLo)
+		binary.LittleEndian.PutUint64(buf[8:], b.MetaHi)
+		copy(buf[16:], b.Fps[:])
+		m, err := w.Write(buf)
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// ReadFilter8 deserializes a Filter8 written by WriteTo.
+func ReadFilter8(r io.Reader) (*Filter8, error) {
+	nblocks, count, opts, err := readHeader(r, magic8)
+	if err != nil {
+		return nil, err
+	}
+	f := &Filter8{
+		mask:   nblocks - 1,
+		count:  count,
+		opts:   opts,
+		thresh: opts.threshold(minifilter.B8Slots, defThreshold8),
+	}
+	// Grow the block array in chunks while reading so a forged header
+	// claiming an enormous block count fails on truncated input instead of
+	// allocating the claimed size up front.
+	const chunk = 1 << 16
+	buf := make([]byte, 64)
+	for read := uint64(0); read < nblocks; {
+		n := nblocks - read
+		if n > chunk {
+			n = chunk
+		}
+		f.blocks = append(f.blocks, make([]minifilter.Block8, n)...)
+		for j := uint64(0); j < n; j++ {
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+			}
+			b := &f.blocks[read+j]
+			b.MetaLo = binary.LittleEndian.Uint64(buf[0:])
+			b.MetaHi = binary.LittleEndian.Uint64(buf[8:])
+			copy(b.Fps[:], buf[16:])
+		}
+		read += n
+	}
+	// Serialized data is untrusted: corrupted metadata would send block
+	// operations out of bounds later, so audit the structure now.
+	if err := f.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	return f, nil
+}
+
+// WriteTo serializes the filter. It implements io.WriterTo.
+func (f *Filter16) WriteTo(w io.Writer) (int64, error) {
+	if err := writeHeader(w, magic16, uint64(len(f.blocks)), f.count, f.opts); err != nil {
+		return 0, err
+	}
+	n := int64(headerBytes)
+	buf := make([]byte, 64)
+	for i := range f.blocks {
+		b := &f.blocks[i]
+		binary.LittleEndian.PutUint64(buf[0:], b.Meta)
+		for j, fp := range b.Fps {
+			binary.LittleEndian.PutUint16(buf[8+2*j:], fp)
+		}
+		m, err := w.Write(buf)
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// ReadFilter16 deserializes a Filter16 written by WriteTo.
+func ReadFilter16(r io.Reader) (*Filter16, error) {
+	nblocks, count, opts, err := readHeader(r, magic16)
+	if err != nil {
+		return nil, err
+	}
+	f := &Filter16{
+		mask:   nblocks - 1,
+		count:  count,
+		opts:   opts,
+		thresh: opts.threshold(minifilter.B16Slots, defThreshold16),
+	}
+	const chunk = 1 << 16
+	buf := make([]byte, 64)
+	for read := uint64(0); read < nblocks; {
+		n := nblocks - read
+		if n > chunk {
+			n = chunk
+		}
+		f.blocks = append(f.blocks, make([]minifilter.Block16, n)...)
+		for j := uint64(0); j < n; j++ {
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+			}
+			b := &f.blocks[read+j]
+			b.Meta = binary.LittleEndian.Uint64(buf[0:])
+			for k := range b.Fps {
+				b.Fps[k] = binary.LittleEndian.Uint16(buf[8+2*k:])
+			}
+		}
+		read += n
+	}
+	if err := f.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	return f, nil
+}

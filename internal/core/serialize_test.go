@@ -1,0 +1,112 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestFilter8SerializeRoundTrip(t *testing.T) {
+	f := NewFilter8(1<<12, Options{})
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]uint64, 0, 3000)
+	for len(keys) < 3000 {
+		h := rng.Uint64()
+		if f.Insert(h) {
+			keys = append(keys, h)
+		}
+	}
+	var buf bytes.Buffer
+	n, err := f.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	g, err := ReadFilter8(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Count() != f.Count() || g.Capacity() != f.Capacity() {
+		t.Fatalf("count/capacity mismatch after round trip")
+	}
+	for _, h := range keys {
+		if !g.Contains(h) {
+			t.Fatal("false negative after deserialization")
+		}
+	}
+	// The deserialized filter remains fully operational.
+	if !g.Remove(keys[0]) {
+		t.Fatal("remove failed after deserialization")
+	}
+	if !g.Insert(rng.Uint64()) {
+		t.Fatal("insert failed after deserialization")
+	}
+}
+
+func TestFilter16SerializeRoundTrip(t *testing.T) {
+	f := NewFilter16(1<<11, Options{NoShortcut: true})
+	rng := rand.New(rand.NewSource(2))
+	keys := make([]uint64, 0, 1500)
+	for len(keys) < 1500 {
+		h := rng.Uint64()
+		if f.Insert(h) {
+			keys = append(keys, h)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadFilter16(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range keys {
+		if !g.Contains(h) {
+			t.Fatal("false negative after deserialization")
+		}
+	}
+	if !g.opts.NoShortcut {
+		t.Error("options not preserved")
+	}
+}
+
+func TestDeserializeRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       {1, 2, 3},
+		"bad-magic":   bytes.Repeat([]byte{0xff}, headerBytes),
+		"wrong-type":  nil, // filled below: a Filter16 stream fed to ReadFilter8
+		"truncated":   nil, // header OK but body cut short
+		"bad-version": nil,
+	}
+	var buf bytes.Buffer
+	NewFilter16(1<<8, Options{}).WriteTo(&buf)
+	cases["wrong-type"] = buf.Bytes()
+
+	var buf2 bytes.Buffer
+	NewFilter8(1<<8, Options{}).WriteTo(&buf2)
+	cases["truncated"] = buf2.Bytes()[:headerBytes+10]
+
+	bad := append([]byte(nil), buf2.Bytes()[:headerBytes]...)
+	bad[4] = 99 // version
+	cases["bad-version"] = bad
+
+	for name, data := range cases {
+		if _, err := ReadFilter8(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: ReadFilter8 accepted malformed input", name)
+		}
+	}
+}
+
+func TestDeserializeRejectsNonPow2Blocks(t *testing.T) {
+	var buf bytes.Buffer
+	NewFilter8(1<<8, Options{}).WriteTo(&buf)
+	data := buf.Bytes()
+	data[8] = 3 // block count 3: not a power of two
+	if _, err := ReadFilter8(bytes.NewReader(data)); err == nil {
+		t.Error("accepted non-power-of-two block count")
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"vqf/internal/minifilter"
+)
+
+// CheckInvariants verifies the filter's structural invariants: every block's
+// metadata holds exactly B8Buckets terminator bits with no used bits above
+// the final one, and block occupancies sum to Count. It returns a
+// descriptive error for the first violation found; the test suite uses it
+// for corruption (failure-injection) testing and long-churn audits.
+func (f *Filter8) CheckInvariants() error {
+	var total uint64
+	for i := range f.blocks {
+		b := &f.blocks[i]
+		ones := bits.OnesCount64(b.MetaLo) + bits.OnesCount64(b.MetaHi)
+		if ones != minifilter.B8Buckets {
+			return fmt.Errorf("block %d: %d terminator bits, want %d", i, ones, minifilter.B8Buckets)
+		}
+		occ := b.Occupancy()
+		if occ > minifilter.B8Slots {
+			return fmt.Errorf("block %d: occupancy %d exceeds %d slots", i, occ, minifilter.B8Slots)
+		}
+		// No metadata bit may lie above the final terminator.
+		used := minifilter.B8Buckets + occ
+		if used < 128 {
+			loMask, hiMask := usedMask128(uint(used))
+			if b.MetaLo&^loMask != 0 || b.MetaHi&^hiMask != 0 {
+				return fmt.Errorf("block %d: metadata bits above the final terminator", i)
+			}
+		}
+		total += uint64(occ)
+	}
+	if total != f.count {
+		return fmt.Errorf("occupancy sum %d != count %d", total, f.count)
+	}
+	return nil
+}
+
+func usedMask128(used uint) (lo, hi uint64) {
+	if used >= 128 {
+		return ^uint64(0), ^uint64(0)
+	}
+	if used >= 64 {
+		return ^uint64(0), 1<<(used-64) - 1
+	}
+	return 1<<used - 1, 0
+}
+
+// CheckInvariants verifies the 16-bit filter's structural invariants; see
+// Filter8.CheckInvariants.
+func (f *Filter16) CheckInvariants() error {
+	var total uint64
+	for i := range f.blocks {
+		b := &f.blocks[i]
+		if ones := bits.OnesCount64(b.Meta); ones != minifilter.B16Buckets {
+			return fmt.Errorf("block %d: %d terminator bits, want %d", i, ones, minifilter.B16Buckets)
+		}
+		occ := b.Occupancy()
+		if occ > minifilter.B16Slots {
+			return fmt.Errorf("block %d: occupancy %d exceeds %d slots", i, occ, minifilter.B16Slots)
+		}
+		used := minifilter.B16Buckets + occ
+		if used < 64 && b.Meta&^(1<<used-1) != 0 {
+			return fmt.Errorf("block %d: metadata bits above the final terminator", i)
+		}
+		total += uint64(occ)
+	}
+	if total != f.count {
+		return fmt.Errorf("occupancy sum %d != count %d", total, f.count)
+	}
+	return nil
+}
+
+// Blocks exposes the block array for white-box corruption tests.
+func (f *Filter8) Blocks() []minifilter.Block8 { return f.blocks }

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestInvariantsHoldUnderChurn(t *testing.T) {
+	f := NewFilter8(1<<12, Options{})
+	rng := rand.New(rand.NewSource(1))
+	var live []uint64
+	for step := 0; step < 20000; step++ {
+		if rng.Intn(2) == 0 && f.LoadFactor() < 0.9 {
+			h := rng.Uint64()
+			if f.Insert(h) {
+				live = append(live, h)
+			}
+		} else if len(live) > 0 {
+			i := rng.Intn(len(live))
+			f.Remove(live[i])
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if step%2000 == 0 {
+			if err := f.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvariants16HoldUnderChurn(t *testing.T) {
+	f := NewFilter16(1<<11, Options{})
+	rng := rand.New(rand.NewSource(2))
+	var live []uint64
+	for step := 0; step < 20000; step++ {
+		if rng.Intn(2) == 0 && f.LoadFactor() < 0.88 {
+			h := rng.Uint64()
+			if f.Insert(h) {
+				live = append(live, h)
+			}
+		} else if len(live) > 0 {
+			i := rng.Intn(len(live))
+			f.Remove(live[i])
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvariantsDetectCorruption(t *testing.T) {
+	build := func() *Filter8 {
+		f := NewFilter8(1<<10, Options{})
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < 500; i++ {
+			f.Insert(rng.Uint64())
+		}
+		if err := f.CheckInvariants(); err != nil {
+			t.Fatalf("clean filter fails validation: %v", err)
+		}
+		return f
+	}
+
+	t.Run("flipped-terminator", func(t *testing.T) {
+		f := build()
+		f.Blocks()[3].MetaLo ^= 1 << 5
+		if f.CheckInvariants() == nil {
+			t.Error("corrupted metadata passed validation")
+		}
+	})
+	t.Run("count-drift", func(t *testing.T) {
+		f := build()
+		f.count += 7
+		if f.CheckInvariants() == nil {
+			t.Error("count drift passed validation")
+		}
+	})
+	t.Run("stray-high-bit", func(t *testing.T) {
+		f := build()
+		// Set a metadata bit far above the used region while clearing one
+		// terminator to keep the popcount identical.
+		b := &f.Blocks()[1]
+		b.MetaHi |= 1 << 60
+		b.MetaLo &^= 1 << 0
+		if f.CheckInvariants() == nil {
+			t.Error("stray high bit passed validation")
+		}
+	})
+}

@@ -1,0 +1,247 @@
+// Package cuckoo implements the cuckoo filter of Fan, Andersen, Kaminsky and
+// Mitzenmacher (CoNEXT 2014), the configuration benchmarked by the vector
+// quotient filter paper: buckets of 4 fingerprint slots, 12- or 16-bit
+// fingerprints packed tightly, partial-key cuckoo hashing with a bounded
+// random-walk eviction (500 kicks), and deletion via the xor trick.
+package cuckoo
+
+import (
+	"math/bits"
+
+	"vqf/internal/hashing"
+)
+
+// SlotsPerBucket is the bucket width recommended by the cuckoo filter
+// authors (block size 4 in the VQF paper's terminology).
+const SlotsPerBucket = 4
+
+// MaxKicks bounds the eviction random walk, as in the reference
+// implementation.
+const MaxKicks = 500
+
+// Filter is a cuckoo filter. Fingerprints are fpBits wide, packed without
+// padding; a zero fingerprint encodes an empty slot, so raw fingerprints are
+// mapped into [1, 2^fpBits).
+type Filter struct {
+	table    *packedTable
+	mask     uint64 // numBuckets - 1
+	fpBits   uint
+	fpMask   uint64
+	count    uint64
+	kicks    uint64 // total evictions performed (diagnostic)
+	rngState uint64
+	// victim holds an evicted fingerprint that could not be re-placed, as in
+	// the reference implementation; the filter is full once it is occupied.
+	victim       uint64
+	victimBucket uint64
+	hasVictim    bool
+}
+
+// New creates a cuckoo filter with at least nslots fingerprint slots and
+// fpBits-bit fingerprints (12 and 16 are the paper's configurations). The
+// bucket count rounds up to a power of two.
+func New(nslots uint64, fpBits uint) *Filter {
+	if fpBits < 4 || fpBits > 32 {
+		panic("cuckoo: fingerprint width out of range")
+	}
+	buckets := nextPow2((nslots + SlotsPerBucket - 1) / SlotsPerBucket)
+	return &Filter{
+		table:    newPackedTable(buckets*SlotsPerBucket, fpBits),
+		mask:     buckets - 1,
+		fpBits:   fpBits,
+		fpMask:   1<<fpBits - 1,
+		rngState: 0x853c49e6748fea9b,
+	}
+}
+
+func nextPow2(x uint64) uint64 {
+	if x < 2 {
+		return 2
+	}
+	return 1 << bits.Len64(x-1)
+}
+
+// split derives the primary bucket and nonzero fingerprint for a key hash.
+func (f *Filter) split(h uint64) (bucket uint64, fp uint64) {
+	fp = h & f.fpMask
+	if fp == 0 {
+		fp = 1 // zero encodes an empty slot
+	}
+	bucket = (h >> f.fpBits) & f.mask
+	return
+}
+
+// altBucket returns the partner bucket for (bucket, fp): the xor trick that
+// lets lookups and deletes reach both candidate buckets from either side.
+func (f *Filter) altBucket(bucket, fp uint64) uint64 {
+	return hashing.AltIndex(bucket, fp, f.mask)
+}
+
+func (f *Filter) bucketInsert(bucket, fp uint64) bool {
+	base := bucket * SlotsPerBucket
+	for s := uint64(0); s < SlotsPerBucket; s++ {
+		if f.table.get(base+s) == 0 {
+			f.table.set(base+s, fp)
+			return true
+		}
+	}
+	return false
+}
+
+func (f *Filter) bucketContains(bucket, fp uint64) bool {
+	base := bucket * SlotsPerBucket
+	for s := uint64(0); s < SlotsPerBucket; s++ {
+		if f.table.get(base+s) == fp {
+			return true
+		}
+	}
+	return false
+}
+
+func (f *Filter) bucketRemove(bucket, fp uint64) bool {
+	base := bucket * SlotsPerBucket
+	for s := uint64(0); s < SlotsPerBucket; s++ {
+		if f.table.get(base+s) == fp {
+			f.table.set(base+s, 0)
+			return true
+		}
+	}
+	return false
+}
+
+// rand32 is a small xorshift generator used to pick eviction victims; the
+// filter is deterministic for a fixed operation sequence.
+func (f *Filter) rand32() uint32 {
+	x := f.rngState
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	f.rngState = x
+	return uint32(x)
+}
+
+// Insert adds the pre-hashed key h. It returns false once an eviction walk
+// exceeds MaxKicks while a previous victim is still pending — the filter is
+// then full (typically at ≈95% load).
+func (f *Filter) Insert(h uint64) bool {
+	if f.hasVictim {
+		return false
+	}
+	bucket, fp := f.split(h)
+	if f.bucketInsert(bucket, fp) {
+		f.count++
+		return true
+	}
+	alt := f.altBucket(bucket, fp)
+	if f.bucketInsert(alt, fp) {
+		f.count++
+		return true
+	}
+	// Both buckets full: random-walk eviction starting from a random side.
+	cur := bucket
+	if f.rand32()&1 == 1 {
+		cur = alt
+	}
+	curFp := fp
+	for kick := 0; kick < MaxKicks; kick++ {
+		slot := cur*SlotsPerBucket + uint64(f.rand32()%SlotsPerBucket)
+		evicted := f.table.get(slot)
+		f.table.set(slot, curFp)
+		f.kicks++
+		curFp = evicted
+		cur = f.altBucket(cur, curFp)
+		if f.bucketInsert(cur, curFp) {
+			f.count++
+			return true
+		}
+	}
+	// Could not re-place the last evicted fingerprint: park it as the victim.
+	// The original key is stored (it displaced the victim), so this insert
+	// succeeds; the *next* insert fails, as in the reference implementation.
+	f.victim = curFp
+	f.victimBucket = cur
+	f.hasVictim = true
+	f.count++
+	return true
+}
+
+// Contains reports whether the pre-hashed key h may be in the filter.
+func (f *Filter) Contains(h uint64) bool {
+	bucket, fp := f.split(h)
+	if f.bucketContains(bucket, fp) {
+		return true
+	}
+	if f.hasVictim && fp == f.victim &&
+		(f.victimBucket == bucket || f.victimBucket == f.altBucket(bucket, fp)) {
+		return true
+	}
+	return f.bucketContains(f.altBucket(bucket, fp), fp)
+}
+
+// Remove deletes one previously inserted instance of the pre-hashed key h.
+func (f *Filter) Remove(h uint64) bool {
+	bucket, fp := f.split(h)
+	if f.bucketRemove(bucket, fp) || f.bucketRemove(f.altBucket(bucket, fp), fp) {
+		f.count--
+		// A pending victim can now be re-homed.
+		if f.hasVictim {
+			f.hasVictim = false
+			v, vb := f.victim, f.victimBucket
+			f.count--
+			f.insertExisting(vb, v)
+		}
+		return true
+	}
+	if f.hasVictim && fp == f.victim &&
+		(f.victimBucket == bucket || f.victimBucket == f.altBucket(bucket, fp)) {
+		f.hasVictim = false
+		f.count--
+		return true
+	}
+	return false
+}
+
+// insertExisting re-inserts a parked fingerprint at its known bucket.
+func (f *Filter) insertExisting(bucket, fp uint64) {
+	if f.bucketInsert(bucket, fp) {
+		f.count++
+		return
+	}
+	alt := f.altBucket(bucket, fp)
+	if f.bucketInsert(alt, fp) {
+		f.count++
+		return
+	}
+	cur, curFp := bucket, fp
+	for kick := 0; kick < MaxKicks; kick++ {
+		slot := cur*SlotsPerBucket + uint64(f.rand32()%SlotsPerBucket)
+		evicted := f.table.get(slot)
+		f.table.set(slot, curFp)
+		curFp = evicted
+		cur = f.altBucket(cur, curFp)
+		if f.bucketInsert(cur, curFp) {
+			f.count++
+			return
+		}
+	}
+	f.victim = curFp
+	f.victimBucket = cur
+	f.hasVictim = true
+	f.count++
+}
+
+// Count returns the number of fingerprints currently stored.
+func (f *Filter) Count() uint64 { return f.count }
+
+// Capacity returns the total number of fingerprint slots.
+func (f *Filter) Capacity() uint64 { return (f.mask + 1) * SlotsPerBucket }
+
+// LoadFactor returns Count divided by Capacity.
+func (f *Filter) LoadFactor() float64 { return float64(f.count) / float64(f.Capacity()) }
+
+// SizeBytes returns the memory footprint of the packed fingerprint table.
+func (f *Filter) SizeBytes() uint64 { return f.table.sizeBytes() }
+
+// Kicks returns the cumulative number of evictions (diagnostic: this is the
+// collision-resolution work that grows with load factor).
+func (f *Filter) Kicks() uint64 { return f.kicks }

@@ -1,0 +1,227 @@
+package cuckoo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackedTable(t *testing.T) {
+	for _, width := range []uint{12, 16, 5, 31} {
+		pt := newPackedTable(1000, width)
+		model := make([]uint64, 1000)
+		rng := rand.New(rand.NewSource(int64(width)))
+		for step := 0; step < 20000; step++ {
+			i := uint64(rng.Intn(1000))
+			v := rng.Uint64() & pt.mask
+			pt.set(i, v)
+			model[i] = v
+			j := uint64(rng.Intn(1000))
+			if got := pt.get(j); got != model[j] {
+				t.Fatalf("width %d: get(%d) = %#x, want %#x", width, j, got, model[j])
+			}
+		}
+	}
+}
+
+func TestPackedTableBoundary(t *testing.T) {
+	// 12-bit entries straddle word boundaries at indexes 5, 10, ...
+	pt := newPackedTable(64, 12)
+	for i := uint64(0); i < 64; i++ {
+		pt.set(i, (i*37+1)&0xfff)
+	}
+	for i := uint64(0); i < 64; i++ {
+		if got := pt.get(i); got != (i*37+1)&0xfff {
+			t.Fatalf("get(%d) = %#x", i, got)
+		}
+	}
+}
+
+func TestCuckooNoFalseNegatives(t *testing.T) {
+	f := New(1<<14, 12)
+	rng := rand.New(rand.NewSource(1))
+	n := f.Capacity() * 90 / 100
+	keys := make([]uint64, 0, n)
+	for uint64(len(keys)) < n {
+		h := rng.Uint64()
+		if !f.Insert(h) {
+			t.Fatalf("insert failed at LF %.3f", f.LoadFactor())
+		}
+		keys = append(keys, h)
+	}
+	for _, h := range keys {
+		if !f.Contains(h) {
+			t.Fatal("false negative")
+		}
+	}
+}
+
+func TestCuckooFalsePositiveRate(t *testing.T) {
+	f := New(1<<14, 12)
+	rng := rand.New(rand.NewSource(2))
+	for f.LoadFactor() < 0.90 {
+		f.Insert(rng.Uint64())
+	}
+	fp := 0
+	const probes = 200000
+	for i := 0; i < probes; i++ {
+		if f.Contains(rng.Uint64()) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	// Analytic: 2·4·2⁻¹² ≈ 0.002 at full; allow 2× slack.
+	if rate > 0.004 {
+		t.Errorf("FPR = %.5f too high", rate)
+	}
+	if rate == 0 {
+		t.Error("FPR of exactly 0 implausible")
+	}
+}
+
+func TestCuckooReachesHighLoadFactor(t *testing.T) {
+	f := New(1<<14, 12)
+	rng := rand.New(rand.NewSource(3))
+	for f.Insert(rng.Uint64()) {
+	}
+	if lf := f.LoadFactor(); lf < 0.93 {
+		t.Errorf("max load factor %.4f below 0.93", lf)
+	}
+	if f.Kicks() == 0 {
+		t.Error("no evictions recorded while filling to capacity")
+	}
+}
+
+func TestCuckooRemove(t *testing.T) {
+	f := New(1<<12, 16)
+	rng := rand.New(rand.NewSource(4))
+	n := f.Capacity() * 80 / 100
+	keys := make([]uint64, 0, n)
+	for uint64(len(keys)) < n {
+		h := rng.Uint64()
+		if !f.Insert(h) {
+			t.Fatal("insert failed")
+		}
+		keys = append(keys, h)
+	}
+	for _, h := range keys[:len(keys)/2] {
+		if !f.Remove(h) {
+			t.Fatal("remove of inserted key failed")
+		}
+	}
+	for _, h := range keys[len(keys)/2:] {
+		if !f.Contains(h) {
+			t.Fatal("false negative after removes")
+		}
+	}
+	if f.Count() != uint64(len(keys)-len(keys)/2) {
+		t.Fatalf("Count = %d", f.Count())
+	}
+}
+
+func TestCuckooInsertAfterFullFails(t *testing.T) {
+	f := New(1<<10, 12)
+	rng := rand.New(rand.NewSource(5))
+	for f.Insert(rng.Uint64()) {
+	}
+	// Once full, inserts keep failing.
+	for i := 0; i < 100; i++ {
+		if f.Insert(rng.Uint64()) {
+			t.Fatal("insert succeeded on full filter")
+		}
+	}
+	// Removing frees space and re-enables insertion (victim is re-homed).
+	removed := 0
+	rng2 := rand.New(rand.NewSource(5))
+	for removed < 100 {
+		if f.Remove(rng2.Uint64()) {
+			removed++
+		}
+	}
+	ok := false
+	for i := 0; i < 200 && !ok; i++ {
+		ok = f.Insert(rng.Uint64())
+	}
+	if !ok {
+		t.Fatal("insert still failing after 100 removes")
+	}
+}
+
+func TestCuckooDuplicates(t *testing.T) {
+	f := New(1<<10, 16)
+	const h = 0x1122334455667788
+	// A bucket holds 4 slots and the pair holds 8 copies max.
+	for i := 0; i < 8; i++ {
+		if !f.Insert(h) {
+			t.Fatalf("duplicate insert %d failed", i)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		if !f.Remove(h) {
+			t.Fatalf("duplicate remove %d failed", i)
+		}
+	}
+	if f.Contains(h) {
+		t.Error("key present after removing all copies")
+	}
+}
+
+func TestCuckooAltBucketInvolution(t *testing.T) {
+	f := New(1<<12, 12)
+	prop := func(h uint64) bool {
+		b, fp := f.split(h)
+		alt := f.altBucket(b, fp)
+		return f.altBucket(alt, fp) == b
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCuckooSizeAccounting(t *testing.T) {
+	f := New(1<<12, 12)
+	want := f.Capacity() * 12 / 8
+	if f.SizeBytes() != want {
+		t.Errorf("SizeBytes = %d, want %d (12 bits/slot packed)", f.SizeBytes(), want)
+	}
+}
+
+func BenchmarkCuckooInsertTo50(b *testing.B) { benchInsert(b, 50) }
+func BenchmarkCuckooInsertTo90(b *testing.B) { benchInsert(b, 90) }
+
+func benchInsert(b *testing.B, pct uint64) {
+	f := New(1<<18, 12)
+	rng := rand.New(rand.NewSource(6))
+	target := f.Capacity() * pct / 100
+	for f.Count() < target {
+		f.Insert(rng.Uint64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := rng.Uint64()
+		if !f.Insert(h) {
+			b.StopTimer()
+			f2 := New(1<<18, 12)
+			rng2 := rand.New(rand.NewSource(7))
+			for f2.Count() < target {
+				f2.Insert(rng2.Uint64())
+			}
+			f = f2
+			b.StartTimer()
+		}
+	}
+}
+
+func BenchmarkCuckooLookup(b *testing.B) {
+	f := New(1<<18, 12)
+	rng := rand.New(rand.NewSource(8))
+	for f.LoadFactor() < 0.90 {
+		f.Insert(rng.Uint64())
+	}
+	b.ResetTimer()
+	var sink bool
+	for i := 0; i < b.N; i++ {
+		sink = f.Contains(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+	_ = sink
+}

@@ -1,0 +1,74 @@
+package cuckoo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestModelBasedOps validates the cuckoo filter against an exact fingerprint
+// model under random churn. Two keys are mutually confusable exactly when
+// they share a fingerprint and an unordered candidate-bucket pair, so the
+// model key is (min(b1,b2), fp).
+func TestModelBasedOps(t *testing.T) {
+	f := New(1<<10, 12)
+	rng := rand.New(rand.NewSource(1))
+	type fpKey struct {
+		bucket uint64
+		fp     uint64
+	}
+	ident := func(h uint64) fpKey {
+		b, fp := f.split(h)
+		alt := f.altBucket(b, fp)
+		if alt < b {
+			b = alt
+		}
+		return fpKey{b, fp}
+	}
+	model := map[fpKey]int{}
+	var live []uint64
+	for step := 0; step < 100000; step++ {
+		switch r := rng.Intn(10); {
+		case r < 4:
+			if f.LoadFactor() > 0.90 {
+				continue
+			}
+			h := rng.Uint64()
+			if !f.Insert(h) {
+				continue // eviction failure near capacity is allowed
+			}
+			model[ident(h)]++
+			live = append(live, h)
+		case r < 7:
+			if len(live) == 0 {
+				continue
+			}
+			i := rng.Intn(len(live))
+			h := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			k := ident(h)
+			if !f.Remove(h) {
+				t.Fatalf("step %d: remove of live key failed (model %d)", step, model[k])
+			}
+			model[k]--
+			if model[k] == 0 {
+				delete(model, k)
+			}
+		default:
+			h := rng.Uint64()
+			want := model[ident(h)] > 0
+			if got := f.Contains(h); got != want {
+				t.Fatalf("step %d: contains=%v, model %v", step, got, want)
+			}
+		}
+		if step%4096 == 0 {
+			var total int
+			for _, c := range model {
+				total += c
+			}
+			if int(f.Count()) != total {
+				t.Fatalf("step %d: count %d, model %d", step, f.Count(), total)
+			}
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package cuckoo
+
+// packedTable stores fixed-width fingerprints back to back with no padding,
+// as the reference cuckoo filter's SingleTable does; 12-bit fingerprints
+// really cost 12 bits. Entries may straddle word boundaries.
+type packedTable struct {
+	words []uint64
+	width uint
+	mask  uint64
+	n     uint64
+}
+
+func newPackedTable(n uint64, width uint) *packedTable {
+	totalBits := n * uint64(width)
+	return &packedTable{
+		words: make([]uint64, (totalBits+63)/64+1), // +1 pad word for straddle reads
+		width: width,
+		mask:  1<<width - 1,
+		n:     n,
+	}
+}
+
+func (t *packedTable) get(i uint64) uint64 {
+	bit := i * uint64(t.width)
+	w, off := bit>>6, bit&63
+	v := t.words[w] >> off
+	if off+uint64(t.width) > 64 {
+		v |= t.words[w+1] << (64 - off)
+	}
+	return v & t.mask
+}
+
+func (t *packedTable) set(i uint64, v uint64) {
+	bit := i * uint64(t.width)
+	w, off := bit>>6, bit&63
+	t.words[w] = t.words[w]&^(t.mask<<off) | v<<off
+	if off+uint64(t.width) > 64 {
+		rem := 64 - off
+		t.words[w+1] = t.words[w+1]&^(t.mask>>rem) | v>>rem
+	}
+}
+
+// sizeBytes reports the exact packed footprint (excluding the pad word),
+// matching the space accounting of the paper's Table 2.
+func (t *packedTable) sizeBytes() uint64 {
+	return (t.n*uint64(t.width) + 7) / 8
+}

@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"math"
+
+	"vqf/internal/core"
+	"vqf/internal/minifilter"
+	"vqf/internal/workload"
+)
+
+// MaxLoadRow is one configuration of the §3.4/§6.2 maximum-load-factor
+// experiments: the load factor at which the first insertion fails.
+type MaxLoadRow struct {
+	Config  string
+	MaxLoad float64
+}
+
+// RunMaxLoad reproduces the paper's maximum-load-factor measurements for the
+// VQF's design choices: independent second hash (94.85% in the paper), the
+// xor trick (94.40%), and the shortcut optimization at 75%, 87.5% and
+// 95.83% thresholds (93.56%, 90%, 64.83%).
+func RunMaxLoad(nslots uint64, seed uint64) []MaxLoadRow {
+	configs := []struct {
+		name string
+		opts core.Options
+	}{
+		{"independent-hash, no shortcut", core.Options{NoShortcut: true, IndependentHash: true}},
+		{"xor-trick, no shortcut", core.Options{NoShortcut: true}},
+		{"shortcut 75% (36/48)", core.Options{}},
+		{"shortcut 87.5% (42/48)", core.Options{ShortcutThreshold: 42}},
+		{"shortcut 95.83% (46/48)", core.Options{ShortcutThreshold: 46}},
+	}
+	rows := make([]MaxLoadRow, 0, len(configs))
+	for _, c := range configs {
+		f := core.NewFilter8(nslots, c.opts)
+		s := workload.NewStream(seed)
+		for f.Insert(s.Next()) {
+		}
+		rows = append(rows, MaxLoadRow{Config: c.name, MaxLoad: f.LoadFactor()})
+	}
+	return rows
+}
+
+// ChoiceStats summarizes block-occupancy dispersion for a placement policy —
+// the design-choice ablation behind Theorem 1 (power-of-two-choices keeps
+// the maximum block load near the mean, enabling high load factors).
+type ChoiceStats struct {
+	Policy    string
+	Load      float64
+	MeanOcc   float64
+	MaxOcc    uint
+	StddevOcc float64
+	FullPct   float64 // fraction of blocks at capacity
+}
+
+// RunChoices fills a VQF to the target load under two placement policies —
+// two-choice (paper) and greedy single-choice (always the primary block,
+// via a shortcut threshold equal to the block capacity) — and reports the
+// block-occupancy distribution of each.
+func RunChoices(nslots uint64, load float64, seed uint64) []ChoiceStats {
+	policies := []struct {
+		name string
+		opts core.Options
+	}{
+		{"two-choice", core.Options{NoShortcut: true}},
+		{"single-choice-greedy", core.Options{ShortcutThreshold: minifilter.B8Slots}},
+	}
+	out := make([]ChoiceStats, 0, len(policies))
+	for _, p := range policies {
+		f := core.NewFilter8(nslots, p.opts)
+		n := uint64(float64(f.Capacity()) * load)
+		s := workload.NewStream(seed)
+		for f.Count() < n {
+			if !f.Insert(s.Next()) {
+				break
+			}
+		}
+		occs := f.BlockOccupancies()
+		var sum, sumsq float64
+		var max uint
+		full := 0
+		for _, o := range occs {
+			sum += float64(o)
+			sumsq += float64(o) * float64(o)
+			if o > max {
+				max = o
+			}
+			if o == minifilter.B8Slots {
+				full++
+			}
+		}
+		mean := sum / float64(len(occs))
+		variance := sumsq/float64(len(occs)) - mean*mean
+		out = append(out, ChoiceStats{
+			Policy:    p.name,
+			Load:      f.LoadFactor(),
+			MeanOcc:   mean,
+			MaxOcc:    max,
+			StddevOcc: math.Sqrt(math.Max(variance, 0)),
+			FullPct:   float64(full) / float64(len(occs)) * 100,
+		})
+	}
+	return out
+}

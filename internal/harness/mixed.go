@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"time"
+
+	"vqf/internal/workload"
+)
+
+// MixedResult is one Table 3 row: aggregate throughput for a write-heavy
+// workload (equal parts insert, delete, lookup) at a 90% load factor.
+type MixedResult struct {
+	Name   string
+	Mops   float64
+	Failed bool
+}
+
+// RunMixed fills the filter to 90% load, then executes ops operations from
+// the paper's write-heavy application workload and reports aggregate
+// throughput.
+func RunMixed(spec Spec, nslots uint64, ops int, seed uint64) MixedResult {
+	f := spec.New(nslots)
+	n := f.Capacity() * 90 / 100
+	ins := workload.NewStream(seed)
+	live := make([]uint64, 0, n)
+	for uint64(len(live)) < n {
+		h := ins.Next()
+		if !f.Insert(h) {
+			return MixedResult{Name: spec.Name, Failed: true}
+		}
+		live = append(live, h)
+	}
+
+	stream := workload.NewMixedStream(seed^0xfeed, live)
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		op := stream.Next()
+		switch op.Kind {
+		case workload.OpInsert:
+			if !f.Insert(op.Key) {
+				return MixedResult{Name: spec.Name, Failed: true}
+			}
+		case workload.OpDelete:
+			if !f.Remove(op.Key) {
+				panic("harness: mixed-workload delete of live key failed for " + spec.Name)
+			}
+		case workload.OpLookup:
+			if !f.Contains(op.Key) {
+				panic("harness: mixed-workload false negative for " + spec.Name)
+			}
+		}
+	}
+	return MixedResult{Name: spec.Name, Mops: mops(uint64(ops), time.Since(start))}
+}

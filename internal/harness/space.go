@@ -1,0 +1,59 @@
+package harness
+
+import (
+	"math"
+
+	"vqf/internal/analysis"
+	"vqf/internal/workload"
+)
+
+// SpaceRow is one Table 2 row: the empirical space usage and false-positive
+// rate of a filter filled to its maximum benchmark load.
+type SpaceRow struct {
+	Name       string
+	Items      uint64  // items held at maximum occupancy
+	LogFPR     float64 // −log₂ of the measured false-positive rate
+	SpaceMB    float64
+	BitsPerKey float64
+	Efficiency float64 // n·log₂(1/ε)/S, the paper's space-efficiency metric
+}
+
+// RunSpace fills each filter to its maximum load and measures space and
+// false-positive rate with the given number of uniform probes.
+func RunSpace(specs []Spec, nslots uint64, probes int, seed uint64) []SpaceRow {
+	rows := make([]SpaceRow, 0, len(specs))
+	for _, spec := range specs {
+		f := spec.New(nslots)
+		n := uint64(float64(f.Capacity()) * spec.MaxLoad)
+		ins := workload.NewStream(seed)
+		var count uint64
+		for count < n {
+			if !f.Insert(ins.Next()) {
+				break
+			}
+			count++
+		}
+		neg := workload.NewStream(seed ^ 0xfa15e9051717e5)
+		fp := 0
+		for i := 0; i < probes; i++ {
+			if f.Contains(neg.Next()) {
+				fp++
+			}
+		}
+		eps := float64(fp) / float64(probes)
+		logFPR := math.Inf(1)
+		if eps > 0 {
+			logFPR = -math.Log2(eps)
+		}
+		sizeBits := f.SizeBytes() * 8
+		rows = append(rows, SpaceRow{
+			Name:       spec.Name,
+			Items:      count,
+			LogFPR:     logFPR,
+			SpaceMB:    float64(f.SizeBytes()) / (1 << 20),
+			BitsPerKey: float64(sizeBits) / float64(count),
+			Efficiency: analysis.SpaceEfficiency(count, eps, sizeBits),
+		})
+	}
+	return rows
+}

@@ -1,0 +1,154 @@
+package harness
+
+import (
+	"time"
+
+	"vqf/internal/workload"
+)
+
+// SweepPoint is one x-position of Figures 4/5: throughput measured at (or
+// across the 5% slice ending at) the given load factor.
+type SweepPoint struct {
+	LoadPct        int     // load factor at the end of the slice, in percent
+	InsertMops     float64 // instantaneous insert throughput over the slice
+	PosLookupMops  float64 // successful lookups at this load factor
+	RandLookupMops float64 // uniform-random (mostly negative) lookups
+	DeleteMops     float64 // deletes over the slice from this load downward
+}
+
+// SweepResult is a filter's full load-factor sweep.
+type SweepResult struct {
+	Name   string
+	Points []SweepPoint
+	// Failed is set if an insertion failed before reaching the target load
+	// (the point list is then truncated).
+	Failed bool
+}
+
+// RunSweep reproduces the Figure 4/5 microbenchmark for one filter: fill in
+// 5% slices measuring instantaneous insert throughput, measure successful
+// and random lookups after each slice, then delete back down in 5% slices.
+// queriesPerPoint bounds the lookup sample per measurement point.
+func RunSweep(spec Spec, nslots uint64, queriesPerPoint int, seed uint64) SweepResult {
+	f := spec.New(nslots)
+	cap := f.Capacity()
+	slice := cap * 5 / 100
+	maxSlices := int(spec.MaxLoad*100) / 5 // e.g. 18 slices to 90%, 19 to 95%
+
+	ins := workload.NewStream(seed)
+	neg := workload.NewStream(seed ^ 0xdeadbeefcafef00d)
+	inserted := make([]uint64, 0, cap)
+	res := SweepResult{Name: spec.Name}
+
+	for s := 1; s <= maxSlices; s++ {
+		// Insert one 5% slice, timed.
+		start := time.Now()
+		for uint64(len(inserted)) < uint64(s)*slice {
+			h := ins.Next()
+			if !f.Insert(h) {
+				res.Failed = true
+				return res
+			}
+			inserted = append(inserted, h)
+		}
+		insMops := mops(slice, time.Since(start))
+
+		// Successful lookups: sample previously inserted keys.
+		qn := queriesPerPoint
+		if qn > len(inserted) {
+			qn = len(inserted)
+		}
+		stride := len(inserted) / qn
+		if stride == 0 {
+			stride = 1
+		}
+		start = time.Now()
+		got := 0
+		for i := 0; i < qn; i++ {
+			if f.Contains(inserted[(i*stride)%len(inserted)]) {
+				got++
+			}
+		}
+		posMops := mops(uint64(qn), time.Since(start))
+		if got != qn {
+			// A false negative would invalidate the whole benchmark.
+			panic("harness: false negative during sweep of " + spec.Name)
+		}
+
+		// Random (almost entirely negative) lookups.
+		start = time.Now()
+		sink := 0
+		for i := 0; i < queriesPerPoint; i++ {
+			if f.Contains(neg.Next()) {
+				sink++
+			}
+		}
+		randMops := mops(uint64(queriesPerPoint), time.Since(start))
+		_ = sink
+
+		res.Points = append(res.Points, SweepPoint{
+			LoadPct:        s * 5,
+			InsertMops:     insMops,
+			PosLookupMops:  posMops,
+			RandLookupMops: randMops,
+		})
+	}
+
+	// Delete back down in 5% slices (skip for no-delete filters).
+	if !spec.NoDelete {
+		for s := maxSlices; s >= 1; s-- {
+			lo := uint64(s-1) * slice
+			start := time.Now()
+			for uint64(len(inserted)) > lo {
+				h := inserted[len(inserted)-1]
+				inserted = inserted[:len(inserted)-1]
+				if !f.Remove(h) {
+					panic("harness: remove of inserted key failed for " + spec.Name)
+				}
+			}
+			res.Points[s-1].DeleteMops = mops(slice, time.Since(start))
+		}
+	}
+	return res
+}
+
+func mops(ops uint64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(ops) / d.Seconds() / 1e6
+}
+
+// RunSweepAveraged runs RunSweep repeat times with distinct seeds and
+// averages each point, damping scheduler noise on busy machines. A failed
+// repetition fails the whole sweep.
+func RunSweepAveraged(spec Spec, nslots uint64, queriesPerPoint, repeat int, seed uint64) SweepResult {
+	if repeat < 1 {
+		repeat = 1
+	}
+	var acc SweepResult
+	for r := 0; r < repeat; r++ {
+		res := RunSweep(spec, nslots, queriesPerPoint, seed+uint64(r)*0x9e37)
+		if res.Failed {
+			return res
+		}
+		if r == 0 {
+			acc = res
+			continue
+		}
+		for i := range acc.Points {
+			acc.Points[i].InsertMops += res.Points[i].InsertMops
+			acc.Points[i].PosLookupMops += res.Points[i].PosLookupMops
+			acc.Points[i].RandLookupMops += res.Points[i].RandLookupMops
+			acc.Points[i].DeleteMops += res.Points[i].DeleteMops
+		}
+	}
+	inv := 1 / float64(repeat)
+	for i := range acc.Points {
+		acc.Points[i].InsertMops *= inv
+		acc.Points[i].PosLookupMops *= inv
+		acc.Points[i].RandLookupMops *= inv
+		acc.Points[i].DeleteMops *= inv
+	}
+	return acc
+}

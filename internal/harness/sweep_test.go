@@ -1,0 +1,25 @@
+package harness
+
+import "testing"
+
+func TestRunSweepAveragedMatchesShape(t *testing.T) {
+	res := RunSweepAveraged(SpecVQF8Shortcut(), 1<<13, 1000, 2, 5)
+	if res.Failed {
+		t.Fatal("averaged sweep failed")
+	}
+	if len(res.Points) != 18 {
+		t.Fatalf("%d points, want 18", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.InsertMops <= 0 || p.DeleteMops <= 0 {
+			t.Fatalf("nonpositive averaged throughput at %d%%", p.LoadPct)
+		}
+	}
+}
+
+func TestRunSweepAveragedRepeatClamped(t *testing.T) {
+	res := RunSweepAveraged(SpecCF12(), 1<<12, 500, 0, 7) // repeat < 1 treated as 1
+	if res.Failed || len(res.Points) == 0 {
+		t.Fatal("sweep with clamped repeat failed")
+	}
+}

@@ -1,0 +1,105 @@
+package minifilter
+
+import (
+	"math/bits"
+
+	"vqf/internal/bitvec"
+	"vqf/internal/swar"
+)
+
+// Geometry of the 16-bit-fingerprint block (paper §6.1): 28 slots, 36
+// buckets, 64 metadata bits, 56 fingerprint bytes — one 64-byte cache line.
+const (
+	B16Slots   = 28
+	B16Buckets = 36
+	B16Meta    = B16Slots + B16Buckets // 64
+
+	b16Init = uint64(1)<<B16Buckets - 1
+)
+
+// Block16 is a mini-filter with 16-bit fingerprints. Its 64 metadata bits
+// hold 36 bucket terminators interleaved with one zero per fingerprint.
+// The zero-value Block16 is NOT valid; call Reset first.
+type Block16 struct {
+	Meta uint64
+	Fps  [B16Slots]uint16
+}
+
+// Reset returns the block to the empty state.
+func (b *Block16) Reset() {
+	b.Meta = b16Init
+	b.Fps = [B16Slots]uint16{}
+}
+
+// Occupancy returns the number of fingerprints stored in the block: the
+// final terminator is the highest set metadata bit (see Block8.Occupancy).
+func (b *Block16) Occupancy() uint {
+	return uint(bits.Len64(b.Meta)) - B16Buckets
+}
+
+// Full reports whether all 28 slots are occupied.
+func (b *Block16) Full() bool { return b.Occupancy() == B16Slots }
+
+func (b *Block16) bucketRange(bucket uint) (start, end uint) {
+	if bucket == 0 {
+		return 0, uint(bits.TrailingZeros64(b.Meta))
+	}
+	p := bitvec.Select64(b.Meta, bucket-1)
+	rest := b.Meta >> (p + 1) << (p + 1)
+	q := uint(bits.TrailingZeros64(rest))
+	return p - bucket + 1, q - bucket
+}
+
+// BucketCount returns the number of fingerprints currently stored in bucket.
+func (b *Block16) BucketCount(bucket uint) uint {
+	start, end := b.bucketRange(bucket)
+	return end - start
+}
+
+// Contains reports whether fp is present in bucket.
+func (b *Block16) Contains(bucket uint, fp uint16) bool {
+	start, end := b.bucketRange(bucket)
+	if start == end {
+		return false
+	}
+	return swar.MatchMaskU16Range(b.Fps[:], fp, start, end) != 0
+}
+
+func (b *Block16) find(bucket uint, fp uint16) int {
+	start, end := b.bucketRange(bucket)
+	if start == end {
+		return -1
+	}
+	mask := swar.MatchMaskU16Range(b.Fps[:], fp, start, end)
+	if mask == 0 {
+		return -1
+	}
+	return bits.TrailingZeros64(mask)
+}
+
+// Insert adds fp to bucket. It returns false if the block is full.
+func (b *Block16) Insert(bucket uint, fp uint16) bool {
+	occ := b.Occupancy()
+	if occ == B16Slots {
+		return false
+	}
+	m := bitvec.Select64(b.Meta, bucket)
+	z := int(m - bucket)
+	swar.ShiftU16Up(b.Fps[:], z, int(occ))
+	b.Fps[z] = fp
+	b.Meta = bitvec.InsertZero64(b.Meta, m)
+	return true
+}
+
+// Remove deletes one instance of fp from bucket, returning false if absent.
+func (b *Block16) Remove(bucket uint, fp uint16) bool {
+	l := b.find(bucket, fp)
+	if l < 0 {
+		return false
+	}
+	occ := b.Occupancy()
+	m := uint(l) + bucket
+	b.Meta = bitvec.RemoveBit64(b.Meta, m)
+	swar.ShiftU16Down(b.Fps[:], l, int(occ))
+	return true
+}

@@ -1,0 +1,182 @@
+package minifilter
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"unsafe"
+)
+
+func TestBlock16IsOneCacheLine(t *testing.T) {
+	if sz := unsafe.Sizeof(Block16{}); sz != 64 {
+		t.Fatalf("Block16 is %d bytes, want 64", sz)
+	}
+}
+
+func TestBlock16EmptyState(t *testing.T) {
+	var b Block16
+	b.Reset()
+	if got := b.Occupancy(); got != 0 {
+		t.Fatalf("empty occupancy = %d", got)
+	}
+	if n := bits.OnesCount64(b.Meta); n != B16Buckets {
+		t.Fatalf("fresh metadata has %d ones, want %d", n, B16Buckets)
+	}
+	for bucket := uint(0); bucket < B16Buckets; bucket++ {
+		if b.Contains(bucket, 0) {
+			t.Fatalf("Contains(%d, 0) true in fresh block", bucket)
+		}
+	}
+}
+
+func TestBlock16InsertContainsRemove(t *testing.T) {
+	var b Block16
+	b.Reset()
+	for _, bucket := range []uint{0, 1, 17, 34, 35} {
+		fp := uint16(bucket*1000 + 7)
+		if !b.Insert(bucket, fp) {
+			t.Fatalf("Insert(%d, %d) failed", bucket, fp)
+		}
+		if !b.Contains(bucket, fp) {
+			t.Fatalf("Contains(%d, %d) false after insert", bucket, fp)
+		}
+		if b.Contains(bucket, fp+1) {
+			t.Fatalf("false positive within bucket %d", bucket)
+		}
+	}
+	if got := b.Occupancy(); got != 5 {
+		t.Fatalf("occupancy = %d, want 5", got)
+	}
+	for _, bucket := range []uint{0, 1, 17, 34, 35} {
+		fp := uint16(bucket*1000 + 7)
+		if !b.Remove(bucket, fp) {
+			t.Fatalf("Remove(%d, %d) failed", bucket, fp)
+		}
+	}
+	if got := b.Occupancy(); got != 0 {
+		t.Fatalf("occupancy after removes = %d", got)
+	}
+}
+
+func TestBlock16FillToCapacity(t *testing.T) {
+	var b Block16
+	b.Reset()
+	rng := rand.New(rand.NewSource(1))
+	type entry struct {
+		bucket uint
+		fp     uint16
+	}
+	var entries []entry
+	for i := 0; i < B16Slots; i++ {
+		e := entry{uint(rng.Intn(B16Buckets)), uint16(rng.Intn(1 << 16))}
+		if !b.Insert(e.bucket, e.fp) {
+			t.Fatalf("insert %d failed before capacity", i)
+		}
+		entries = append(entries, e)
+	}
+	if !b.Full() {
+		t.Fatal("block not full after 28 inserts")
+	}
+	if b.Insert(0, 1) {
+		t.Fatal("insert into full block succeeded")
+	}
+	for _, e := range entries {
+		if !b.Contains(e.bucket, e.fp) {
+			t.Fatalf("entry (%d,%d) lost", e.bucket, e.fp)
+		}
+	}
+	if b.Meta>>63 != 1 {
+		t.Fatal("top metadata bit not set in full block")
+	}
+}
+
+func TestBlock16ModelBased(t *testing.T) {
+	var b Block16
+	b.Reset()
+	model := map[modelKey]int{}
+	occ := 0
+	rng := rand.New(rand.NewSource(2))
+	for step := 0; step < 30000; step++ {
+		bucket := uint(rng.Intn(B16Buckets))
+		fp := uint16(rng.Intn(6))
+		k := modelKey{bucket, fp}
+		switch rng.Intn(3) {
+		case 0:
+			ok := b.Insert(bucket, fp)
+			if ok != (occ < B16Slots) {
+				t.Fatalf("step %d: insert ok=%v occ=%d", step, ok, occ)
+			}
+			if ok {
+				model[k]++
+				occ++
+			}
+		case 1:
+			ok := b.Remove(bucket, fp)
+			if ok != (model[k] > 0) {
+				t.Fatalf("step %d: remove ok=%v model=%d", step, ok, model[k])
+			}
+			if ok {
+				model[k]--
+				if model[k] == 0 {
+					delete(model, k)
+				}
+				occ--
+			}
+		case 2:
+			if got, want := b.Contains(bucket, fp), model[k] > 0; got != want {
+				t.Fatalf("step %d: contains=%v want %v", step, got, want)
+			}
+		}
+		if step%997 == 0 {
+			if got := b.Occupancy(); got != uint(occ) {
+				t.Fatalf("step %d: occupancy=%d model=%d", step, got, occ)
+			}
+			if ones := bits.OnesCount64(b.Meta); ones != B16Buckets {
+				t.Fatalf("step %d: %d ones in metadata", step, ones)
+			}
+		}
+	}
+	for k := range model {
+		if !b.Contains(k.bucket, k.fp) {
+			t.Fatalf("model entry (%d,%d) missing", k.bucket, k.fp)
+		}
+	}
+}
+
+func TestBlock16BucketCountsMatchModel(t *testing.T) {
+	var b Block16
+	b.Reset()
+	counts := map[uint]uint{}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < B16Slots; i++ {
+		bucket := uint(rng.Intn(B16Buckets))
+		if !b.Insert(bucket, uint16(rng.Intn(1<<16))) {
+			t.Fatal("insert failed")
+		}
+		counts[bucket]++
+	}
+	for bucket := uint(0); bucket < B16Buckets; bucket++ {
+		if got := b.BucketCount(bucket); got != counts[bucket] {
+			t.Fatalf("bucket %d count = %d, want %d", bucket, got, counts[bucket])
+		}
+	}
+}
+
+func BenchmarkBlock16Insert(b *testing.B) {
+	var blk Block16
+	blk.Reset()
+	rng := rand.New(rand.NewSource(4))
+	buckets := make([]uint, 1024)
+	fps := make([]uint16, 1024)
+	for i := range buckets {
+		buckets[i] = uint(rng.Intn(B16Buckets))
+		fps[i] = uint16(rng.Intn(1 << 16))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i & 1023
+		if !blk.Insert(buckets[j], fps[j]) {
+			blk.Reset()
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package minifilter
+
+import (
+	"math/bits"
+
+	"vqf/internal/bitvec"
+	"vqf/internal/swar"
+)
+
+// Geometry of the 8-bit-fingerprint block (paper §6.1): 48 slots, 80 buckets,
+// 128 metadata bits, 48 fingerprint bytes — exactly one 64-byte cache line.
+const (
+	B8Slots   = 48
+	B8Buckets = 80
+	B8Meta    = B8Slots + B8Buckets // 128
+
+	// b8InitHi is the initial high metadata word: buckets 64..79 empty, so
+	// ones at bits 0..15. The low word is all ones (buckets 0..63).
+	b8InitHi = uint64(1)<<(B8Buckets-64) - 1
+)
+
+// Block8 is a mini-filter with 8-bit fingerprints. Its metadata is the
+// 128-bit word (MetaHi<<64)|MetaLo holding B8Buckets one-bits (bucket
+// terminators) interleaved with one zero per stored fingerprint, in bucket
+// order. The zero-value Block8 is NOT valid; call Reset first (or allocate
+// through the filter types, which do).
+type Block8 struct {
+	MetaLo uint64
+	MetaHi uint64
+	Fps    [B8Slots]byte
+}
+
+// Reset returns the block to the empty state: 80 bucket terminators and no
+// fingerprints.
+func (b *Block8) Reset() {
+	b.MetaLo = ^uint64(0)
+	b.MetaHi = b8InitHi
+	b.Fps = [B8Slots]byte{}
+}
+
+// Occupancy returns the number of fingerprints stored in the block. The
+// final bucket terminator is always the highest set metadata bit (no used
+// bits lie above it), so occupancy is its position minus B8Buckets−1 — one
+// bits.Len64, no select. MetaHi always holds at least the last 16
+// terminators, so it is never zero.
+func (b *Block8) Occupancy() uint {
+	return 64 + uint(bits.Len64(b.MetaHi)) - B8Buckets
+}
+
+// Full reports whether all 48 slots are occupied.
+func (b *Block8) Full() bool { return b.Occupancy() == B8Slots }
+
+// bucketRange returns the slot range [start, end) holding bucket's
+// fingerprints (paper §3.3). The range needs select(m, bucket−1) and
+// select(m, bucket); since terminators are consecutive set bits, the second
+// select is a find-next-set-bit from the first.
+func (b *Block8) bucketRange(bucket uint) (start, end uint) {
+	if bucket == 0 {
+		if t := uint(bits.TrailingZeros64(b.MetaLo)); t < 64 {
+			return 0, t
+		}
+		return 0, 64 + uint(bits.TrailingZeros64(b.MetaHi))
+	}
+	p := bitvec.Select128(b.MetaLo, b.MetaHi, bucket-1)
+	var q uint
+	if p < 64 {
+		if rest := b.MetaLo >> (p + 1) << (p + 1); rest != 0 {
+			q = uint(bits.TrailingZeros64(rest))
+		} else {
+			q = 64 + uint(bits.TrailingZeros64(b.MetaHi))
+		}
+	} else {
+		rest := b.MetaHi >> (p - 63) << (p - 63)
+		q = 64 + uint(bits.TrailingZeros64(rest))
+	}
+	return p - bucket + 1, q - bucket
+}
+
+// BucketCount returns the number of fingerprints currently stored in bucket.
+func (b *Block8) BucketCount(bucket uint) uint {
+	start, end := b.bucketRange(bucket)
+	return end - start
+}
+
+// Contains reports whether fp is present in bucket. It is the VPCMPB-analog
+// lookup: one SWAR match mask over the whole fingerprint array, masked down
+// to the bucket's slot range.
+func (b *Block8) Contains(bucket uint, fp byte) bool {
+	start, end := b.bucketRange(bucket)
+	if start == end {
+		return false
+	}
+	return swar.MatchMaskBytesRange(b.Fps[:], fp, start, end) != 0
+}
+
+// find returns the slot index of one instance of fp in bucket, or -1.
+func (b *Block8) find(bucket uint, fp byte) int {
+	start, end := b.bucketRange(bucket)
+	if start == end {
+		return -1
+	}
+	mask := swar.MatchMaskBytesRange(b.Fps[:], fp, start, end)
+	if mask == 0 {
+		return -1
+	}
+	return bits.TrailingZeros64(mask)
+}
+
+// Insert adds fp to bucket, shifting subsequent fingerprints and metadata
+// bits up by one position. It returns false if the block is full. Duplicates
+// are permitted (the filter is a multiset).
+func (b *Block8) Insert(bucket uint, fp byte) bool {
+	occ := b.Occupancy()
+	if occ == B8Slots {
+		return false
+	}
+	m := bitvec.Select128(b.MetaLo, b.MetaHi, bucket) // bucket's terminator
+	z := int(m - bucket)                              // slot for the new fingerprint
+	swar.ShiftBytesUp(b.Fps[:], z, int(occ))
+	b.Fps[z] = fp
+	b.MetaLo, b.MetaHi = bitvec.InsertZero128(b.MetaLo, b.MetaHi, m)
+	return true
+}
+
+// Remove deletes one instance of fp from bucket, reversing Insert. It
+// returns false if fp is not present in bucket.
+func (b *Block8) Remove(bucket uint, fp byte) bool {
+	l := b.find(bucket, fp)
+	if l < 0 {
+		return false
+	}
+	occ := b.Occupancy()
+	m := uint(l) + bucket // metadata index of the slot's zero bit
+	b.MetaLo, b.MetaHi = bitvec.RemoveBit128(b.MetaLo, b.MetaHi, m)
+	swar.ShiftBytesDown(b.Fps[:], l, int(occ))
+	return true
+}

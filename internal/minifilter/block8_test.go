@@ -1,0 +1,285 @@
+package minifilter
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"unsafe"
+)
+
+func TestBlock8IsOneCacheLine(t *testing.T) {
+	if sz := unsafe.Sizeof(Block8{}); sz != 64 {
+		t.Fatalf("Block8 is %d bytes, want 64", sz)
+	}
+}
+
+func TestBlock8EmptyState(t *testing.T) {
+	var b Block8
+	b.Reset()
+	if got := b.Occupancy(); got != 0 {
+		t.Fatalf("empty occupancy = %d", got)
+	}
+	if b.Full() {
+		t.Fatal("empty block reports full")
+	}
+	for bucket := uint(0); bucket < B8Buckets; bucket++ {
+		if b.BucketCount(bucket) != 0 {
+			t.Fatalf("bucket %d nonempty in fresh block", bucket)
+		}
+		if b.Contains(bucket, 0) {
+			t.Fatalf("Contains(%d, 0) true in fresh block", bucket)
+		}
+	}
+	// Metadata must hold exactly B8Buckets ones.
+	if n := bits.OnesCount64(b.MetaLo) + bits.OnesCount64(b.MetaHi); n != B8Buckets {
+		t.Fatalf("fresh metadata has %d ones, want %d", n, B8Buckets)
+	}
+}
+
+func TestBlock8InsertContainsRemove(t *testing.T) {
+	var b Block8
+	b.Reset()
+	for _, bucket := range []uint{0, 1, 40, 78, 79} {
+		fp := byte(bucket*3 + 1)
+		if !b.Insert(bucket, fp) {
+			t.Fatalf("Insert(%d, %d) failed", bucket, fp)
+		}
+		if !b.Contains(bucket, fp) {
+			t.Fatalf("Contains(%d, %d) false after insert", bucket, fp)
+		}
+		if b.Contains(bucket, fp+1) {
+			t.Fatalf("Contains(%d, %d) true for non-inserted fp", bucket, fp+1)
+		}
+	}
+	if got := b.Occupancy(); got != 5 {
+		t.Fatalf("occupancy = %d, want 5", got)
+	}
+	for _, bucket := range []uint{0, 1, 40, 78, 79} {
+		fp := byte(bucket*3 + 1)
+		if !b.Remove(bucket, fp) {
+			t.Fatalf("Remove(%d, %d) failed", bucket, fp)
+		}
+		if b.Contains(bucket, fp) {
+			t.Fatalf("Contains(%d, %d) true after remove", bucket, fp)
+		}
+	}
+	if got := b.Occupancy(); got != 0 {
+		t.Fatalf("occupancy after removes = %d", got)
+	}
+}
+
+func TestBlock8SameFingerprintDifferentBuckets(t *testing.T) {
+	var b Block8
+	b.Reset()
+	const fp = 0x7f
+	for _, bucket := range []uint{2, 3, 50} {
+		if !b.Insert(bucket, fp) {
+			t.Fatal("insert failed")
+		}
+	}
+	for _, bucket := range []uint{2, 3, 50} {
+		if !b.Contains(bucket, fp) {
+			t.Fatalf("bucket %d missing fp", bucket)
+		}
+	}
+	if b.Contains(4, fp) {
+		t.Fatal("fp leaked into bucket 4")
+	}
+	// Removing from one bucket must not disturb the others.
+	if !b.Remove(3, fp) {
+		t.Fatal("remove failed")
+	}
+	if b.Contains(3, fp) {
+		t.Fatal("fp still in bucket 3")
+	}
+	if !b.Contains(2, fp) || !b.Contains(50, fp) {
+		t.Fatal("remove disturbed sibling buckets")
+	}
+}
+
+func TestBlock8Duplicates(t *testing.T) {
+	var b Block8
+	b.Reset()
+	for i := 0; i < 3; i++ {
+		if !b.Insert(7, 0xaa) {
+			t.Fatal("duplicate insert failed")
+		}
+	}
+	if got := b.BucketCount(7); got != 3 {
+		t.Fatalf("BucketCount = %d, want 3", got)
+	}
+	// Each remove deletes exactly one copy.
+	for i := 3; i > 0; i-- {
+		if !b.Contains(7, 0xaa) {
+			t.Fatalf("fp missing with %d copies left", i)
+		}
+		if !b.Remove(7, 0xaa) {
+			t.Fatal("remove failed")
+		}
+	}
+	if b.Contains(7, 0xaa) {
+		t.Fatal("fp present after removing all copies")
+	}
+	if b.Remove(7, 0xaa) {
+		t.Fatal("remove of absent fp succeeded")
+	}
+}
+
+func TestBlock8FillToCapacity(t *testing.T) {
+	var b Block8
+	b.Reset()
+	rng := rand.New(rand.NewSource(1))
+	type entry struct {
+		bucket uint
+		fp     byte
+	}
+	var entries []entry
+	for i := 0; i < B8Slots; i++ {
+		e := entry{uint(rng.Intn(B8Buckets)), byte(rng.Intn(256))}
+		if !b.Insert(e.bucket, e.fp) {
+			t.Fatalf("insert %d failed before capacity", i)
+		}
+		entries = append(entries, e)
+	}
+	if !b.Full() {
+		t.Fatal("block not full after 48 inserts")
+	}
+	if b.Insert(0, 1) {
+		t.Fatal("insert into full block succeeded")
+	}
+	// Every inserted entry must still be present.
+	for _, e := range entries {
+		if !b.Contains(e.bucket, e.fp) {
+			t.Fatalf("entry (%d,%d) lost", e.bucket, e.fp)
+		}
+	}
+	// When full, the top metadata bit must be the final terminator.
+	if b.MetaHi>>63 != 1 {
+		t.Fatal("top metadata bit not set in full block")
+	}
+	// Free one slot, insert succeeds again.
+	if !b.Remove(entries[0].bucket, entries[0].fp) {
+		t.Fatal("remove from full block failed")
+	}
+	if b.Full() {
+		t.Fatal("still full after remove")
+	}
+	if !b.Insert(5, 99) {
+		t.Fatal("insert after freeing a slot failed")
+	}
+}
+
+// modelKey identifies a (bucket, fingerprint) pair in the reference model.
+type modelKey struct {
+	bucket uint
+	fp     uint16
+}
+
+func TestBlock8ModelBased(t *testing.T) {
+	var b Block8
+	b.Reset()
+	model := map[modelKey]int{}
+	occ := 0
+	rng := rand.New(rand.NewSource(2))
+	for step := 0; step < 30000; step++ {
+		bucket := uint(rng.Intn(B8Buckets))
+		fp := byte(rng.Intn(8)) // small alphabet to force duplicates
+		k := modelKey{bucket, uint16(fp)}
+		switch rng.Intn(3) {
+		case 0: // insert
+			ok := b.Insert(bucket, fp)
+			if ok != (occ < B8Slots) {
+				t.Fatalf("step %d: insert ok=%v occ=%d", step, ok, occ)
+			}
+			if ok {
+				model[k]++
+				occ++
+			}
+		case 1: // remove
+			ok := b.Remove(bucket, fp)
+			if ok != (model[k] > 0) {
+				t.Fatalf("step %d: remove ok=%v model=%d", step, ok, model[k])
+			}
+			if ok {
+				model[k]--
+				if model[k] == 0 {
+					delete(model, k)
+				}
+				occ--
+			}
+		case 2: // lookup
+			if got, want := b.Contains(bucket, fp), model[k] > 0; got != want {
+				t.Fatalf("step %d: contains=%v want %v", step, got, want)
+			}
+		}
+		if step%997 == 0 {
+			if got := b.Occupancy(); got != uint(occ) {
+				t.Fatalf("step %d: occupancy=%d model=%d", step, got, occ)
+			}
+			// Metadata invariant: exactly B8Buckets ones and occ zeros in use.
+			ones := bits.OnesCount64(b.MetaLo) + bits.OnesCount64(b.MetaHi)
+			if ones != B8Buckets {
+				t.Fatalf("step %d: %d ones in metadata", step, ones)
+			}
+		}
+	}
+	// Final sweep: every model entry present with the right multiplicity.
+	for k, n := range model {
+		if !b.Contains(k.bucket, byte(k.fp)) {
+			t.Fatalf("model entry (%d,%d)x%d missing", k.bucket, k.fp, n)
+		}
+	}
+}
+
+func TestBlock8BucketCountsMatchModel(t *testing.T) {
+	var b Block8
+	b.Reset()
+	counts := map[uint]uint{}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < B8Slots; i++ {
+		bucket := uint(rng.Intn(B8Buckets))
+		if !b.Insert(bucket, byte(rng.Intn(256))) {
+			t.Fatal("insert failed")
+		}
+		counts[bucket]++
+	}
+	for bucket := uint(0); bucket < B8Buckets; bucket++ {
+		if got := b.BucketCount(bucket); got != counts[bucket] {
+			t.Fatalf("bucket %d count = %d, want %d", bucket, got, counts[bucket])
+		}
+	}
+}
+
+func BenchmarkBlock8Insert(b *testing.B) {
+	var blk Block8
+	blk.Reset()
+	rng := rand.New(rand.NewSource(4))
+	buckets := make([]uint, 1024)
+	fps := make([]byte, 1024)
+	for i := range buckets {
+		buckets[i] = uint(rng.Intn(B8Buckets))
+		fps[i] = byte(rng.Intn(256))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i & 1023
+		if !blk.Insert(buckets[j], fps[j]) {
+			blk.Reset()
+		}
+	}
+}
+
+func BenchmarkBlock8Contains(b *testing.B) {
+	var blk Block8
+	blk.Reset()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 40; i++ {
+		blk.Insert(uint(rng.Intn(B8Buckets)), byte(rng.Intn(256)))
+	}
+	b.ResetTimer()
+	var sink bool
+	for i := 0; i < b.N; i++ {
+		sink = blk.Contains(uint(i)%B8Buckets, byte(i))
+	}
+	_ = sink
+}

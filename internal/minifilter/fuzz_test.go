@@ -1,0 +1,91 @@
+package minifilter
+
+import "testing"
+
+// FuzzBlock8OpSequence interprets fuzz input as an operation stream against
+// one block and checks it against an exact model: byte triples of
+// (op, bucket, fingerprint).
+func FuzzBlock8OpSequence(f *testing.F) {
+	f.Add([]byte{0, 10, 42, 0, 10, 42, 1, 10, 42, 2, 10, 42})
+	f.Add([]byte{0, 79, 255, 2, 79, 255, 1, 79, 255})
+	f.Add(make([]byte, 300)) // many op-0 on bucket 0
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var b Block8
+		b.Reset()
+		model := map[modelKey]int{}
+		occ := 0
+		for i := 0; i+2 < len(data); i += 3 {
+			bucket := uint(data[i+1]) % B8Buckets
+			fp := data[i+2]
+			k := modelKey{bucket, uint16(fp)}
+			switch data[i] % 3 {
+			case 0:
+				ok := b.Insert(bucket, fp)
+				if ok != (occ < B8Slots) {
+					t.Fatalf("insert ok=%v at occ=%d", ok, occ)
+				}
+				if ok {
+					model[k]++
+					occ++
+				}
+			case 1:
+				ok := b.Remove(bucket, fp)
+				if ok != (model[k] > 0) {
+					t.Fatalf("remove ok=%v model=%d", ok, model[k])
+				}
+				if ok {
+					model[k]--
+					occ--
+				}
+			case 2:
+				if got, want := b.Contains(bucket, fp), model[k] > 0; got != want {
+					t.Fatalf("contains=%v want %v", got, want)
+				}
+			}
+		}
+		if b.Occupancy() != uint(occ) {
+			t.Fatalf("occupancy %d, model %d", b.Occupancy(), occ)
+		}
+	})
+}
+
+// FuzzBlock16OpSequence is the 16-bit analog; fingerprints take two bytes.
+func FuzzBlock16OpSequence(f *testing.F) {
+	f.Add([]byte{0, 5, 1, 2, 2, 5, 1, 2, 1, 5, 1, 2})
+	f.Add([]byte{0, 35, 255, 255, 1, 35, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var b Block16
+		b.Reset()
+		model := map[modelKey]int{}
+		occ := 0
+		for i := 0; i+3 < len(data); i += 4 {
+			bucket := uint(data[i+1]) % B16Buckets
+			fp := uint16(data[i+2]) | uint16(data[i+3])<<8
+			k := modelKey{bucket, fp}
+			switch data[i] % 3 {
+			case 0:
+				ok := b.Insert(bucket, fp)
+				if ok != (occ < B16Slots) {
+					t.Fatalf("insert ok=%v at occ=%d", ok, occ)
+				}
+				if ok {
+					model[k]++
+					occ++
+				}
+			case 1:
+				ok := b.Remove(bucket, fp)
+				if ok != (model[k] > 0) {
+					t.Fatalf("remove ok=%v model=%d", ok, model[k])
+				}
+				if ok {
+					model[k]--
+					occ--
+				}
+			case 2:
+				if got, want := b.Contains(bucket, fp), model[k] > 0; got != want {
+					t.Fatalf("contains=%v want %v", got, want)
+				}
+			}
+		}
+	})
+}

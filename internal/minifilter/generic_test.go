@@ -1,0 +1,121 @@
+package minifilter
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBlock8GenericEquivalence drives an identical random operation sequence
+// through the SWAR block operations and the loop-based generic operations and
+// requires bit-identical block state throughout. This is the correctness leg
+// of the §7.7 ablation: both variants must implement the same structure.
+func TestBlock8GenericEquivalence(t *testing.T) {
+	var fast, slow Block8
+	fast.Reset()
+	slow.Reset()
+	rng := rand.New(rand.NewSource(1))
+	for step := 0; step < 20000; step++ {
+		bucket := uint(rng.Intn(B8Buckets))
+		fp := byte(rng.Intn(16))
+		switch rng.Intn(3) {
+		case 0:
+			a := fast.Insert(bucket, fp)
+			b := slow.InsertGeneric(bucket, fp)
+			if a != b {
+				t.Fatalf("step %d: insert fast=%v slow=%v", step, a, b)
+			}
+		case 1:
+			a := fast.Remove(bucket, fp)
+			b := slow.RemoveGeneric(bucket, fp)
+			if a != b {
+				t.Fatalf("step %d: remove fast=%v slow=%v", step, a, b)
+			}
+		case 2:
+			a := fast.Contains(bucket, fp)
+			b := slow.ContainsGeneric(bucket, fp)
+			if a != b {
+				t.Fatalf("step %d: contains fast=%v slow=%v", step, a, b)
+			}
+		}
+		if fast.MetaLo != slow.MetaLo || fast.MetaHi != slow.MetaHi {
+			t.Fatalf("step %d: metadata diverged: %#x/%#x vs %#x/%#x",
+				step, fast.MetaLo, fast.MetaHi, slow.MetaLo, slow.MetaHi)
+		}
+		if fast.Fps != slow.Fps {
+			t.Fatalf("step %d: fingerprint arrays diverged", step)
+		}
+	}
+}
+
+func TestBlock16GenericEquivalence(t *testing.T) {
+	var fast, slow Block16
+	fast.Reset()
+	slow.Reset()
+	rng := rand.New(rand.NewSource(2))
+	for step := 0; step < 20000; step++ {
+		bucket := uint(rng.Intn(B16Buckets))
+		fp := uint16(rng.Intn(16))
+		switch rng.Intn(3) {
+		case 0:
+			a := fast.Insert(bucket, fp)
+			b := slow.InsertGeneric(bucket, fp)
+			if a != b {
+				t.Fatalf("step %d: insert fast=%v slow=%v", step, a, b)
+			}
+		case 1:
+			a := fast.Remove(bucket, fp)
+			b := slow.RemoveGeneric(bucket, fp)
+			if a != b {
+				t.Fatalf("step %d: remove fast=%v slow=%v", step, a, b)
+			}
+		case 2:
+			a := fast.Contains(bucket, fp)
+			b := slow.ContainsGeneric(bucket, fp)
+			if a != b {
+				t.Fatalf("step %d: contains fast=%v slow=%v", step, a, b)
+			}
+		}
+		if fast.Meta != slow.Meta || fast.Fps != slow.Fps {
+			t.Fatalf("step %d: state diverged", step)
+		}
+	}
+}
+
+func TestGenericOccupancyMatches(t *testing.T) {
+	var b8 Block8
+	b8.Reset()
+	var b16 Block16
+	b16.Reset()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 40; i++ {
+		b8.Insert(uint(rng.Intn(B8Buckets)), byte(i))
+		if i < B16Slots {
+			b16.Insert(uint(rng.Intn(B16Buckets)), uint16(i))
+		}
+		if b8.Occupancy() != b8.OccupancyGeneric() {
+			t.Fatal("Block8 occupancy variants disagree")
+		}
+		if b16.Occupancy() != b16.OccupancyGeneric() {
+			t.Fatal("Block16 occupancy variants disagree")
+		}
+	}
+}
+
+func BenchmarkBlock8InsertGeneric(b *testing.B) {
+	var blk Block8
+	blk.Reset()
+	rng := rand.New(rand.NewSource(4))
+	buckets := make([]uint, 1024)
+	fps := make([]byte, 1024)
+	for i := range buckets {
+		buckets[i] = uint(rng.Intn(B8Buckets))
+		fps[i] = byte(rng.Intn(256))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i & 1023
+		if !blk.InsertGeneric(buckets[j], fps[j]) {
+			blk.Reset()
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package minifilter
+
+import (
+	"math/bits"
+	"runtime"
+	"sync/atomic"
+
+	"vqf/internal/bitvec"
+	"vqf/internal/swar"
+)
+
+// Thread-safe block operations (paper §6.3). The top metadata bit — bit 63 of
+// Block8.MetaHi, bit 63 of Block16.Meta — is a spin-lock bit. In this mode
+// the stored top bit is *only* the lock flag; every metadata read forces it
+// to 1, which is harmless when the block is not full (the forced bit lies
+// above all bucket terminators) and exactly reconstructs the final bucket
+// terminator when it is ("treat it as though it were 1 in the bucket-size
+// bitvector"). Locks are acquired with compare-and-swap, the analog of the
+// paper's __sync_fetch_and_or.
+//
+// While a lock is held, MetaLo and Fps may be accessed with plain loads and
+// stores (only lock holders touch them); the word containing the lock bit is
+// always accessed atomically because other threads CAS on it concurrently.
+
+const lockBit = uint64(1) << 63
+
+// TryLock attempts to acquire the block's lock bit; it reports success.
+func (b *Block8) TryLock() bool {
+	old := atomic.LoadUint64(&b.MetaHi)
+	if old&lockBit != 0 {
+		return false
+	}
+	return atomic.CompareAndSwapUint64(&b.MetaHi, old, old|lockBit)
+}
+
+// Lock spins until the block's lock bit is acquired.
+func (b *Block8) Lock() {
+	for i := 0; ; i++ {
+		if b.TryLock() {
+			return
+		}
+		if i&63 == 63 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Unlock releases the block's lock bit.
+func (b *Block8) Unlock() {
+	atomic.StoreUint64(&b.MetaHi, atomic.LoadUint64(&b.MetaHi)&^lockBit)
+}
+
+// metaLocked returns the logical metadata words while the lock is held (or
+// for a read that tolerates tearing, such as the shortcut occupancy probe):
+// the stored words with the top bit forced to 1.
+func (b *Block8) metaLocked() (uint64, uint64) {
+	return b.MetaLo, atomic.LoadUint64(&b.MetaHi) | lockBit
+}
+
+// OccupancyLocked returns the block occupancy under the locked-mode metadata
+// convention: with the lock bit stripped, a full block shows only 79
+// terminators (its final terminator is represented by the forced top bit);
+// otherwise all 80 are stored and the highest one gives the occupancy.
+func (b *Block8) OccupancyLocked() uint {
+	lo, hi := b.metaLocked()
+	hiReal := hi &^ lockBit
+	if bits.OnesCount64(lo)+bits.OnesCount64(hiReal) == B8Buckets-1 {
+		return B8Slots
+	}
+	if hiReal != 0 {
+		return 64 + uint(bits.Len64(hiReal)) - B8Buckets
+	}
+	return uint(bits.Len64(lo)) - B8Buckets
+}
+
+func (b *Block8) bucketRangeLocked(bucket uint) (start, end uint) {
+	lo, hi := b.metaLocked()
+	return bucketRange128(lo, hi, bucket)
+}
+
+// bucketRange128 computes a bucket's slot range on explicit metadata words
+// (shared by the locked paths, which read the words once atomically).
+func bucketRange128(lo, hi uint64, bucket uint) (start, end uint) {
+	if bucket == 0 {
+		if t := uint(bits.TrailingZeros64(lo)); t < 64 {
+			return 0, t
+		}
+		return 0, 64 + uint(bits.TrailingZeros64(hi))
+	}
+	p := bitvec.Select128(lo, hi, bucket-1)
+	var q uint
+	if p < 64 {
+		if rest := lo >> (p + 1) << (p + 1); rest != 0 {
+			q = uint(bits.TrailingZeros64(rest))
+		} else {
+			q = 64 + uint(bits.TrailingZeros64(hi))
+		}
+	} else {
+		rest := hi >> (p - 63) << (p - 63)
+		q = 64 + uint(bits.TrailingZeros64(rest))
+	}
+	return p - bucket + 1, q - bucket
+}
+
+// ContainsLocked reports whether fp is present in bucket. The caller must
+// hold the block lock.
+func (b *Block8) ContainsLocked(bucket uint, fp byte) bool {
+	start, end := b.bucketRangeLocked(bucket)
+	if start == end {
+		return false
+	}
+	return swar.MatchMaskBytesRange(b.Fps[:], fp, start, end) != 0
+}
+
+// InsertLocked adds fp to bucket. The caller must hold the block lock; the
+// lock bit is preserved. It returns false if the block is full.
+func (b *Block8) InsertLocked(bucket uint, fp byte) bool {
+	lo, hi := b.metaLocked()
+	occ := b.OccupancyLocked()
+	if occ == B8Slots {
+		return false
+	}
+	m := bitvec.Select128(lo, hi, bucket)
+	z := int(m - bucket)
+	swar.ShiftBytesUp(b.Fps[:], z, int(occ))
+	b.Fps[z] = fp
+	// The forced top bit (spurious when not full) is discarded by the shift;
+	// re-set it afterwards: it is the still-held lock, and coincides with the
+	// final terminator if the insert filled the block.
+	newLo, newHi := bitvec.InsertZero128(lo, hi, m)
+	b.MetaLo = newLo
+	atomic.StoreUint64(&b.MetaHi, newHi|lockBit)
+	return true
+}
+
+// RemoveLocked deletes one instance of fp from bucket. The caller must hold
+// the block lock; the lock bit is preserved. It returns false if fp is not
+// present in bucket.
+func (b *Block8) RemoveLocked(bucket uint, fp byte) bool {
+	lo, hi := b.metaLocked()
+	start, end := bucketRange128(lo, hi, bucket)
+	if start == end {
+		return false
+	}
+	mask := swar.MatchMaskBytesRange(b.Fps[:], fp, start, end)
+	if mask == 0 {
+		return false
+	}
+	l := trailingZeros(mask)
+	occ := b.OccupancyLocked()
+	// The logical top bit is 1 only when the block is full; otherwise the
+	// forced lock bit must not shift down into the metadata body.
+	hiLogical := hi &^ lockBit
+	if occ == B8Slots {
+		hiLogical |= lockBit
+	}
+	m := uint(l) + bucket
+	newLo, newHi := bitvec.RemoveBit128(lo, hiLogical, m)
+	swar.ShiftBytesDown(b.Fps[:], int(l), int(occ))
+	b.MetaLo = newLo
+	atomic.StoreUint64(&b.MetaHi, newHi|lockBit)
+	return true
+}
+
+func trailingZeros(x uint64) uint { return uint(bits.TrailingZeros64(x)) }
+
+// TryLock attempts to acquire the block's lock bit; it reports success.
+func (b *Block16) TryLock() bool {
+	old := atomic.LoadUint64(&b.Meta)
+	if old&lockBit != 0 {
+		return false
+	}
+	return atomic.CompareAndSwapUint64(&b.Meta, old, old|lockBit)
+}
+
+// Lock spins until the block's lock bit is acquired.
+func (b *Block16) Lock() {
+	for i := 0; ; i++ {
+		if b.TryLock() {
+			return
+		}
+		if i&63 == 63 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Unlock releases the block's lock bit.
+func (b *Block16) Unlock() {
+	atomic.StoreUint64(&b.Meta, atomic.LoadUint64(&b.Meta)&^lockBit)
+}
+
+func (b *Block16) metaLocked() uint64 {
+	return atomic.LoadUint64(&b.Meta) | lockBit
+}
+
+// OccupancyLocked returns the block occupancy under the locked-mode metadata
+// convention; see Block8.OccupancyLocked.
+func (b *Block16) OccupancyLocked() uint {
+	real := atomic.LoadUint64(&b.Meta) &^ lockBit
+	if bits.OnesCount64(real) == B16Buckets-1 {
+		return B16Slots
+	}
+	return uint(bits.Len64(real)) - B16Buckets
+}
+
+func bucketRange64(meta uint64, bucket uint) (start, end uint) {
+	if bucket == 0 {
+		return 0, uint(bits.TrailingZeros64(meta))
+	}
+	p := bitvec.Select64(meta, bucket-1)
+	rest := meta >> (p + 1) << (p + 1)
+	q := uint(bits.TrailingZeros64(rest))
+	return p - bucket + 1, q - bucket
+}
+
+// ContainsLocked reports whether fp is present in bucket. The caller must
+// hold the block lock.
+func (b *Block16) ContainsLocked(bucket uint, fp uint16) bool {
+	start, end := bucketRange64(b.metaLocked(), bucket)
+	if start == end {
+		return false
+	}
+	return swar.MatchMaskU16Range(b.Fps[:], fp, start, end) != 0
+}
+
+// InsertLocked adds fp to bucket. The caller must hold the block lock.
+func (b *Block16) InsertLocked(bucket uint, fp uint16) bool {
+	meta := b.metaLocked()
+	occ := b.OccupancyLocked()
+	if occ == B16Slots {
+		return false
+	}
+	m := bitvec.Select64(meta, bucket)
+	z := int(m - bucket)
+	swar.ShiftU16Up(b.Fps[:], z, int(occ))
+	b.Fps[z] = fp
+	atomic.StoreUint64(&b.Meta, bitvec.InsertZero64(meta, m)|lockBit)
+	return true
+}
+
+// RemoveLocked deletes one instance of fp from bucket. The caller must hold
+// the block lock.
+func (b *Block16) RemoveLocked(bucket uint, fp uint16) bool {
+	meta := b.metaLocked()
+	start, end := bucketRange64(meta, bucket)
+	if start == end {
+		return false
+	}
+	mask := swar.MatchMaskU16Range(b.Fps[:], fp, start, end)
+	if mask == 0 {
+		return false
+	}
+	l := trailingZeros(mask)
+	occ := b.OccupancyLocked()
+	metaLogical := meta &^ lockBit
+	if occ == B16Slots {
+		metaLogical |= lockBit
+	}
+	m := uint(l) + bucket
+	newMeta := bitvec.RemoveBit64(metaLogical, m)
+	swar.ShiftU16Down(b.Fps[:], int(l), int(occ))
+	atomic.StoreUint64(&b.Meta, newMeta|lockBit)
+	return true
+}

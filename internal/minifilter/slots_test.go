@@ -1,0 +1,142 @@
+package minifilter
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+func TestBlock8InsertAtReturnsRunEnd(t *testing.T) {
+	var b Block8
+	b.Reset()
+	// Buckets fill in order; InsertAt must return the slot at the end of the
+	// target bucket's run, which equals the number of fingerprints in
+	// buckets <= bucket before the insert.
+	if z := b.InsertAt(10, 1); z != 0 {
+		t.Fatalf("first insert slot = %d", z)
+	}
+	if z := b.InsertAt(10, 2); z != 1 {
+		t.Fatalf("second insert into same bucket slot = %d", z)
+	}
+	if z := b.InsertAt(5, 3); z != 0 {
+		t.Fatalf("insert into earlier bucket slot = %d", z)
+	}
+	if z := b.InsertAt(20, 4); z != 3 {
+		t.Fatalf("insert into later bucket slot = %d", z)
+	}
+	// Layout now: [3(b5), 1(b10), 2(b10), 4(b20)].
+	want := [4]byte{3, 1, 2, 4}
+	for i, w := range want {
+		if b.Fps[i] != w {
+			t.Fatalf("Fps = %v, want %v", b.Fps[:4], want)
+		}
+	}
+}
+
+func TestBlock8RemoveAtInverse(t *testing.T) {
+	var b Block8
+	b.Reset()
+	rng := rand.New(rand.NewSource(1))
+	type entry struct {
+		bucket uint
+		fp     byte
+	}
+	var entries []entry
+	for i := 0; i < 40; i++ {
+		e := entry{uint(rng.Intn(B8Buckets)), byte(rng.Intn(256))}
+		if b.InsertAt(e.bucket, e.fp) < 0 {
+			t.Fatal("insert failed")
+		}
+		entries = append(entries, e)
+	}
+	for len(entries) > 0 {
+		i := rng.Intn(len(entries))
+		e := entries[i]
+		entries[i] = entries[len(entries)-1]
+		entries = entries[:len(entries)-1]
+		z := b.RemoveAt(e.bucket, e.fp)
+		if z < 0 {
+			t.Fatalf("RemoveAt(%d,%d) failed", e.bucket, e.fp)
+		}
+	}
+	if b.Occupancy() != 0 {
+		t.Fatalf("occupancy %d after removing all", b.Occupancy())
+	}
+}
+
+func TestBlock8FindSlotsDuplicates(t *testing.T) {
+	var b Block8
+	b.Reset()
+	b.InsertAt(7, 0x11)
+	b.InsertAt(7, 0x11)
+	b.InsertAt(7, 0x22)
+	b.InsertAt(7, 0x11)
+	mask := b.FindSlots(7, 0x11)
+	if bits.OnesCount64(mask) != 3 {
+		t.Fatalf("FindSlots found %d instances, want 3 (mask %#x)", bits.OnesCount64(mask), mask)
+	}
+	if b.FindSlots(7, 0x33) != 0 {
+		t.Error("FindSlots matched absent fingerprint")
+	}
+	if b.FindSlots(8, 0x11) != 0 {
+		t.Error("FindSlots leaked across buckets")
+	}
+}
+
+func TestBlock8FindSlotAgreesWithContains(t *testing.T) {
+	var b Block8
+	b.Reset()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 30; i++ {
+		b.InsertAt(uint(rng.Intn(B8Buckets)), byte(rng.Intn(8)))
+	}
+	for bucket := uint(0); bucket < B8Buckets; bucket++ {
+		for fp := byte(0); fp < 8; fp++ {
+			if (b.FindSlot(bucket, fp) >= 0) != b.Contains(bucket, fp) {
+				t.Fatalf("FindSlot and Contains disagree at (%d,%d)", bucket, fp)
+			}
+		}
+	}
+}
+
+func TestBlock16InsertAtRemoveAt(t *testing.T) {
+	var b Block16
+	b.Reset()
+	if z := b.InsertAt(3, 0xbeef); z != 0 {
+		t.Fatalf("slot = %d", z)
+	}
+	if z := b.InsertAt(3, 0xcafe); z != 1 {
+		t.Fatalf("slot = %d", z)
+	}
+	if z := b.InsertAt(1, 0x1111); z != 0 {
+		t.Fatalf("earlier-bucket slot = %d", z)
+	}
+	if z := b.FindSlot(3, 0xbeef); z != 1 {
+		t.Fatalf("FindSlot = %d after shift", z)
+	}
+	if z := b.RemoveAt(3, 0xbeef); z != 1 {
+		t.Fatalf("RemoveAt = %d", z)
+	}
+	if b.Occupancy() != 2 {
+		t.Fatalf("occupancy = %d", b.Occupancy())
+	}
+}
+
+func TestInsertAtMatchesInsert(t *testing.T) {
+	var a, b Block8
+	a.Reset()
+	b.Reset()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < B8Slots; i++ {
+		bucket := uint(rng.Intn(B8Buckets))
+		fp := byte(rng.Intn(256))
+		okA := a.Insert(bucket, fp)
+		zB := b.InsertAt(bucket, fp)
+		if okA != (zB >= 0) {
+			t.Fatal("Insert and InsertAt disagree on success")
+		}
+		if a.MetaLo != b.MetaLo || a.MetaHi != b.MetaHi || a.Fps != b.Fps {
+			t.Fatal("Insert and InsertAt produced different states")
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Package morton implements the Morton filter of Breslow and Jayasena (VLDB
+// 2018), the cuckoo-filter variant the vector quotient filter paper uses as
+// its strongest insertion baseline. Each 64-byte block packs an
+// underprovisioned fingerprint storage array (FSA), a fullness counter array
+// (FCA) of 2-bit counters for 64 logical buckets, and an overflow tracking
+// array (OTA) that lets negative lookups skip the secondary bucket probe.
+// Insertions are biased toward the primary bucket; block-store overflows
+// fall back to the secondary bucket and, when needed, bounded cuckoo
+// eviction.
+package morton
+
+import "math/bits"
+
+const (
+	// BucketsPerBlock is the number of logical buckets per block.
+	BucketsPerBlock = 64
+	// BucketCap is the maximum fingerprints per logical bucket (the paper's
+	// "blocks of size 3" configuration).
+	BucketCap = 3
+	// OTABits is the width of the overflow tracking array.
+	OTABits = 16
+
+	// Slots8 is the FSA capacity with 8-bit fingerprints: 46 slots, so a
+	// block is 8+8+2+46 = 64 bytes.
+	Slots8 = 46
+	// Slots16 is the FSA capacity with 16-bit fingerprints: 23 slots.
+	Slots16 = 23
+)
+
+// The fullness counter array is stored bit-planar: plane p0 holds each
+// counter's low bit, p1 the high bit. A bucket's FSA offset is then a prefix
+// popcount over the planes — one popcount per plane, no per-bucket loop.
+
+func fcaCount(p0, p1 uint64, bucket uint) uint {
+	return uint(p0>>bucket&1) | uint(p1>>bucket&1)<<1
+}
+
+func fcaSet(p0, p1 uint64, bucket uint, c uint) (uint64, uint64) {
+	p0 = p0&^(1<<bucket) | uint64(c&1)<<bucket
+	p1 = p1&^(1<<bucket) | uint64(c>>1&1)<<bucket
+	return p0, p1
+}
+
+// fcaPrefix returns the number of fingerprints stored in buckets [0, bucket).
+func fcaPrefix(p0, p1 uint64, bucket uint) uint {
+	mask := uint64(1)<<bucket - 1
+	if bucket >= 64 {
+		mask = ^uint64(0)
+	}
+	return uint(bits.OnesCount64(p0&mask)) + 2*uint(bits.OnesCount64(p1&mask))
+}
+
+func fcaTotal(p0, p1 uint64) uint {
+	return uint(bits.OnesCount64(p0)) + 2*uint(bits.OnesCount64(p1))
+}
+
+// block8 is a Morton block with 8-bit fingerprints. Exactly 64 bytes.
+type block8 struct {
+	p0, p1 uint64
+	ota    uint16
+	fsa    [Slots8]uint8
+}
+
+func (b *block8) total() uint { return fcaTotal(b.p0, b.p1) }
+
+func (b *block8) count(bucket uint) uint { return fcaCount(b.p0, b.p1, bucket) }
+
+// insert places fp in bucket, reporting false when the bucket or the block
+// store is full.
+func (b *block8) insert(bucket uint, fp uint8) bool {
+	c := b.count(bucket)
+	total := b.total()
+	if c >= BucketCap || total >= Slots8 {
+		return false
+	}
+	pos := fcaPrefix(b.p0, b.p1, bucket) + c
+	copy(b.fsa[pos+1:total+1], b.fsa[pos:total])
+	b.fsa[pos] = fp
+	b.p0, b.p1 = fcaSet(b.p0, b.p1, bucket, c+1)
+	return true
+}
+
+func (b *block8) contains(bucket uint, fp uint8) bool {
+	start := fcaPrefix(b.p0, b.p1, bucket)
+	end := start + b.count(bucket)
+	for i := start; i < end; i++ {
+		if b.fsa[i] == fp {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *block8) remove(bucket uint, fp uint8) bool {
+	start := fcaPrefix(b.p0, b.p1, bucket)
+	c := b.count(bucket)
+	for i := start; i < start+c; i++ {
+		if b.fsa[i] == fp {
+			total := b.total()
+			copy(b.fsa[i:total-1], b.fsa[i+1:total])
+			b.fsa[total-1] = 0
+			b.p0, b.p1 = fcaSet(b.p0, b.p1, bucket, c-1)
+			return true
+		}
+	}
+	return false
+}
+
+// slotBucket returns the bucket owning FSA slot i (used when choosing an
+// eviction victim).
+func (b *block8) slotBucket(i uint) uint {
+	var sum uint
+	for bucket := uint(0); bucket < BucketsPerBlock; bucket++ {
+		sum += b.count(bucket)
+		if i < sum {
+			return bucket
+		}
+	}
+	return BucketsPerBlock - 1 // unreachable for i < total()
+}
+
+func (b *block8) otaSet(bucket uint)       { b.ota |= 1 << (bucket % OTABits) }
+func (b *block8) otaTest(bucket uint) bool { return b.ota>>(bucket%OTABits)&1 == 1 }
+
+// block16 is a Morton block with 16-bit fingerprints. Exactly 64 bytes.
+type block16 struct {
+	p0, p1 uint64
+	ota    uint16
+	fsa    [Slots16]uint16
+}
+
+func (b *block16) total() uint { return fcaTotal(b.p0, b.p1) }
+
+func (b *block16) count(bucket uint) uint { return fcaCount(b.p0, b.p1, bucket) }
+
+func (b *block16) insert(bucket uint, fp uint16) bool {
+	c := b.count(bucket)
+	total := b.total()
+	if c >= BucketCap || total >= Slots16 {
+		return false
+	}
+	pos := fcaPrefix(b.p0, b.p1, bucket) + c
+	copy(b.fsa[pos+1:total+1], b.fsa[pos:total])
+	b.fsa[pos] = fp
+	b.p0, b.p1 = fcaSet(b.p0, b.p1, bucket, c+1)
+	return true
+}
+
+func (b *block16) contains(bucket uint, fp uint16) bool {
+	start := fcaPrefix(b.p0, b.p1, bucket)
+	end := start + b.count(bucket)
+	for i := start; i < end; i++ {
+		if b.fsa[i] == fp {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *block16) remove(bucket uint, fp uint16) bool {
+	start := fcaPrefix(b.p0, b.p1, bucket)
+	c := b.count(bucket)
+	for i := start; i < start+c; i++ {
+		if b.fsa[i] == fp {
+			total := b.total()
+			copy(b.fsa[i:total-1], b.fsa[i+1:total])
+			b.fsa[total-1] = 0
+			b.p0, b.p1 = fcaSet(b.p0, b.p1, bucket, c-1)
+			return true
+		}
+	}
+	return false
+}
+
+func (b *block16) slotBucket(i uint) uint {
+	var sum uint
+	for bucket := uint(0); bucket < BucketsPerBlock; bucket++ {
+		sum += b.count(bucket)
+		if i < sum {
+			return bucket
+		}
+	}
+	return BucketsPerBlock - 1
+}
+
+func (b *block16) otaSet(bucket uint)       { b.ota |= 1 << (bucket % OTABits) }
+func (b *block16) otaTest(bucket uint) bool { return b.ota>>(bucket%OTABits)&1 == 1 }

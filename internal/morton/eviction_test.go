@@ -1,0 +1,84 @@
+package morton
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestEvictionPreservesLookup fills the filter near capacity (forcing the
+// cuckoo-eviction path) and verifies every inserted key is still reachable
+// through the OTA-guided lookup.
+func TestEvictionPreservesLookup(t *testing.T) {
+	f := New8(1 << 12)
+	rng := rand.New(rand.NewSource(1))
+	var keys []uint64
+	for {
+		h := rng.Uint64()
+		if !f.Insert(h) {
+			break
+		}
+		keys = append(keys, h)
+	}
+	if f.Kicks() == 0 {
+		t.Fatal("filling to failure performed no evictions; test ineffective")
+	}
+	t.Logf("filled to LF %.4f with %d evictions", f.LoadFactor(), f.Kicks())
+	for i, h := range keys {
+		if !f.Contains(h) {
+			t.Fatalf("key %d/%d lost after evictions", i, len(keys))
+		}
+	}
+}
+
+// TestDeleteAfterEviction deletes keys from a filter whose contents were
+// rearranged by evictions; every delete of an inserted key must succeed.
+func TestDeleteAfterEviction(t *testing.T) {
+	f := New8(1 << 10)
+	rng := rand.New(rand.NewSource(2))
+	var keys []uint64
+	for {
+		h := rng.Uint64()
+		if !f.Insert(h) {
+			break
+		}
+		keys = append(keys, h)
+	}
+	perm := rand.New(rand.NewSource(3)).Perm(len(keys))
+	for _, i := range perm {
+		if !f.Remove(keys[i]) {
+			t.Fatalf("remove of inserted key failed after evictions")
+		}
+	}
+	if f.Count() != 0 {
+		t.Fatalf("count %d after removing everything", f.Count())
+	}
+}
+
+// TestOTAGrowsWithLoad sanity-checks the overflow-tracking behaviour: OTA
+// bits should be rare at low load and common near capacity.
+func TestOTAGrowsWithLoad(t *testing.T) {
+	f := New8(1 << 12)
+	rng := rand.New(rand.NewSource(4))
+	otaFraction := func() float64 {
+		set := 0
+		for i := range f.blocks {
+			if f.blocks[i].ota != 0 {
+				set++
+			}
+		}
+		return float64(set) / float64(len(f.blocks))
+	}
+	for f.LoadFactor() < 0.30 {
+		f.Insert(rng.Uint64())
+	}
+	low := otaFraction()
+	for f.LoadFactor() < 0.90 {
+		if !f.Insert(rng.Uint64()) {
+			break
+		}
+	}
+	high := otaFraction()
+	if high <= low {
+		t.Errorf("OTA fraction did not grow with load: %.3f -> %.3f", low, high)
+	}
+}

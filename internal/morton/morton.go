@@ -1,0 +1,394 @@
+package morton
+
+import (
+	"math/bits"
+
+	"vqf/internal/hashing"
+)
+
+// MaxKicks bounds the cuckoo-eviction walk used when both candidate buckets
+// overflow.
+const MaxKicks = 500
+
+// Filter8 is a Morton filter with 8-bit fingerprints (target ε ≈ 2⁻⁸ with
+// 3-slot logical buckets).
+type Filter8 struct {
+	blocks   []block8
+	mask     uint64
+	count    uint64
+	kicks    uint64
+	rngState uint64
+	// An eviction walk that exhausts MaxKicks has already displaced its last
+	// victim; parking it here (rather than dropping it) preserves the
+	// no-false-negative guarantee. The filter is full while a victim is
+	// parked, exactly as in the reference cuckoo filter.
+	victimBlock  uint64
+	victimBucket uint
+	victimFp     uint8
+	hasVictim    bool
+}
+
+// New8 creates a Morton filter with at least nslots fingerprint slots (block
+// count rounds up to a power of two; each block stores 46 fingerprints).
+func New8(nslots uint64) *Filter8 {
+	nblocks := nextPow2((nslots + Slots8 - 1) / Slots8)
+	return &Filter8{
+		blocks:   make([]block8, nblocks),
+		mask:     nblocks - 1,
+		rngState: 0x2545f4914f6cdd1d,
+	}
+}
+
+func nextPow2(x uint64) uint64 {
+	if x < 2 {
+		return 2
+	}
+	return 1 << bits.Len64(x-1)
+}
+
+func (f *Filter8) rand32() uint32 {
+	x := f.rngState
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	f.rngState = x
+	return uint32(x)
+}
+
+// split derives the primary block, logical bucket, fingerprint, and the tag
+// feeding the block-pairing xor trick.
+func (f *Filter8) split(h uint64) (blk uint64, bucket uint, fp uint8, tag uint64) {
+	fp = uint8(h)
+	bucket = uint(h>>8) & (BucketsPerBlock - 1)
+	blk = (h >> 14) & f.mask
+	tag = uint64(bucket)<<8 | uint64(fp)
+	return
+}
+
+func (f *Filter8) altBlock(blk, tag uint64) uint64 {
+	return hashing.AltIndex(blk, tag, f.mask)
+}
+
+// Insert adds the pre-hashed key h, biased toward the primary bucket; it
+// returns false when an eviction walk exceeds MaxKicks (the filter is
+// effectively full, typically ≈95% load).
+func (f *Filter8) Insert(h uint64) bool {
+	if f.hasVictim {
+		return false
+	}
+	b1, bucket, fp, tag := f.split(h)
+	if f.blocks[b1].insert(bucket, fp) {
+		f.count++
+		return true
+	}
+	// Overflow from the primary: record it so negative lookups know to probe
+	// the secondary bucket.
+	f.blocks[b1].otaSet(bucket)
+	b2 := f.altBlock(b1, tag)
+	if f.blocks[b2].insert(bucket, fp) {
+		f.count++
+		return true
+	}
+	// Both candidate buckets overflow: bounded cuckoo eviction out of the
+	// secondary block.
+	cur, curBucket, curFp := b2, bucket, fp
+	for kick := 0; kick < MaxKicks; kick++ {
+		blk := &f.blocks[cur]
+		total := blk.total()
+		if total == 0 {
+			return false // degenerate (block has capacity 0 items yet insert failed)
+		}
+		victim := uint(f.rand32()) % total
+		vBucket := blk.slotBucket(victim)
+		vFp := blk.fsa[victim]
+		// Replace the victim in place: remove it, then retry our insert.
+		if !blk.remove(vBucket, vFp) {
+			return false
+		}
+		if !blk.insert(curBucket, curFp) {
+			// Restore and give up: the displaced slot did not free the right
+			// bucket (our bucket is at BucketCap even with a slot free).
+			blk.insert(vBucket, vFp)
+			// Try evicting again from a different victim.
+			f.kicks++
+			continue
+		}
+		f.kicks++
+		// The victim overflows from this block; track and re-home it.
+		blk.otaSet(vBucket)
+		cur = f.altBlock(cur, uint64(vBucket)<<8|uint64(vFp))
+		curBucket, curFp = vBucket, vFp
+		if f.blocks[cur].insert(curBucket, curFp) {
+			f.count++
+			return true
+		}
+	}
+	// The walk displaced the original item into storage but left the last
+	// victim homeless: park it. This insert succeeded; the next fails.
+	f.victimBlock, f.victimBucket, f.victimFp = cur, curBucket, curFp
+	f.hasVictim = true
+	f.count++
+	return true
+}
+
+// victimMatches reports whether the parked victim is indistinguishable from
+// (bucket, fp) with candidate blocks b1/b2.
+func (f *Filter8) victimMatches(b1, b2 uint64, bucket uint, fp uint8) bool {
+	return f.hasVictim && f.victimBucket == bucket && f.victimFp == fp &&
+		(f.victimBlock == b1 || f.victimBlock == b2)
+}
+
+// rehomeVictim tries to place the parked victim after a deletion freed space.
+func (f *Filter8) rehomeVictim() {
+	if !f.hasVictim {
+		return
+	}
+	f.hasVictim = false
+	f.count--
+	b, bucket, fp := f.victimBlock, f.victimBucket, f.victimFp
+	if f.blocks[b].insert(bucket, fp) {
+		f.count++
+		return
+	}
+	alt := f.altBlock(b, uint64(bucket)<<8|uint64(fp))
+	if f.blocks[alt].insert(bucket, fp) {
+		f.blocks[b].otaSet(bucket) // conservative: b may be its primary
+		f.count++
+		return
+	}
+	f.victimBlock, f.victimBucket, f.victimFp = b, bucket, fp
+	f.hasVictim = true
+	f.count++
+}
+
+// Contains reports whether the pre-hashed key h may be in the filter. When
+// the primary bucket misses and its overflow bit is clear, the secondary
+// probe is skipped — the Morton filter's fast negative-lookup path.
+func (f *Filter8) Contains(h uint64) bool {
+	b1, bucket, fp, tag := f.split(h)
+	blk := &f.blocks[b1]
+	if blk.contains(bucket, fp) {
+		return true
+	}
+	if f.hasVictim && f.victimMatches(b1, f.altBlock(b1, tag), bucket, fp) {
+		return true
+	}
+	if !blk.otaTest(bucket) {
+		return false
+	}
+	return f.blocks[f.altBlock(b1, tag)].contains(bucket, fp)
+}
+
+// Remove deletes one previously inserted instance of the pre-hashed key h.
+func (f *Filter8) Remove(h uint64) bool {
+	b1, bucket, fp, tag := f.split(h)
+	b2 := f.altBlock(b1, tag)
+	if f.blocks[b1].remove(bucket, fp) {
+		f.count--
+		f.rehomeVictim()
+		return true
+	}
+	// The OTA gate applies to stored fingerprints; the parked victim is
+	// checked regardless (it may predate the relevant overflow bit).
+	if f.blocks[b1].otaTest(bucket) && f.blocks[b2].remove(bucket, fp) {
+		f.count--
+		f.rehomeVictim()
+		return true
+	}
+	if f.victimMatches(b1, b2, bucket, fp) {
+		f.hasVictim = false
+		f.count--
+		return true
+	}
+	return false
+}
+
+// Count returns the number of fingerprints currently stored.
+func (f *Filter8) Count() uint64 { return f.count }
+
+// Capacity returns the total number of FSA slots.
+func (f *Filter8) Capacity() uint64 { return uint64(len(f.blocks)) * Slots8 }
+
+// LoadFactor returns Count divided by Capacity.
+func (f *Filter8) LoadFactor() float64 { return float64(f.count) / float64(f.Capacity()) }
+
+// SizeBytes returns the memory footprint of the block array.
+func (f *Filter8) SizeBytes() uint64 { return uint64(len(f.blocks)) * 64 }
+
+// Kicks returns the cumulative eviction count (diagnostic).
+func (f *Filter8) Kicks() uint64 { return f.kicks }
+
+// Filter16 is a Morton filter with 16-bit fingerprints (target ε ≈ 2⁻¹⁶).
+type Filter16 struct {
+	blocks   []block16
+	mask     uint64
+	count    uint64
+	kicks    uint64
+	rngState uint64
+	// Victim cache; see Filter8.
+	victimBlock  uint64
+	victimBucket uint
+	victimFp     uint16
+	hasVictim    bool
+}
+
+// New16 creates a 16-bit-fingerprint Morton filter with at least nslots
+// slots (23 per block).
+func New16(nslots uint64) *Filter16 {
+	nblocks := nextPow2((nslots + Slots16 - 1) / Slots16)
+	return &Filter16{
+		blocks:   make([]block16, nblocks),
+		mask:     nblocks - 1,
+		rngState: 0x2545f4914f6cdd1d,
+	}
+}
+
+func (f *Filter16) rand32() uint32 {
+	x := f.rngState
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	f.rngState = x
+	return uint32(x)
+}
+
+func (f *Filter16) split(h uint64) (blk uint64, bucket uint, fp uint16, tag uint64) {
+	fp = uint16(h)
+	bucket = uint(h>>16) & (BucketsPerBlock - 1)
+	blk = (h >> 22) & f.mask
+	tag = uint64(bucket)<<16 | uint64(fp)
+	return
+}
+
+func (f *Filter16) altBlock(blk, tag uint64) uint64 {
+	return hashing.AltIndex(blk, tag, f.mask)
+}
+
+// Insert adds the pre-hashed key h; see Filter8.Insert.
+func (f *Filter16) Insert(h uint64) bool {
+	if f.hasVictim {
+		return false
+	}
+	b1, bucket, fp, tag := f.split(h)
+	if f.blocks[b1].insert(bucket, fp) {
+		f.count++
+		return true
+	}
+	f.blocks[b1].otaSet(bucket)
+	b2 := f.altBlock(b1, tag)
+	if f.blocks[b2].insert(bucket, fp) {
+		f.count++
+		return true
+	}
+	cur, curBucket, curFp := b2, bucket, fp
+	for kick := 0; kick < MaxKicks; kick++ {
+		blk := &f.blocks[cur]
+		total := blk.total()
+		if total == 0 {
+			return false
+		}
+		victim := uint(f.rand32()) % total
+		vBucket := blk.slotBucket(victim)
+		vFp := blk.fsa[victim]
+		if !blk.remove(vBucket, vFp) {
+			return false
+		}
+		if !blk.insert(curBucket, curFp) {
+			blk.insert(vBucket, vFp)
+			f.kicks++
+			continue
+		}
+		f.kicks++
+		blk.otaSet(vBucket)
+		cur = f.altBlock(cur, uint64(vBucket)<<16|uint64(vFp))
+		curBucket, curFp = vBucket, vFp
+		if f.blocks[cur].insert(curBucket, curFp) {
+			f.count++
+			return true
+		}
+	}
+	f.victimBlock, f.victimBucket, f.victimFp = cur, curBucket, curFp
+	f.hasVictim = true
+	f.count++
+	return true
+}
+
+func (f *Filter16) victimMatches(b1, b2 uint64, bucket uint, fp uint16) bool {
+	return f.hasVictim && f.victimBucket == bucket && f.victimFp == fp &&
+		(f.victimBlock == b1 || f.victimBlock == b2)
+}
+
+func (f *Filter16) rehomeVictim() {
+	if !f.hasVictim {
+		return
+	}
+	f.hasVictim = false
+	f.count--
+	b, bucket, fp := f.victimBlock, f.victimBucket, f.victimFp
+	if f.blocks[b].insert(bucket, fp) {
+		f.count++
+		return
+	}
+	alt := f.altBlock(b, uint64(bucket)<<16|uint64(fp))
+	if f.blocks[alt].insert(bucket, fp) {
+		f.blocks[b].otaSet(bucket)
+		f.count++
+		return
+	}
+	f.victimBlock, f.victimBucket, f.victimFp = b, bucket, fp
+	f.hasVictim = true
+	f.count++
+}
+
+// Contains reports whether the pre-hashed key h may be in the filter.
+func (f *Filter16) Contains(h uint64) bool {
+	b1, bucket, fp, tag := f.split(h)
+	blk := &f.blocks[b1]
+	if blk.contains(bucket, fp) {
+		return true
+	}
+	if f.hasVictim && f.victimMatches(b1, f.altBlock(b1, tag), bucket, fp) {
+		return true
+	}
+	if !blk.otaTest(bucket) {
+		return false
+	}
+	return f.blocks[f.altBlock(b1, tag)].contains(bucket, fp)
+}
+
+// Remove deletes one previously inserted instance of the pre-hashed key h.
+func (f *Filter16) Remove(h uint64) bool {
+	b1, bucket, fp, tag := f.split(h)
+	b2 := f.altBlock(b1, tag)
+	if f.blocks[b1].remove(bucket, fp) {
+		f.count--
+		f.rehomeVictim()
+		return true
+	}
+	if f.blocks[b1].otaTest(bucket) && f.blocks[b2].remove(bucket, fp) {
+		f.count--
+		f.rehomeVictim()
+		return true
+	}
+	if f.victimMatches(b1, b2, bucket, fp) {
+		f.hasVictim = false
+		f.count--
+		return true
+	}
+	return false
+}
+
+// Count returns the number of fingerprints currently stored.
+func (f *Filter16) Count() uint64 { return f.count }
+
+// Capacity returns the total number of FSA slots.
+func (f *Filter16) Capacity() uint64 { return uint64(len(f.blocks)) * Slots16 }
+
+// LoadFactor returns Count divided by Capacity.
+func (f *Filter16) LoadFactor() float64 { return float64(f.count) / float64(f.Capacity()) }
+
+// SizeBytes returns the memory footprint of the block array.
+func (f *Filter16) SizeBytes() uint64 { return uint64(len(f.blocks)) * 64 }
+
+// Kicks returns the cumulative eviction count (diagnostic).
+func (f *Filter16) Kicks() uint64 { return f.kicks }

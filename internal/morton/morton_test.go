@@ -1,0 +1,289 @@
+package morton
+
+import (
+	"math/rand"
+	"testing"
+	"unsafe"
+)
+
+func TestBlockIsOneCacheLine(t *testing.T) {
+	if sz := unsafe.Sizeof(block8{}); sz != 64 {
+		t.Fatalf("block8 is %d bytes, want 64", sz)
+	}
+	if sz := unsafe.Sizeof(block16{}); sz != 64 {
+		t.Fatalf("block16 is %d bytes, want 64", sz)
+	}
+}
+
+func TestFCAOps(t *testing.T) {
+	var p0, p1 uint64
+	counts := map[uint]uint{}
+	rng := rand.New(rand.NewSource(1))
+	for step := 0; step < 5000; step++ {
+		bucket := uint(rng.Intn(64))
+		c := uint(rng.Intn(4))
+		p0, p1 = fcaSet(p0, p1, bucket, c)
+		counts[bucket] = c
+		if got := fcaCount(p0, p1, bucket); got != c {
+			t.Fatalf("fcaCount(%d) = %d, want %d", bucket, got, c)
+		}
+	}
+	// Prefix sums must match a direct sum.
+	for bucket := uint(0); bucket <= 64; bucket++ {
+		var want uint
+		for b := uint(0); b < bucket; b++ {
+			want += counts[b]
+		}
+		if got := fcaPrefix(p0, p1, bucket); got != want {
+			t.Fatalf("fcaPrefix(%d) = %d, want %d", bucket, got, want)
+		}
+	}
+	var total uint
+	for _, c := range counts {
+		total += c
+	}
+	if got := fcaTotal(p0, p1); got != total {
+		t.Fatalf("fcaTotal = %d, want %d", got, total)
+	}
+}
+
+func TestBlock8InsertContainsRemove(t *testing.T) {
+	var b block8
+	type entry struct {
+		bucket uint
+		fp     uint8
+	}
+	var entries []entry
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < Slots8; i++ {
+		e := entry{uint(rng.Intn(64)), uint8(rng.Intn(256))}
+		if b.count(e.bucket) >= BucketCap {
+			continue // bucket-level rejection is expected behaviour
+		}
+		if !b.insert(e.bucket, e.fp) {
+			t.Fatalf("insert %d failed with total %d", i, b.total())
+		}
+		entries = append(entries, e)
+	}
+	for _, e := range entries {
+		if !b.contains(e.bucket, e.fp) {
+			t.Fatalf("entry (%d,%d) missing", e.bucket, e.fp)
+		}
+	}
+	// slotBucket must agree with the layout.
+	for i := uint(0); i < b.total(); i++ {
+		bucket := b.slotBucket(i)
+		start := fcaPrefix(b.p0, b.p1, bucket)
+		if i < start || i >= start+b.count(bucket) {
+			t.Fatalf("slotBucket(%d) = %d inconsistent with prefix sums", i, bucket)
+		}
+	}
+	for _, e := range entries {
+		if !b.remove(e.bucket, e.fp) {
+			t.Fatalf("remove (%d,%d) failed", e.bucket, e.fp)
+		}
+	}
+	if b.total() != 0 {
+		t.Fatalf("total = %d after removing all", b.total())
+	}
+}
+
+func TestBlock8BucketCapEnforced(t *testing.T) {
+	var b block8
+	for i := 0; i < BucketCap; i++ {
+		if !b.insert(7, uint8(i)) {
+			t.Fatalf("insert %d failed", i)
+		}
+	}
+	if b.insert(7, 99) {
+		t.Fatal("insert into full bucket succeeded")
+	}
+	if !b.insert(8, 99) {
+		t.Fatal("insert into sibling bucket failed")
+	}
+}
+
+func TestFilter8NoFalseNegatives(t *testing.T) {
+	f := New8(1 << 14)
+	rng := rand.New(rand.NewSource(3))
+	n := f.Capacity() * 90 / 100
+	keys := make([]uint64, 0, n)
+	for uint64(len(keys)) < n {
+		h := rng.Uint64()
+		if !f.Insert(h) {
+			t.Fatalf("insert failed at LF %.3f", f.LoadFactor())
+		}
+		keys = append(keys, h)
+	}
+	for _, h := range keys {
+		if !f.Contains(h) {
+			t.Fatal("false negative")
+		}
+	}
+}
+
+func TestFilter8FalsePositiveRate(t *testing.T) {
+	f := New8(1 << 14)
+	rng := rand.New(rand.NewSource(4))
+	for f.LoadFactor() < 0.90 {
+		f.Insert(rng.Uint64())
+	}
+	fp := 0
+	const probes = 200000
+	for i := 0; i < probes; i++ {
+		if f.Contains(rng.Uint64()) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	// ≈ 2·(avg bucket load)·2⁻⁸ ≈ 0.005 worst case; allow slack.
+	if rate > 0.01 {
+		t.Errorf("FPR = %.5f too high", rate)
+	}
+	if rate == 0 {
+		t.Error("FPR of exactly 0 implausible")
+	}
+}
+
+func TestFilter8ReachesHighLoadFactor(t *testing.T) {
+	f := New8(1 << 14)
+	rng := rand.New(rand.NewSource(5))
+	for f.Insert(rng.Uint64()) {
+	}
+	if lf := f.LoadFactor(); lf < 0.88 {
+		t.Errorf("max load factor %.4f below 0.88", lf)
+	}
+}
+
+func TestFilter8Remove(t *testing.T) {
+	f := New8(1 << 12)
+	rng := rand.New(rand.NewSource(6))
+	n := f.Capacity() * 80 / 100
+	keys := make([]uint64, 0, n)
+	for uint64(len(keys)) < n {
+		h := rng.Uint64()
+		if !f.Insert(h) {
+			t.Fatal("insert failed")
+		}
+		keys = append(keys, h)
+	}
+	for _, h := range keys[:len(keys)/2] {
+		if !f.Remove(h) {
+			t.Fatal("remove of inserted key failed")
+		}
+	}
+	for _, h := range keys[len(keys)/2:] {
+		if !f.Contains(h) {
+			t.Fatal("false negative after removes")
+		}
+	}
+}
+
+func TestFilter8OTAFastNegative(t *testing.T) {
+	// At low occupancy nothing has overflowed, so negative lookups must not
+	// touch the secondary block; verify via the OTA being clear.
+	f := New8(1 << 12)
+	rng := rand.New(rand.NewSource(7))
+	for f.LoadFactor() < 0.20 {
+		f.Insert(rng.Uint64())
+	}
+	otaSet := 0
+	for i := range f.blocks {
+		if f.blocks[i].ota != 0 {
+			otaSet++
+		}
+	}
+	if frac := float64(otaSet) / float64(len(f.blocks)); frac > 0.20 {
+		t.Errorf("%.3f of blocks have overflow bits at 20%% load", frac)
+	}
+}
+
+func TestFilter8DuplicatesWithinBucketCap(t *testing.T) {
+	f := New8(1 << 10)
+	const h = 0xabcdef0123456789
+	// One bucket holds 3; the pair of candidate buckets holds 6.
+	inserted := 0
+	for i := 0; i < 6; i++ {
+		if f.Insert(h) {
+			inserted++
+		}
+	}
+	if inserted < 6 {
+		t.Fatalf("only %d/6 duplicate inserts succeeded", inserted)
+	}
+	for i := 0; i < inserted; i++ {
+		if !f.Remove(h) {
+			t.Fatalf("duplicate remove %d failed", i)
+		}
+	}
+	if f.Contains(h) {
+		t.Error("key present after removing all copies")
+	}
+}
+
+func TestFilter16Basics(t *testing.T) {
+	f := New16(1 << 13)
+	rng := rand.New(rand.NewSource(8))
+	n := f.Capacity() * 85 / 100
+	keys := make([]uint64, 0, n)
+	for uint64(len(keys)) < n {
+		h := rng.Uint64()
+		if !f.Insert(h) {
+			t.Fatalf("insert failed at LF %.3f", f.LoadFactor())
+		}
+		keys = append(keys, h)
+	}
+	for _, h := range keys {
+		if !f.Contains(h) {
+			t.Fatal("false negative (16-bit)")
+		}
+	}
+	fp := 0
+	for i := 0; i < 500000; i++ {
+		if f.Contains(rng.Uint64()) {
+			fp++
+		}
+	}
+	if fp > 100 { // ≈ 2·2.2·2⁻¹⁶·500000 ≈ 34 expected
+		t.Errorf("%d false positives in 500k probes (16-bit)", fp)
+	}
+	for _, h := range keys[:100] {
+		if !f.Remove(h) {
+			t.Fatal("remove failed (16-bit)")
+		}
+	}
+}
+
+func BenchmarkMortonInsertTo90(b *testing.B) {
+	f := New8(1 << 18)
+	rng := rand.New(rand.NewSource(9))
+	target := f.Capacity() * 90 / 100
+	for f.Count() < target {
+		f.Insert(rng.Uint64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !f.Insert(rng.Uint64()) {
+			b.StopTimer()
+			f = New8(1 << 18)
+			for f.Count() < target {
+				f.Insert(rng.Uint64())
+			}
+			b.StartTimer()
+		}
+	}
+}
+
+func BenchmarkMortonLookup(b *testing.B) {
+	f := New8(1 << 18)
+	rng := rand.New(rand.NewSource(10))
+	for f.LoadFactor() < 0.90 {
+		f.Insert(rng.Uint64())
+	}
+	b.ResetTimer()
+	var sink bool
+	for i := 0; i < b.N; i++ {
+		sink = f.Contains(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+	_ = sink
+}

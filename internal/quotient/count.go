@@ -1,0 +1,25 @@
+package quotient
+
+// CountOf returns the number of stored instances of the pre-hashed key h's
+// fingerprint (runs are sorted with duplicates adjacent, so this is a
+// bounded scan of one run).
+func (f *Filter) CountOf(h uint64) uint64 {
+	fq, fr := f.split(h)
+	if !isOccupied(f.getSlot(fq)) {
+		return 0
+	}
+	s := f.findRunIndex(fq)
+	var n uint64
+	for {
+		rem := remainder(f.getSlot(s))
+		if rem == fr {
+			n++
+		} else if rem > fr {
+			return n
+		}
+		s = f.incr(s)
+		if !isContinuation(f.getSlot(s)) {
+			return n
+		}
+	}
+}

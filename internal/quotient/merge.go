@@ -1,0 +1,50 @@
+package quotient
+
+import "fmt"
+
+// Merge combines two quotient filters with identical geometry into a new
+// filter containing every element of both — the other advanced QF feature
+// the paper contrasts with the VQF (§1). Merging works on (quotient,
+// remainder) pairs via enumeration, so no original keys are needed; because
+// both inputs were built from the same hash split, the merged filter answers
+// queries exactly as if every key had been inserted into one filter.
+//
+// The combined element count must fit: merging two half-full filters of the
+// same size yields a nearly full one. Merge returns an error if the result
+// would exceed capacity.
+func Merge(a, b *Filter) (*Filter, error) {
+	if a.qbits != b.qbits || a.rbits != b.rbits {
+		return nil, fmt.Errorf("quotient: geometry mismatch: (%d,%d) vs (%d,%d)",
+			a.qbits, a.rbits, b.qbits, b.rbits)
+	}
+	if a.count+b.count > a.Capacity() {
+		return nil, fmt.Errorf("quotient: merged count %d exceeds capacity %d",
+			a.count+b.count, a.Capacity())
+	}
+	out := New(a.qbits, a.rbits)
+	a.Quotients(func(fq, fr uint64) { out.insertQR(fq, fr) })
+	b.Quotients(func(fq, fr uint64) { out.insertQR(fq, fr) })
+	return out, nil
+}
+
+// MergeResize merges two same-geometry filters into a doubled filter (one
+// more quotient bit, one fewer remainder bit), for when the combined counts
+// would overflow the original geometry.
+func MergeResize(a, b *Filter) (*Filter, error) {
+	if a.qbits != b.qbits || a.rbits != b.rbits {
+		return nil, fmt.Errorf("quotient: geometry mismatch: (%d,%d) vs (%d,%d)",
+			a.qbits, a.rbits, b.qbits, b.rbits)
+	}
+	if a.rbits <= 1 {
+		return nil, fmt.Errorf("quotient: cannot shrink %d-bit remainders", a.rbits)
+	}
+	out := New(a.qbits+1, a.rbits-1)
+	move := func(f *Filter) {
+		f.Quotients(func(fq, fr uint64) {
+			out.insertQR(fq<<1|fr>>(f.rbits-1), fr&(f.rmask>>1))
+		})
+	}
+	move(a)
+	move(b)
+	return out, nil
+}

@@ -1,0 +1,98 @@
+package quotient
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMergePreservesMembership(t *testing.T) {
+	a, b := New(12, 8), New(12, 8)
+	rng := rand.New(rand.NewSource(1))
+	var aKeys, bKeys []uint64
+	for len(aKeys) < 1200 {
+		h := rng.Uint64()
+		if a.Insert(h) {
+			aKeys = append(aKeys, h)
+		}
+	}
+	for len(bKeys) < 1500 {
+		h := rng.Uint64()
+		if b.Insert(h) {
+			bKeys = append(bKeys, h)
+		}
+	}
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Count() != a.Count()+b.Count() {
+		t.Fatalf("merged count %d, want %d", m.Count(), a.Count()+b.Count())
+	}
+	for _, h := range append(aKeys, bKeys...) {
+		if !m.Contains(h) {
+			t.Fatal("false negative after merge")
+		}
+	}
+	// Deletes work on the merged filter.
+	if !m.Remove(aKeys[0]) || !m.Remove(bKeys[0]) {
+		t.Fatal("remove failed on merged filter")
+	}
+}
+
+func TestMergeGeometryMismatch(t *testing.T) {
+	if _, err := Merge(New(10, 8), New(11, 8)); err == nil {
+		t.Error("merge of mismatched qbits succeeded")
+	}
+	if _, err := Merge(New(10, 8), New(10, 16)); err == nil {
+		t.Error("merge of mismatched rbits succeeded")
+	}
+}
+
+func TestMergeOverflowRejected(t *testing.T) {
+	a, b := New(6, 8), New(6, 8)
+	rng := rand.New(rand.NewSource(2))
+	for a.LoadFactor() < 0.7 {
+		a.Insert(rng.Uint64())
+	}
+	for b.LoadFactor() < 0.7 {
+		b.Insert(rng.Uint64())
+	}
+	if _, err := Merge(a, b); err == nil {
+		t.Error("overflowing merge succeeded")
+	}
+	// MergeResize handles it.
+	m, err := MergeResize(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Capacity() != 2*a.Capacity() {
+		t.Fatalf("resized merge capacity %d", m.Capacity())
+	}
+}
+
+func TestMergeResizePreservesMembership(t *testing.T) {
+	a, b := New(10, 8), New(10, 8)
+	rng := rand.New(rand.NewSource(3))
+	var keys []uint64
+	for len(keys) < 600 {
+		h := rng.Uint64()
+		if a.Insert(h) {
+			keys = append(keys, h)
+		}
+	}
+	for len(keys) < 1200 {
+		h := rng.Uint64()
+		if b.Insert(h) {
+			keys = append(keys, h)
+		}
+	}
+	m, err := MergeResize(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range keys {
+		if !m.Contains(h) {
+			t.Fatal("false negative after resizing merge")
+		}
+	}
+}

@@ -1,0 +1,395 @@
+package quotient
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestInsertContainsBasic(t *testing.T) {
+	f := New(10, 8)
+	keys := []uint64{0, 1, 0xdeadbeef, 1 << 40, ^uint64(0)}
+	for _, h := range keys {
+		if !f.Insert(h) {
+			t.Fatalf("Insert(%#x) failed", h)
+		}
+	}
+	for _, h := range keys {
+		if !f.Contains(h) {
+			t.Fatalf("Contains(%#x) false after insert", h)
+		}
+	}
+	if f.Count() != uint64(len(keys)) {
+		t.Fatalf("Count = %d", f.Count())
+	}
+}
+
+func TestNoFalseNegativesAt95(t *testing.T) {
+	f := New(14, 8)
+	rng := rand.New(rand.NewSource(1))
+	n := f.Capacity() * 95 / 100
+	keys := make([]uint64, 0, n)
+	for uint64(len(keys)) < n {
+		h := rng.Uint64()
+		if !f.Insert(h) {
+			t.Fatalf("insert failed at LF %.3f", f.LoadFactor())
+		}
+		keys = append(keys, h)
+	}
+	for _, h := range keys {
+		if !f.Contains(h) {
+			t.Fatal("false negative")
+		}
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	f := New(14, 8)
+	rng := rand.New(rand.NewSource(2))
+	for f.LoadFactor() < 0.90 {
+		f.Insert(rng.Uint64())
+	}
+	fp := 0
+	const probes = 200000
+	for i := 0; i < probes; i++ {
+		if f.Contains(rng.Uint64()) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	// Analytic QF bound: ≈ α·2⁻ʳ = 0.9/256 ≈ 0.0035; allow 2× slack.
+	if rate > 0.007 {
+		t.Errorf("FPR = %.5f too high", rate)
+	}
+	if rate == 0 {
+		t.Error("FPR of exactly 0 implausible")
+	}
+}
+
+// TestModelBasedOps is the main correctness test: random inserts, deletes of
+// known-inserted keys, and lookups, validated against an exact multiset of
+// fingerprints. It exercises run sorting, cluster shifting, wraparound, and
+// the delete FSM.
+func TestModelBasedOps(t *testing.T) {
+	f := New(8, 8) // tiny: 256 slots, forces dense clusters and wraparound
+	rng := rand.New(rand.NewSource(3))
+	type fpKey struct{ fq, fr uint64 }
+	model := map[fpKey]int{}
+	var live []uint64
+	for step := 0; step < 200000; step++ {
+		switch r := rng.Intn(10); {
+		case r < 4: // insert
+			if f.LoadFactor() > 0.95 {
+				continue
+			}
+			h := rng.Uint64()
+			fq, fr := f.split(h)
+			if !f.Insert(h) {
+				t.Fatalf("step %d: insert failed at LF %.3f", step, f.LoadFactor())
+			}
+			model[fpKey{fq, fr}]++
+			live = append(live, h)
+		case r < 7: // remove a previously inserted key
+			if len(live) == 0 {
+				continue
+			}
+			i := rng.Intn(len(live))
+			h := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			fq, fr := f.split(h)
+			k := fpKey{fq, fr}
+			if !f.Remove(h) {
+				t.Fatalf("step %d: remove of inserted key failed (model count %d)", step, model[k])
+			}
+			model[k]--
+			if model[k] == 0 {
+				delete(model, k)
+			}
+		default: // lookups
+			if len(live) > 0 {
+				h := live[rng.Intn(len(live))]
+				if !f.Contains(h) {
+					t.Fatalf("step %d: false negative", step)
+				}
+			}
+			// A random probe must answer exactly per the fingerprint model
+			// (the filter is exact at the fingerprint level).
+			h := rng.Uint64()
+			fq, fr := f.split(h)
+			want := model[fpKey{fq, fr}] > 0
+			if got := f.Contains(h); got != want {
+				t.Fatalf("step %d: Contains=%v, fingerprint model says %v", step, got, want)
+			}
+		}
+		if step%4096 == 0 {
+			var total int
+			for _, c := range model {
+				total += c
+			}
+			if f.Count() != uint64(total) {
+				t.Fatalf("step %d: Count=%d model=%d", step, f.Count(), total)
+			}
+		}
+	}
+}
+
+func TestDeleteHeavyChurnAtHighLoad(t *testing.T) {
+	// Sustained insert/delete churn at 90% load — the Table 3 write-heavy
+	// regime — must preserve exact fingerprint-level behaviour.
+	f := New(10, 8)
+	rng := rand.New(rand.NewSource(4))
+	var live []uint64
+	for f.LoadFactor() < 0.90 {
+		h := rng.Uint64()
+		if f.Insert(h) {
+			live = append(live, h)
+		}
+	}
+	for step := 0; step < 50000; step++ {
+		i := rng.Intn(len(live))
+		if !f.Remove(live[i]) {
+			t.Fatalf("step %d: remove failed", step)
+		}
+		h := rng.Uint64()
+		if !f.Insert(h) {
+			t.Fatalf("step %d: insert failed at LF %.3f", step, f.LoadFactor())
+		}
+		live[i] = h
+	}
+	for _, h := range live {
+		if !f.Contains(h) {
+			t.Fatal("false negative after churn")
+		}
+	}
+}
+
+func TestDuplicatesMultiset(t *testing.T) {
+	f := New(8, 8)
+	const h = 0x123456789abcdef0
+	for i := 0; i < 5; i++ {
+		if !f.Insert(h) {
+			t.Fatalf("duplicate insert %d failed", i)
+		}
+	}
+	if f.Count() != 5 {
+		t.Fatalf("Count = %d", f.Count())
+	}
+	for i := 0; i < 5; i++ {
+		if !f.Contains(h) {
+			t.Fatal("key missing")
+		}
+		if !f.Remove(h) {
+			t.Fatalf("duplicate remove %d failed", i)
+		}
+	}
+	if f.Contains(h) || f.Remove(h) {
+		t.Error("key still present after removing all copies")
+	}
+}
+
+func TestWraparoundCluster(t *testing.T) {
+	// Force a cluster that wraps the end of the table: insert many keys with
+	// quotients at the top of a tiny table.
+	f := New(4, 8) // 16 slots
+	var keys []uint64
+	for i := 0; i < 8; i++ {
+		// quotient 14 or 15, distinct remainders
+		h := uint64(14+(i&1))<<8 | uint64(i*17+1)
+		if !f.Insert(h) {
+			t.Fatalf("insert %d failed", i)
+		}
+		keys = append(keys, h)
+	}
+	for _, h := range keys {
+		if !f.Contains(h) {
+			t.Fatalf("false negative for wrapped key %#x", h)
+		}
+	}
+	// Delete them all in mixed order; each must succeed.
+	order := []int{3, 0, 7, 1, 5, 2, 6, 4}
+	for _, i := range order {
+		if !f.Remove(keys[i]) {
+			t.Fatalf("remove of wrapped key %#x failed", keys[i])
+		}
+	}
+	if f.Count() != 0 {
+		t.Fatalf("Count = %d after removing all", f.Count())
+	}
+}
+
+func TestQuotientsEnumeration(t *testing.T) {
+	f := New(10, 8)
+	rng := rand.New(rand.NewSource(5))
+	type fpKey struct{ fq, fr uint64 }
+	model := map[fpKey]int{}
+	for i := 0; i < 700; i++ {
+		h := rng.Uint64()
+		fq, fr := f.split(h)
+		f.Insert(h)
+		model[fpKey{fq, fr}]++
+	}
+	got := map[fpKey]int{}
+	f.Quotients(func(fq, fr uint64) { got[fpKey{fq, fr}]++ })
+	if len(got) != len(model) {
+		t.Fatalf("enumerated %d distinct pairs, want %d", len(got), len(model))
+	}
+	for k, n := range model {
+		if got[k] != n {
+			t.Fatalf("pair (%d,%d): enumerated %d, want %d", k.fq, k.fr, got[k], n)
+		}
+	}
+}
+
+func TestResizePreservesMembership(t *testing.T) {
+	f := New(10, 8)
+	rng := rand.New(rand.NewSource(6))
+	keys := make([]uint64, 0, 900)
+	for len(keys) < 900 {
+		h := rng.Uint64()
+		if f.Insert(h) {
+			keys = append(keys, h)
+		}
+	}
+	g := f.Resize()
+	if g == nil {
+		t.Fatal("Resize returned nil")
+	}
+	if g.Capacity() != 2*f.Capacity() {
+		t.Fatalf("resized capacity %d, want %d", g.Capacity(), 2*f.Capacity())
+	}
+	if g.Count() != f.Count() {
+		t.Fatalf("resized count %d, want %d", g.Count(), f.Count())
+	}
+	for _, h := range keys {
+		if !g.Contains(h) {
+			t.Fatal("false negative after resize")
+		}
+	}
+	// Deletes still work in the resized filter.
+	for _, h := range keys[:100] {
+		if !g.Remove(h) {
+			t.Fatal("remove failed after resize")
+		}
+	}
+}
+
+func TestResizeChain(t *testing.T) {
+	f := New(6, 8)
+	rng := rand.New(rand.NewSource(7))
+	var keys []uint64
+	for len(keys) < 50 {
+		h := rng.Uint64()
+		if f.Insert(h) {
+			keys = append(keys, h)
+		}
+	}
+	// Double three times; membership must survive each step.
+	for step := 0; step < 3; step++ {
+		f = f.Resize()
+		if f == nil {
+			t.Fatal("resize chain broke")
+		}
+		for _, h := range keys {
+			if !f.Contains(h) {
+				t.Fatalf("false negative after %d resizes", step+1)
+			}
+		}
+	}
+}
+
+func TestRemoveAbsent(t *testing.T) {
+	f := New(12, 8)
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 1000; i++ {
+		f.Insert(rng.Uint64())
+	}
+	removed := 0
+	for i := 0; i < 10000; i++ {
+		if f.Remove(rng.Uint64()) {
+			removed++
+		}
+	}
+	if removed > 100 { // bounded by fingerprint-collision probability
+		t.Errorf("%d/10000 absent removes succeeded", removed)
+	}
+}
+
+func TestSizeAccounting(t *testing.T) {
+	f := New(10, 8)
+	if f.SizeBitsPacked() != 1024*11 {
+		t.Errorf("packed bits = %d, want %d", f.SizeBitsPacked(), 1024*11)
+	}
+	if f.SizeBytes() != 1024+1024 {
+		t.Errorf("SizeBytes = %d", f.SizeBytes())
+	}
+	f16 := New(10, 16)
+	if f16.SizeBitsPacked() != 1024*19 {
+		t.Errorf("packed bits (16) = %d", f16.SizeBitsPacked())
+	}
+}
+
+func TestSixteenBitRemainders(t *testing.T) {
+	f := New(12, 16)
+	rng := rand.New(rand.NewSource(9))
+	keys := make([]uint64, 0, 3000)
+	for len(keys) < 3000 {
+		h := rng.Uint64()
+		if f.Insert(h) {
+			keys = append(keys, h)
+		}
+	}
+	for _, h := range keys {
+		if !f.Contains(h) {
+			t.Fatal("false negative (16-bit)")
+		}
+	}
+	fp := 0
+	for i := 0; i < 500000; i++ {
+		if f.Contains(rng.Uint64()) {
+			fp++
+		}
+	}
+	if fp > 40 { // expect ≈ 500000·0.73·2⁻¹⁶ ≈ 6
+		t.Errorf("%d false positives in 500k probes (16-bit)", fp)
+	}
+}
+
+func BenchmarkInsertTo50(b *testing.B) { benchInsertAt(b, 50) }
+func BenchmarkInsertTo90(b *testing.B) { benchInsertAt(b, 90) }
+
+func benchInsertAt(b *testing.B, pct uint64) {
+	f := New(18, 8)
+	rng := rand.New(rand.NewSource(10))
+	target := f.Capacity() * pct / 100
+	for f.Count() < target {
+		f.Insert(rng.Uint64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !f.Insert(rng.Uint64()) {
+			b.Fatal("full")
+		}
+		if f.LoadFactor() > 0.96 {
+			b.StopTimer()
+			f = New(18, 8)
+			for f.Count() < target {
+				f.Insert(rng.Uint64())
+			}
+			b.StartTimer()
+		}
+	}
+}
+
+func BenchmarkLookupAt90(b *testing.B) {
+	f := New(18, 8)
+	rng := rand.New(rand.NewSource(11))
+	for f.LoadFactor() < 0.90 {
+		f.Insert(rng.Uint64())
+	}
+	b.ResetTimer()
+	var sink bool
+	for i := 0; i < b.N; i++ {
+		sink = f.Contains(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+	_ = sink
+}

@@ -1,0 +1,25 @@
+package rsqf
+
+// CountOf returns the number of stored instances of the pre-hashed key h's
+// fingerprint. Because the filter is a multiset with duplicates stored
+// adjacently in sorted runs, counting is a bounded scan of one run — the
+// membership-counting facility of the counting quotient filter [43], with
+// unary (repeated-remainder) encoding in place of the CQF's variable-size
+// counters.
+func (f *Filter) CountOf(h uint64) uint64 {
+	q, r := f.split(h)
+	if !f.getOccupied(q) {
+		return 0
+	}
+	end := f.runEnd(q)
+	var n uint64
+	for i := f.runStart(q); i <= end; i++ {
+		rem := f.getRem(i)
+		if rem == r {
+			n++
+		} else if rem > r {
+			break
+		}
+	}
+	return n
+}

@@ -1,0 +1,57 @@
+package rsqf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCountOfTracksDuplicates(t *testing.T) {
+	f := New(10, 8)
+	const h = 0xfeedbeefcafe1234
+	for want := uint64(1); want <= 7; want++ {
+		if !f.Insert(h) {
+			t.Fatal("insert failed")
+		}
+		if got := f.CountOf(h); got != want {
+			t.Fatalf("CountOf = %d, want %d", got, want)
+		}
+	}
+	for want := uint64(6); ; want-- {
+		if !f.Remove(h) {
+			t.Fatal("remove failed")
+		}
+		if got := f.CountOf(h); got != want {
+			t.Fatalf("CountOf = %d, want %d after removes", got, want)
+		}
+		if want == 0 {
+			break
+		}
+	}
+}
+
+func TestCountOfModel(t *testing.T) {
+	f := New(8, 8)
+	rng := rand.New(rand.NewSource(1))
+	type fpKey struct{ fq, fr uint64 }
+	model := map[fpKey]uint64{}
+	// Insert with a tiny hash universe to force many duplicate fingerprints.
+	var keys []uint64
+	for i := 0; i < 200; i++ {
+		h := uint64(rng.Intn(4000))
+		if !f.Insert(h) {
+			break
+		}
+		fq, fr := f.split(h)
+		model[fpKey{fq, fr}]++
+		keys = append(keys, h)
+	}
+	for _, h := range keys {
+		fq, fr := f.split(h)
+		if got := f.CountOf(h); got != model[fpKey{fq, fr}] {
+			t.Fatalf("CountOf(%#x) = %d, want %d", h, got, model[fpKey{fq, fr}])
+		}
+	}
+	if f.CountOf(0xffffffffffffffff) != 0 {
+		t.Error("CountOf of absent key nonzero")
+	}
+}

@@ -1,0 +1,122 @@
+package rsqf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewForSlotsBounds(t *testing.T) {
+	cases := []struct {
+		nslots uint64
+		minCap uint64
+	}{
+		{1, 64},
+		{64, 64},
+		{65, 128},
+		{1 << 20, 1 << 20},
+		{1<<20 + 1, 1 << 21},
+	}
+	for _, c := range cases {
+		f := NewForSlots(c.nslots, 8)
+		if f.Capacity() < c.minCap {
+			t.Errorf("NewForSlots(%d) capacity %d < %d", c.nslots, f.Capacity(), c.minCap)
+		}
+	}
+}
+
+func TestNewPanicsOnBadParams(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"qbits-small": func() { New(2, 8) },
+		"qbits-big":   func() { New(50, 8) },
+		"rbits-odd":   func() { New(10, 12) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+// Property: insert-then-contains always holds below the load ceiling.
+func TestPropertyInsertThenContains(t *testing.T) {
+	f := New(10, 8)
+	prop := func(h uint64) bool {
+		if f.LoadFactor() > 0.93 {
+			f = New(10, 8)
+		}
+		if !f.Insert(h) {
+			return false
+		}
+		return f.Contains(h)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaddingAbsorbsTailClusters(t *testing.T) {
+	// Hammer the top quotient with distinct remainders: the run extends into
+	// the padding region beyond the last quotient slot.
+	f := New(6, 8)
+	top := f.Capacity() - 1
+	var keys []uint64
+	for r := uint64(0); r < 40; r++ {
+		h := top<<8 | r
+		if !f.Insert(h) {
+			t.Fatalf("insert %d into top quotient failed", r)
+		}
+		keys = append(keys, h)
+	}
+	for _, h := range keys {
+		if !f.Contains(h) {
+			t.Fatal("false negative in padding region")
+		}
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range keys {
+		if !f.Remove(h) {
+			t.Fatal("remove from padding region failed")
+		}
+	}
+	if f.Count() != 0 {
+		t.Fatalf("count %d", f.Count())
+	}
+}
+
+func BenchmarkRemoveAt90(b *testing.B) {
+	f := New(18, 8)
+	rng := rand.New(rand.NewSource(1))
+	var keys []uint64
+	for f.LoadFactor() < 0.90 {
+		h := rng.Uint64()
+		if f.Insert(h) {
+			keys = append(keys, h)
+		}
+	}
+	b.ResetTimer()
+	j := 0
+	for i := 0; i < b.N; i++ {
+		if j >= len(keys) {
+			b.StopTimer()
+			f = New(18, 8)
+			keys = keys[:0]
+			for f.LoadFactor() < 0.90 {
+				h := rng.Uint64()
+				if f.Insert(h) {
+					keys = append(keys, h)
+				}
+			}
+			j = 0
+			b.StartTimer()
+		}
+		f.Remove(keys[j])
+		j++
+	}
+}

@@ -1,0 +1,60 @@
+package rsqf
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzOpSequence drives a tiny RSQF with fuzz-chosen operations (9-byte
+// records: op, 8-byte key hash) against an exact fingerprint model,
+// validating structural invariants as it goes.
+func FuzzOpSequence(f *testing.F) {
+	seed := make([]byte, 0, 90)
+	for i := 0; i < 10; i++ {
+		rec := make([]byte, 9)
+		rec[0] = byte(i % 3)
+		binary.LittleEndian.PutUint64(rec[1:], uint64(i)*0x9e3779b97f4a7c15)
+		seed = append(seed, rec...)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		filter := New(6, 8) // 64 quotients: dense clusters come quickly
+		type fpKey struct{ fq, fr uint64 }
+		model := map[fpKey]int{}
+		total := 0
+		for i := 0; i+8 < len(data); i += 9 {
+			h := binary.LittleEndian.Uint64(data[i+1:])
+			fq, fr := filter.split(h)
+			k := fpKey{fq, fr}
+			switch data[i] % 3 {
+			case 0:
+				if filter.LoadFactor() > 0.9 {
+					continue
+				}
+				if filter.Insert(h) {
+					model[k]++
+					total++
+				}
+			case 1:
+				ok := filter.Remove(h)
+				if ok != (model[k] > 0) {
+					t.Fatalf("remove ok=%v model=%d", ok, model[k])
+				}
+				if ok {
+					model[k]--
+					total--
+				}
+			case 2:
+				if got, want := filter.Contains(h), model[k] > 0; got != want {
+					t.Fatalf("contains=%v want %v", got, want)
+				}
+			}
+		}
+		if int(filter.Count()) != total {
+			t.Fatalf("count %d, model %d", filter.Count(), total)
+		}
+		if err := filter.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

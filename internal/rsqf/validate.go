@@ -1,0 +1,73 @@
+package rsqf
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// CheckInvariants audits the filter's rank-and-select structure against a
+// ground-truth reconstruction that uses no offsets: it walks every occupied
+// quotient in order, derives each run's true extent from the runends
+// bitvector alone, and verifies that the offset-accelerated runEnd agrees.
+// It also checks global bit balance (one runend per occupied quotient) and
+// that stored slots match Count.
+func (f *Filter) CheckInvariants() error {
+	var occTotal, reTotal int
+	for i := range f.occupieds {
+		occTotal += bits.OnesCount64(f.occupieds[i])
+		reTotal += bits.OnesCount64(f.runends[i])
+	}
+	if occTotal != reTotal {
+		return fmt.Errorf("%d occupied quotients but %d runends", occTotal, reTotal)
+	}
+
+	// Ground-truth walk: runs appear in quotient order; run i ends at the
+	// i-th runend at or after max(q_i, previous end + 1).
+	prevEnd := int64(-1)
+	var slots uint64
+	for q := uint64(0); q < f.nslots; q++ {
+		if !f.getOccupied(q) {
+			continue
+		}
+		start := uint64(prevEnd + 1)
+		if start < q {
+			start = q
+		}
+		end := start
+		for end < f.xnslots && !f.getRunend(end) {
+			end++
+		}
+		if end >= f.xnslots {
+			return fmt.Errorf("quotient %d: no runend found from slot %d", q, start)
+		}
+		got, err := f.runEndChecked(q)
+		if err != nil {
+			return fmt.Errorf("quotient %d: %w", q, err)
+		}
+		if got != end {
+			return fmt.Errorf("quotient %d: runEnd=%d, ground truth %d (offset corruption)", q, got, end)
+		}
+		slots += end - start + 1
+		prevEnd = int64(end)
+	}
+	if slots != f.count {
+		return fmt.Errorf("runs hold %d slots but count is %d", slots, f.count)
+	}
+	return nil
+}
+
+// runEndChecked wraps runEnd so that corrupted offsets — which can send its
+// select walk past the end of the table — surface as errors instead of
+// panics during validation.
+func (f *Filter) runEndChecked(q uint64) (end uint64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("runEnd walked out of bounds: %v (offset corruption)", r)
+		}
+	}()
+	return f.runEnd(q), nil
+}
+
+// CorruptOffsetForTesting overwrites a block offset (white-box hook for the
+// failure-injection tests).
+func (f *Filter) CorruptOffsetForTesting(block uint64, v uint16) { f.offsets[block] = v }

@@ -1,0 +1,68 @@
+package rsqf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestInvariantsHoldUnderChurn(t *testing.T) {
+	f := New(9, 8)
+	rng := rand.New(rand.NewSource(1))
+	var live []uint64
+	for step := 0; step < 20000; step++ {
+		if rng.Intn(2) == 0 && f.LoadFactor() < 0.93 {
+			h := rng.Uint64()
+			if f.Insert(h) {
+				live = append(live, h)
+			}
+		} else if len(live) > 0 {
+			i := rng.Intn(len(live))
+			if !f.Remove(live[i]) {
+				t.Fatalf("step %d: remove of live key failed", step)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if step%2500 == 0 {
+			if err := f.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvariantsDetectOffsetCorruption(t *testing.T) {
+	f := New(9, 8)
+	rng := rand.New(rand.NewSource(2))
+	for f.LoadFactor() < 0.85 {
+		f.Insert(rng.Uint64())
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatalf("clean filter fails validation: %v", err)
+	}
+	// Corrupt a block offset: at 85% load most blocks have nonzero offsets,
+	// so a large bogus value must break some quotient's runEnd.
+	f.CorruptOffsetForTesting(3, 999)
+	if f.CheckInvariants() == nil {
+		t.Error("offset corruption passed validation")
+	}
+}
+
+func TestInvariantsAtEmptyAndFull(t *testing.T) {
+	f := New(8, 8)
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatalf("empty filter: %v", err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for f.LoadFactor() < 0.95 {
+		if !f.Insert(rng.Uint64()) {
+			break
+		}
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatalf("95%%-full filter: %v", err)
+	}
+}

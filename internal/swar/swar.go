@@ -1,0 +1,138 @@
+// Package swar implements SIMD-within-a-register analogs of the AVX-512
+// instructions the vector quotient filter paper relies on. VPCMPB (compare 64
+// bytes against a broadcast byte, producing a match mask) becomes a
+// branch-free zero-detection trick over uint64 words; VPERMB-style fingerprint
+// shifts are provided as single-copy in-block moves. Each operation executes a
+// small constant number of instructions regardless of how full a block is,
+// which is the property the paper's constant-time claim rests on.
+package swar
+
+import "encoding/binary"
+
+const (
+	onesBytes uint64 = 0x0101010101010101
+	highBytes uint64 = 0x8080808080808080
+	onesU16   uint64 = 0x0001000100010001
+	highU16   uint64 = 0x8000800080008000
+)
+
+// BroadcastByte returns a word with b replicated into all 8 byte lanes
+// (the analog of VPBROADCASTB).
+func BroadcastByte(b byte) uint64 { return uint64(b) * onesBytes }
+
+// BroadcastU16 returns a word with v replicated into all 4 uint16 lanes.
+func BroadcastU16(v uint16) uint64 { return uint64(v) * onesU16 }
+
+// MatchByteMask compares each byte lane of word against target and returns an
+// 8-bit mask with bit i set iff lane i matches. This is the VPCMPB analog for
+// one word. It is exact: the zero-detection expression flags a lane iff the
+// lane is zero, and the movemask multiply generates no carries for the
+// high-bit-only input pattern.
+func MatchByteMask(word uint64, target byte) uint8 {
+	x := word ^ BroadcastByte(target)
+	// Exact zero-byte detection: lane arithmetic never crosses lanes because
+	// the addend tops out at 0x7f+0x7f per lane. (The textbook v-1 borrow
+	// trick is *not* exact — it flags the lane above a zero lane.)
+	low7 := x & ^highBytes
+	t := (low7 + ^highBytes) | x
+	zero := ^t & highBytes
+	return uint8(((zero >> 7) * 0x0102040810204080) >> 56)
+}
+
+// MatchU16Mask compares each 16-bit lane of word against target and returns a
+// 4-bit mask with bit i set iff lane i matches.
+func MatchU16Mask(word uint64, target uint16) uint8 {
+	x := word ^ BroadcastU16(target)
+	low15 := x & ^highU16
+	t := (low15 + ^highU16) | x
+	zero := ^t & highU16
+	return uint8(((zero >> 15) * 0x1000200040008000) >> 60)
+}
+
+// MatchMaskBytes compares every byte of data (len(data) <= 64, and a multiple
+// of 8) against target, returning a bitmask with bit i set iff data[i] ==
+// target. This is the whole-block VPCMPB analog used to search a mini-filter's
+// fingerprint array in a constant number of word operations.
+func MatchMaskBytes(data []byte, target byte) uint64 {
+	var mask uint64
+	for w := 0; w*8 < len(data); w++ {
+		word := binary.LittleEndian.Uint64(data[w*8:])
+		mask |= uint64(MatchByteMask(word, target)) << (8 * w)
+	}
+	return mask
+}
+
+// MatchMaskU16 compares every uint16 lane of data (len(data) <= 64, a multiple
+// of 4 lanes) against target, returning a bitmask with bit i set iff
+// data[i] == target.
+func MatchMaskU16(data []uint16, target uint16) uint64 {
+	var mask uint64
+	for w := 0; w*4 < len(data); w++ {
+		word := uint64(data[w*4]) | uint64(data[w*4+1])<<16 |
+			uint64(data[w*4+2])<<32 | uint64(data[w*4+3])<<48
+		mask |= uint64(MatchU16Mask(word, target)) << (4 * w)
+	}
+	return mask
+}
+
+// MatchMaskBytesRange is MatchMaskBytes restricted to slots [start, end):
+// only the words overlapping the range are compared (bucket runs are short,
+// so this is typically a single word), and the result is masked to the
+// range. start < end <= len(data) required.
+func MatchMaskBytesRange(data []byte, target byte, start, end uint) uint64 {
+	var mask uint64
+	w0, w1 := start>>3, (end-1)>>3
+	for w := w0; w <= w1; w++ {
+		word := binary.LittleEndian.Uint64(data[w*8:])
+		mask |= uint64(MatchByteMask(word, target)) << (8 * w)
+	}
+	return mask & RangeMask(start, end)
+}
+
+// MatchMaskU16Range is MatchMaskU16 restricted to lanes [start, end).
+func MatchMaskU16Range(data []uint16, target uint16, start, end uint) uint64 {
+	var mask uint64
+	w0, w1 := start>>2, (end-1)>>2
+	for w := w0; w <= w1; w++ {
+		word := uint64(data[w*4]) | uint64(data[w*4+1])<<16 |
+			uint64(data[w*4+2])<<32 | uint64(data[w*4+3])<<48
+		mask |= uint64(MatchU16Mask(word, target)) << (4 * w)
+	}
+	return mask & RangeMask(start, end)
+}
+
+// RangeMask returns a bitmask with bits [start, end) set. start <= end <= 64.
+func RangeMask(start, end uint) uint64 {
+	var hi uint64
+	if end >= 64 {
+		hi = ^uint64(0)
+	} else {
+		hi = 1<<end - 1
+	}
+	return hi &^ (1<<start - 1)
+}
+
+// ShiftBytesUp shifts data[z:n] up by one position (data[z+1:n+1] = data[z:n])
+// in a single move — the VPERMB analog for making room for a fingerprint.
+// The caller guarantees n < len(data).
+func ShiftBytesUp(data []byte, z, n int) {
+	copy(data[z+1:n+1], data[z:n])
+}
+
+// ShiftBytesDown shifts data[z+1:n] down by one position, overwriting data[z]
+// — the VPERMB analog for deleting a fingerprint.
+func ShiftBytesDown(data []byte, z, n int) {
+	copy(data[z:n-1], data[z+1:n])
+	data[n-1] = 0
+}
+
+// ShiftU16Up shifts data[z:n] up by one lane.
+func ShiftU16Up(data []uint16, z, n int) {
+	copy(data[z+1:n+1], data[z:n])
+}
+
+// ShiftU16Down shifts data[z+1:n] down by one lane, overwriting data[z].
+func ShiftU16Down(data []uint16, z, n int) {
+	copy(data[z:n-1], data[z+1:n])
+	data[n-1] = 0
+}

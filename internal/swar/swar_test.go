@@ -1,0 +1,231 @@
+package swar
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatchByteMaskExhaustivePattern(t *testing.T) {
+	// Every target byte against words built from nearby values, which is
+	// where zero-detection tricks typically break (off-by-one lanes).
+	for target := 0; target < 256; target++ {
+		var data [8]byte
+		for i := range data {
+			data[i] = byte(target + i - 4)
+		}
+		word := binary.LittleEndian.Uint64(data[:])
+		got := MatchByteMask(word, byte(target))
+		var want uint8
+		for i, b := range data {
+			if b == byte(target) {
+				want |= 1 << i
+			}
+		}
+		if got != want {
+			t.Fatalf("MatchByteMask(%#x, %#x) = %#b, want %#b", word, target, got, want)
+		}
+	}
+}
+
+func TestMatchByteMaskRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50000; i++ {
+		word := rng.Uint64()
+		target := byte(rng.Intn(256))
+		got := MatchByteMask(word, target)
+		var want uint8
+		for lane := 0; lane < 8; lane++ {
+			if byte(word>>(8*lane)) == target {
+				want |= 1 << lane
+			}
+		}
+		if got != want {
+			t.Fatalf("MatchByteMask(%#x, %#x) = %#b, want %#b", word, target, got, want)
+		}
+	}
+}
+
+func TestMatchU16MaskRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50000; i++ {
+		word := rng.Uint64()
+		target := uint16(rng.Intn(1 << 16))
+		got := MatchU16Mask(word, target)
+		var want uint8
+		for lane := 0; lane < 4; lane++ {
+			if uint16(word>>(16*lane)) == target {
+				want |= 1 << lane
+			}
+		}
+		if got != want {
+			t.Fatalf("MatchU16Mask(%#x, %#x) = %#b, want %#b", word, target, got, want)
+		}
+	}
+}
+
+func TestMatchU16MaskAllLanesMatch(t *testing.T) {
+	for _, v := range []uint16{0, 1, 0x7fff, 0x8000, 0xffff} {
+		word := BroadcastU16(v)
+		if got := MatchU16Mask(word, v); got != 0b1111 {
+			t.Errorf("MatchU16Mask(broadcast %#x) = %#b, want 1111", v, got)
+		}
+	}
+}
+
+func TestMatchMaskBytes(t *testing.T) {
+	data := make([]byte, 48)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 2000; trial++ {
+		rng.Read(data)
+		target := byte(rng.Intn(256))
+		// Plant a few guaranteed matches.
+		for j := 0; j < 3; j++ {
+			data[rng.Intn(48)] = target
+		}
+		got := MatchMaskBytes(data, target)
+		var want uint64
+		for i, b := range data {
+			if b == target {
+				want |= 1 << i
+			}
+		}
+		if got != want {
+			t.Fatalf("MatchMaskBytes = %#x, want %#x", got, want)
+		}
+	}
+}
+
+func TestMatchMaskU16(t *testing.T) {
+	data := make([]uint16, 28)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 2000; trial++ {
+		for i := range data {
+			data[i] = uint16(rng.Intn(1 << 16))
+		}
+		target := uint16(rng.Intn(1 << 16))
+		data[rng.Intn(28)] = target
+		got := MatchMaskU16(data, target)
+		var want uint64
+		for i, v := range data {
+			if v == target {
+				want |= 1 << i
+			}
+		}
+		if got != want {
+			t.Fatalf("MatchMaskU16 = %#x, want %#x", got, want)
+		}
+	}
+}
+
+func TestRangeMask(t *testing.T) {
+	cases := []struct {
+		start, end uint
+		want       uint64
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 64, ^uint64(0)},
+		{3, 5, 0b11000},
+		{63, 64, 1 << 63},
+		{10, 10, 0},
+	}
+	for _, c := range cases {
+		if got := RangeMask(c.start, c.end); got != c.want {
+			t.Errorf("RangeMask(%d,%d) = %#x, want %#x", c.start, c.end, got, c.want)
+		}
+	}
+}
+
+func TestRangeMaskProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		start, end := uint(a)%65, uint(b)%65
+		if start > end {
+			start, end = end, start
+		}
+		m := RangeMask(start, end)
+		for i := uint(0); i < 64; i++ {
+			in := i >= start && i < end
+			if (m>>i&1 == 1) != in {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShiftBytesUpDown(t *testing.T) {
+	data := []byte{1, 2, 3, 4, 5, 0}
+	ShiftBytesUp(data, 1, 5) // make room at index 1
+	want := []byte{1, 2, 2, 3, 4, 5}
+	for i := range want {
+		if data[i] != want[i] {
+			t.Fatalf("after ShiftBytesUp: %v, want %v", data, want)
+		}
+	}
+	data[1] = 9
+	ShiftBytesDown(data, 1, 6) // remove index 1
+	want = []byte{1, 2, 3, 4, 5, 0}
+	for i := range want {
+		if data[i] != want[i] {
+			t.Fatalf("after ShiftBytesDown: %v, want %v", data, want)
+		}
+	}
+}
+
+func TestShiftU16UpDown(t *testing.T) {
+	data := []uint16{10, 20, 30, 0}
+	ShiftU16Up(data, 0, 3)
+	data[0] = 5
+	want := []uint16{5, 10, 20, 30}
+	for i := range want {
+		if data[i] != want[i] {
+			t.Fatalf("after ShiftU16Up: %v, want %v", data, want)
+		}
+	}
+	ShiftU16Down(data, 2, 4)
+	want = []uint16{5, 10, 30, 0}
+	for i := range want {
+		if data[i] != want[i] {
+			t.Fatalf("after ShiftU16Down: %v, want %v", data, want)
+		}
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	if BroadcastByte(0xab) != 0xabababababababab {
+		t.Error("BroadcastByte wrong")
+	}
+	if BroadcastU16(0x1234) != 0x1234123412341234 {
+		t.Error("BroadcastU16 wrong")
+	}
+}
+
+func BenchmarkMatchMaskBytes48(b *testing.B) {
+	data := make([]byte, 48)
+	rand.New(rand.NewSource(5)).Read(data)
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += MatchMaskBytes(data, byte(i))
+	}
+	_ = sink
+}
+
+func BenchmarkMatchMaskU16x28(b *testing.B) {
+	data := make([]uint16, 28)
+	rng := rand.New(rand.NewSource(6))
+	for i := range data {
+		data[i] = uint16(rng.Intn(1 << 16))
+	}
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += MatchMaskU16(data, uint16(i))
+	}
+	_ = sink
+}

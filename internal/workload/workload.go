@@ -1,0 +1,119 @@
+// Package workload generates the input streams of the paper's Section 7
+// benchmarks: uniform-random 64-bit hash values for inserts and successful
+// lookups, disjoint streams for random (almost-all-negative) lookups, mixed
+// insert/delete/lookup operation streams for the write-heavy application
+// workload, and zipfian streams for skewed-access scenarios in the examples.
+//
+// All generators are deterministic for a given seed, so every experiment is
+// reproducible bit for bit.
+package workload
+
+import "math/rand"
+
+// Stream is a deterministic uniform 64-bit value generator (splitmix64).
+// The zero value is a valid stream with seed 0.
+type Stream struct {
+	state uint64
+}
+
+// NewStream returns a stream seeded with seed.
+func NewStream(seed uint64) *Stream { return &Stream{state: seed} }
+
+// Next returns the next uniform 64-bit value.
+func (s *Stream) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+	z = (z ^ z>>27) * 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
+// Keys returns the next n values as a slice.
+func (s *Stream) Keys(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = s.Next()
+	}
+	return out
+}
+
+// Op is one operation of a mixed workload.
+type Op struct {
+	Kind OpKind
+	Key  uint64
+}
+
+// OpKind enumerates mixed-workload operation types.
+type OpKind uint8
+
+// Mixed-workload operation kinds.
+const (
+	OpInsert OpKind = iota
+	OpDelete
+	OpLookup
+)
+
+// MixedStream produces the paper's write-heavy application workload (§7.5):
+// operations equally divided between insertions, deletions and lookups,
+// executed against a filter held at a constant load factor. Deletions target
+// previously inserted keys (the deletion-safety contract every
+// deletion-capable filter imposes); the stream tracks the live set
+// internally in FIFO order.
+type MixedStream struct {
+	src   *Stream
+	rng   *rand.Rand
+	live  []uint64
+	head  int // FIFO cursor into live
+	phase uint8
+}
+
+// NewMixedStream creates a mixed stream whose deletions recycle the given
+// initial live set (the keys used to pre-fill the filter).
+func NewMixedStream(seed uint64, initialLive []uint64) *MixedStream {
+	live := make([]uint64, len(initialLive))
+	copy(live, initialLive)
+	return &MixedStream{
+		src:  NewStream(seed ^ 0xabcdef),
+		rng:  rand.New(rand.NewSource(int64(seed) + 7)),
+		live: live,
+	}
+}
+
+// Next returns the next operation, cycling insert → delete → lookup so that
+// the filter's load factor stays constant.
+func (m *MixedStream) Next() Op {
+	defer func() { m.phase = (m.phase + 1) % 3 }()
+	switch m.phase {
+	case 0: // insert a fresh key, adding it to the live set
+		k := m.src.Next()
+		m.live = append(m.live, k)
+		return Op{OpInsert, k}
+	case 1: // delete the oldest live key
+		k := m.live[m.head]
+		m.head++
+		if m.head > len(m.live)/2 { // compact occasionally
+			m.live = append(m.live[:0], m.live[m.head:]...)
+			m.head = 0
+		}
+		return Op{OpDelete, k}
+	default: // look up a random live key
+		idx := m.head + m.rng.Intn(len(m.live)-m.head)
+		return Op{OpLookup, m.live[idx]}
+	}
+}
+
+// Zipf produces a skewed stream of keys drawn from a universe of n items
+// with zipfian parameter s > 1 (used by the example applications to model
+// skewed access patterns).
+type Zipf struct {
+	z *rand.Zipf
+}
+
+// NewZipf creates a zipfian generator over [0, n) with exponent s.
+func NewZipf(seed uint64, s float64, n uint64) *Zipf {
+	r := rand.New(rand.NewSource(int64(seed)))
+	return &Zipf{z: rand.NewZipf(r, s, 1, n-1)}
+}
+
+// Next returns the next zipf-distributed key index.
+func (z *Zipf) Next() uint64 { return z.z.Uint64() }

@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStreamDeterministic(t *testing.T) {
+	a, b := NewStream(42), NewStream(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("streams with equal seeds diverged")
+		}
+	}
+	c := NewStream(43)
+	same := 0
+	a2 := NewStream(42)
+	for i := 0; i < 1000; i++ {
+		if a2.Next() == c.Next() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestStreamUniformity(t *testing.T) {
+	s := NewStream(1)
+	const buckets = 16
+	counts := make([]int, buckets)
+	const n = 160000
+	for i := 0; i < n; i++ {
+		counts[s.Next()>>60]++
+	}
+	expected := float64(n) / buckets
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 45 {
+		t.Errorf("chi2 = %.1f, stream too skewed", chi2)
+	}
+}
+
+func TestStreamKeysDistinct(t *testing.T) {
+	keys := NewStream(2).Keys(100000)
+	seen := make(map[uint64]bool, len(keys))
+	for _, k := range keys {
+		if seen[k] {
+			t.Fatal("duplicate key in 100k uniform draws (implausible)")
+		}
+		seen[k] = true
+	}
+}
+
+func TestMixedStreamComposition(t *testing.T) {
+	init := NewStream(3).Keys(3000)
+	m := NewMixedStream(4, init)
+	counts := map[OpKind]int{}
+	inserted := map[uint64]int{}
+	for _, k := range init {
+		inserted[k]++
+	}
+	for i := 0; i < 30000; i++ {
+		op := m.Next()
+		counts[op.Kind]++
+		switch op.Kind {
+		case OpInsert:
+			inserted[op.Key]++
+		case OpDelete:
+			if inserted[op.Key] == 0 {
+				t.Fatalf("op %d: delete of never-inserted key", i)
+			}
+			inserted[op.Key]--
+		case OpLookup:
+			if inserted[op.Key] == 0 {
+				t.Fatalf("op %d: lookup of non-live key", i)
+			}
+		}
+	}
+	if counts[OpInsert] != counts[OpDelete] || counts[OpInsert] != counts[OpLookup] {
+		t.Errorf("ops not equally divided: %v", counts)
+	}
+}
+
+func TestMixedStreamKeepsLoadConstant(t *testing.T) {
+	init := NewStream(5).Keys(1000)
+	m := NewMixedStream(6, init)
+	net := 0
+	for i := 0; i < 9999; i++ {
+		switch m.Next().Kind {
+		case OpInsert:
+			net++
+		case OpDelete:
+			net--
+		}
+	}
+	if net < -1 || net > 1 {
+		t.Errorf("net live-set drift = %d over 9999 ops", net)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(7, 1.5, 1<<20)
+	counts := map[uint64]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	// The most popular key should take a large share and the distribution
+	// should be far from uniform.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max)/n < 0.05 {
+		t.Errorf("hottest key only %.4f of draws; zipf(1.5) should be skewed", float64(max)/n)
+	}
+	if len(counts) < 100 {
+		t.Errorf("only %d distinct keys drawn", len(counts))
+	}
+}
+
+func TestZipfDeterministic(t *testing.T) {
+	a, b := NewZipf(8, 1.2, 1000), NewZipf(8, 1.2, 1000)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("zipf streams with equal seeds diverged")
+		}
+	}
+}
+
+func TestStreamAvalanche(t *testing.T) {
+	// Consecutive outputs should differ in about half their bits.
+	s := NewStream(9)
+	prev := s.Next()
+	var total float64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		cur := s.Next()
+		total += float64(popcount(prev ^ cur))
+		prev = cur
+	}
+	if mean := total / n; math.Abs(mean-32) > 3 {
+		t.Errorf("mean bit difference %.2f, want ≈32", mean)
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,70 @@
+package vqf
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestMapBasic(t *testing.T) {
+	m := NewMap(10000)
+	if err := m.Put([]byte("shard-key"), 3); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := m.Get([]byte("shard-key")); !ok || v != 3 {
+		t.Fatalf("Get = (%d, %v)", v, ok)
+	}
+	if _, ok := m.Get([]byte("never-stored")); ok {
+		t.Log("note: false positive on absent key (allowed)")
+	}
+	if !m.Update([]byte("shard-key"), 5) {
+		t.Fatal("update failed")
+	}
+	if v, _ := m.Get([]byte("shard-key")); v != 5 {
+		t.Fatalf("value after update = %d", v)
+	}
+	if !m.Delete([]byte("shard-key")) {
+		t.Fatal("delete failed")
+	}
+	if m.Count() != 0 {
+		t.Fatalf("Count = %d", m.Count())
+	}
+}
+
+func TestMapManyKeys(t *testing.T) {
+	const n = 20000
+	m := NewMap(n)
+	for i := 0; i < n; i++ {
+		if err := m.PutString("key-"+strconv.Itoa(i), byte(i%251)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	wrong := 0
+	for i := 0; i < n; i++ {
+		v, ok := m.GetString("key-" + strconv.Itoa(i))
+		if !ok {
+			t.Fatal("false negative")
+		}
+		if v != byte(i%251) {
+			wrong++
+		}
+	}
+	if wrong > n/100 {
+		t.Errorf("%d/%d wrong values", wrong, n)
+	}
+	if m.LoadFactor() > 0.93 {
+		t.Errorf("load factor %.3f above max", m.LoadFactor())
+	}
+}
+
+func TestMapHashInterface(t *testing.T) {
+	m := NewMap(1000, WithSeed(9))
+	if err := m.PutHash(0xabcdef, 42); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := m.GetHash(0xabcdef); !ok || v != 42 {
+		t.Fatalf("GetHash = (%d, %v)", v, ok)
+	}
+	if !m.DeleteHash(0xabcdef) {
+		t.Fatal("DeleteHash failed")
+	}
+}

@@ -1,0 +1,61 @@
+package vqf
+
+import (
+	"testing"
+)
+
+func TestWithSizingLoadFactor(t *testing.T) {
+	// A lower sizing load factor buys more slack capacity for the same n.
+	tight := New(100000, WithSizingLoadFactor(0.93))
+	roomy := New(100000, WithSizingLoadFactor(0.50))
+	if roomy.Capacity() <= tight.Capacity() {
+		t.Errorf("capacity at LF 0.50 (%d) should exceed capacity at 0.93 (%d)",
+			roomy.Capacity(), tight.Capacity())
+	}
+}
+
+func TestGeometrySelectionByFPR(t *testing.T) {
+	cases := []struct {
+		fpr     float64
+		wantFPR float64
+	}{
+		{0.005, 2.0 * 48 / 80 / 256},
+		{1.0 / 100, 2.0 * 48 / 80 / 256},
+		// The 8-bit geometry cannot meet 1/256 (it achieves ≈0.0047), so the
+		// 16-bit geometry is selected for it and anything tighter.
+		{1.0 / 256, 2.0 * 28 / 36 / 65536},
+		{1.0 / 512, 2.0 * 28 / 36 / 65536},
+		{1.0 / 65536, 2.0 * 28 / 36 / 65536},
+	}
+	for _, c := range cases {
+		f := New(1000, WithFalsePositiveRate(c.fpr))
+		if f.FalsePositiveRate() != c.wantFPR {
+			t.Errorf("fpr %g: geometry FPR = %g, want %g", c.fpr, f.FalsePositiveRate(), c.wantFPR)
+		}
+	}
+}
+
+func TestMapErrFull(t *testing.T) {
+	m := NewMap(50)
+	var err error
+	for i := 0; i < 100000 && err == nil; i++ {
+		err = m.PutHash(uint64(i)*0x9e3779b97f4a7c15, byte(i))
+	}
+	if err != ErrFull {
+		t.Fatalf("expected ErrFull, got %v", err)
+	}
+	if m.LoadFactor() < 0.80 {
+		t.Errorf("map full at load %.3f", m.LoadFactor())
+	}
+}
+
+func TestConcurrentOptionsRespected(t *testing.T) {
+	f := NewConcurrent(1000, WithFalsePositiveRate(1.0/65536), WithSeed(3))
+	if f.FalsePositiveRate() > 1.0/10000 {
+		t.Errorf("concurrent 16-bit geometry FPR = %g", f.FalsePositiveRate())
+	}
+	f.AddString("x")
+	if !f.ContainsString("x") {
+		t.Error("seeded concurrent filter lost a key")
+	}
+}

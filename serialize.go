@@ -1,0 +1,81 @@
+package vqf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"vqf/internal/core"
+)
+
+// Serialization of the public Filter type: a small envelope (geometry kind
+// and hash seed) around the core filter stream, so a filter saved by one
+// process answers queries identically in another.
+
+const (
+	envMagic   = 0x53465156 // "VQFS"
+	envVersion = 1
+	kind8      = 8
+	kind16     = 16
+)
+
+// WriteTo serializes the filter. Only filters created with New (not
+// NewConcurrent) support serialization; concurrent filters should quiesce
+// and be rebuilt, or use the pre-hashed API against a reloaded filter.
+// It implements io.WriterTo.
+func (f *Filter) WriteTo(w io.Writer) (int64, error) {
+	var kind uint16
+	var wt io.WriterTo
+	switch impl := f.impl.(type) {
+	case *core.Filter8:
+		kind, wt = kind8, impl
+	case *core.Filter16:
+		kind, wt = kind16, impl
+	default:
+		return 0, fmt.Errorf("vqf: filter type %T does not support serialization", f.impl)
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], envMagic)
+	binary.LittleEndian.PutUint16(hdr[4:], envVersion)
+	binary.LittleEndian.PutUint16(hdr[6:], kind)
+	binary.LittleEndian.PutUint64(hdr[8:], f.seed)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	n, err := wt.WriteTo(w)
+	return n + int64(len(hdr)), err
+}
+
+// Read deserializes a filter previously written with WriteTo.
+func Read(r io.Reader) (*Filter, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("vqf: reading header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != envMagic {
+		return nil, fmt.Errorf("vqf: not a serialized filter")
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:]); v != envVersion {
+		return nil, fmt.Errorf("vqf: unsupported serialization version %d", v)
+	}
+	f := &Filter{seed: binary.LittleEndian.Uint64(hdr[8:])}
+	switch kind := binary.LittleEndian.Uint16(hdr[6:]); kind {
+	case kind8:
+		impl, err := core.ReadFilter8(r)
+		if err != nil {
+			return nil, err
+		}
+		f.impl = impl
+		f.fpr = 2.0 * 48 / 80 / 256
+	case kind16:
+		impl, err := core.ReadFilter16(r)
+		if err != nil {
+			return nil, err
+		}
+		f.impl = impl
+		f.fpr = 2.0 * 28 / 36 / 65536
+	default:
+		return nil, fmt.Errorf("vqf: unknown filter kind %d", kind)
+	}
+	return f, nil
+}

@@ -1,0 +1,76 @@
+package vqf
+
+import (
+	"bytes"
+	"strconv"
+	"testing"
+)
+
+func TestFilterSerializeRoundTrip(t *testing.T) {
+	f := New(10000, WithSeed(77))
+	for i := 0; i < 5000; i++ {
+		if err := f.AddString("key-" + strconv.Itoa(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Count() != f.Count() {
+		t.Fatalf("count %d != %d", g.Count(), f.Count())
+	}
+	// The seed travels with the filter, so string keys resolve identically.
+	for i := 0; i < 5000; i++ {
+		if !g.ContainsString("key-" + strconv.Itoa(i)) {
+			t.Fatal("false negative after round trip")
+		}
+	}
+	if !g.RemoveString("key-0") {
+		t.Fatal("remove failed after round trip")
+	}
+}
+
+func TestFilter16SerializeRoundTripFacade(t *testing.T) {
+	f := New(2000, WithFalsePositiveRate(1.0/65536))
+	for i := 0; i < 1000; i++ {
+		f.AddUint64(uint64(i))
+	}
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if !g.ContainsUint64(uint64(i)) {
+			t.Fatal("false negative after 16-bit round trip")
+		}
+	}
+	if g.FalsePositiveRate() != f.FalsePositiveRate() {
+		t.Error("FPR metadata lost")
+	}
+}
+
+func TestConcurrentFilterSerializationUnsupported(t *testing.T) {
+	f := NewConcurrent(1000)
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err == nil {
+		t.Error("concurrent filter serialization should fail")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a filter at all......"))); err == nil {
+		t.Error("Read accepted garbage")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Error("Read accepted empty input")
+	}
+}

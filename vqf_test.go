@@ -1,0 +1,286 @@
+package vqf
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+func TestFilterBasicRoundTrip(t *testing.T) {
+	f := New(1000)
+	keys := [][]byte{[]byte("alpha"), []byte("beta"), []byte("gamma"), {}, {0}}
+	for _, k := range keys {
+		if err := f.Add(k); err != nil {
+			t.Fatalf("Add(%q): %v", k, err)
+		}
+	}
+	for _, k := range keys {
+		if !f.Contains(k) {
+			t.Fatalf("Contains(%q) = false after Add", k)
+		}
+	}
+	if f.Contains([]byte("delta")) {
+		t.Log("note: 'delta' is a false positive (allowed, p≈0.004)")
+	}
+	if f.Count() != uint64(len(keys)) {
+		t.Fatalf("Count = %d, want %d", f.Count(), len(keys))
+	}
+	for _, k := range keys {
+		if !f.Remove(k) {
+			t.Fatalf("Remove(%q) = false", k)
+		}
+	}
+	if f.Count() != 0 {
+		t.Fatalf("Count = %d after removing all", f.Count())
+	}
+}
+
+func TestFilterKeyKindsAgree(t *testing.T) {
+	f := New(1000)
+	if err := f.AddString("hello"); err != nil {
+		t.Fatal(err)
+	}
+	// A []byte with identical content must be found.
+	if !f.Contains([]byte("hello")) {
+		t.Error("bytes key does not find string-added key")
+	}
+	if !f.ContainsString("hello") {
+		t.Error("string lookup failed")
+	}
+	if !f.RemoveString("hello") {
+		t.Error("string remove failed")
+	}
+
+	if err := f.AddUint64(12345); err != nil {
+		t.Fatal(err)
+	}
+	if !f.ContainsUint64(12345) {
+		t.Error("uint64 lookup failed")
+	}
+	if f.ContainsUint64(12346) {
+		t.Log("note: 12346 is a false positive (allowed)")
+	}
+}
+
+func TestFilterHashInterface(t *testing.T) {
+	f := New(1000)
+	const h = 0xfeedface12345678
+	if err := f.AddHash(h); err != nil {
+		t.Fatal(err)
+	}
+	if !f.ContainsHash(h) {
+		t.Fatal("ContainsHash false after AddHash")
+	}
+	if !f.RemoveHash(h) {
+		t.Fatal("RemoveHash failed")
+	}
+}
+
+func TestFilterSeedsDisagree(t *testing.T) {
+	a := New(10000, WithSeed(1))
+	b := New(10000, WithSeed(2))
+	for i := 0; i < 1000; i++ {
+		a.AddString(strconv.Itoa(i))
+	}
+	// Filter b shares no keys; its hit rate on a's keys should be ≈ ε, i.e.
+	// almost always zero out of 1000.
+	hits := 0
+	for i := 0; i < 1000; i++ {
+		if b.ContainsString(strconv.Itoa(i)) {
+			hits++
+		}
+	}
+	if hits > 50 {
+		t.Errorf("filter with different seed hit %d/1000 keys", hits)
+	}
+}
+
+func TestFilterCapacityHoldsN(t *testing.T) {
+	const n = 100000
+	f := New(n)
+	for i := 0; i < n; i++ {
+		if err := f.AddUint64(uint64(i)); err != nil {
+			t.Fatalf("Add failed at item %d (sizing should guarantee n fit)", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !f.ContainsUint64(uint64(i)) {
+			t.Fatalf("false negative at %d", i)
+		}
+	}
+}
+
+func TestFilterLowFPRGeometry(t *testing.T) {
+	f8 := New(1000)
+	f16 := New(1000, WithFalsePositiveRate(1.0/65536))
+	if f8.FalsePositiveRate() <= f16.FalsePositiveRate() {
+		t.Errorf("8-bit fpr %g should exceed 16-bit fpr %g",
+			f8.FalsePositiveRate(), f16.FalsePositiveRate())
+	}
+	// The 16-bit geometry must empirically deliver a much lower FPR.
+	for i := 0; i < 1000; i++ {
+		f16.AddUint64(uint64(i))
+	}
+	fp := 0
+	for i := 1000; i < 101000; i++ {
+		if f16.ContainsUint64(uint64(i)) {
+			fp++
+		}
+	}
+	if fp > 10 {
+		t.Errorf("16-bit filter had %d/100000 false positives", fp)
+	}
+}
+
+func TestFilterEmpiricalFPRWithinBound(t *testing.T) {
+	const n = 50000
+	f := New(n)
+	for i := 0; i < n; i++ {
+		f.AddUint64(uint64(i))
+	}
+	fp := 0
+	const probes = 200000
+	for i := n; i < n+probes; i++ {
+		if f.ContainsUint64(uint64(i)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > f.FalsePositiveRate()*1.5 {
+		t.Errorf("empirical FPR %.5f exceeds analytic %.5f", rate, f.FalsePositiveRate())
+	}
+}
+
+func TestFilterInvalidOptionsPanic(t *testing.T) {
+	for name, opts := range map[string][]Option{
+		"fpr-too-low":   {WithFalsePositiveRate(1.0 / (1 << 20))},
+		"load-too-high": {WithSizingLoadFactor(0.99)},
+		"load-zero":     {WithSizingLoadFactor(0)},
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			New(100, opts...)
+		})
+	}
+}
+
+func TestFilterErrFull(t *testing.T) {
+	f := New(100) // tiny filter: capacity 2 blocks = 96+ slots
+	var err error
+	for i := 0; i < 100000 && err == nil; i++ {
+		err = f.AddUint64(uint64(i))
+	}
+	if err != ErrFull {
+		t.Fatalf("expected ErrFull, got %v", err)
+	}
+	if f.LoadFactor() < 0.80 {
+		t.Errorf("filter reported full at load factor %.3f", f.LoadFactor())
+	}
+}
+
+func TestConcurrentFilter(t *testing.T) {
+	f := NewConcurrent(100000)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20000; i++ {
+				key := fmt.Sprintf("w%d-%d", w, i)
+				if err := f.AddString(key); err != nil {
+					t.Errorf("AddString: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if f.Count() != 80000 {
+		t.Fatalf("Count = %d, want 80000", f.Count())
+	}
+	for w := 0; w < 4; w++ {
+		for i := 0; i < 20000; i += 97 {
+			if !f.ContainsString(fmt.Sprintf("w%d-%d", w, i)) {
+				t.Fatal("false negative after concurrent adds")
+			}
+		}
+	}
+}
+
+func TestConcurrentFilter16(t *testing.T) {
+	f := NewConcurrent(10000, WithFalsePositiveRate(1.0/65536))
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 4000; i++ {
+				f.AddUint64(uint64(w*100000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < 2; w++ {
+		for i := 0; i < 4000; i += 13 {
+			if !f.ContainsUint64(uint64(w*100000 + i)) {
+				t.Fatal("false negative")
+			}
+		}
+	}
+}
+
+func TestWithoutShortcutStillCorrect(t *testing.T) {
+	f := New(10000, WithoutShortcut())
+	for i := 0; i < 10000; i++ {
+		if err := f.AddUint64(uint64(i)); err != nil {
+			t.Fatalf("add %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 10000; i++ {
+		if !f.ContainsUint64(uint64(i)) {
+			t.Fatal("false negative")
+		}
+	}
+}
+
+func ExampleFilter() {
+	f := New(1000)
+	f.Add([]byte("needle"))
+	fmt.Println(f.Contains([]byte("needle")))
+	fmt.Println(f.Count())
+	// Output:
+	// true
+	// 1
+}
+
+func BenchmarkFilterAddString(b *testing.B) {
+	f := New(uint64(b.N) + 1000)
+	keys := make([]string, 4096)
+	for i := range keys {
+		keys[i] = "user:" + strconv.Itoa(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.AddString(keys[i&4095])
+	}
+}
+
+func BenchmarkFilterContainsHash(b *testing.B) {
+	f := New(1 << 20)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1<<19; i++ {
+		f.AddHash(rng.Uint64())
+	}
+	b.ResetTimer()
+	var sink bool
+	for i := 0; i < b.N; i++ {
+		sink = f.ContainsHash(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+	_ = sink
+}
