@@ -19,6 +19,7 @@
 //	fig6     aggregate throughput, 8/16-bit × RAM/cache (Figure 6a–d)
 //	table3   write-heavy mixed workload at 90% load (Table 3)
 //	table4   multi-threaded insert scaling (Table 4)
+//	concurrent reader-scaling sweep, locked vs optimistic lookups (writes JSON)
 //	maxload  maximum load factor per design variant (§3.4, §6.2)
 //	choices  block-occupancy dispersion: two-choice vs single (Theorem 1)
 //	ablation SWAR vs scalar block operations (§7.7 analog)
@@ -26,6 +27,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -46,6 +48,7 @@ type config struct {
 	csv           bool
 	which         string
 	repeat        int
+	benchout      string
 }
 
 func main() {
@@ -62,8 +65,10 @@ func main() {
 	fs.StringVar(&cfg.which, "which", "", "fig6 sub-panel: a, b, c or d (default: all four)")
 	fs.IntVar(&cfg.repeat, "repeat", 1, "repetitions to average for fig4/fig5 sweeps")
 	fs.BoolVar(&cfg.csv, "csv", false, "emit CSV instead of aligned text")
+	fs.StringVar(&cfg.benchout, "benchout", "BENCH_concurrent.json",
+		"output file for the concurrent experiment's JSON results (empty: skip)")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: vqfbench [flags] <experiment>\n\nexperiments: table1 fig2 fig3 table2 fig4 fig5 fig6 table3 table4 maxload maxloadscale choices ablation all\n\nflags:\n")
+		fmt.Fprintf(os.Stderr, "usage: vqfbench [flags] <experiment>\n\nexperiments: table1 fig2 fig3 table2 fig4 fig5 fig6 table3 table4 concurrent maxload maxloadscale choices ablation all\n\nflags:\n")
 		fs.PrintDefaults()
 	}
 	fs.Parse(os.Args[1:])
@@ -83,6 +88,7 @@ func main() {
 		"fig6":         runFig6,
 		"table3":       runTable3,
 		"table4":       runTable4,
+		"concurrent":   runConcurrent,
 		"maxload":      runMaxLoad,
 		"maxloadscale": runMaxLoadScale,
 		"choices":      runChoices,
@@ -281,6 +287,39 @@ func runTable4(cfg config) {
 		t.AddRow(r.Threads, r.Mops)
 	}
 	emit(cfg, t)
+}
+
+func runConcurrent(cfg config) {
+	fmt.Printf("Concurrent reader scaling: locked vs optimistic lookups (2^%d slots, 85%% load, %d ops/goroutine; GOMAXPROCS=%d)\n",
+		cfg.logSlotsCache, cfg.queries, runtime.GOMAXPROCS(0))
+	threads := []int{1, 2, 4, 8}
+	results := harness.RunReaderScaling(1<<cfg.logSlotsCache, threads, cfg.queries, cfg.repeat, cfg.seed)
+	t := harness.NewTable("threads", "lookup-locked", "lookup-opt", "mixed90-locked", "mixed90-opt")
+	for _, r := range results {
+		t.AddRow(r.Threads, r.LookupLockedMops, r.LookupOptMops, r.MixedLockedMops, r.MixedOptMops)
+	}
+	emit(cfg, t)
+	if cfg.benchout == "" {
+		return
+	}
+	doc := struct {
+		Experiment   string                        `json:"experiment"`
+		GoMaxProcs   int                           `json:"gomaxprocs"`
+		Log2Slots    uint                          `json:"log2_slots"`
+		OpsPerThread int                           `json:"ops_per_thread"`
+		Seed         uint64                        `json:"seed"`
+		Results      []harness.ReaderScalingResult `json:"results"`
+	}{"concurrent-reader-scaling", runtime.GOMAXPROCS(0), cfg.logSlotsCache, cfg.queries, cfg.seed, results}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vqfbench: marshal results: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(cfg.benchout, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "vqfbench: write %s: %v\n", cfg.benchout, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", cfg.benchout)
 }
 
 func runMaxLoad(cfg config) {

@@ -1,99 +1,118 @@
 package core
 
-// Batch insertion. The Morton filter paper (and §7.1 of the VQF paper)
-// highlights bulk-insertion workloads: when many keys arrive at once, sorting
-// them by primary block turns the filter's random cache-line walk into a
-// mostly-sequential sweep. The batch API groups keys by primary-block radix
-// before inserting; per-key work is unchanged, so correctness is identical
-// to a loop of Insert calls (the paper benchmarks one-at-a-time APIs, so the
-// harness does not use this path — it exists as the bulk-load entry point
-// and is covered by the ablation bench).
+// Batch operations. The Morton filter paper (and §7.1 of the VQF paper)
+// highlights bulk workloads: when many keys arrive at once, sorting them by
+// primary block turns the filter's random cache-line walk into a
+// mostly-sequential sweep. All batch APIs — sequential and concurrent —
+// share the radix-partitioning helpers below; the concurrent filters
+// additionally fan the partitions out across a worker pool
+// (concurrent_batch.go).
 
-const batchRadixBits = 8
+const (
+	batchRadixBits = 8
+	batchShards    = 1 << batchRadixBits
 
-// InsertBatch inserts every key of hs, returning the number successfully
-// inserted (equal to len(hs) unless the filter fills). Keys are processed
-// grouped by primary-block prefix to improve locality; duplicates are stored
-// like repeated Insert calls.
-func (f *Filter8) InsertBatch(hs []uint64) int {
-	if len(hs) < 256 {
-		// Grouping overhead isn't worth it for tiny batches.
-		n := 0
-		for _, h := range hs {
-			if !f.Insert(h) {
-				return n
-			}
-			n++
-		}
-		return n
-	}
-	// Radix-partition by the top bits of the primary block index.
-	shift := effectiveShift(f.mask)
-	var counts [1 << batchRadixBits]int
+	// minBatchPartition is the batch size below which radix-grouping
+	// overhead isn't worth it and keys are processed in caller order.
+	minBatchPartition = 256
+)
+
+// blockShift8/blockShift16 are the hash bit offsets of the primary block
+// index for the two geometries (see split8/split16).
+const (
+	blockShift8  = 24
+	blockShift16 = 32
+)
+
+// batchRadix maps a key hash to its shard: the top batchRadixBits bits of
+// the primary block index. effShift is precomputed by effectiveShift(mask).
+func batchRadix(h, mask uint64, blockShift, effShift uint) int {
+	return int(((h >> blockShift) & mask) >> effShift)
+}
+
+// radixPartition reorders hs by shard, so that keys sharing a primary-block
+// prefix are adjacent. It returns the reordered keys and the shard bounds:
+// shard s occupies sorted[bounds[s]:bounds[s+1]].
+func radixPartition(hs []uint64, mask uint64, blockShift uint) (sorted []uint64, bounds [batchShards + 1]int) {
+	effShift := effectiveShift(mask)
+	var counts [batchShards]int
 	for _, h := range hs {
-		counts[radixOf8(h, f.mask, shift)]++
+		counts[batchRadix(h, mask, blockShift, effShift)]++
 	}
-	var offsets [1 << batchRadixBits]int
 	sum := 0
 	for i, c := range counts {
-		offsets[i] = sum
+		bounds[i] = sum
 		sum += c
 	}
-	sorted := make([]uint64, len(hs))
-	next := offsets
+	bounds[batchShards] = sum
+	sorted = make([]uint64, len(hs))
+	next := bounds
 	for _, h := range hs {
-		r := radixOf8(h, f.mask, shift)
+		r := batchRadix(h, mask, blockShift, effShift)
 		sorted[next[r]] = h
 		next[r]++
 	}
+	return sorted, bounds
+}
+
+// radixPartitionIdx is radixPartition carrying each key's position in hs, so
+// order-sensitive results (ContainsBatch) can be scattered back. Indices are
+// int32; callers split larger batches first.
+func radixPartitionIdx(hs []uint64, mask uint64, blockShift uint) (sorted []uint64, idx []int32, bounds [batchShards + 1]int) {
+	effShift := effectiveShift(mask)
+	var counts [batchShards]int
+	for _, h := range hs {
+		counts[batchRadix(h, mask, blockShift, effShift)]++
+	}
+	sum := 0
+	for i, c := range counts {
+		bounds[i] = sum
+		sum += c
+	}
+	bounds[batchShards] = sum
+	sorted = make([]uint64, len(hs))
+	idx = make([]int32, len(hs))
+	next := bounds
+	for i, h := range hs {
+		r := batchRadix(h, mask, blockShift, effShift)
+		sorted[next[r]] = h
+		idx[next[r]] = int32(i)
+		next[r]++
+	}
+	return sorted, idx, bounds
+}
+
+// applyCount applies op to every key and returns the number of successes.
+func applyCount(hs []uint64, op func(uint64) bool) int {
 	n := 0
-	for _, h := range sorted {
-		if !f.Insert(h) {
-			return n
+	for _, h := range hs {
+		if op(h) {
+			n++
 		}
-		n++
 	}
 	return n
 }
 
-// InsertBatch inserts every key of hs; see Filter8.InsertBatch.
+// InsertBatch inserts the keys of hs, returning the number successfully
+// inserted. Every key is attempted, even after an insert fails: when the
+// filter approaches capacity the successes can come from anywhere in hs, not
+// a prefix of it (insertion order is a locality-driven radix reorder, not
+// caller order). Duplicates are stored like repeated Insert calls.
+func (f *Filter8) InsertBatch(hs []uint64) int {
+	if len(hs) < minBatchPartition {
+		return applyCount(hs, f.Insert)
+	}
+	sorted, _ := radixPartition(hs, f.mask, blockShift8)
+	return applyCount(sorted, f.Insert)
+}
+
+// InsertBatch inserts the keys of hs; see Filter8.InsertBatch.
 func (f *Filter16) InsertBatch(hs []uint64) int {
-	if len(hs) < 256 {
-		n := 0
-		for _, h := range hs {
-			if !f.Insert(h) {
-				return n
-			}
-			n++
-		}
-		return n
+	if len(hs) < minBatchPartition {
+		return applyCount(hs, f.Insert)
 	}
-	shift := effectiveShift(f.mask)
-	var counts [1 << batchRadixBits]int
-	for _, h := range hs {
-		counts[radixOf16(h, f.mask, shift)]++
-	}
-	var offsets [1 << batchRadixBits]int
-	sum := 0
-	for i, c := range counts {
-		offsets[i] = sum
-		sum += c
-	}
-	sorted := make([]uint64, len(hs))
-	next := offsets
-	for _, h := range hs {
-		r := radixOf16(h, f.mask, shift)
-		sorted[next[r]] = h
-		next[r]++
-	}
-	n := 0
-	for _, h := range sorted {
-		if !f.Insert(h) {
-			return n
-		}
-		n++
-	}
-	return n
+	sorted, _ := radixPartition(hs, f.mask, blockShift16)
+	return applyCount(sorted, f.Insert)
 }
 
 // effectiveShift returns how far to shift a block index so its top
@@ -107,14 +126,4 @@ func effectiveShift(mask uint64) uint {
 		return 0
 	}
 	return bitsUsed - batchRadixBits
-}
-
-func radixOf8(h, mask uint64, shift uint) int {
-	b1 := (h >> 24) & mask
-	return int(b1 >> shift)
-}
-
-func radixOf16(h, mask uint64, shift uint) int {
-	b1 := (h >> 32) & mask
-	return int(b1 >> shift)
 }

@@ -59,8 +59,14 @@ func TestInsertBatchSmall(t *testing.T) {
 	}
 }
 
-func TestInsertBatchStopsWhenFull(t *testing.T) {
-	f := NewFilter8(96, Options{}) // 2 blocks, 96 slots
+// TestInsertBatchAttemptsAllKeys pins the InsertBatch contract: every key
+// is attempted and the return value counts successes, NOT the length of a
+// prefix that succeeded. With four blocks, one block pair fills while keys
+// bound for the other pair still succeed, so failures land mid-stream; the
+// old stop-at-first-failure behavior would strand those later keys.
+func TestInsertBatchAttemptsAllKeys(t *testing.T) {
+	f := NewFilter8(192, Options{}) // 4 blocks, 192 slots
+	model := NewFilter8(192, Options{})
 	rng := rand.New(rand.NewSource(2))
 	keys := make([]uint64, 500)
 	for i := range keys {
@@ -70,11 +76,30 @@ func TestInsertBatchStopsWhenFull(t *testing.T) {
 	if got >= len(keys) {
 		t.Fatal("tiny filter accepted 500 keys")
 	}
-	if got < 60 {
-		t.Fatalf("only %d keys before full", got)
-	}
 	if f.Count() != uint64(got) {
 		t.Fatalf("Count %d != returned %d", f.Count(), got)
+	}
+	// Reference: the same radix order fed through Insert one key at a time,
+	// attempting every key. Counts must match exactly.
+	sorted, _ := radixPartition(keys, f.mask, blockShift8)
+	want := 0
+	failedBeforeSuccess := false
+	failedYet := false
+	for _, h := range sorted {
+		if model.Insert(h) {
+			want++
+			if failedYet {
+				failedBeforeSuccess = true
+			}
+		} else {
+			failedYet = true
+		}
+	}
+	if got != want {
+		t.Fatalf("InsertBatch = %d, attempt-all reference = %d", got, want)
+	}
+	if !failedBeforeSuccess {
+		t.Fatal("scenario too weak: no success after a failure, contract untested")
 	}
 }
 

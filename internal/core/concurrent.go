@@ -6,16 +6,41 @@ import (
 	"vqf/internal/minifilter"
 )
 
-// CFilter8 is the thread-safe vector quotient filter with 8-bit fingerprints
-// (paper §6.3). Each block's top metadata bit is a spin lock; an operation
-// locks at most two blocks, always in increasing index order, so the filter
-// scales with cores as long as threads mostly touch distinct blocks.
+// Concurrent filter variants (paper §6.3, extended). Writers take per-block
+// spin locks (the top metadata bit of each block), at most two per
+// operation, always in increasing index order. Queries are lock-free on the
+// common path: they use the seqlock-style optimistic snapshot protocol of
+// internal/minifilter/optimistic.go, validated against a striped array of
+// version counters that writers bump on every mutation (UnlockBump). A
+// lookup therefore costs zero atomic read-modify-writes unless it collides
+// with an in-flight writer on the same block, in which case it retries and
+// eventually falls back to the lock.
+
+// seqStripes is the number of seqlock version counters a concurrent filter
+// keeps. Blocks share stripes by low index bits; a shared stripe can cause a
+// spurious reader retry when an unrelated block on the same stripe is
+// written, but never a missed conflict. The cap keeps the side array at
+// 32 KiB regardless of filter size.
+const seqStripes = 1 << 12
+
+func seqStripesFor(nblocks uint64) uint64 {
+	if nblocks < seqStripes {
+		return nblocks // always a power of two, like the block count
+	}
+	return seqStripes
+}
+
+// CFilter8 is the thread-safe vector quotient filter with 8-bit
+// fingerprints. Inserts and removes lock at most two blocks; Contains is
+// lock-free (optimistic) on the common path.
 type CFilter8 struct {
-	blocks []minifilter.Block8
-	mask   uint64
-	count  atomic.Uint64
-	opts   Options
-	thresh uint
+	blocks  []minifilter.Block8
+	seqs    []atomic.Uint64
+	seqMask uint64
+	mask    uint64
+	count   atomic.Uint64
+	opts    Options
+	thresh  uint
 }
 
 // NewCFilter8 creates a thread-safe filter with at least nslots slots; see
@@ -25,10 +50,12 @@ func NewCFilter8(nslots uint64, opts Options) *CFilter8 {
 	k := blocksFor(nslots, minifilter.B8Slots)
 	f := &CFilter8{
 		blocks: make([]minifilter.Block8, k),
+		seqs:   make([]atomic.Uint64, seqStripesFor(k)),
 		mask:   k - 1,
 		opts:   opts,
 		thresh: opts.threshold(minifilter.B8Slots, defThreshold8),
 	}
+	f.seqMask = uint64(len(f.seqs)) - 1
 	for i := range f.blocks {
 		f.blocks[i].Reset()
 		// Locked-mode convention: the stored top bit is purely the lock flag.
@@ -36,6 +63,9 @@ func NewCFilter8(nslots uint64, opts Options) *CFilter8 {
 	}
 	return f
 }
+
+// seq returns the version stripe for block index b.
+func (f *CFilter8) seq(b uint64) *atomic.Uint64 { return &f.seqs[b&f.seqMask] }
 
 // Capacity returns the total number of fingerprint slots.
 func (f *CFilter8) Capacity() uint64 { return uint64(len(f.blocks)) * minifilter.B8Slots }
@@ -46,28 +76,49 @@ func (f *CFilter8) Count() uint64 { return f.count.Load() }
 // LoadFactor returns Count divided by Capacity.
 func (f *CFilter8) LoadFactor() float64 { return float64(f.Count()) / float64(f.Capacity()) }
 
-// SizeBytes returns the memory footprint of the block array.
-func (f *CFilter8) SizeBytes() uint64 { return uint64(len(f.blocks)) * 64 }
+// SizeBytes returns the memory footprint of the block array and the seqlock
+// version stripes.
+func (f *CFilter8) SizeBytes() uint64 {
+	return uint64(len(f.blocks))*64 + uint64(len(f.seqs))*8
+}
 
 // Insert adds the pre-hashed key h, returning false if both candidate blocks
-// are full. Safe for concurrent use.
+// are full. Safe for concurrent use. The shortcut occupancy probe is
+// optimistic, so the common low-occupancy insert acquires exactly one lock.
 func (f *CFilter8) Insert(h uint64) bool {
 	b1, bucket, fp, tag := split8(h, f.mask)
 	blk1 := &f.blocks[b1]
+	seq1 := f.seq(b1)
+	if !f.opts.NoShortcut {
+		if occ, ok := blk1.OccupancyOptimistic(seq1); ok && occ < f.thresh {
+			blk1.Lock()
+			// Re-check under the lock: a racing writer may have filled the
+			// block past the threshold since the probe.
+			if blk1.OccupancyLocked() < f.thresh {
+				blk1.InsertLocked(bucket, fp)
+				blk1.UnlockBump(seq1)
+				f.count.Add(1)
+				return true
+			}
+			blk1.Unlock()
+		}
+	}
 	blk1.Lock()
 	occ1 := blk1.OccupancyLocked()
 	if !f.opts.NoShortcut && occ1 < f.thresh {
 		blk1.InsertLocked(bucket, fp)
-		blk1.Unlock()
+		blk1.UnlockBump(seq1)
 		f.count.Add(1)
 		return true
 	}
 	b2 := secondary(h, b1, tag, f.mask, false)
 	if b2 == b1 {
 		ok := blk1.InsertLocked(bucket, fp)
-		blk1.Unlock()
 		if ok {
+			blk1.UnlockBump(seq1)
 			f.count.Add(1)
+		} else {
+			blk1.Unlock()
 		}
 		return ok
 	}
@@ -83,23 +134,42 @@ func (f *CFilter8) Insert(h uint64) bool {
 		blk2.Lock()
 	}
 	occ2 := blk2.OccupancyLocked()
-	tgt, other := blk1, blk2
+	tgt, other, tgtSeq := blk1, blk2, seq1
 	if occ2 < occ1 {
-		tgt, other = blk2, blk1
+		tgt, other, tgtSeq = blk2, blk1, f.seq(b2)
 	}
 	other.Unlock()
 	ok := tgt.InsertLocked(bucket, fp)
-	tgt.Unlock()
 	if ok {
+		tgt.UnlockBump(tgtSeq)
 		f.count.Add(1)
+	} else {
+		tgt.Unlock()
 	}
 	return ok
 }
 
 // Contains reports whether the pre-hashed key h may be in the filter. Safe
-// for concurrent use; each block is locked only for the duration of its
-// fingerprint scan.
+// for concurrent use and lock-free on the common path: each candidate block
+// is snapshotted optimistically and scanned without acquiring its lock.
 func (f *CFilter8) Contains(h uint64) bool {
+	b1, bucket, fp, tag := split8(h, f.mask)
+	if f.blocks[b1].ContainsOptimistic(f.seq(b1), bucket, fp) {
+		return true
+	}
+	b2 := secondary(h, b1, tag, f.mask, false)
+	if b2 == b1 {
+		return false
+	}
+	return f.blocks[b2].ContainsOptimistic(f.seq(b2), bucket, fp)
+}
+
+// ContainsLocked is the pre-optimistic lookup path: it acquires each
+// candidate block's spin lock for the duration of its fingerprint scan. It
+// is retained as the baseline the reader-scaling benchmark compares the
+// optimistic path against (cmd/vqfbench concurrent); application code
+// should use Contains.
+func (f *CFilter8) ContainsLocked(h uint64) bool {
 	b1, bucket, fp, tag := split8(h, f.mask)
 	blk1 := &f.blocks[b1]
 	blk1.Lock()
@@ -126,11 +196,12 @@ func (f *CFilter8) Remove(h uint64) bool {
 	blk1 := &f.blocks[b1]
 	blk1.Lock()
 	ok := blk1.RemoveLocked(bucket, fp)
-	blk1.Unlock()
 	if ok {
+		blk1.UnlockBump(f.seq(b1))
 		f.count.Add(^uint64(0))
 		return true
 	}
+	blk1.Unlock()
 	b2 := secondary(h, b1, tag, f.mask, false)
 	if b2 == b1 {
 		return false
@@ -138,9 +209,11 @@ func (f *CFilter8) Remove(h uint64) bool {
 	blk2 := &f.blocks[b2]
 	blk2.Lock()
 	ok = blk2.RemoveLocked(bucket, fp)
-	blk2.Unlock()
 	if ok {
+		blk2.UnlockBump(f.seq(b2))
 		f.count.Add(^uint64(0))
+	} else {
+		blk2.Unlock()
 	}
 	return ok
 }
@@ -148,11 +221,13 @@ func (f *CFilter8) Remove(h uint64) bool {
 // CFilter16 is the thread-safe vector quotient filter with 16-bit
 // fingerprints; see CFilter8.
 type CFilter16 struct {
-	blocks []minifilter.Block16
-	mask   uint64
-	count  atomic.Uint64
-	opts   Options
-	thresh uint
+	blocks  []minifilter.Block16
+	seqs    []atomic.Uint64
+	seqMask uint64
+	mask    uint64
+	count   atomic.Uint64
+	opts    Options
+	thresh  uint
 }
 
 // NewCFilter16 creates a thread-safe 16-bit-fingerprint filter.
@@ -160,15 +235,20 @@ func NewCFilter16(nslots uint64, opts Options) *CFilter16 {
 	k := blocksFor(nslots, minifilter.B16Slots)
 	f := &CFilter16{
 		blocks: make([]minifilter.Block16, k),
+		seqs:   make([]atomic.Uint64, seqStripesFor(k)),
 		mask:   k - 1,
 		opts:   opts,
 		thresh: opts.threshold(minifilter.B16Slots, defThreshold16),
 	}
+	f.seqMask = uint64(len(f.seqs)) - 1
 	for i := range f.blocks {
 		f.blocks[i].Reset()
 	}
 	return f
 }
+
+// seq returns the version stripe for block index b.
+func (f *CFilter16) seq(b uint64) *atomic.Uint64 { return &f.seqs[b&f.seqMask] }
 
 // Capacity returns the total number of fingerprint slots.
 func (f *CFilter16) Capacity() uint64 { return uint64(len(f.blocks)) * minifilter.B16Slots }
@@ -179,27 +259,46 @@ func (f *CFilter16) Count() uint64 { return f.count.Load() }
 // LoadFactor returns Count divided by Capacity.
 func (f *CFilter16) LoadFactor() float64 { return float64(f.Count()) / float64(f.Capacity()) }
 
-// SizeBytes returns the memory footprint of the block array.
-func (f *CFilter16) SizeBytes() uint64 { return uint64(len(f.blocks)) * 64 }
+// SizeBytes returns the memory footprint of the block array and the seqlock
+// version stripes.
+func (f *CFilter16) SizeBytes() uint64 {
+	return uint64(len(f.blocks))*64 + uint64(len(f.seqs))*8
+}
 
-// Insert adds the pre-hashed key h. Safe for concurrent use.
+// Insert adds the pre-hashed key h. Safe for concurrent use; see
+// CFilter8.Insert.
 func (f *CFilter16) Insert(h uint64) bool {
 	b1, bucket, fp, tag := split16(h, f.mask)
 	blk1 := &f.blocks[b1]
+	seq1 := f.seq(b1)
+	if !f.opts.NoShortcut {
+		if occ, ok := blk1.OccupancyOptimistic(seq1); ok && occ < f.thresh {
+			blk1.Lock()
+			if blk1.OccupancyLocked() < f.thresh {
+				blk1.InsertLocked(bucket, fp)
+				blk1.UnlockBump(seq1)
+				f.count.Add(1)
+				return true
+			}
+			blk1.Unlock()
+		}
+	}
 	blk1.Lock()
 	occ1 := blk1.OccupancyLocked()
 	if !f.opts.NoShortcut && occ1 < f.thresh {
 		blk1.InsertLocked(bucket, fp)
-		blk1.Unlock()
+		blk1.UnlockBump(seq1)
 		f.count.Add(1)
 		return true
 	}
 	b2 := secondary(h, b1, tag, f.mask, false)
 	if b2 == b1 {
 		ok := blk1.InsertLocked(bucket, fp)
-		blk1.Unlock()
 		if ok {
+			blk1.UnlockBump(seq1)
 			f.count.Add(1)
+		} else {
+			blk1.Unlock()
 		}
 		return ok
 	}
@@ -213,22 +312,38 @@ func (f *CFilter16) Insert(h uint64) bool {
 		blk2.Lock()
 	}
 	occ2 := blk2.OccupancyLocked()
-	tgt, other := blk1, blk2
+	tgt, other, tgtSeq := blk1, blk2, seq1
 	if occ2 < occ1 {
-		tgt, other = blk2, blk1
+		tgt, other, tgtSeq = blk2, blk1, f.seq(b2)
 	}
 	other.Unlock()
 	ok := tgt.InsertLocked(bucket, fp)
-	tgt.Unlock()
 	if ok {
+		tgt.UnlockBump(tgtSeq)
 		f.count.Add(1)
+	} else {
+		tgt.Unlock()
 	}
 	return ok
 }
 
 // Contains reports whether the pre-hashed key h may be in the filter. Safe
-// for concurrent use.
+// for concurrent use and lock-free on the common path.
 func (f *CFilter16) Contains(h uint64) bool {
+	b1, bucket, fp, tag := split16(h, f.mask)
+	if f.blocks[b1].ContainsOptimistic(f.seq(b1), bucket, fp) {
+		return true
+	}
+	b2 := secondary(h, b1, tag, f.mask, false)
+	if b2 == b1 {
+		return false
+	}
+	return f.blocks[b2].ContainsOptimistic(f.seq(b2), bucket, fp)
+}
+
+// ContainsLocked is the lock-acquiring lookup baseline; see
+// CFilter8.ContainsLocked.
+func (f *CFilter16) ContainsLocked(h uint64) bool {
 	b1, bucket, fp, tag := split16(h, f.mask)
 	blk1 := &f.blocks[b1]
 	blk1.Lock()
@@ -255,11 +370,12 @@ func (f *CFilter16) Remove(h uint64) bool {
 	blk1 := &f.blocks[b1]
 	blk1.Lock()
 	ok := blk1.RemoveLocked(bucket, fp)
-	blk1.Unlock()
 	if ok {
+		blk1.UnlockBump(f.seq(b1))
 		f.count.Add(^uint64(0))
 		return true
 	}
+	blk1.Unlock()
 	b2 := secondary(h, b1, tag, f.mask, false)
 	if b2 == b1 {
 		return false
@@ -267,9 +383,11 @@ func (f *CFilter16) Remove(h uint64) bool {
 	blk2 := &f.blocks[b2]
 	blk2.Lock()
 	ok = blk2.RemoveLocked(bucket, fp)
-	blk2.Unlock()
 	if ok {
+		blk2.UnlockBump(f.seq(b2))
 		f.count.Add(^uint64(0))
+	} else {
+		blk2.Unlock()
 	}
 	return ok
 }

@@ -1,0 +1,171 @@
+package core
+
+// Parallel batch operations for the concurrent filters. Keys are
+// radix-partitioned by primary block (the same partitioning the sequential
+// batch path uses for locality, batch.go) and the shards are fanned out
+// across a bounded worker pool. Because a shard is a contiguous range of
+// primary-block prefixes, two workers never write the same primary block
+// concurrently; secondary-block collisions across shards remain possible and
+// are serialized by the per-block locks, so correctness never depends on the
+// partitioning — it only removes almost all lock contention and restores the
+// sequential batch path's cache locality within each worker.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// minParallelBatch is the batch size below which spawning workers costs more
+// than it saves and the keys are processed on the calling goroutine.
+const minParallelBatch = 4096
+
+// batchWorkers returns the worker-pool size for a batch of n keys: bounded
+// by GOMAXPROCS, the shard count, and a floor of ~4k keys per worker.
+func batchWorkers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > batchShards {
+		w = batchShards
+	}
+	if byLoad := n / minParallelBatch; w > byLoad {
+		w = byLoad
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// parallelShardCount applies op to every key of hs, sharded across workers,
+// and returns the number of true results. Workers claim shards with an
+// atomic cursor, which load-balances skewed partitions.
+func parallelShardCount(hs []uint64, mask uint64, blockShift uint, op func(uint64) bool) int {
+	w := batchWorkers(len(hs))
+	if w == 1 {
+		if len(hs) >= minBatchPartition {
+			sorted, _ := radixPartition(hs, mask, blockShift)
+			return applyCount(sorted, op)
+		}
+		return applyCount(hs, op)
+	}
+	sorted, bounds := radixPartition(hs, mask, blockShift)
+	var cursor, total atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := 0
+			for {
+				s := int(cursor.Add(1)) - 1
+				if s >= batchShards {
+					break
+				}
+				n += applyCount(sorted[bounds[s]:bounds[s+1]], op)
+			}
+			total.Add(int64(n))
+		}()
+	}
+	wg.Wait()
+	return int(total.Load())
+}
+
+// parallelShardContains fills out[i] with contains(hs[i]), sharded across
+// workers. out must have len(hs) elements; each position is written by
+// exactly one worker (the index array scatters shard results back to caller
+// order), so no synchronization on out is needed beyond the final Wait.
+func parallelShardContains(hs []uint64, out []bool, mask uint64, blockShift uint, contains func(uint64) bool) {
+	w := batchWorkers(len(hs))
+	if w == 1 {
+		if len(hs) >= minBatchPartition {
+			sorted, idx, _ := radixPartitionIdx(hs, mask, blockShift)
+			for j, h := range sorted {
+				out[idx[j]] = contains(h)
+			}
+			return
+		}
+		for i, h := range hs {
+			out[i] = contains(h)
+		}
+		return
+	}
+	// radixPartitionIdx carries int32 positions; segment huge batches so the
+	// indices always fit.
+	const maxSeg = 1 << 30
+	for off := 0; off < len(hs); off += maxSeg {
+		end := min(off+maxSeg, len(hs))
+		seg, segOut := hs[off:end], out[off:end]
+		sorted, idx, bounds := radixPartitionIdx(seg, mask, blockShift)
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		for i := 0; i < w; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					s := int(cursor.Add(1)) - 1
+					if s >= batchShards {
+						break
+					}
+					for j := bounds[s]; j < bounds[s+1]; j++ {
+						segOut[idx[j]] = contains(sorted[j])
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+// resizeBools returns dst resized to n, reallocating only if its capacity is
+// insufficient.
+func resizeBools(dst []bool, n int) []bool {
+	if cap(dst) < n {
+		return make([]bool, n)
+	}
+	return dst[:n]
+}
+
+// InsertBatch inserts the keys of hs in parallel, returning the number
+// successfully inserted. Every key is attempted (the result is a success
+// count, not a prefix length — see Filter8.InsertBatch) and the insertion
+// order is unspecified. Safe for concurrent use alongside any other
+// operations.
+func (f *CFilter8) InsertBatch(hs []uint64) int {
+	return parallelShardCount(hs, f.mask, blockShift8, f.Insert)
+}
+
+// RemoveBatch removes one previously inserted instance of each key of hs in
+// parallel, returning the number found and removed. Safe for concurrent use.
+func (f *CFilter8) RemoveBatch(hs []uint64) int {
+	return parallelShardCount(hs, f.mask, blockShift8, f.Remove)
+}
+
+// ContainsBatch reports membership for every key of hs, in input order:
+// result[i] corresponds to hs[i]. Lookups run lock-free in parallel. The
+// result reuses dst if it has sufficient capacity (dst may be nil). Safe for
+// concurrent use.
+func (f *CFilter8) ContainsBatch(hs []uint64, dst []bool) []bool {
+	out := resizeBools(dst, len(hs))
+	parallelShardContains(hs, out, f.mask, blockShift8, f.Contains)
+	return out
+}
+
+// InsertBatch inserts the keys of hs in parallel; see CFilter8.InsertBatch.
+func (f *CFilter16) InsertBatch(hs []uint64) int {
+	return parallelShardCount(hs, f.mask, blockShift16, f.Insert)
+}
+
+// RemoveBatch removes one instance of each key of hs in parallel; see
+// CFilter8.RemoveBatch.
+func (f *CFilter16) RemoveBatch(hs []uint64) int {
+	return parallelShardCount(hs, f.mask, blockShift16, f.Remove)
+}
+
+// ContainsBatch reports membership for every key of hs in input order; see
+// CFilter8.ContainsBatch.
+func (f *CFilter16) ContainsBatch(hs []uint64, dst []bool) []bool {
+	out := resizeBools(dst, len(hs))
+	parallelShardContains(hs, out, f.mask, blockShift16, f.Contains)
+	return out
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// keyForBlock8 builds a hash whose primary block (8-bit geometry) is block.
+func keyForBlock8(rng *rand.Rand, mask, block uint64) uint64 {
+	h := rng.Uint64()
+	return (h &^ (mask << blockShift8)) | block<<blockShift8
+}
+
+// TestCFilter8TargetedTwoBlockInterleaving interleaves lock-free optimistic
+// Contains with concurrent Insert/Remove traffic concentrated on two
+// specific blocks — the conflict-heavy case the seqlock protocol must
+// survive. Pinned keys (inserted once, never removed) must never produce a
+// false negative, no matter how much churn their blocks see. Run with -race
+// to also check the atomic-publication contract end to end.
+func TestCFilter8TargetedTwoBlockInterleaving(t *testing.T) {
+	f := NewCFilter8(1<<12, Options{})
+	const blockA, blockB = 3, 99
+	rng := rand.New(rand.NewSource(1))
+
+	var pinned []uint64
+	for _, blk := range []uint64{blockA, blockB} {
+		for i := 0; i < 20; i++ {
+			h := keyForBlock8(rng, f.mask, blk)
+			if !f.Insert(h) {
+				t.Fatal("pin insert failed")
+			}
+			pinned = append(pinned, h)
+		}
+	}
+
+	const writers, readers, ops = 2, 4, 8000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var mine []uint64
+			for i := 0; i < ops; i++ {
+				if len(mine) > 0 && (rng.Intn(2) == 0 || len(mine) > 16) {
+					h := mine[len(mine)-1]
+					mine = mine[:len(mine)-1]
+					if !f.Remove(h) {
+						t.Error("own churn key missing on remove")
+						return
+					}
+					continue
+				}
+				blk := uint64(blockA)
+				if rng.Intn(2) == 0 {
+					blk = blockB
+				}
+				h := keyForBlock8(rng, f.mask, blk)
+				if f.Insert(h) {
+					mine = append(mine, h)
+				}
+			}
+			for _, h := range mine {
+				if !f.Remove(h) {
+					t.Error("own churn key missing at drain")
+					return
+				}
+			}
+		}(int64(w + 11))
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < ops; i++ {
+				if !f.Contains(pinned[rng.Intn(len(pinned))]) {
+					t.Error("false negative on pinned key under churn")
+					return
+				}
+				// Unasserted probes on the churned blocks: hits, misses and
+				// torn-snapshot candidates all exercise the retry path.
+				blk := uint64(blockA)
+				if rng.Intn(2) == 0 {
+					blk = blockB
+				}
+				f.Contains(keyForBlock8(rng, f.mask, blk))
+			}
+		}(int64(r + 31))
+	}
+	wg.Wait()
+	for _, h := range pinned {
+		if !f.Contains(h) {
+			t.Fatal("pinned key missing after churn")
+		}
+	}
+}
+
+// TestCFilter16OptimisticUnderChurn is a lighter 16-bit version of the
+// targeted interleaving test.
+func TestCFilter16OptimisticUnderChurn(t *testing.T) {
+	f := NewCFilter16(1<<12, Options{})
+	rng := rand.New(rand.NewSource(5))
+	const block = 7
+	var pinned []uint64
+	for i := 0; i < 10; i++ {
+		h := rng.Uint64()&^(f.mask<<blockShift16) | block<<blockShift16
+		if !f.Insert(h) {
+			t.Fatal("pin insert failed")
+		}
+		pinned = append(pinned, h)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(6))
+		for i := 0; i < 8000; i++ {
+			h := rng.Uint64()&^(f.mask<<blockShift16) | block<<blockShift16
+			if f.Insert(h) {
+				if !f.Remove(h) {
+					t.Error("own key missing")
+					return
+				}
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 8000; i++ {
+			if !f.Contains(pinned[rng.Intn(len(pinned))]) {
+				t.Error("false negative on pinned key under churn")
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// TestCFilter8ContainsLockedBaselineAgrees pins the benchmark baseline to
+// the optimistic path: on a quiescent filter the two lookups must agree on
+// every probe.
+func TestCFilter8ContainsLockedBaselineAgrees(t *testing.T) {
+	f := NewCFilter8(1<<14, Options{})
+	rng := rand.New(rand.NewSource(9))
+	keys := make([]uint64, 10000)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		if !f.Insert(keys[i]) {
+			t.Fatal("insert failed")
+		}
+	}
+	for _, h := range keys {
+		if !f.Contains(h) || !f.ContainsLocked(h) {
+			t.Fatal("false negative")
+		}
+	}
+	for i := 0; i < 50000; i++ {
+		h := rng.Uint64()
+		if f.Contains(h) != f.ContainsLocked(h) {
+			t.Fatal("optimistic and locked lookups disagree")
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math/bits"
 	"runtime"
 	"sync/atomic"
+	"unsafe"
 
 	"vqf/internal/bitvec"
 	"vqf/internal/swar"
@@ -18,11 +19,50 @@ import (
 // bitvector"). Locks are acquired with compare-and-swap, the analog of the
 // paper's __sync_fetch_and_or.
 //
-// While a lock is held, MetaLo and Fps may be accessed with plain loads and
-// stores (only lock holders touch them); the word containing the lock bit is
-// always accessed atomically because other threads CAS on it concurrently.
+// Mutations are written back with atomic word stores so that lock-free
+// optimistic readers (see optimistic.go) can snapshot a block with atomic
+// word loads: under the Go memory model a plain store racing an atomic load
+// is a data race even when a seqlock discards the torn value, so every word
+// a reader may touch is published atomically. Lock holders may still *read*
+// their own block with plain loads (loads never race with loads, and no
+// other thread stores while the lock is held).
 
 const lockBit = uint64(1) << 63
+
+// The fingerprint arrays are viewed as aligned 64-bit words for atomic
+// publication/snapshotting. The casts below require 8-byte alignment of the
+// Fps fields and the exact 64-byte block size; both are asserted at compile
+// time.
+const (
+	b8FpsWords  = B8Slots / 8      // 6 words of 8 fingerprint bytes
+	b16FpsWords = B16Slots * 2 / 8 // 7 words of 4 fingerprint uint16s
+)
+
+var (
+	_ [0]struct{} = [unsafe.Offsetof(Block8{}.Fps) % 8]struct{}{}
+	_ [0]struct{} = [unsafe.Offsetof(Block16{}.Fps) % 8]struct{}{}
+	_ [0]struct{} = [64 - unsafe.Sizeof(Block8{})]struct{}{}
+	_ [0]struct{} = [64 - unsafe.Sizeof(Block16{})]struct{}{}
+)
+
+func (b *Block8) fpsWords() *[b8FpsWords]uint64 {
+	return (*[b8FpsWords]uint64)(unsafe.Pointer(&b.Fps))
+}
+
+func (b *Block16) fpsWords() *[b16FpsWords]uint64 {
+	return (*[b16FpsWords]uint64)(unsafe.Pointer(&b.Fps))
+}
+
+// fpsBuf8 is a stack buffer for a block's 48 fingerprint bytes, declared as
+// words so it is 8-aligned for the atomic write-back.
+type fpsBuf8 [b8FpsWords]uint64
+
+func (w *fpsBuf8) bytes() *[B8Slots]byte { return (*[B8Slots]byte)(unsafe.Pointer(w)) }
+
+// fpsBuf16 is the 16-bit analog of fpsBuf8.
+type fpsBuf16 [b16FpsWords]uint64
+
+func (w *fpsBuf16) slots() *[B16Slots]uint16 { return (*[B16Slots]uint16)(unsafe.Pointer(w)) }
 
 // TryLock attempts to acquire the block's lock bit; it reports success.
 func (b *Block8) TryLock() bool {
@@ -50,6 +90,16 @@ func (b *Block8) Unlock() {
 	atomic.StoreUint64(&b.MetaHi, atomic.LoadUint64(&b.MetaHi)&^lockBit)
 }
 
+// UnlockBump publishes a mutation and releases the lock: it bumps the
+// seqlock version stripe associated with this block, then clears the lock
+// bit. An optimistic reader overlapping the write observes either the held
+// lock bit or the changed version — never a silently torn snapshot. Callers
+// that did not mutate the block release with plain Unlock.
+func (b *Block8) UnlockBump(seq *atomic.Uint64) {
+	seq.Add(1)
+	b.Unlock()
+}
+
 // metaLocked returns the logical metadata words while the lock is held (or
 // for a read that tolerates tearing, such as the shortcut occupancy probe):
 // the stored words with the top bit forced to 1.
@@ -57,12 +107,11 @@ func (b *Block8) metaLocked() (uint64, uint64) {
 	return b.MetaLo, atomic.LoadUint64(&b.MetaHi) | lockBit
 }
 
-// OccupancyLocked returns the block occupancy under the locked-mode metadata
-// convention: with the lock bit stripped, a full block shows only 79
-// terminators (its final terminator is represented by the forced top bit);
-// otherwise all 80 are stored and the highest one gives the occupancy.
-func (b *Block8) OccupancyLocked() uint {
-	lo, hi := b.metaLocked()
+// occupancy128 computes the locked-mode occupancy from explicit metadata
+// words: with the lock bit stripped, a full block shows only 79 terminators
+// (its final terminator is represented by the forced top bit); otherwise all
+// 80 are stored and the highest one gives the occupancy.
+func occupancy128(lo, hi uint64) uint {
 	hiReal := hi &^ lockBit
 	if bits.OnesCount64(lo)+bits.OnesCount64(hiReal) == B8Buckets-1 {
 		return B8Slots
@@ -73,13 +122,20 @@ func (b *Block8) OccupancyLocked() uint {
 	return uint(bits.Len64(lo)) - B8Buckets
 }
 
+// OccupancyLocked returns the block occupancy under the locked-mode metadata
+// convention; see occupancy128.
+func (b *Block8) OccupancyLocked() uint {
+	lo, hi := b.metaLocked()
+	return occupancy128(lo, hi)
+}
+
 func (b *Block8) bucketRangeLocked(bucket uint) (start, end uint) {
 	lo, hi := b.metaLocked()
 	return bucketRange128(lo, hi, bucket)
 }
 
 // bucketRange128 computes a bucket's slot range on explicit metadata words
-// (shared by the locked paths, which read the words once atomically).
+// (shared by the locked and optimistic paths, which read the words once).
 func bucketRange128(lo, hi uint64, bucket uint) (start, end uint) {
 	if bucket == 0 {
 		if t := uint(bits.TrailingZeros64(lo)); t < 64 {
@@ -113,22 +169,28 @@ func (b *Block8) ContainsLocked(bucket uint, fp byte) bool {
 }
 
 // InsertLocked adds fp to bucket. The caller must hold the block lock; the
-// lock bit is preserved. It returns false if the block is full.
+// lock bit is preserved. It returns false if the block is full. The mutation
+// is prepared on a private copy and written back with atomic word stores so
+// concurrent optimistic snapshots never race with it.
 func (b *Block8) InsertLocked(bucket uint, fp byte) bool {
 	lo, hi := b.metaLocked()
-	occ := b.OccupancyLocked()
+	occ := occupancy128(lo, hi)
 	if occ == B8Slots {
 		return false
 	}
+	var buf fpsBuf8
+	fps := buf.bytes()
+	*fps = b.Fps
 	m := bitvec.Select128(lo, hi, bucket)
 	z := int(m - bucket)
-	swar.ShiftBytesUp(b.Fps[:], z, int(occ))
-	b.Fps[z] = fp
+	swar.ShiftBytesUp(fps[:], z, int(occ))
+	fps[z] = fp
 	// The forced top bit (spurious when not full) is discarded by the shift;
 	// re-set it afterwards: it is the still-held lock, and coincides with the
 	// final terminator if the insert filled the block.
 	newLo, newHi := bitvec.InsertZero128(lo, hi, m)
-	b.MetaLo = newLo
+	b.publishFps(&buf)
+	atomic.StoreUint64(&b.MetaLo, newLo)
 	atomic.StoreUint64(&b.MetaHi, newHi|lockBit)
 	return true
 }
@@ -147,7 +209,7 @@ func (b *Block8) RemoveLocked(bucket uint, fp byte) bool {
 		return false
 	}
 	l := trailingZeros(mask)
-	occ := b.OccupancyLocked()
+	occ := occupancy128(lo, hi)
 	// The logical top bit is 1 only when the block is full; otherwise the
 	// forced lock bit must not shift down into the metadata body.
 	hiLogical := hi &^ lockBit
@@ -156,10 +218,23 @@ func (b *Block8) RemoveLocked(bucket uint, fp byte) bool {
 	}
 	m := uint(l) + bucket
 	newLo, newHi := bitvec.RemoveBit128(lo, hiLogical, m)
-	swar.ShiftBytesDown(b.Fps[:], int(l), int(occ))
-	b.MetaLo = newLo
+	var buf fpsBuf8
+	fps := buf.bytes()
+	*fps = b.Fps
+	swar.ShiftBytesDown(fps[:], int(l), int(occ))
+	b.publishFps(&buf)
+	atomic.StoreUint64(&b.MetaLo, newLo)
 	atomic.StoreUint64(&b.MetaHi, newHi|lockBit)
 	return true
+}
+
+// publishFps stores the prepared fingerprint bytes with atomic word stores.
+// The caller must hold the block lock.
+func (b *Block8) publishFps(buf *fpsBuf8) {
+	dst := b.fpsWords()
+	for i := range buf {
+		atomic.StoreUint64(&dst[i], buf[i])
+	}
 }
 
 func trailingZeros(x uint64) uint { return uint(bits.TrailingZeros64(x)) }
@@ -190,18 +265,31 @@ func (b *Block16) Unlock() {
 	atomic.StoreUint64(&b.Meta, atomic.LoadUint64(&b.Meta)&^lockBit)
 }
 
+// UnlockBump publishes a mutation and releases the lock; see
+// Block8.UnlockBump.
+func (b *Block16) UnlockBump(seq *atomic.Uint64) {
+	seq.Add(1)
+	b.Unlock()
+}
+
 func (b *Block16) metaLocked() uint64 {
 	return atomic.LoadUint64(&b.Meta) | lockBit
+}
+
+// occupancy64 computes the locked-mode occupancy from an explicit metadata
+// word; see occupancy128.
+func occupancy64(meta uint64) uint {
+	real := meta &^ lockBit
+	if bits.OnesCount64(real) == B16Buckets-1 {
+		return B16Slots
+	}
+	return uint(bits.Len64(real)) - B16Buckets
 }
 
 // OccupancyLocked returns the block occupancy under the locked-mode metadata
 // convention; see Block8.OccupancyLocked.
 func (b *Block16) OccupancyLocked() uint {
-	real := atomic.LoadUint64(&b.Meta) &^ lockBit
-	if bits.OnesCount64(real) == B16Buckets-1 {
-		return B16Slots
-	}
-	return uint(bits.Len64(real)) - B16Buckets
+	return occupancy64(atomic.LoadUint64(&b.Meta))
 }
 
 func bucketRange64(meta uint64, bucket uint) (start, end uint) {
@@ -224,17 +312,23 @@ func (b *Block16) ContainsLocked(bucket uint, fp uint16) bool {
 	return swar.MatchMaskU16Range(b.Fps[:], fp, start, end) != 0
 }
 
-// InsertLocked adds fp to bucket. The caller must hold the block lock.
+// InsertLocked adds fp to bucket. The caller must hold the block lock. The
+// mutation is prepared on a private copy and written back atomically; see
+// Block8.InsertLocked.
 func (b *Block16) InsertLocked(bucket uint, fp uint16) bool {
 	meta := b.metaLocked()
-	occ := b.OccupancyLocked()
+	occ := occupancy64(meta)
 	if occ == B16Slots {
 		return false
 	}
+	var buf fpsBuf16
+	fps := buf.slots()
+	*fps = b.Fps
 	m := bitvec.Select64(meta, bucket)
 	z := int(m - bucket)
-	swar.ShiftU16Up(b.Fps[:], z, int(occ))
-	b.Fps[z] = fp
+	swar.ShiftU16Up(fps[:], z, int(occ))
+	fps[z] = fp
+	b.publishFps(&buf)
 	atomic.StoreUint64(&b.Meta, bitvec.InsertZero64(meta, m)|lockBit)
 	return true
 }
@@ -252,14 +346,27 @@ func (b *Block16) RemoveLocked(bucket uint, fp uint16) bool {
 		return false
 	}
 	l := trailingZeros(mask)
-	occ := b.OccupancyLocked()
+	occ := occupancy64(meta)
 	metaLogical := meta &^ lockBit
 	if occ == B16Slots {
 		metaLogical |= lockBit
 	}
 	m := uint(l) + bucket
 	newMeta := bitvec.RemoveBit64(metaLogical, m)
-	swar.ShiftU16Down(b.Fps[:], int(l), int(occ))
+	var buf fpsBuf16
+	fps := buf.slots()
+	*fps = b.Fps
+	swar.ShiftU16Down(fps[:], int(l), int(occ))
+	b.publishFps(&buf)
 	atomic.StoreUint64(&b.Meta, newMeta|lockBit)
 	return true
+}
+
+// publishFps stores the prepared fingerprints with atomic word stores. The
+// caller must hold the block lock.
+func (b *Block16) publishFps(buf *fpsBuf16) {
+	dst := b.fpsWords()
+	for i := range buf {
+		atomic.StoreUint64(&dst[i], buf[i])
+	}
 }
