@@ -28,14 +28,20 @@ package main
 
 import (
 	"encoding/json"
+	_ "expvar" // registers /debug/vars on the -httpserve endpoint
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on the -httpserve endpoint
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"vqf/internal/analysis"
 	"vqf/internal/harness"
+	"vqf/internal/stats"
 )
 
 type config struct {
@@ -49,6 +55,10 @@ type config struct {
 	which         string
 	repeat        int
 	benchout      string
+	cpuprofile    string
+	memprofile    string
+	mutexprofile  string
+	httpserve     string
 }
 
 func main() {
@@ -65,8 +75,13 @@ func main() {
 	fs.StringVar(&cfg.which, "which", "", "fig6 sub-panel: a, b, c or d (default: all four)")
 	fs.IntVar(&cfg.repeat, "repeat", 1, "repetitions to average for fig4/fig5 sweeps")
 	fs.BoolVar(&cfg.csv, "csv", false, "emit CSV instead of aligned text")
-	fs.StringVar(&cfg.benchout, "benchout", "BENCH_concurrent.json",
-		"output file for the concurrent experiment's JSON results (empty: skip)")
+	fs.StringVar(&cfg.benchout, "benchout", "auto",
+		"output file for JSON-emitting experiments (fig4, fig5, concurrent, choices); \"auto\" writes BENCH_<experiment>.json, empty skips")
+	fs.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&cfg.memprofile, "memprofile", "", "write an end-of-run heap profile to this file")
+	fs.StringVar(&cfg.mutexprofile, "mutexprofile", "", "write an end-of-run mutex-contention profile to this file")
+	fs.StringVar(&cfg.httpserve, "httpserve", "",
+		"serve /metrics (Prometheus, live filters), /debug/pprof/ and /debug/vars on this address (e.g. 127.0.0.1:8080) while experiments run")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: vqfbench [flags] <experiment>\n\nexperiments: table1 fig2 fig3 table2 fig4 fig5 fig6 table3 table4 concurrent maxload maxloadscale choices ablation all\n\nflags:\n")
 		fs.PrintDefaults()
@@ -76,6 +91,12 @@ func main() {
 		fs.Usage()
 		os.Exit(2)
 	}
+
+	if cfg.httpserve != "" {
+		serveHTTP(cfg.httpserve)
+	}
+	stopProfiles := startProfiles(cfg)
+	defer stopProfiles()
 
 	cmd := fs.Arg(0)
 	experiments := map[string]func(config){
@@ -110,6 +131,108 @@ func main() {
 		os.Exit(2)
 	}
 	run(cfg)
+}
+
+// serveHTTP starts the observability endpoint: /metrics renders Prometheus
+// snapshots of the filters the running experiments have registered
+// (harness.Observe), and the expvar/pprof imports contribute /debug/vars and
+// /debug/pprof/. The listener is bound before the experiments start so the
+// printed address is scrapeable for the whole run.
+func serveHTTP(addr string) {
+	http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", stats.ContentType)
+		if err := harness.WriteObservedMetrics(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vqfbench: listen %s: %v\n", addr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("serving metrics on http://%s/metrics (pprof at /debug/pprof/)\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "vqfbench: http serve: %v\n", err)
+		}
+	}()
+}
+
+// startProfiles begins the profiles requested by -cpuprofile, -memprofile
+// and -mutexprofile, returning a function that finalizes them after the
+// experiments complete.
+func startProfiles(cfg config) func() {
+	var cpuFile *os.File
+	if cfg.cpuprofile != "" {
+		f, err := os.Create(cfg.cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vqfbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "vqfbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		cpuFile = f
+	}
+	if cfg.mutexprofile != "" {
+		runtime.SetMutexProfileFraction(5)
+	}
+	writeProfile := func(name, path string, gcFirst bool) {
+		if path == "" {
+			return
+		}
+		if gcFirst {
+			runtime.GC() // materialize reachable-heap numbers
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vqfbench: %s profile: %v\n", name, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "vqfbench: %s profile: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		writeProfile("heap", cfg.memprofile, true)
+		writeProfile("mutex", cfg.mutexprofile, false)
+	}
+}
+
+// benchPath resolves -benchout for one experiment: "auto" maps to
+// BENCH_<experiment>.json, empty disables JSON output, anything else is used
+// verbatim.
+func benchPath(cfg config, experiment string) string {
+	if cfg.benchout == "auto" {
+		return "BENCH_" + experiment + ".json"
+	}
+	return cfg.benchout
+}
+
+// writeJSON marshals doc to the resolved -benchout path for experiment,
+// doing nothing if JSON output is disabled.
+func writeJSON(cfg config, experiment string, doc any) {
+	path := benchPath(cfg, experiment)
+	if path == "" {
+		return
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vqfbench: marshal results: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "vqfbench: write %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
 }
 
 func emit(cfg config, t *harness.Table) {
@@ -171,7 +294,7 @@ func runTable2(cfg config) {
 	}
 }
 
-func sweepTables(cfg config, logSlots uint, specs []harness.Spec) {
+func sweepTables(cfg config, logSlots uint, specs []harness.Spec) []harness.SweepResult {
 	results := make([]harness.SweepResult, 0, len(specs))
 	for _, spec := range specs {
 		results = append(results,
@@ -211,16 +334,31 @@ func sweepTables(cfg config, logSlots uint, specs []harness.Spec) {
 		}
 		emit(cfg, t)
 	}
+	return results
+}
+
+// sweepDoc is the JSON document fig4/fig5 emit: the full sweep series per
+// filter plus, for the VQF variants, the operation-counter totals of the
+// final repetition's sweep (stats field of each result).
+type sweepDoc struct {
+	Experiment string                `json:"experiment"`
+	Log2Slots  uint                  `json:"log2_slots"`
+	Queries    int                   `json:"queries_per_point"`
+	Repeat     int                   `json:"repeat"`
+	Seed       uint64                `json:"seed"`
+	Results    []harness.SweepResult `json:"results"`
 }
 
 func runFig4(cfg config) {
 	fmt.Printf("Figure 4: in-RAM throughput vs load factor (2^%d slots, FPR 2^-8)\n", cfg.logSlotsRAM)
-	sweepTables(cfg, cfg.logSlotsRAM, harness.SpecsFPR8())
+	results := sweepTables(cfg, cfg.logSlotsRAM, harness.SpecsFPR8())
+	writeJSON(cfg, "fig4", sweepDoc{"fig4-load-sweep-ram", cfg.logSlotsRAM, cfg.queries, cfg.repeat, cfg.seed, results})
 }
 
 func runFig5(cfg config) {
 	fmt.Printf("Figure 5: in-cache throughput vs load factor (2^%d slots, FPR 2^-8)\n", cfg.logSlotsCache)
-	sweepTables(cfg, cfg.logSlotsCache, harness.SpecsFPR8())
+	results := sweepTables(cfg, cfg.logSlotsCache, harness.SpecsFPR8())
+	writeJSON(cfg, "fig5", sweepDoc{"fig5-load-sweep-cache", cfg.logSlotsCache, cfg.queries, cfg.repeat, cfg.seed, results})
 }
 
 func runFig6(cfg config) {
@@ -299,9 +437,6 @@ func runConcurrent(cfg config) {
 		t.AddRow(r.Threads, r.LookupLockedMops, r.LookupOptMops, r.MixedLockedMops, r.MixedOptMops)
 	}
 	emit(cfg, t)
-	if cfg.benchout == "" {
-		return
-	}
 	doc := struct {
 		Experiment   string                        `json:"experiment"`
 		GoMaxProcs   int                           `json:"gomaxprocs"`
@@ -310,16 +445,7 @@ func runConcurrent(cfg config) {
 		Seed         uint64                        `json:"seed"`
 		Results      []harness.ReaderScalingResult `json:"results"`
 	}{"concurrent-reader-scaling", runtime.GOMAXPROCS(0), cfg.logSlotsCache, cfg.queries, cfg.seed, results}
-	buf, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "vqfbench: marshal results: %v\n", err)
-		os.Exit(1)
-	}
-	if err := os.WriteFile(cfg.benchout, append(buf, '\n'), 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "vqfbench: write %s: %v\n", cfg.benchout, err)
-		os.Exit(1)
-	}
-	fmt.Printf("wrote %s\n", cfg.benchout)
+	writeJSON(cfg, "concurrent", doc)
 }
 
 func runMaxLoad(cfg config) {
@@ -351,11 +477,20 @@ func runMaxLoadScale(cfg config) {
 
 func runChoices(cfg config) {
 	fmt.Printf("Placement-policy ablation at 85%% load (2^%d slots)\n", cfg.logSlotsCache)
-	t := harness.NewTable("policy", "load", "mean occ", "stddev", "max occ", "full blocks %")
-	for _, r := range harness.RunChoices(1<<cfg.logSlotsCache, 0.85, cfg.seed) {
-		t.AddRow(r.Policy, r.Load, r.MeanOcc, r.StddevOcc, r.MaxOcc, r.FullPct)
+	results := harness.RunChoices(1<<cfg.logSlotsCache, 0.85, cfg.seed)
+	t := harness.NewTable("policy", "load", "mean occ", "stddev", "min occ", "max occ", "full blocks %")
+	for _, r := range results {
+		t.AddRow(r.Policy, r.Load, r.MeanOcc, r.StddevOcc, r.MinOcc, r.MaxOcc, r.FullPct)
 	}
 	emit(cfg, t)
+	doc := struct {
+		Experiment string                `json:"experiment"`
+		Log2Slots  uint                  `json:"log2_slots"`
+		Load       float64               `json:"load"`
+		Seed       uint64                `json:"seed"`
+		Results    []harness.ChoiceStats `json:"results"`
+	}{"choices-placement-ablation", cfg.logSlotsCache, 0.85, cfg.seed, results}
+	writeJSON(cfg, "choices", doc)
 }
 
 func runAblation(cfg config) {

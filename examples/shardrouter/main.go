@@ -12,6 +12,10 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
 
 	"vqf"
 	"vqf/internal/workload"
@@ -95,4 +99,36 @@ func main() {
 		}
 	}
 	fmt.Printf("post-rebalance mismatches: %d (collision-scale only)\n", stillWrong)
+
+	// The router's counters: Puts count as inserts, Gets/Updates as lookups.
+	st := router.Stats()
+	fmt.Printf("op counters: %d inserts, %d lookups, %d removes\n",
+		st.Inserts, st.Lookups, st.Removes)
+
+	// A vqf.Map serves the same /metrics endpoint as a Filter; a frontend
+	// would mount this on its ops port next to its other handlers.
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", vqf.MetricsHandler(map[string]vqf.Source{"shard-router": router}))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	defer ln.Close()
+	go http.Serve(ln, mux)
+	resp, err := http.Get("http://" + ln.Addr().String() + "/metrics")
+	if err != nil {
+		panic(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("scraped /metrics excerpt:")
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "vqf_items{") || strings.HasPrefix(line, "vqf_bits_per_item{") ||
+			strings.HasPrefix(line, "vqf_lookups_total{") || strings.HasPrefix(line, "vqf_block_occupancy_stddev{") {
+			fmt.Println("  " + line)
+		}
+	}
 }

@@ -10,6 +10,10 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -37,6 +41,18 @@ func main() {
 	fmt.Printf("warm summary: %d objects, %.1f KiB (%.2f bits/object), load %.3f\n",
 		summary.Count(), float64(summary.SizeBytes())/1024,
 		float64(summary.SizeBytes()*8)/float64(summary.Count()), summary.LoadFactor())
+
+	// Expose the summary the way a cache node would: a Prometheus /metrics
+	// endpoint a scraper can hit at any time, including while the request
+	// handlers below are mutating the filter (snapshots never block writers).
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", vqf.MetricsHandler(map[string]vqf.Source{"peer-summary": summary}))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	defer ln.Close()
+	go http.Serve(ln, mux)
 
 	// Each worker simulates a request handler: every admission to the local
 	// cache evicts the oldest object (delete + insert on the summary), and
@@ -84,4 +100,30 @@ func main() {
 	fmt.Printf("final summary: %d objects at load %.3f\n", summary.Count(), summary.LoadFactor())
 	fmt.Printf("absent-URL false-positive rate: %.5f (analytic full-load bound %.5f)\n",
 		float64(randHits.Load())/float64(randTotal.Load()), summary.FalsePositiveRate())
+
+	// The filter kept count of everything the workers did.
+	st := summary.Stats()
+	fmt.Printf("op counters: %d inserts (%d shortcut), %d lookups, %d removes\n",
+		st.Inserts, st.ShortcutInserts, st.Lookups, st.Removes)
+	fmt.Printf("optimistic reads: %d attempts, %d retries, %d lock fallbacks\n",
+		st.OptAttempts, st.OptRetries, st.OptFallbacks)
+
+	// Scrape our own endpoint and show a few series, as a monitoring stack
+	// would see them.
+	resp, err := http.Get("http://" + ln.Addr().String() + "/metrics")
+	if err != nil {
+		panic(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("scraped /metrics excerpt:")
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "vqf_items{") || strings.HasPrefix(line, "vqf_load_factor{") ||
+			strings.HasPrefix(line, "vqf_inserts_total{") || strings.HasPrefix(line, "vqf_optimistic_fallbacks_total{") {
+			fmt.Println("  " + line)
+		}
+	}
 }

@@ -99,6 +99,7 @@ func applyCount(hs []uint64, op func(uint64) bool) int {
 // a prefix of it (insertion order is a locality-driven radix reorder, not
 // caller order). Duplicates are stored like repeated Insert calls.
 func (f *Filter8) InsertBatch(hs []uint64) int {
+	f.st.Batch(len(hs))
 	if len(hs) < minBatchPartition {
 		return applyCount(hs, f.Insert)
 	}
@@ -108,6 +109,7 @@ func (f *Filter8) InsertBatch(hs []uint64) int {
 
 // InsertBatch inserts the keys of hs; see Filter8.InsertBatch.
 func (f *Filter16) InsertBatch(hs []uint64) int {
+	f.st.Batch(len(hs))
 	if len(hs) < minBatchPartition {
 		return applyCount(hs, f.Insert)
 	}

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"vqf/internal/minifilter"
+	"vqf/internal/stats"
 )
 
 // Concurrent filter variants (paper §6.3, extended). Writers take per-block
@@ -41,6 +42,7 @@ type CFilter8 struct {
 	count   atomic.Uint64
 	opts    Options
 	thresh  uint
+	st      stats.Striped
 }
 
 // NewCFilter8 creates a thread-safe filter with at least nslots slots; see
@@ -90,7 +92,9 @@ func (f *CFilter8) Insert(h uint64) bool {
 	blk1 := &f.blocks[b1]
 	seq1 := f.seq(b1)
 	if !f.opts.NoShortcut {
-		if occ, ok := blk1.OccupancyOptimistic(seq1); ok && occ < f.thresh {
+		occ, retries, ok := blk1.OccupancyOptimisticCounted(seq1)
+		f.st.Optimistic(b1, retries, !ok)
+		if ok && occ < f.thresh {
 			blk1.Lock()
 			// Re-check under the lock: a racing writer may have filled the
 			// block past the threshold since the probe.
@@ -98,6 +102,7 @@ func (f *CFilter8) Insert(h uint64) bool {
 				blk1.InsertLocked(bucket, fp)
 				blk1.UnlockBump(seq1)
 				f.count.Add(1)
+				f.st.ShortcutInsert(b1)
 				return true
 			}
 			blk1.Unlock()
@@ -109,6 +114,7 @@ func (f *CFilter8) Insert(h uint64) bool {
 		blk1.InsertLocked(bucket, fp)
 		blk1.UnlockBump(seq1)
 		f.count.Add(1)
+		f.st.ShortcutInsert(b1)
 		return true
 	}
 	b2 := secondary(h, b1, tag, f.mask, false)
@@ -117,8 +123,10 @@ func (f *CFilter8) Insert(h uint64) bool {
 		if ok {
 			blk1.UnlockBump(seq1)
 			f.count.Add(1)
+			f.st.Insert(b1)
 		} else {
 			blk1.Unlock()
+			f.st.InsertFailure(b1)
 		}
 		return ok
 	}
@@ -143,8 +151,10 @@ func (f *CFilter8) Insert(h uint64) bool {
 	if ok {
 		tgt.UnlockBump(tgtSeq)
 		f.count.Add(1)
+		f.st.Insert(b1)
 	} else {
 		tgt.Unlock()
+		f.st.InsertFailure(b1)
 	}
 	return ok
 }
@@ -154,14 +164,19 @@ func (f *CFilter8) Insert(h uint64) bool {
 // is snapshotted optimistically and scanned without acquiring its lock.
 func (f *CFilter8) Contains(h uint64) bool {
 	b1, bucket, fp, tag := split8(h, f.mask)
-	if f.blocks[b1].ContainsOptimistic(f.seq(b1), bucket, fp) {
+	f.st.Lookup(b1)
+	found, retries, fellBack := f.blocks[b1].ContainsOptimisticCounted(f.seq(b1), bucket, fp)
+	f.st.Optimistic(b1, retries, fellBack)
+	if found {
 		return true
 	}
 	b2 := secondary(h, b1, tag, f.mask, false)
 	if b2 == b1 {
 		return false
 	}
-	return f.blocks[b2].ContainsOptimistic(f.seq(b2), bucket, fp)
+	found, retries, fellBack = f.blocks[b2].ContainsOptimisticCounted(f.seq(b2), bucket, fp)
+	f.st.Optimistic(b1, retries, fellBack)
+	return found
 }
 
 // ContainsLocked is the pre-optimistic lookup path: it acquires each
@@ -171,6 +186,7 @@ func (f *CFilter8) Contains(h uint64) bool {
 // should use Contains.
 func (f *CFilter8) ContainsLocked(h uint64) bool {
 	b1, bucket, fp, tag := split8(h, f.mask)
+	f.st.Lookup(b1)
 	blk1 := &f.blocks[b1]
 	blk1.Lock()
 	found := blk1.ContainsLocked(bucket, fp)
@@ -199,11 +215,13 @@ func (f *CFilter8) Remove(h uint64) bool {
 	if ok {
 		blk1.UnlockBump(f.seq(b1))
 		f.count.Add(^uint64(0))
+		f.st.Remove(b1)
 		return true
 	}
 	blk1.Unlock()
 	b2 := secondary(h, b1, tag, f.mask, false)
 	if b2 == b1 {
+		f.st.RemoveMiss(b1)
 		return false
 	}
 	blk2 := &f.blocks[b2]
@@ -212,10 +230,44 @@ func (f *CFilter8) Remove(h uint64) bool {
 	if ok {
 		blk2.UnlockBump(f.seq(b2))
 		f.count.Add(^uint64(0))
+		f.st.Remove(b1)
 	} else {
 		blk2.Unlock()
+		f.st.RemoveMiss(b1)
 	}
 	return ok
+}
+
+// Stats returns the filter's operation counters. Safe for concurrent use:
+// stripes are summed with atomic loads and writers are never blocked. Each
+// counter is individually exact and monotone across calls, but a snapshot
+// taken while operations are in flight is not a consistent cut (see
+// internal/stats).
+func (f *CFilter8) Stats() stats.OpCounts { return f.st.Counts() }
+
+// SlotsPerBlock returns the fingerprint slots per mini-filter block.
+func (f *CFilter8) SlotsPerBlock() uint { return minifilter.B8Slots }
+
+// BlockOccupancies returns a point-in-time occupancy of every block. Safe
+// for concurrent use; each block is read with the validated optimistic
+// protocol (falling back to a brief single-block lock on repeated
+// conflicts), so writers are never blocked for more than one block's
+// critical section. Blocks are sampled one at a time: the vector is exact
+// per block but not a consistent cut of the whole filter. Snapshot reads are
+// not recorded in the operation counters.
+func (f *CFilter8) BlockOccupancies() []uint {
+	out := make([]uint, len(f.blocks))
+	for i := range f.blocks {
+		b := uint64(i)
+		if occ, ok := f.blocks[i].OccupancyOptimistic(f.seq(b)); ok {
+			out[i] = occ
+			continue
+		}
+		f.blocks[i].Lock()
+		out[i] = f.blocks[i].OccupancyLocked()
+		f.blocks[i].Unlock()
+	}
+	return out
 }
 
 // CFilter16 is the thread-safe vector quotient filter with 16-bit
@@ -228,6 +280,7 @@ type CFilter16 struct {
 	count   atomic.Uint64
 	opts    Options
 	thresh  uint
+	st      stats.Striped
 }
 
 // NewCFilter16 creates a thread-safe 16-bit-fingerprint filter.
@@ -272,12 +325,15 @@ func (f *CFilter16) Insert(h uint64) bool {
 	blk1 := &f.blocks[b1]
 	seq1 := f.seq(b1)
 	if !f.opts.NoShortcut {
-		if occ, ok := blk1.OccupancyOptimistic(seq1); ok && occ < f.thresh {
+		occ, retries, ok := blk1.OccupancyOptimisticCounted(seq1)
+		f.st.Optimistic(b1, retries, !ok)
+		if ok && occ < f.thresh {
 			blk1.Lock()
 			if blk1.OccupancyLocked() < f.thresh {
 				blk1.InsertLocked(bucket, fp)
 				blk1.UnlockBump(seq1)
 				f.count.Add(1)
+				f.st.ShortcutInsert(b1)
 				return true
 			}
 			blk1.Unlock()
@@ -289,6 +345,7 @@ func (f *CFilter16) Insert(h uint64) bool {
 		blk1.InsertLocked(bucket, fp)
 		blk1.UnlockBump(seq1)
 		f.count.Add(1)
+		f.st.ShortcutInsert(b1)
 		return true
 	}
 	b2 := secondary(h, b1, tag, f.mask, false)
@@ -297,8 +354,10 @@ func (f *CFilter16) Insert(h uint64) bool {
 		if ok {
 			blk1.UnlockBump(seq1)
 			f.count.Add(1)
+			f.st.Insert(b1)
 		} else {
 			blk1.Unlock()
+			f.st.InsertFailure(b1)
 		}
 		return ok
 	}
@@ -321,8 +380,10 @@ func (f *CFilter16) Insert(h uint64) bool {
 	if ok {
 		tgt.UnlockBump(tgtSeq)
 		f.count.Add(1)
+		f.st.Insert(b1)
 	} else {
 		tgt.Unlock()
+		f.st.InsertFailure(b1)
 	}
 	return ok
 }
@@ -331,20 +392,26 @@ func (f *CFilter16) Insert(h uint64) bool {
 // for concurrent use and lock-free on the common path.
 func (f *CFilter16) Contains(h uint64) bool {
 	b1, bucket, fp, tag := split16(h, f.mask)
-	if f.blocks[b1].ContainsOptimistic(f.seq(b1), bucket, fp) {
+	f.st.Lookup(b1)
+	found, retries, fellBack := f.blocks[b1].ContainsOptimisticCounted(f.seq(b1), bucket, fp)
+	f.st.Optimistic(b1, retries, fellBack)
+	if found {
 		return true
 	}
 	b2 := secondary(h, b1, tag, f.mask, false)
 	if b2 == b1 {
 		return false
 	}
-	return f.blocks[b2].ContainsOptimistic(f.seq(b2), bucket, fp)
+	found, retries, fellBack = f.blocks[b2].ContainsOptimisticCounted(f.seq(b2), bucket, fp)
+	f.st.Optimistic(b1, retries, fellBack)
+	return found
 }
 
 // ContainsLocked is the lock-acquiring lookup baseline; see
 // CFilter8.ContainsLocked.
 func (f *CFilter16) ContainsLocked(h uint64) bool {
 	b1, bucket, fp, tag := split16(h, f.mask)
+	f.st.Lookup(b1)
 	blk1 := &f.blocks[b1]
 	blk1.Lock()
 	found := blk1.ContainsLocked(bucket, fp)
@@ -373,11 +440,13 @@ func (f *CFilter16) Remove(h uint64) bool {
 	if ok {
 		blk1.UnlockBump(f.seq(b1))
 		f.count.Add(^uint64(0))
+		f.st.Remove(b1)
 		return true
 	}
 	blk1.Unlock()
 	b2 := secondary(h, b1, tag, f.mask, false)
 	if b2 == b1 {
+		f.st.RemoveMiss(b1)
 		return false
 	}
 	blk2 := &f.blocks[b2]
@@ -386,8 +455,33 @@ func (f *CFilter16) Remove(h uint64) bool {
 	if ok {
 		blk2.UnlockBump(f.seq(b2))
 		f.count.Add(^uint64(0))
+		f.st.Remove(b1)
 	} else {
 		blk2.Unlock()
+		f.st.RemoveMiss(b1)
 	}
 	return ok
+}
+
+// Stats returns the filter's operation counters; see CFilter8.Stats.
+func (f *CFilter16) Stats() stats.OpCounts { return f.st.Counts() }
+
+// SlotsPerBlock returns the fingerprint slots per mini-filter block.
+func (f *CFilter16) SlotsPerBlock() uint { return minifilter.B16Slots }
+
+// BlockOccupancies returns a point-in-time occupancy of every block; see
+// CFilter8.BlockOccupancies.
+func (f *CFilter16) BlockOccupancies() []uint {
+	out := make([]uint, len(f.blocks))
+	for i := range f.blocks {
+		b := uint64(i)
+		if occ, ok := f.blocks[i].OccupancyOptimistic(f.seq(b)); ok {
+			out[i] = occ
+			continue
+		}
+		f.blocks[i].Lock()
+		out[i] = f.blocks[i].OccupancyLocked()
+		f.blocks[i].Unlock()
+	}
+	return out
 }

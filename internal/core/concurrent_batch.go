@@ -132,12 +132,14 @@ func resizeBools(dst []bool, n int) []bool {
 // order is unspecified. Safe for concurrent use alongside any other
 // operations.
 func (f *CFilter8) InsertBatch(hs []uint64) int {
+	f.st.Batch(len(hs))
 	return parallelShardCount(hs, f.mask, blockShift8, f.Insert)
 }
 
 // RemoveBatch removes one previously inserted instance of each key of hs in
 // parallel, returning the number found and removed. Safe for concurrent use.
 func (f *CFilter8) RemoveBatch(hs []uint64) int {
+	f.st.Batch(len(hs))
 	return parallelShardCount(hs, f.mask, blockShift8, f.Remove)
 }
 
@@ -146,6 +148,7 @@ func (f *CFilter8) RemoveBatch(hs []uint64) int {
 // result reuses dst if it has sufficient capacity (dst may be nil). Safe for
 // concurrent use.
 func (f *CFilter8) ContainsBatch(hs []uint64, dst []bool) []bool {
+	f.st.Batch(len(hs))
 	out := resizeBools(dst, len(hs))
 	parallelShardContains(hs, out, f.mask, blockShift8, f.Contains)
 	return out
@@ -153,18 +156,21 @@ func (f *CFilter8) ContainsBatch(hs []uint64, dst []bool) []bool {
 
 // InsertBatch inserts the keys of hs in parallel; see CFilter8.InsertBatch.
 func (f *CFilter16) InsertBatch(hs []uint64) int {
+	f.st.Batch(len(hs))
 	return parallelShardCount(hs, f.mask, blockShift16, f.Insert)
 }
 
 // RemoveBatch removes one instance of each key of hs in parallel; see
 // CFilter8.RemoveBatch.
 func (f *CFilter16) RemoveBatch(hs []uint64) int {
+	f.st.Batch(len(hs))
 	return parallelShardCount(hs, f.mask, blockShift16, f.Remove)
 }
 
 // ContainsBatch reports membership for every key of hs in input order; see
 // CFilter8.ContainsBatch.
 func (f *CFilter16) ContainsBatch(hs []uint64, dst []bool) []bool {
+	f.st.Batch(len(hs))
 	out := resizeBools(dst, len(hs))
 	parallelShardContains(hs, out, f.mask, blockShift16, f.Contains)
 	return out

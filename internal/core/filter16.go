@@ -1,6 +1,9 @@
 package core
 
-import "vqf/internal/minifilter"
+import (
+	"vqf/internal/minifilter"
+	"vqf/internal/stats"
+)
 
 // Filter16 is a single-threaded vector quotient filter with 16-bit
 // fingerprints (target false-positive rate ≈ 2⁻¹⁶; empirically ≈ 0.000023,
@@ -12,6 +15,7 @@ type Filter16 struct {
 	count  uint64
 	opts   Options
 	thresh uint
+	st     stats.Local
 }
 
 // NewFilter16 creates a filter with at least nslots fingerprint slots; see
@@ -60,6 +64,7 @@ func (f *Filter16) Insert(h uint64) bool {
 	if !f.opts.NoShortcut && occ1 < f.thresh {
 		blk1.Insert(bucket, fp)
 		f.count++
+		f.st.ShortcutInsert()
 		return true
 	}
 	b2 := secondary(h, b1, tag, f.mask, f.opts.IndependentHash)
@@ -68,9 +73,11 @@ func (f *Filter16) Insert(h uint64) bool {
 		blk = &f.blocks[b2]
 	}
 	if !blk.Insert(bucket, fp) {
+		f.st.InsertFailure()
 		return false
 	}
 	f.count++
+	f.st.Insert()
 	return true
 }
 
@@ -80,6 +87,7 @@ func (f *Filter16) insertGeneric(h, b1 uint64, bucket uint, fp uint16, tag uint6
 	if !f.opts.NoShortcut && occ1 < f.thresh {
 		blk1.InsertGeneric(bucket, fp)
 		f.count++
+		f.st.ShortcutInsert()
 		return true
 	}
 	b2 := secondary(h, b1, tag, f.mask, f.opts.IndependentHash)
@@ -88,15 +96,18 @@ func (f *Filter16) insertGeneric(h, b1 uint64, bucket uint, fp uint16, tag uint6
 		blk = &f.blocks[b2]
 	}
 	if !blk.InsertGeneric(bucket, fp) {
+		f.st.InsertFailure()
 		return false
 	}
 	f.count++
+	f.st.Insert()
 	return true
 }
 
 // Contains reports whether the pre-hashed key h may be in the filter.
 func (f *Filter16) Contains(h uint64) bool {
 	b1, bucket, fp, tag := split16(h, f.mask)
+	f.st.Lookup()
 	if f.opts.Generic {
 		if f.blocks[b1].ContainsGeneric(bucket, fp) {
 			return true
@@ -119,14 +130,18 @@ func (f *Filter16) Remove(h uint64) bool {
 	if f.opts.Generic {
 		if f.blocks[b1].RemoveGeneric(bucket, fp) || f.blocks[b2].RemoveGeneric(bucket, fp) {
 			f.count--
+			f.st.Remove()
 			return true
 		}
+		f.st.RemoveMiss()
 		return false
 	}
 	if f.blocks[b1].Remove(bucket, fp) || f.blocks[b2].Remove(bucket, fp) {
 		f.count--
+		f.st.Remove()
 		return true
 	}
+	f.st.RemoveMiss()
 	return false
 }
 
@@ -138,3 +153,9 @@ func (f *Filter16) BlockOccupancies() []uint {
 	}
 	return out
 }
+
+// SlotsPerBlock returns the fingerprint slots per mini-filter block.
+func (f *Filter16) SlotsPerBlock() uint { return minifilter.B16Slots }
+
+// Stats returns the filter's operation counters; see Filter8.Stats.
+func (f *Filter16) Stats() stats.OpCounts { return f.st.Counts() }

@@ -1,6 +1,9 @@
 package core
 
-import "vqf/internal/minifilter"
+import (
+	"vqf/internal/minifilter"
+	"vqf/internal/stats"
+)
 
 // Filter8 is a single-threaded vector quotient filter with 8-bit fingerprints
 // (target false-positive rate ≈ 2⁻⁸; empirically ≈ 0.004, paper §5). Blocks
@@ -11,6 +14,7 @@ type Filter8 struct {
 	count  uint64
 	opts   Options
 	thresh uint
+	st     stats.Local
 }
 
 // NewFilter8 creates a filter with at least nslots fingerprint slots. The
@@ -66,6 +70,7 @@ func (f *Filter8) Insert(h uint64) bool {
 		// so skip the secondary block entirely — one cache line touched.
 		blk1.Insert(bucket, fp)
 		f.count++
+		f.st.ShortcutInsert()
 		return true
 	}
 	b2 := secondary(h, b1, tag, f.mask, f.opts.IndependentHash)
@@ -74,9 +79,11 @@ func (f *Filter8) Insert(h uint64) bool {
 		blk = &f.blocks[b2]
 	}
 	if !blk.Insert(bucket, fp) {
+		f.st.InsertFailure()
 		return false
 	}
 	f.count++
+	f.st.Insert()
 	return true
 }
 
@@ -86,6 +93,7 @@ func (f *Filter8) insertGeneric(h, b1 uint64, bucket uint, fp byte, tag uint64) 
 	if !f.opts.NoShortcut && occ1 < f.thresh {
 		blk1.InsertGeneric(bucket, fp)
 		f.count++
+		f.st.ShortcutInsert()
 		return true
 	}
 	b2 := secondary(h, b1, tag, f.mask, f.opts.IndependentHash)
@@ -94,9 +102,11 @@ func (f *Filter8) insertGeneric(h, b1 uint64, bucket uint, fp byte, tag uint64) 
 		blk = &f.blocks[b2]
 	}
 	if !blk.InsertGeneric(bucket, fp) {
+		f.st.InsertFailure()
 		return false
 	}
 	f.count++
+	f.st.Insert()
 	return true
 }
 
@@ -105,6 +115,7 @@ func (f *Filter8) insertGeneric(h, b1 uint64, bucket uint, fp byte, tag uint64) 
 // occur for inserted keys.
 func (f *Filter8) Contains(h uint64) bool {
 	b1, bucket, fp, tag := split8(h, f.mask)
+	f.st.Lookup()
 	if f.opts.Generic {
 		if f.blocks[b1].ContainsGeneric(bucket, fp) {
 			return true
@@ -130,14 +141,18 @@ func (f *Filter8) Remove(h uint64) bool {
 	if f.opts.Generic {
 		if f.blocks[b1].RemoveGeneric(bucket, fp) || f.blocks[b2].RemoveGeneric(bucket, fp) {
 			f.count--
+			f.st.Remove()
 			return true
 		}
+		f.st.RemoveMiss()
 		return false
 	}
 	if f.blocks[b1].Remove(bucket, fp) || f.blocks[b2].Remove(bucket, fp) {
 		f.count--
+		f.st.Remove()
 		return true
 	}
+	f.st.RemoveMiss()
 	return false
 }
 
@@ -150,3 +165,10 @@ func (f *Filter8) BlockOccupancies() []uint {
 	}
 	return out
 }
+
+// SlotsPerBlock returns the fingerprint slots per mini-filter block.
+func (f *Filter8) SlotsPerBlock() uint { return minifilter.B8Slots }
+
+// Stats returns the filter's operation counters. Like every other method of
+// the single-threaded filter, it must not race with mutations.
+func (f *Filter8) Stats() stats.OpCounts { return f.st.Counts() }

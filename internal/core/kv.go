@@ -1,6 +1,9 @@
 package core
 
-import "vqf/internal/minifilter"
+import (
+	"vqf/internal/minifilter"
+	"vqf/internal/stats"
+)
 
 // KVFilter8 is a value-associating vector quotient filter (paper §8: "like
 // the quotient filter, the vector quotient filter also has the ability to
@@ -18,6 +21,7 @@ type KVFilter8 struct {
 	vals   []byte // B8Slots bytes per block, parallel to block fingerprints
 	mask   uint64
 	count  uint64
+	st     stats.Local
 }
 
 // NewKV8 creates a value-associating filter with at least nslots slots.
@@ -51,12 +55,14 @@ func (f *KVFilter8) Put(h uint64, v byte) bool {
 	occ := blk.Occupancy()
 	z := blk.InsertAt(bucket, fp)
 	if z < 0 {
+		f.st.InsertFailure()
 		return false
 	}
 	vals := f.blockVals(tgt)
 	copy(vals[z+1:occ+1], vals[z:occ])
 	vals[z] = v
 	f.count++
+	f.st.Insert()
 	return true
 }
 
@@ -65,6 +71,7 @@ func (f *KVFilter8) Put(h uint64, v byte) bool {
 // its own value (the standard approximate-map contract).
 func (f *KVFilter8) Get(h uint64) (v byte, ok bool) {
 	b1, bucket, fp, tag := split8(h, f.mask)
+	f.st.Lookup()
 	if z := f.blocks[b1].FindSlot(bucket, fp); z >= 0 {
 		return f.blockVals(b1)[z], true
 	}
@@ -79,6 +86,7 @@ func (f *KVFilter8) Get(h uint64) (v byte, ok bool) {
 // its fingerprint is absent.
 func (f *KVFilter8) Update(h uint64, v byte) bool {
 	b1, bucket, fp, tag := split8(h, f.mask)
+	f.st.Lookup()
 	if z := f.blocks[b1].FindSlot(bucket, fp); z >= 0 {
 		f.blockVals(b1)[z] = v
 		return true
@@ -96,10 +104,16 @@ func (f *KVFilter8) Update(h uint64, v byte) bool {
 func (f *KVFilter8) Delete(h uint64) bool {
 	b1, bucket, fp, tag := split8(h, f.mask)
 	if f.deleteFrom(b1, bucket, fp) {
+		f.st.Remove()
 		return true
 	}
 	b2 := secondary(h, b1, tag, f.mask, false)
-	return f.deleteFrom(b2, bucket, fp)
+	if f.deleteFrom(b2, bucket, fp) {
+		f.st.Remove()
+		return true
+	}
+	f.st.RemoveMiss()
+	return false
 }
 
 func (f *KVFilter8) deleteFrom(b uint64, bucket uint, fp byte) bool {
@@ -129,3 +143,21 @@ func (f *KVFilter8) LoadFactor() float64 { return float64(f.count) / float64(f.C
 func (f *KVFilter8) SizeBytes() uint64 {
 	return uint64(len(f.blocks))*64 + uint64(len(f.vals))
 }
+
+// BlockOccupancies returns the occupancy of every block.
+func (f *KVFilter8) BlockOccupancies() []uint {
+	out := make([]uint, len(f.blocks))
+	for i := range f.blocks {
+		out[i] = f.blocks[i].Occupancy()
+	}
+	return out
+}
+
+// SlotsPerBlock returns the fingerprint slots per mini-filter block.
+func (f *KVFilter8) SlotsPerBlock() uint { return minifilter.B8Slots }
+
+// Stats returns the filter's operation counters. Puts count as inserts,
+// Gets and Updates as lookups, Deletes as removes/remove-misses; the
+// shortcut and optimistic counters stay zero (the KV filter always places
+// two-choice and is single-threaded).
+func (f *KVFilter8) Stats() stats.OpCounts { return f.st.Counts() }

@@ -1,10 +1,9 @@
 package harness
 
 import (
-	"math"
-
 	"vqf/internal/core"
 	"vqf/internal/minifilter"
+	"vqf/internal/stats"
 	"vqf/internal/workload"
 )
 
@@ -43,14 +42,16 @@ func RunMaxLoad(nslots uint64, seed uint64) []MaxLoadRow {
 
 // ChoiceStats summarizes block-occupancy dispersion for a placement policy —
 // the design-choice ablation behind Theorem 1 (power-of-two-choices keeps
-// the maximum block load near the mean, enabling high load factors).
+// the maximum block load near the mean, enabling high load factors). The
+// JSON tags are the schema of BENCH_choices.json.
 type ChoiceStats struct {
-	Policy    string
-	Load      float64
-	MeanOcc   float64
-	MaxOcc    uint
-	StddevOcc float64
-	FullPct   float64 // fraction of blocks at capacity
+	Policy    string  `json:"policy"`
+	Load      float64 `json:"load"`
+	MeanOcc   float64 `json:"mean_occ"`
+	MinOcc    uint    `json:"min_occ"`
+	MaxOcc    uint    `json:"max_occ"`
+	StddevOcc float64 `json:"stddev_occ"`
+	FullPct   float64 `json:"full_pct"` // percent of blocks at capacity
 }
 
 // RunChoices fills a VQF to the target load under two placement policies —
@@ -75,29 +76,15 @@ func RunChoices(nslots uint64, load float64, seed uint64) []ChoiceStats {
 				break
 			}
 		}
-		occs := f.BlockOccupancies()
-		var sum, sumsq float64
-		var max uint
-		full := 0
-		for _, o := range occs {
-			sum += float64(o)
-			sumsq += float64(o) * float64(o)
-			if o > max {
-				max = o
-			}
-			if o == minifilter.B8Slots {
-				full++
-			}
-		}
-		mean := sum / float64(len(occs))
-		variance := sumsq/float64(len(occs)) - mean*mean
+		occ := stats.BuildOccupancy(f.BlockOccupancies(), minifilter.B8Slots)
 		out = append(out, ChoiceStats{
 			Policy:    p.name,
 			Load:      f.LoadFactor(),
-			MeanOcc:   mean,
-			MaxOcc:    max,
-			StddevOcc: math.Sqrt(math.Max(variance, 0)),
-			FullPct:   float64(full) / float64(len(occs)) * 100,
+			MeanOcc:   occ.Mean,
+			MinOcc:    occ.Min,
+			MaxOcc:    occ.Max,
+			StddevOcc: occ.Stddev,
+			FullPct:   float64(occ.FullBlocks) / float64(occ.Blocks) * 100,
 		})
 	}
 	return out

@@ -3,26 +3,33 @@ package harness
 import (
 	"time"
 
+	"vqf/internal/stats"
 	"vqf/internal/workload"
 )
 
 // SweepPoint is one x-position of Figures 4/5: throughput measured at (or
-// across the 5% slice ending at) the given load factor.
+// across the 5% slice ending at) the given load factor. The JSON tags are
+// the schema of BENCH_fig4.json / BENCH_fig5.json.
 type SweepPoint struct {
-	LoadPct        int     // load factor at the end of the slice, in percent
-	InsertMops     float64 // instantaneous insert throughput over the slice
-	PosLookupMops  float64 // successful lookups at this load factor
-	RandLookupMops float64 // uniform-random (mostly negative) lookups
-	DeleteMops     float64 // deletes over the slice from this load downward
+	LoadPct        int     `json:"load_pct"`         // load factor at the end of the slice, in percent
+	InsertMops     float64 `json:"insert_mops"`      // instantaneous insert throughput over the slice
+	PosLookupMops  float64 `json:"pos_lookup_mops"`  // successful lookups at this load factor
+	RandLookupMops float64 `json:"rand_lookup_mops"` // uniform-random (mostly negative) lookups
+	DeleteMops     float64 `json:"delete_mops"`      // deletes over the slice from this load downward
 }
 
 // SweepResult is a filter's full load-factor sweep.
 type SweepResult struct {
-	Name   string
-	Points []SweepPoint
+	Name   string       `json:"name"`
+	Points []SweepPoint `json:"points"`
 	// Failed is set if an insertion failed before reaching the target load
 	// (the point list is then truncated).
-	Failed bool
+	Failed bool `json:"failed,omitempty"`
+	// Stats is the filter's operation-counter totals after the sweep, for
+	// filters that expose them (the VQF variants); nil otherwise. On averaged
+	// sweeps it reports the final repetition (each repetition is a fresh
+	// filter running an identical operation sequence).
+	Stats *stats.OpCounts `json:"stats,omitempty"`
 }
 
 // RunSweep reproduces the Figure 4/5 microbenchmark for one filter: fill in
@@ -31,6 +38,7 @@ type SweepResult struct {
 // queriesPerPoint bounds the lookup sample per measurement point.
 func RunSweep(spec Spec, nslots uint64, queriesPerPoint int, seed uint64) SweepResult {
 	f := spec.New(nslots)
+	Observe(spec.Name, f)
 	cap := f.Capacity()
 	slice := cap * 5 / 100
 	maxSlices := int(spec.MaxLoad*100) / 5 // e.g. 18 slices to 90%, 19 to 95%
@@ -109,6 +117,10 @@ func RunSweep(spec Spec, nslots uint64, queriesPerPoint int, seed uint64) SweepR
 			res.Points[s-1].DeleteMops = mops(slice, time.Since(start))
 		}
 	}
+	if sp, ok := f.(statsProvider); ok {
+		c := sp.Stats()
+		res.Stats = &c
+	}
 	return res
 }
 
@@ -136,6 +148,7 @@ func RunSweepAveraged(spec Spec, nslots uint64, queriesPerPoint, repeat int, see
 			acc = res
 			continue
 		}
+		acc.Stats = res.Stats
 		for i := range acc.Points {
 			acc.Points[i].InsertMops += res.Points[i].InsertMops
 			acc.Points[i].PosLookupMops += res.Points[i].PosLookupMops

@@ -59,6 +59,13 @@ type ReaderScalingResult struct {
 	LookupOptMops    float64 `json:"lookup_optimistic_mops"`
 	MixedLockedMops  float64 `json:"mixed90_locked_mops"`
 	MixedOptMops     float64 `json:"mixed90_optimistic_mops"`
+	// Deltas of the filter's optimistic-read counters across this row's
+	// measurements (all four workloads at this thread count): how often the
+	// seqlock protocol conflicted with writers and how often it gave up and
+	// took a lock.
+	OptAttempts  uint64 `json:"optimistic_attempts"`
+	OptRetries   uint64 `json:"optimistic_retries"`
+	OptFallbacks uint64 `json:"optimistic_fallbacks"`
 }
 
 // RunReaderScaling measures how concurrent queries scale with goroutines.
@@ -93,9 +100,11 @@ func RunReaderScaling(nslots uint64, threads []int, opsPerThread, repeat int, se
 		}
 		return m
 	}
+	Observe("vqf-concurrent", f)
 	out := make([]ReaderScalingResult, 0, len(threads))
 	for _, t := range threads {
 		r := ReaderScalingResult{Threads: t}
+		prev := f.Stats()
 		r.LookupLockedMops = best(func() float64 {
 			return runLookups(f, keys, t, opsPerThread, seed, f.ContainsLocked)
 		})
@@ -108,6 +117,8 @@ func RunReaderScaling(nslots uint64, threads []int, opsPerThread, repeat int, se
 		r.MixedOptMops = best(func() float64 {
 			return runMixed90(f, keys, t, opsPerThread, seed, f.Contains)
 		})
+		d := f.Stats().Sub(prev)
+		r.OptAttempts, r.OptRetries, r.OptFallbacks = d.OptAttempts, d.OptRetries, d.OptFallbacks
 		out = append(out, r)
 	}
 	return out

@@ -48,6 +48,11 @@ import (
 // the reader yields between attempts rather than spinning.
 const optRetries = 4
 
+// OptRetryBudget is the per-read retry budget (optRetries), exported for
+// callers that reason about retry/fallback counter accounting: a read that
+// fell back reports exactly this many retries.
+const OptRetryBudget = optRetries
+
 // snap8 is an optimistic reader's private copy of a Block8, plus the version
 // observed before the copy. Fields hold the locked-mode logical form (top
 // metadata bit forced to 1).
@@ -90,39 +95,55 @@ func (b *Block8) snapValidate(seq *atomic.Uint64, s *snap8) bool {
 // it falls back to a locked scan, so the operation always terminates even
 // under a continuous writer storm.
 func (b *Block8) ContainsOptimistic(seq *atomic.Uint64, bucket uint, fp byte) bool {
+	found, _, _ := b.ContainsOptimisticCounted(seq, bucket, fp)
+	return found
+}
+
+// ContainsOptimisticCounted is ContainsOptimistic reporting how the read
+// resolved: retries is the number of conflicted snapshot attempts, and
+// fellBack is true when the retry budget was exhausted and the scan ran
+// under the block lock. The counts feed the internal/stats counters.
+func (b *Block8) ContainsOptimisticCounted(seq *atomic.Uint64, bucket uint, fp byte) (found bool, retries uint, fellBack bool) {
 	var s snap8
 	for i := 0; i < optRetries; i++ {
 		if b.snapRead(seq, &s) && b.snapValidate(seq, &s) {
 			start, end := bucketRange128(s.lo, s.hi, bucket)
 			if start == end {
-				return false
+				return false, uint(i), false
 			}
-			return swar.MatchMaskBytesRange(s.fps.bytes()[:], fp, start, end) != 0
+			return swar.MatchMaskBytesRange(s.fps.bytes()[:], fp, start, end) != 0, uint(i), false
 		}
 		runtime.Gosched()
 	}
 	b.Lock()
-	found := b.ContainsLocked(bucket, fp)
+	found = b.ContainsLocked(bucket, fp)
 	b.Unlock()
-	return found
+	return found, optRetries, true
 }
 
 // OccupancyOptimistic returns the block occupancy from a validated lock-free
 // read of the metadata words. ok is false after repeated conflicts; the
 // caller should then fall back to its locked path.
 func (b *Block8) OccupancyOptimistic(seq *atomic.Uint64) (occ uint, ok bool) {
+	occ, _, ok = b.OccupancyOptimisticCounted(seq)
+	return occ, ok
+}
+
+// OccupancyOptimisticCounted is OccupancyOptimistic reporting the number of
+// conflicted attempts; see ContainsOptimisticCounted.
+func (b *Block8) OccupancyOptimisticCounted(seq *atomic.Uint64) (occ uint, retries uint, ok bool) {
 	for i := 0; i < optRetries; i++ {
 		ver := seq.Load()
 		hi := atomic.LoadUint64(&b.MetaHi)
 		if hi&lockBit == 0 {
 			lo := atomic.LoadUint64(&b.MetaLo)
 			if atomic.LoadUint64(&b.MetaHi)&lockBit == 0 && seq.Load() == ver {
-				return occupancy128(lo, hi|lockBit), true
+				return occupancy128(lo, hi|lockBit), uint(i), true
 			}
 		}
 		runtime.Gosched()
 	}
-	return 0, false
+	return 0, optRetries, false
 }
 
 // snap16 is an optimistic reader's private copy of a Block16; see snap8.
@@ -157,35 +178,49 @@ func (b *Block16) snapValidate(seq *atomic.Uint64, s *snap16) bool {
 
 // ContainsOptimistic is the lock-free lookup; see Block8.ContainsOptimistic.
 func (b *Block16) ContainsOptimistic(seq *atomic.Uint64, bucket uint, fp uint16) bool {
+	found, _, _ := b.ContainsOptimisticCounted(seq, bucket, fp)
+	return found
+}
+
+// ContainsOptimisticCounted is the counted lock-free lookup; see
+// Block8.ContainsOptimisticCounted.
+func (b *Block16) ContainsOptimisticCounted(seq *atomic.Uint64, bucket uint, fp uint16) (found bool, retries uint, fellBack bool) {
 	var s snap16
 	for i := 0; i < optRetries; i++ {
 		if b.snapRead(seq, &s) && b.snapValidate(seq, &s) {
 			start, end := bucketRange64(s.meta, bucket)
 			if start == end {
-				return false
+				return false, uint(i), false
 			}
-			return swar.MatchMaskU16Range(s.fps.slots()[:], fp, start, end) != 0
+			return swar.MatchMaskU16Range(s.fps.slots()[:], fp, start, end) != 0, uint(i), false
 		}
 		runtime.Gosched()
 	}
 	b.Lock()
-	found := b.ContainsLocked(bucket, fp)
+	found = b.ContainsLocked(bucket, fp)
 	b.Unlock()
-	return found
+	return found, optRetries, true
 }
 
 // OccupancyOptimistic is the lock-free occupancy probe; see
 // Block8.OccupancyOptimistic.
 func (b *Block16) OccupancyOptimistic(seq *atomic.Uint64) (occ uint, ok bool) {
+	occ, _, ok = b.OccupancyOptimisticCounted(seq)
+	return occ, ok
+}
+
+// OccupancyOptimisticCounted is the counted lock-free occupancy probe; see
+// Block8.OccupancyOptimisticCounted.
+func (b *Block16) OccupancyOptimisticCounted(seq *atomic.Uint64) (occ uint, retries uint, ok bool) {
 	for i := 0; i < optRetries; i++ {
 		ver := seq.Load()
 		meta := atomic.LoadUint64(&b.Meta)
 		if meta&lockBit == 0 {
 			if atomic.LoadUint64(&b.Meta)&lockBit == 0 && seq.Load() == ver {
-				return occupancy64(meta | lockBit), true
+				return occupancy64(meta | lockBit), uint(i), true
 			}
 		}
 		runtime.Gosched()
 	}
-	return 0, false
+	return 0, optRetries, false
 }

@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Prometheus text-format exposition (text/plain; version=0.0.4), stdlib
+// only. WriteMetrics renders any number of named filter snapshots in one
+// pass, emitting each metric's HELP/TYPE header exactly once with one sample
+// per filter — the layout the format requires when several filters share a
+// registry. The block-occupancy distribution is rendered as a native
+// Prometheus histogram (cumulative le buckets; _sum is the total number of
+// occupied slots, _count the number of blocks).
+
+// ContentType is the Content-Type header value for WriteMetrics output.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// NamedSnapshot pairs a filter's exposition label with its snapshot.
+type NamedSnapshot struct {
+	Name string
+	Snap Snapshot
+}
+
+// metricDef is one exposition metric: its name, type, help string, and how
+// to read its value from a snapshot.
+type metricDef struct {
+	name, typ, help string
+	value           func(*Snapshot) float64
+}
+
+var metricDefs = []metricDef{
+	// Counters (monotone op totals).
+	{"vqf_inserts_total", "counter", "Successful insertions.",
+		func(s *Snapshot) float64 { return float64(s.Ops.Inserts) }},
+	{"vqf_insert_failures_total", "counter", "Insertions rejected with both candidate blocks full.",
+		func(s *Snapshot) float64 { return float64(s.Ops.InsertFailures) }},
+	{"vqf_shortcut_inserts_total", "counter", "Insertions that took the single-block shortcut path.",
+		func(s *Snapshot) float64 { return float64(s.Ops.ShortcutInserts) }},
+	{"vqf_lookups_total", "counter", "Membership queries.",
+		func(s *Snapshot) float64 { return float64(s.Ops.Lookups) }},
+	{"vqf_removes_total", "counter", "Successful deletions.",
+		func(s *Snapshot) float64 { return float64(s.Ops.Removes) }},
+	{"vqf_remove_misses_total", "counter", "Deletions that found no matching fingerprint.",
+		func(s *Snapshot) float64 { return float64(s.Ops.RemoveMisses) }},
+	{"vqf_optimistic_attempts_total", "counter", "Optimistic (seqlock) block reads started.",
+		func(s *Snapshot) float64 { return float64(s.Ops.OptAttempts) }},
+	{"vqf_optimistic_retries_total", "counter", "Optimistic block reads that conflicted with a writer and re-ran.",
+		func(s *Snapshot) float64 { return float64(s.Ops.OptRetries) }},
+	{"vqf_optimistic_fallbacks_total", "counter", "Optimistic block reads that fell back to the block lock.",
+		func(s *Snapshot) float64 { return float64(s.Ops.OptFallbacks) }},
+	{"vqf_batch_ops_total", "counter", "Batch API calls.",
+		func(s *Snapshot) float64 { return float64(s.Ops.BatchOps) }},
+	{"vqf_batch_keys_total", "counter", "Keys carried by batch API calls.",
+		func(s *Snapshot) float64 { return float64(s.Ops.BatchKeys) }},
+
+	// Gauges (structural state).
+	{"vqf_items", "gauge", "Fingerprints currently stored.",
+		func(s *Snapshot) float64 { return float64(s.Count) }},
+	{"vqf_capacity_slots", "gauge", "Total fingerprint slots.",
+		func(s *Snapshot) float64 { return float64(s.Capacity) }},
+	{"vqf_load_factor", "gauge", "Items divided by capacity.",
+		func(s *Snapshot) float64 { return s.LoadFactor }},
+	{"vqf_size_bytes", "gauge", "Memory footprint of the filter.",
+		func(s *Snapshot) float64 { return float64(s.SizeBytes) }},
+	{"vqf_bits_per_item", "gauge", "Space cost per stored item (0 when empty).",
+		func(s *Snapshot) float64 { return s.BitsPerItem }},
+	{"vqf_false_positive_rate", "gauge", "Estimated false-positive rate at the current load factor.",
+		func(s *Snapshot) float64 { return s.FPREstimate }},
+	{"vqf_blocks", "gauge", "Mini-filter blocks.",
+		func(s *Snapshot) float64 { return float64(s.Occupancy.Blocks) }},
+	{"vqf_block_occupancy_min", "gauge", "Minimum block occupancy.",
+		func(s *Snapshot) float64 { return float64(s.Occupancy.Min) }},
+	{"vqf_block_occupancy_max", "gauge", "Maximum block occupancy.",
+		func(s *Snapshot) float64 { return float64(s.Occupancy.Max) }},
+	{"vqf_block_occupancy_stddev", "gauge", "Standard deviation of block occupancy.",
+		func(s *Snapshot) float64 { return s.Occupancy.Stddev }},
+	{"vqf_full_blocks", "gauge", "Blocks that can accept no more insertions.",
+		func(s *Snapshot) float64 { return float64(s.Occupancy.FullBlocks) }},
+}
+
+// WriteMetrics renders the snapshots in Prometheus text format 0.0.4.
+func WriteMetrics(w io.Writer, snaps []NamedSnapshot) error {
+	for _, def := range metricDefs {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", def.name, def.help, def.name, def.typ); err != nil {
+			return err
+		}
+		for i := range snaps {
+			if _, err := fmt.Fprintf(w, "%s{filter=%q} %s\n",
+				def.name, snaps[i].Name, formatValue(def.value(&snaps[i].Snap))); err != nil {
+				return err
+			}
+		}
+	}
+
+	const hist = "vqf_block_occupancy"
+	if _, err := fmt.Fprintf(w, "# HELP %s Distribution of fingerprints over blocks (bucket value = blocks at or below that occupancy).\n# TYPE %s histogram\n", hist, hist); err != nil {
+		return err
+	}
+	for i := range snaps {
+		occ := &snaps[i].Snap.Occupancy
+		cum := uint64(0)
+		occupied := uint64(0)
+		for slots, blocks := range occ.Histogram {
+			cum += blocks
+			occupied += uint64(slots) * blocks
+			if _, err := fmt.Fprintf(w, "%s_bucket{filter=%q,le=\"%d\"} %d\n", hist, snaps[i].Name, slots, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{filter=%q,le=\"+Inf\"} %d\n%s_sum{filter=%q} %d\n%s_count{filter=%q} %d\n",
+			hist, snaps[i].Name, cum, hist, snaps[i].Name, occupied, hist, snaps[i].Name, occ.Blocks); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatValue renders a sample value: integral values without an exponent,
+// everything else in Go's shortest-roundtrip form (both valid Prometheus
+// floats).
+func formatValue(v float64) string {
+	if v >= 0 && v < (1<<63) && v == float64(uint64(v)) {
+		return strconv.FormatUint(uint64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

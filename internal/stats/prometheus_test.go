@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promSample is one parsed exposition line: metric name, label set (as the
+// raw {...} string), and value.
+type promSample struct {
+	name   string
+	labels string
+	value  float64
+}
+
+// parseProm is a strict parser for the subset of the Prometheus text format
+// 0.0.4 that WriteMetrics emits. It fails the test on any malformed line,
+// HELP/TYPE duplication, or sample appearing outside its metric's block.
+func parseProm(t *testing.T, text string) (samples []promSample, types map[string]string) {
+	t.Helper()
+	types = map[string]string{}
+	helps := map[string]bool{}
+	current := ""
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok || help == "" {
+				t.Fatalf("line %d: malformed HELP %q", ln+1, line)
+			}
+			if helps[name] {
+				t.Fatalf("line %d: duplicate HELP for %s", ln+1, name)
+			}
+			helps[name] = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok || (typ != "counter" && typ != "gauge" && typ != "histogram") {
+				t.Fatalf("line %d: malformed TYPE %q", ln+1, line)
+			}
+			if _, dup := types[name]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %s", ln+1, name)
+			}
+			types[name] = typ
+			current = name
+			continue
+		}
+		brace := strings.IndexByte(line, '{')
+		if brace < 0 {
+			t.Fatalf("line %d: sample without labels: %q", ln+1, line)
+		}
+		name := line[:brace]
+		end := strings.IndexByte(line, '}')
+		if end < brace {
+			t.Fatalf("line %d: unterminated label set: %q", ln+1, line)
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if base != current {
+			t.Fatalf("line %d: sample %s outside its metric block (current %s)", ln+1, name, current)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(line[end+1:]), 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value in %q: %v", ln+1, line, err)
+		}
+		samples = append(samples, promSample{name: name, labels: line[brace : end+1], value: v})
+	}
+	return samples, types
+}
+
+func findSample(t *testing.T, samples []promSample, name, filter string) float64 {
+	t.Helper()
+	want := fmt.Sprintf("{filter=%q}", filter)
+	for _, s := range samples {
+		if s.name == name && s.labels == want {
+			return s.value
+		}
+	}
+	t.Fatalf("no sample %s%s", name, want)
+	return 0
+}
+
+func TestWriteMetricsRoundTrip(t *testing.T) {
+	a := BuildSnapshot(90, 100, 6400, 0.004, []uint{45, 45}, 48,
+		OpCounts{Inserts: 90, ShortcutInserts: 60, Lookups: 1000, OptAttempts: 2000, OptRetries: 3, OptFallbacks: 1})
+	b := BuildSnapshot(0, 64, 4096, 0.004, []uint{0, 0}, 48, OpCounts{})
+	var buf bytes.Buffer
+	if err := WriteMetrics(&buf, []NamedSnapshot{{Name: "hot", Snap: a}, {Name: "cold", Snap: b}}); err != nil {
+		t.Fatal(err)
+	}
+	samples, types := parseProm(t, buf.String())
+
+	// Every declared metric must have exactly one sample per filter (plus
+	// bucket/sum/count series for the histogram).
+	for _, def := range metricDefs {
+		if types[def.name] != def.typ {
+			t.Fatalf("metric %s: type %q want %q", def.name, types[def.name], def.typ)
+		}
+		for _, f := range []string{"hot", "cold"} {
+			findSample(t, samples, def.name, f)
+		}
+	}
+	if types["vqf_block_occupancy"] != "histogram" {
+		t.Fatalf("histogram type: %q", types["vqf_block_occupancy"])
+	}
+
+	// Spot-check values survive the round trip.
+	if v := findSample(t, samples, "vqf_inserts_total", "hot"); v != 90 {
+		t.Fatalf("inserts: %v", v)
+	}
+	if v := findSample(t, samples, "vqf_load_factor", "hot"); v != 0.9 {
+		t.Fatalf("load factor: %v", v)
+	}
+	if v := findSample(t, samples, "vqf_items", "cold"); v != 0 {
+		t.Fatalf("cold items: %v", v)
+	}
+	if v := findSample(t, samples, "vqf_full_blocks", "hot"); v != 0 {
+		t.Fatalf("full blocks: %v", v)
+	}
+
+	// Histogram invariants per filter: cumulative buckets are monotone, the
+	// +Inf bucket equals _count equals the block count, and _sum is the
+	// occupied-slot total.
+	for _, f := range []string{"hot", "cold"} {
+		prefix := fmt.Sprintf("{filter=%q,le=", f)
+		last := -1.0
+		buckets := 0
+		for _, s := range samples {
+			if s.name != "vqf_block_occupancy_bucket" || !strings.HasPrefix(s.labels, prefix) {
+				continue
+			}
+			if s.value < last {
+				t.Fatalf("filter %s: bucket series not monotone: %v after %v", f, s.value, last)
+			}
+			last = s.value
+			buckets++
+		}
+		if buckets != 48+2 { // le=0..48 plus +Inf
+			t.Fatalf("filter %s: %d buckets", f, buckets)
+		}
+		count := findSample(t, samples, "vqf_block_occupancy_count", f)
+		if last != count || count != 2 {
+			t.Fatalf("filter %s: +Inf bucket %v, _count %v, want 2", f, last, count)
+		}
+	}
+	if v := findSample(t, samples, "vqf_block_occupancy_sum", "hot"); v != 90 {
+		t.Fatalf("hot occupancy sum: %v", v)
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := map[float64]string{
+		0:        "0",
+		90:       "90",
+		0.9:      "0.9",
+		-1:       "-1",
+		1 << 62:  strconv.FormatUint(1<<62, 10),
+		0.000023: "2.3e-05",
+	}
+	for in, want := range cases {
+		if got := formatValue(in); got != want {
+			t.Errorf("formatValue(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package stats
+
+import "math"
+
+// Occupancy is a per-block occupancy distribution: how evenly the
+// power-of-two-choices placement spread items over blocks (the dispersion
+// behavior of the paper's Theorem 1). Built from a filter's block-occupancy
+// vector by BuildOccupancy.
+type Occupancy struct {
+	SlotsPerBlock uint   `json:"slots_per_block"`
+	Blocks        uint64 `json:"blocks"`
+	// Histogram[i] is the number of blocks holding exactly i fingerprints;
+	// its length is SlotsPerBlock+1.
+	Histogram []uint64 `json:"histogram"`
+	Min       uint     `json:"min"`
+	Max       uint     `json:"max"`
+	Mean      float64  `json:"mean"`
+	Stddev    float64  `json:"stddev"`
+	// FullBlocks is Histogram[SlotsPerBlock]: blocks that can accept no more
+	// insertions.
+	FullBlocks uint64 `json:"full_blocks"`
+}
+
+// BuildOccupancy summarizes a block-occupancy vector. Occupancies above
+// slotsPerBlock are clamped into the top bucket (they cannot occur on a
+// quiesced filter, but a concurrent snapshot is taken block-by-block and
+// tolerates sampling skew rather than propagating it).
+func BuildOccupancy(occs []uint, slotsPerBlock uint) Occupancy {
+	o := Occupancy{
+		SlotsPerBlock: slotsPerBlock,
+		Blocks:        uint64(len(occs)),
+		Histogram:     make([]uint64, slotsPerBlock+1),
+	}
+	if len(occs) == 0 {
+		return o
+	}
+	o.Min = slotsPerBlock + 1
+	var sum, sumsq float64
+	for _, occ := range occs {
+		if occ > slotsPerBlock {
+			occ = slotsPerBlock
+		}
+		o.Histogram[occ]++
+		if occ < o.Min {
+			o.Min = occ
+		}
+		if occ > o.Max {
+			o.Max = occ
+		}
+		sum += float64(occ)
+		sumsq += float64(occ) * float64(occ)
+	}
+	n := float64(len(occs))
+	o.Mean = sum / n
+	o.Stddev = math.Sqrt(math.Max(sumsq/n-o.Mean*o.Mean, 0))
+	o.FullBlocks = o.Histogram[slotsPerBlock]
+	return o
+}
+
+// Snapshot is a filter's full observable state: structural gauges, the
+// occupancy distribution, and the operation counters. Building one walks
+// every block, so it costs O(blocks) — cheap enough to serve on a metrics
+// endpoint, too expensive for a per-operation path.
+type Snapshot struct {
+	// Count and Capacity are items stored and total fingerprint slots;
+	// LoadFactor is their ratio.
+	Count      uint64  `json:"count"`
+	Capacity   uint64  `json:"capacity"`
+	LoadFactor float64 `json:"load_factor"`
+	// SizeBytes is the filter's memory footprint; BitsPerItem is
+	// SizeBytes·8/Count (0 when empty).
+	SizeBytes   uint64  `json:"size_bytes"`
+	BitsPerItem float64 `json:"bits_per_item"`
+	// FPRFullLoad is the analytic false-positive rate at 100% load
+	// (2·(s/b)·2⁻ʳ, paper §5); FPREstimate scales it by the current load
+	// factor, since the realized rate is proportional to occupancy.
+	FPRFullLoad float64 `json:"fpr_full_load"`
+	FPREstimate float64 `json:"fpr_estimate"`
+
+	Occupancy Occupancy `json:"occupancy"`
+	Ops       OpCounts  `json:"ops"`
+}
+
+// BuildSnapshot assembles a Snapshot from the primitive readings every
+// introspectable filter exposes.
+func BuildSnapshot(count, capacity, sizeBytes uint64, fprFullLoad float64, occs []uint, slotsPerBlock uint, ops OpCounts) Snapshot {
+	s := Snapshot{
+		Count:       count,
+		Capacity:    capacity,
+		SizeBytes:   sizeBytes,
+		FPRFullLoad: fprFullLoad,
+		Occupancy:   BuildOccupancy(occs, slotsPerBlock),
+		Ops:         ops,
+	}
+	if capacity > 0 {
+		s.LoadFactor = float64(count) / float64(capacity)
+	}
+	if count > 0 {
+		s.BitsPerItem = float64(sizeBytes) * 8 / float64(count)
+	}
+	s.FPREstimate = fprFullLoad * s.LoadFactor
+	return s
+}

@@ -1,0 +1,82 @@
+package vqf
+
+import (
+	"bytes"
+	"expvar"
+	"net/http"
+	"sort"
+
+	"vqf/internal/stats"
+)
+
+// Observability surface. Filters keep cheap always-on operation counters
+// (Filter.Stats) and can produce full structural snapshots on demand
+// (Filter.Snapshot). This file exposes those two primitives in the shapes
+// monitoring stacks expect — a Prometheus text-format HTTP handler and
+// expvar publishing — using only the standard library.
+
+// OpStats is a point-in-time reading of a filter's operation counters; all
+// fields are cumulative totals since filter creation. See Filter.Stats for
+// the consistency contract.
+type OpStats = stats.OpCounts
+
+// Occupancy describes the distribution of stored fingerprints over
+// mini-filter blocks: a histogram (index = occupancy in slots, value =
+// number of blocks), its summary statistics, and the count of full blocks.
+type Occupancy = stats.Occupancy
+
+// Snapshot is a full structural snapshot of one filter; see Filter.Snapshot.
+type Snapshot = stats.Snapshot
+
+// Source is anything that can produce a metrics snapshot: *Filter and *Map
+// both implement it, as can application wrappers.
+type Source interface {
+	Snapshot() Snapshot
+}
+
+// MetricsContentType is the Content-Type of MetricsHandler responses
+// (Prometheus text exposition format 0.0.4).
+const MetricsContentType = stats.ContentType
+
+// MetricsHandler returns an http.Handler that serves the given filters'
+// snapshots in Prometheus text format, one sample per filter distinguished
+// by a filter="name" label. Mount it wherever the scraper looks:
+//
+//	mux.Handle("/metrics", vqf.MetricsHandler(map[string]vqf.Source{
+//		"cache": filter,
+//	}))
+//
+// Each request takes fresh snapshots; on concurrent filters this is safe
+// alongside live traffic (see Filter.Snapshot). The handler holds only the
+// sources map, so filters added to the map before the handler is created are
+// the ones exported for its lifetime.
+func MetricsHandler(sources map[string]Source) http.Handler {
+	names := make([]string, 0, len(sources))
+	for name := range sources {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		snaps := make([]stats.NamedSnapshot, 0, len(names))
+		for _, name := range names {
+			snaps = append(snaps, stats.NamedSnapshot{Name: name, Snap: sources[name].Snapshot()})
+		}
+		var buf bytes.Buffer
+		if err := stats.WriteMetrics(&buf, snaps); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", MetricsContentType)
+		w.Write(buf.Bytes())
+	})
+}
+
+// PublishExpvar publishes f's snapshot under the given expvar name, making
+// it visible on the standard /debug/vars endpoint as a JSON object. Each
+// read of the variable takes a fresh snapshot. Like expvar.Publish, it
+// panics if the name is already registered, so call it once per filter.
+func PublishExpvar(name string, f Source) {
+	expvar.Publish(name, expvar.Func(func() any {
+		return f.Snapshot()
+	}))
+}

@@ -30,6 +30,7 @@ import (
 	"vqf/internal/core"
 	"vqf/internal/hashing"
 	"vqf/internal/minifilter"
+	"vqf/internal/stats"
 )
 
 // ErrFull is returned by Add when both candidate blocks for the key are full.
@@ -45,6 +46,9 @@ type hashedFilter interface {
 	Count() uint64
 	Capacity() uint64
 	SizeBytes() uint64
+	Stats() stats.OpCounts
+	BlockOccupancies() []uint
+	SlotsPerBlock() uint
 }
 
 // Filter is a vector quotient filter. The zero value is not usable; create
@@ -232,3 +236,24 @@ func (f *Filter) SizeBytes() uint64 { return f.impl.SizeBytes() }
 // load (2·(s/b)·2⁻ʳ, paper §5). The realized rate is proportionally lower at
 // lower load factors.
 func (f *Filter) FalsePositiveRate() float64 { return f.fpr }
+
+// Stats returns the filter's cumulative operation counters. On concurrent
+// filters it is safe to call at any time — counters are summed with atomic
+// loads and writers are never blocked — and each counter is individually
+// exact and monotone, though the set is not a single consistent cut (see
+// Snapshot). On sequential filters it must not race with mutations, like
+// every other method.
+func (f *Filter) Stats() OpStats { return f.impl.Stats() }
+
+// Snapshot returns a full structural snapshot: operation counters, load
+// factor, space efficiency, estimated false-positive rate, and the per-block
+// occupancy distribution. On concurrent filters the occupancy scan reads each
+// block optimistically (briefly locking only blocks with an active writer),
+// so it can run alongside live traffic; blocks are sampled one at a time, so
+// the histogram is a smear over the scan window rather than an instantaneous
+// cut. Snapshot reads are not recorded in the operation counters.
+func (f *Filter) Snapshot() Snapshot {
+	return stats.BuildSnapshot(
+		f.impl.Count(), f.impl.Capacity(), f.impl.SizeBytes(), f.fpr,
+		f.impl.BlockOccupancies(), f.impl.SlotsPerBlock(), f.impl.Stats())
+}
