@@ -20,6 +20,7 @@
 //	table3   write-heavy mixed workload at 90% load (Table 3)
 //	table4   multi-threaded insert scaling (Table 4)
 //	concurrent reader-scaling sweep, locked vs optimistic lookups (writes JSON)
+//	elastic  online-growth cascade: throughput and FPR across growth events (writes JSON)
 //	maxload  maximum load factor per design variant (§3.4, §6.2)
 //	choices  block-occupancy dispersion: two-choice vs single (Theorem 1)
 //	ablation SWAR vs scalar block operations (§7.7 analog)
@@ -40,6 +41,7 @@ import (
 	"strings"
 
 	"vqf/internal/analysis"
+	"vqf/internal/elastic"
 	"vqf/internal/harness"
 	"vqf/internal/stats"
 )
@@ -76,14 +78,14 @@ func main() {
 	fs.IntVar(&cfg.repeat, "repeat", 1, "repetitions to average for fig4/fig5 sweeps")
 	fs.BoolVar(&cfg.csv, "csv", false, "emit CSV instead of aligned text")
 	fs.StringVar(&cfg.benchout, "benchout", "auto",
-		"output file for JSON-emitting experiments (fig4, fig5, concurrent, choices); \"auto\" writes BENCH_<experiment>.json, empty skips")
+		"output file for JSON-emitting experiments (fig4, fig5, concurrent, elastic, choices); \"auto\" writes BENCH_<experiment>.json, empty skips")
 	fs.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&cfg.memprofile, "memprofile", "", "write an end-of-run heap profile to this file")
 	fs.StringVar(&cfg.mutexprofile, "mutexprofile", "", "write an end-of-run mutex-contention profile to this file")
 	fs.StringVar(&cfg.httpserve, "httpserve", "",
 		"serve /metrics (Prometheus, live filters), /debug/pprof/ and /debug/vars on this address (e.g. 127.0.0.1:8080) while experiments run")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: vqfbench [flags] <experiment>\n\nexperiments: table1 fig2 fig3 table2 fig4 fig5 fig6 table3 table4 concurrent maxload maxloadscale choices ablation all\n\nflags:\n")
+		fmt.Fprintf(os.Stderr, "usage: vqfbench [flags] <experiment>\n\nexperiments: table1 fig2 fig3 table2 fig4 fig5 fig6 table3 table4 concurrent elastic maxload maxloadscale choices ablation all\n\nflags:\n")
 		fs.PrintDefaults()
 	}
 	fs.Parse(os.Args[1:])
@@ -110,6 +112,7 @@ func main() {
 		"table3":       runTable3,
 		"table4":       runTable4,
 		"concurrent":   runConcurrent,
+		"elastic":      runElastic,
 		"maxload":      runMaxLoad,
 		"maxloadscale": runMaxLoadScale,
 		"choices":      runChoices,
@@ -117,7 +120,7 @@ func main() {
 	}
 	if cmd == "all" {
 		for _, name := range []string{"table1", "fig2", "fig3", "table2", "fig4",
-			"fig5", "fig6", "table3", "table4", "maxload", "choices", "ablation"} {
+			"fig5", "fig6", "table3", "table4", "elastic", "maxload", "choices", "ablation"} {
 			fmt.Printf("==== %s ====\n", name)
 			experiments[name](cfg)
 			fmt.Println()
@@ -446,6 +449,37 @@ func runConcurrent(cfg config) {
 		Results      []harness.ReaderScalingResult `json:"results"`
 	}{"concurrent-reader-scaling", runtime.GOMAXPROCS(0), cfg.logSlotsCache, cfg.queries, cfg.seed, results}
 	writeJSON(cfg, "concurrent", doc)
+}
+
+func runElastic(cfg config) {
+	// Start small enough (relative to -logslots) that the fill passes through
+	// several growth events; with growth factor 2 the cascade reaches the
+	// target item count after four to five levels.
+	initialSlots := uint64(1) << (cfg.logSlotsCache - 3)
+	totalItems := uint64(1) << cfg.logSlotsCache
+	ecfg := elastic.Config{TargetFPR: 1.0 / 256, InitialSlots: initialSlots}
+	fmt.Printf("Elastic growth: %d items through an initial capacity of %d slots (target FPR 2^-8)\n",
+		totalItems, initialSlots)
+	res := harness.RunGrowth(ecfg, totalItems, cfg.probes, cfg.queries, cfg.seed)
+	t := harness.NewTable("levels", "items", "insert", "pos-lookup", "rand-lookup", "measured FPR", "bits/item")
+	for _, s := range res.Segments {
+		t.AddRow(s.Levels, s.Items, s.InsertMops, s.PosLookupMops, s.RandLookupMops,
+			fmt.Sprintf("%.2e", s.MeasuredFPR), s.BitsPerItem)
+	}
+	emit(cfg, t)
+	if res.Failed {
+		fmt.Println("insert failed before reaching the target item count")
+	}
+	fmt.Printf("growth events: %d; FPR budget: %.2e (every checkpoint must stay below it)\n",
+		res.GrowthEvents, res.TargetFPR)
+	doc := struct {
+		Experiment string               `json:"experiment"`
+		Probes     int                  `json:"probes"`
+		Queries    int                  `json:"queries_per_point"`
+		Seed       uint64               `json:"seed"`
+		Result     harness.GrowthResult `json:"result"`
+	}{"elastic-growth", cfg.probes, cfg.queries, cfg.seed, res}
+	writeJSON(cfg, "elastic", doc)
 }
 
 func runMaxLoad(cfg config) {

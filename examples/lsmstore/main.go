@@ -109,4 +109,28 @@ func main() {
 	store = append([]*run{newR}, store[2:]...)
 	fmt.Printf("compacted runs 0+1: new run holds %d keys at load factor %.3f\n",
 		newR.filter.Count(), newR.filter.LoadFactor())
+
+	// Store-wide ingest filter: per-run filters answer "is it in THIS run",
+	// but an absent key still pays one filter probe per run. A single filter
+	// over the whole store short-circuits those, yet the store's eventual size
+	// is unknown when it opens — the case the elastic filter exists for. It
+	// starts sized for one run and grows as ingest proceeds, keeping the
+	// whole-cascade FPR under the configured budget through every growth.
+	ingest := vqf.NewElastic(vqf.WithInitialCapacity(keysPerRun))
+	for _, k := range allKeys {
+		if err := ingest.AddUint64(k); err != nil {
+			panic(err)
+		}
+	}
+	skipped := 0
+	negProbe := workload.NewStream(3)
+	for i := 0; i < lookups; i++ {
+		if !ingest.ContainsUint64(negProbe.Next()) {
+			skipped++ // no run consulted at all
+		}
+	}
+	fmt.Printf("elastic ingest filter: %d keys, %d levels grown from %d-key capacity, %.1f bits/key\n",
+		ingest.Count(), ingest.Levels(), keysPerRun, float64(ingest.SizeBytes())*8/float64(ingest.Count()))
+	fmt.Printf("absent-key lookups skipping every run: %d/%d (FPR budget %.1e)\n",
+		skipped, lookups, ingest.FalsePositiveRate())
 }

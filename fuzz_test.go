@@ -6,26 +6,56 @@ import (
 	"testing"
 )
 
-// FuzzRead feeds arbitrary bytes to the filter deserializer: it must reject
-// malformed input with an error, never panic, and round-trip its own output.
+// FuzzRead feeds arbitrary bytes to every deserializer in the package —
+// Filter, Map and Elastic share the envelope format, so each decoder sees
+// the others' streams too. All three must reject malformed input with an
+// error (never a panic or a giant allocation) and round-trip anything they
+// accept.
 func FuzzRead(f *testing.F) {
-	var buf bytes.Buffer
+	var filterBuf bytes.Buffer
 	g := New(100)
 	g.AddString("seed")
-	g.WriteTo(&buf)
-	f.Add(buf.Bytes())
+	g.WriteTo(&filterBuf)
+	f.Add(filterBuf.Bytes())
+
+	var mapBuf bytes.Buffer
+	m := NewMap(100)
+	m.PutString("seed", 42)
+	m.WriteTo(&mapBuf)
+	f.Add(mapBuf.Bytes())
+
+	var elasticBuf bytes.Buffer
+	e := NewElastic(WithInitialCapacity(256))
+	for i := uint64(0); i < 1500; i++ { // force a couple of growth events
+		e.AddUint64(i)
+	}
+	e.WriteTo(&elasticBuf)
+	f.Add(elasticBuf.Bytes())
+
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xff}, 100))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		got, err := Read(bytes.NewReader(data))
-		if err != nil {
-			return
+		if got, err := Read(bytes.NewReader(data)); err == nil {
+			// Anything accepted must be a usable filter that re-serializes.
+			got.ContainsString("probe")
+			var out bytes.Buffer
+			if _, err := got.WriteTo(&out); err != nil {
+				t.Fatalf("re-serialize of accepted filter failed: %v", err)
+			}
 		}
-		// Anything accepted must be a usable filter that re-serializes.
-		got.ContainsString("probe")
-		var out bytes.Buffer
-		if _, err := got.WriteTo(&out); err != nil {
-			t.Fatalf("re-serialize of accepted filter failed: %v", err)
+		if got, err := NewMapFromReader(bytes.NewReader(data)); err == nil {
+			got.GetString("probe")
+			var out bytes.Buffer
+			if _, err := got.WriteTo(&out); err != nil {
+				t.Fatalf("re-serialize of accepted map failed: %v", err)
+			}
+		}
+		if got, err := ReadElastic(bytes.NewReader(data)); err == nil {
+			got.ContainsString("probe")
+			var out bytes.Buffer
+			if _, err := got.WriteTo(&out); err != nil {
+				t.Fatalf("re-serialize of accepted elastic failed: %v", err)
+			}
 		}
 	})
 }

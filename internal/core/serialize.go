@@ -17,10 +17,16 @@ import (
 const (
 	magic8         = 0x31465156 // "VQF1"
 	magic16        = 0x32465156 // "VQF2"
+	magicKV        = 0x4b465156 // "VQFK"
 	serialVersion  = 1
 	headerBytes    = 4 + 2 + 2 + 8 + 8 + 8 // magic, version, flags, blocks, count, reserved
 	flagNoShortcut = 1 << 0
 	flagIndepHash  = 1 << 1
+
+	// Serialized bytes per block for each stream type: the 64-byte block,
+	// plus the parallel value bytes for the KV filter.
+	blockBytes   = 64
+	kvBlockBytes = 64 + minifilter.B8Slots
 )
 
 // ErrBadFormat is returned when deserializing data that is not a filter of
@@ -45,7 +51,33 @@ func writeHeader(w io.Writer, magic uint32, nblocks, count uint64, opts Options)
 	return err
 }
 
-func readHeader(r io.Reader, wantMagic uint32) (nblocks, count uint64, opts Options, err error) {
+// remainingSize returns the number of bytes known to remain in r, or -1
+// when r's length cannot be determined cheaply. bytes.Reader, bytes.Buffer
+// and strings.Reader report via Len; files and other seekable readers via
+// Seek. The hint lets readers reject a forged header whose claimed block
+// count exceeds the input before allocating anything for it.
+func remainingSize(r io.Reader) int64 {
+	switch v := r.(type) {
+	case interface{ Len() int }:
+		return int64(v.Len())
+	case io.Seeker:
+		cur, err := v.Seek(0, io.SeekCurrent)
+		if err != nil {
+			return -1
+		}
+		end, err := v.Seek(0, io.SeekEnd)
+		if err != nil {
+			return -1
+		}
+		if _, err := v.Seek(cur, io.SeekStart); err != nil {
+			return -1
+		}
+		return end - cur
+	}
+	return -1
+}
+
+func readHeader(r io.Reader, wantMagic uint32, bytesPerBlock uint64) (nblocks, count uint64, opts Options, err error) {
 	var hdr [headerBytes]byte
 	if _, err = io.ReadFull(r, hdr[:]); err != nil {
 		return 0, 0, opts, fmt.Errorf("%w: %v", ErrBadFormat, err)
@@ -63,6 +95,13 @@ func readHeader(r io.Reader, wantMagic uint32) (nblocks, count uint64, opts Opti
 	count = binary.LittleEndian.Uint64(hdr[16:])
 	if nblocks < 2 || nblocks&(nblocks-1) != 0 || nblocks > 1<<40 {
 		return 0, 0, opts, fmt.Errorf("%w: block count %d not a power of two >= 2", ErrBadFormat, nblocks)
+	}
+	// With a known input length, a header claiming more blocks than the
+	// remaining bytes can hold is rejected up front (nblocks ≤ 2^40 and
+	// bytesPerBlock ≤ 112, so the product cannot overflow).
+	if hint := remainingSize(r); hint >= 0 && nblocks*bytesPerBlock > uint64(hint) {
+		return 0, 0, opts, fmt.Errorf("%w: header claims %d blocks (%d bytes) but only %d bytes remain",
+			ErrBadFormat, nblocks, nblocks*bytesPerBlock, hint)
 	}
 	return nblocks, count, opts, nil
 }
@@ -90,7 +129,7 @@ func (f *Filter8) WriteTo(w io.Writer) (int64, error) {
 
 // ReadFilter8 deserializes a Filter8 written by WriteTo.
 func ReadFilter8(r io.Reader) (*Filter8, error) {
-	nblocks, count, opts, err := readHeader(r, magic8)
+	nblocks, count, opts, err := readHeader(r, magic8, blockBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -130,6 +169,67 @@ func ReadFilter8(r io.Reader) (*Filter8, error) {
 	return f, nil
 }
 
+// WriteTo serializes the value-associating filter: the standard header,
+// then each block's 64 bytes followed by its parallel value bytes. It
+// implements io.WriterTo.
+func (f *KVFilter8) WriteTo(w io.Writer) (int64, error) {
+	if err := writeHeader(w, magicKV, uint64(len(f.blocks)), f.count, Options{}); err != nil {
+		return 0, err
+	}
+	n := int64(headerBytes)
+	buf := make([]byte, kvBlockBytes)
+	for i := range f.blocks {
+		b := &f.blocks[i]
+		binary.LittleEndian.PutUint64(buf[0:], b.MetaLo)
+		binary.LittleEndian.PutUint64(buf[8:], b.MetaHi)
+		copy(buf[16:], b.Fps[:])
+		copy(buf[blockBytes:], f.blockVals(uint64(i)))
+		m, err := w.Write(buf)
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// ReadKV8 deserializes a KVFilter8 written by WriteTo.
+func ReadKV8(r io.Reader) (*KVFilter8, error) {
+	nblocks, count, _, err := readHeader(r, magicKV, kvBlockBytes)
+	if err != nil {
+		return nil, err
+	}
+	f := &KVFilter8{
+		mask:  nblocks - 1,
+		count: count,
+	}
+	const chunk = 1 << 16
+	buf := make([]byte, kvBlockBytes)
+	for read := uint64(0); read < nblocks; {
+		n := nblocks - read
+		if n > chunk {
+			n = chunk
+		}
+		f.blocks = append(f.blocks, make([]minifilter.Block8, n)...)
+		f.vals = append(f.vals, make([]byte, n*minifilter.B8Slots)...)
+		for j := uint64(0); j < n; j++ {
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+			}
+			b := &f.blocks[read+j]
+			b.MetaLo = binary.LittleEndian.Uint64(buf[0:])
+			b.MetaHi = binary.LittleEndian.Uint64(buf[8:])
+			copy(b.Fps[:], buf[16:blockBytes])
+			copy(f.blockVals(read+j), buf[blockBytes:])
+		}
+		read += n
+	}
+	if err := f.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	return f, nil
+}
+
 // WriteTo serializes the filter. It implements io.WriterTo.
 func (f *Filter16) WriteTo(w io.Writer) (int64, error) {
 	if err := writeHeader(w, magic16, uint64(len(f.blocks)), f.count, f.opts); err != nil {
@@ -154,7 +254,7 @@ func (f *Filter16) WriteTo(w io.Writer) (int64, error) {
 
 // ReadFilter16 deserializes a Filter16 written by WriteTo.
 func ReadFilter16(r io.Reader) (*Filter16, error) {
-	nblocks, count, opts, err := readHeader(r, magic16)
+	nblocks, count, opts, err := readHeader(r, magic16, blockBytes)
 	if err != nil {
 		return nil, err
 	}

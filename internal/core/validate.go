@@ -13,9 +13,26 @@ import (
 // descriptive error for the first violation found; the test suite uses it
 // for corruption (failure-injection) testing and long-churn audits.
 func (f *Filter8) CheckInvariants() error {
+	return checkBlocks8(f.blocks, f.count)
+}
+
+// CheckInvariants verifies the value-associating filter's structural
+// invariants (the value array is opaque bytes, so the block audit is the
+// whole check); see Filter8.CheckInvariants.
+func (f *KVFilter8) CheckInvariants() error {
+	if uint64(len(f.vals)) != uint64(len(f.blocks))*minifilter.B8Slots {
+		return fmt.Errorf("value array holds %d bytes for %d blocks", len(f.vals), len(f.blocks))
+	}
+	return checkBlocks8(f.blocks, f.count)
+}
+
+// checkBlocks8 audits an 8-bit-geometry block array: every block holds
+// exactly B8Buckets terminator bits with no used bits above the final one,
+// and occupancies sum to count.
+func checkBlocks8(blocks []minifilter.Block8, count uint64) error {
 	var total uint64
-	for i := range f.blocks {
-		b := &f.blocks[i]
+	for i := range blocks {
+		b := &blocks[i]
 		ones := bits.OnesCount64(b.MetaLo) + bits.OnesCount64(b.MetaHi)
 		if ones != minifilter.B8Buckets {
 			return fmt.Errorf("block %d: %d terminator bits, want %d", i, ones, minifilter.B8Buckets)
@@ -34,8 +51,8 @@ func (f *Filter8) CheckInvariants() error {
 		}
 		total += uint64(occ)
 	}
-	if total != f.count {
-		return fmt.Errorf("occupancy sum %d != count %d", total, f.count)
+	if total != count {
+		return fmt.Errorf("occupancy sum %d != count %d", total, count)
 	}
 	return nil
 }

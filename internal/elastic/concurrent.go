@@ -1,0 +1,128 @@
+package elastic
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"vqf/internal/stats"
+)
+
+// CFilter is the thread-safe elastic VQF. The level list is immutable and
+// published through an atomic pointer: readers (Contains, Remove, Snapshot)
+// load the current list and work on it without any lock, while growth
+// builds a copy with one more level and swaps the pointer under growMu.
+// A reader holding a pre-swap list still sees every level it needs —
+// levels are only ever appended, never mutated in place or removed — so a
+// lookup concurrent with growth can at worst miss keys inserted into the
+// brand-new level after its load, the same linearization any concurrent
+// map allows. Per-level thread safety is the core CFilter8/16 machinery:
+// per-block spin locks for writers, seqlock-validated optimistic reads for
+// lookups.
+type CFilter struct {
+	cfg    Config
+	levels atomic.Pointer[[]*level]
+	// growMu serializes growth; insert and lookup paths never take it.
+	growMu sync.Mutex
+}
+
+// NewConcurrent creates an empty thread-safe cascade with one level.
+func NewConcurrent(cfg Config) (*CFilter, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.Concurrent = true
+	f := &CFilter{cfg: cfg}
+	ls := []*level{newLevel(cfg, 0)}
+	f.levels.Store(&ls)
+	return f, nil
+}
+
+// Insert adds the pre-hashed key h. Safe for concurrent use. Writers that
+// concurrently pass the trigger check can each land one item, so a level
+// may exceed its trigger by at most the number of in-flight inserts — a
+// relative FPR overshoot of O(writers/trigger), negligible against the
+// slack the power-of-two block rounding leaves (and noted in the DESIGN
+// budget derivation).
+func (f *CFilter) Insert(h uint64) bool {
+	for {
+		ls := *f.levels.Load()
+		lvl := ls[len(ls)-1]
+		if lvl.filter.Count() < lvl.trigger && lvl.filter.Insert(h) {
+			return true
+		}
+		if !f.grow(len(ls)) {
+			return false
+		}
+	}
+}
+
+// grow appends a new level if the cascade still has seenLevels levels; a
+// concurrent grower who got there first makes this a no-op. It returns
+// false only at the MaxLevels backstop.
+func (f *CFilter) grow(seenLevels int) bool {
+	f.growMu.Lock()
+	defer f.growMu.Unlock()
+	ls := *f.levels.Load()
+	if len(ls) != seenLevels {
+		return true // someone else grew; caller retries against the new list
+	}
+	if len(ls) >= MaxLevels {
+		return false
+	}
+	next := make([]*level, len(ls)+1)
+	copy(next, ls)
+	next[len(ls)] = newLevel(f.cfg, len(ls))
+	f.levels.Store(&next)
+	return true
+}
+
+// Contains reports whether h may be in the cascade. Safe for concurrent
+// use and lock-free: one atomic pointer load, then each level's optimistic
+// block reads, newest-first with a short-circuit on hit.
+func (f *CFilter) Contains(h uint64) bool {
+	ls := *f.levels.Load()
+	for i := len(ls) - 1; i >= 0; i-- {
+		if ls[i].filter.Contains(h) {
+			return true
+		}
+	}
+	return false
+}
+
+// Remove deletes one previously inserted instance of h, searching levels
+// newest-first. Safe for concurrent use.
+func (f *CFilter) Remove(h uint64) bool {
+	ls := *f.levels.Load()
+	for i := len(ls) - 1; i >= 0; i-- {
+		if ls[i].filter.Remove(h) {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of items stored across all levels.
+func (f *CFilter) Count() uint64 { return sumCounts(*f.levels.Load()) }
+
+// Capacity returns the total allocated fingerprint slots.
+func (f *CFilter) Capacity() uint64 { return sumCapacities(*f.levels.Load()) }
+
+// SizeBytes returns the cascade's memory footprint.
+func (f *CFilter) SizeBytes() uint64 { return sumSizes(*f.levels.Load()) }
+
+// NumLevels returns the current cascade depth.
+func (f *CFilter) NumLevels() int { return len(*f.levels.Load()) }
+
+// TargetFPR returns the configured total false-positive budget ε.
+func (f *CFilter) TargetFPR() float64 { return f.cfg.TargetFPR }
+
+// Stats returns operation counters summed over all levels; see the core
+// concurrent filters for the consistency contract.
+func (f *CFilter) Stats() stats.OpCounts { return sumStats(*f.levels.Load()) }
+
+// Snapshot returns the cascade's structural snapshot. Safe alongside live
+// traffic: the level list is an immutable copy and each level's occupancy
+// scan uses the optimistic block protocol.
+func (f *CFilter) Snapshot() stats.CascadeSnapshot {
+	return snapshotLevels(f.cfg.TargetFPR, *f.levels.Load())
+}

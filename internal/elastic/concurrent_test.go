@@ -1,0 +1,120 @@
+package elastic
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"vqf/internal/workload"
+)
+
+func TestConcurrentGrowthCorrectness(t *testing.T) {
+	f, err := NewConcurrent(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		writers       = 4
+		keysPerWriter = 8000
+	)
+	var wg sync.WaitGroup
+	keys := make([][]uint64, writers)
+	for w := 0; w < writers; w++ {
+		keys[w] = workload.NewStream(uint64(100 + w)).Keys(keysPerWriter)
+		wg.Add(1)
+		go func(ks []uint64) {
+			defer wg.Done()
+			for _, k := range ks {
+				if !f.Insert(k) {
+					t.Error("concurrent insert failed")
+					return
+				}
+			}
+		}(keys[w])
+	}
+	wg.Wait()
+	if f.Count() != writers*keysPerWriter {
+		t.Fatalf("count %d != %d", f.Count(), writers*keysPerWriter)
+	}
+	if f.NumLevels() < 4 {
+		t.Fatalf("expected several growth events, got %d levels", f.NumLevels())
+	}
+	for _, ks := range keys {
+		for _, k := range ks {
+			if !f.Contains(k) {
+				t.Fatal("false negative after concurrent growth")
+			}
+		}
+	}
+}
+
+// TestConcurrentReadersDuringGrowth is the acceptance race test: Contains
+// runs from many goroutines while a grower drives the cascade through
+// multiple level additions. Run under -race this validates the atomic
+// level-list publication and the per-level optimistic reads together.
+func TestConcurrentReadersDuringGrowth(t *testing.T) {
+	f, err := NewConcurrent(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := workload.NewStream(200).Keys(500)
+	for _, k := range warm {
+		f.Insert(k)
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			neg := workload.NewStream(seed)
+			for !stop.Load() {
+				// Inserted keys must always be visible; probe negatives too
+				// so the newest-first walk crosses level boundaries.
+				for _, k := range warm {
+					if !f.Contains(k) {
+						t.Error("false negative during growth")
+						return
+					}
+				}
+				f.Contains(neg.Next())
+				f.Snapshot() // exercises the occupancy scan alongside writers
+			}
+		}(uint64(300 + r))
+	}
+	grower := workload.NewStream(400)
+	startLevels := f.NumLevels()
+	for f.NumLevels() < startLevels+3 {
+		f.Insert(grower.Next())
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+func TestConcurrentRemove(t *testing.T) {
+	f, err := NewConcurrent(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := workload.NewStream(500).Keys(6000)
+	for _, k := range keys {
+		f.Insert(k)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(part int) {
+			defer wg.Done()
+			for i := part; i < len(keys); i += 3 {
+				if !f.Remove(keys[i]) {
+					t.Error("concurrent remove of inserted key failed")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if f.Count() != 0 {
+		t.Fatalf("count %d after removing everything", f.Count())
+	}
+}

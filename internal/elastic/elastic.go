@@ -1,0 +1,350 @@
+// Package elastic implements an online-growing vector quotient filter: a
+// geometric cascade of fixed-size core VQF levels in the style of Bender et
+// al.'s cascade filter ("Don't Thrash: How to Cache Your Hash on Flash") and
+// Maier et al.'s expandable quotient filters.
+//
+// A VQF's stored state (bucket-local fingerprints) is not losslessly
+// rehashable, so a full filter cannot be rebuilt into a larger one without
+// the original keys. The cascade sidesteps that: when the newest level
+// reaches its fill threshold, a new level GrowthFactor times larger is
+// appended and all subsequent inserts go there. Older levels become
+// read-only survivors that lookups still probe (newest-first, short-circuit
+// on hit) and removes still search.
+//
+// # False-positive budget
+//
+// Probing L levels sums their false-positive rates, so a cascade of
+// identical levels would drift past any fixed target as it grows. Instead
+// the total budget ε is split geometrically: level i may contribute at most
+//
+//	εᵢ = ε·(1−r)·rⁱ       (TightenRatio r, default ½)
+//
+// so Σᵢ εᵢ = ε for any number of levels. Each level meets its εᵢ two ways:
+// by geometry (8-bit fingerprints while εᵢ ≥ 2·(48/80)·2⁻⁸, 16-bit below
+// that) and, once εᵢ falls below what 16-bit fingerprints deliver, by
+// over-provisioning — the level gets geomFPR·FillThreshold/εᵢ times more
+// slots than its item budget needs, and a VQF's realized false-positive
+// rate scales linearly with its load factor (≈ 2·α·(s/b)·2⁻ʳ at load α).
+// With the default ε and r = ½ the first seven levels need no
+// over-provisioning at all: 16-bit fingerprints have ≈ 200× more headroom
+// than the default target.
+package elastic
+
+import (
+	"fmt"
+	"math"
+
+	"vqf/internal/core"
+	"vqf/internal/minifilter"
+	"vqf/internal/stats"
+)
+
+// Analytic full-load false-positive rates of the two core geometries
+// (2·(s/b)·2⁻ʳ, paper §5).
+const (
+	FPR8Full  = 2.0 * float64(minifilter.B8Slots) / float64(minifilter.B8Buckets) / 256
+	FPR16Full = 2.0 * float64(minifilter.B16Slots) / float64(minifilter.B16Buckets) / 65536
+)
+
+// MaxLevels bounds the cascade depth. With the default growth factor the
+// cap is unreachable (it implies 2⁶⁴× the initial capacity); it exists so
+// deserialization and runaway growth loops have a hard stop.
+const MaxLevels = 64
+
+// Config describes a cascade. The zero value of every field except
+// TargetFPR selects a default; Validate fills defaults in place.
+type Config struct {
+	// TargetFPR is the total false-positive budget ε of the whole cascade,
+	// honored no matter how many levels growth appends. Required.
+	TargetFPR float64
+	// InitialSlots is level 0's item budget in slots; level i's budget is
+	// InitialSlots·GrowthFactor^i. Default 1 << 12.
+	InitialSlots uint64
+	// GrowthFactor is the capacity ratio between consecutive levels.
+	// Default 2; must be in [1.5, 16].
+	GrowthFactor float64
+	// TightenRatio is the geometric decay r of per-level FPR budgets
+	// εᵢ = ε·(1−r)·rⁱ. Default 0.5; must be in (0, 0.9].
+	TightenRatio float64
+	// FillThreshold is the fraction of a level's item budget at which the
+	// next level is created. Default 0.85; must be in (0, 0.93].
+	FillThreshold float64
+	// Concurrent selects the thread-safe core filters (CFilter8/16) for
+	// every level.
+	Concurrent bool
+	// NoShortcut disables the §6.2 single-block insertion shortcut on every
+	// level.
+	NoShortcut bool
+}
+
+// Validate fills defaulted fields and rejects out-of-range values.
+func (c *Config) Validate() error {
+	if c.InitialSlots == 0 {
+		c.InitialSlots = 1 << 12
+	}
+	if c.GrowthFactor == 0 {
+		c.GrowthFactor = 2
+	}
+	if c.TightenRatio == 0 {
+		c.TightenRatio = 0.5
+	}
+	if c.FillThreshold == 0 {
+		c.FillThreshold = 0.85
+	}
+	switch {
+	case !(c.TargetFPR > 0 && c.TargetFPR < 1):
+		return fmt.Errorf("elastic: target FPR %g outside (0, 1)", c.TargetFPR)
+	case c.InitialSlots < minifilter.B8Slots || c.InitialSlots > 1<<40:
+		return fmt.Errorf("elastic: initial slots %d outside [%d, 2^40]", c.InitialSlots, minifilter.B8Slots)
+	case c.GrowthFactor < 1.5 || c.GrowthFactor > 16:
+		return fmt.Errorf("elastic: growth factor %g outside [1.5, 16]", c.GrowthFactor)
+	case c.TightenRatio <= 0 || c.TightenRatio > 0.9:
+		return fmt.Errorf("elastic: tighten ratio %g outside (0, 0.9]", c.TightenRatio)
+	case c.FillThreshold <= 0 || c.FillThreshold > 0.93:
+		return fmt.Errorf("elastic: fill threshold %g outside (0, 0.93]", c.FillThreshold)
+	}
+	return nil
+}
+
+// coreFilter is the operation surface shared by the four core variants.
+type coreFilter interface {
+	Insert(h uint64) bool
+	Contains(h uint64) bool
+	Remove(h uint64) bool
+	Count() uint64
+	Capacity() uint64
+	SizeBytes() uint64
+	Stats() stats.OpCounts
+	BlockOccupancies() []uint
+	SlotsPerBlock() uint
+}
+
+// level is one member of the cascade. Once a level stops being the newest
+// it receives no more inserts, so all fields are immutable after creation;
+// only the underlying filter's contents change (removes, and inserts on the
+// newest level).
+type level struct {
+	filter coreFilter
+	// kind is the fingerprint width in bits (8 or 16).
+	kind uint8
+	// budget is this level's share εᵢ of the cascade's FPR budget.
+	budget float64
+	// trigger is the item count at which the cascade grows past this level.
+	trigger uint64
+	// geomFPR is the level geometry's analytic full-load FPR.
+	geomFPR float64
+}
+
+// levelBudget returns εᵢ = ε·(1−r)·rⁱ.
+func levelBudget(c Config, i int) float64 {
+	return c.TargetFPR * (1 - c.TightenRatio) * math.Pow(c.TightenRatio, float64(i))
+}
+
+// levelKind returns the fingerprint width for level i: the loosest geometry
+// whose full-load FPR fits within the level's budget after the fill
+// threshold's load discount, falling back to 16 bits plus over-provisioning.
+func levelKind(c Config, i int) uint8 {
+	if levelBudget(c, i) >= FPR8Full*c.FillThreshold {
+		return 8
+	}
+	return 16
+}
+
+// levelSizing returns level i's item budget (baseSlots), growth trigger and
+// allocated slot count. The level is allocated overProv = max(1,
+// geomFPR·FillThreshold/εᵢ) times its item budget so that at the trigger
+// point its load factor — and therefore its realized FPR — stays within εᵢ:
+//
+//	realized = geomFPR·load = geomFPR·(FillThreshold·baseSlots/allocSlots)
+//	         ≤ geomFPR·FillThreshold/overProv ≤ εᵢ
+//
+// The core's power-of-two block rounding only adds slack on top.
+func levelSizing(c Config, i int) (baseSlots, trigger, allocSlots uint64) {
+	fbase := float64(c.InitialSlots) * math.Pow(c.GrowthFactor, float64(i))
+	geomFPR := FPR8Full
+	if levelKind(c, i) == 16 {
+		geomFPR = FPR16Full
+	}
+	overProv := geomFPR * c.FillThreshold / levelBudget(c, i)
+	if overProv < 1 {
+		overProv = 1
+	}
+	falloc := fbase * overProv
+	// Clamp the float math well below uint64 overflow. A clamped level
+	// nominally breaks its budget, but it also needs ≥ 2^56 slots (petabytes
+	// of blocks) — allocation fails long before the budget matters.
+	const maxSlots = float64(1 << 56)
+	if fbase > maxSlots {
+		fbase = maxSlots
+	}
+	if falloc > maxSlots {
+		falloc = maxSlots
+	}
+	baseSlots = uint64(fbase)
+	trigger = uint64(c.FillThreshold * fbase)
+	if trigger == 0 {
+		trigger = 1
+	}
+	return baseSlots, trigger, uint64(falloc)
+}
+
+// newLevel builds level i of a cascade configured by c.
+func newLevel(c Config, i int) *level {
+	_, trigger, allocSlots := levelSizing(c, i)
+	lvl := &level{
+		kind:    levelKind(c, i),
+		budget:  levelBudget(c, i),
+		trigger: trigger,
+		geomFPR: FPR16Full,
+	}
+	opts := core.Options{NoShortcut: c.NoShortcut}
+	switch {
+	case lvl.kind == 8 && c.Concurrent:
+		lvl.filter = core.NewCFilter8(allocSlots, opts)
+		lvl.geomFPR = FPR8Full
+	case lvl.kind == 8:
+		lvl.filter = core.NewFilter8(allocSlots, opts)
+		lvl.geomFPR = FPR8Full
+	case c.Concurrent:
+		lvl.filter = core.NewCFilter16(allocSlots, opts)
+	default:
+		lvl.filter = core.NewFilter16(allocSlots, opts)
+	}
+	return lvl
+}
+
+// Filter is a single-threaded elastic VQF. Like the core filters it
+// consumes pre-hashed 64-bit keys; hashing and seed handling live in the
+// public vqf package.
+type Filter struct {
+	cfg    Config
+	levels []*level
+}
+
+// New creates an empty cascade with one level.
+func New(cfg Config) (*Filter, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.Concurrent = false
+	return &Filter{cfg: cfg, levels: []*level{newLevel(cfg, 0)}}, nil
+}
+
+// Insert adds the pre-hashed key h, growing the cascade when the newest
+// level reaches its trigger (or, rarely, rejects the insert below it). It
+// returns false only at the MaxLevels backstop.
+func (f *Filter) Insert(h uint64) bool {
+	for {
+		lvl := f.levels[len(f.levels)-1]
+		if lvl.filter.Count() < lvl.trigger && lvl.filter.Insert(h) {
+			return true
+		}
+		if len(f.levels) >= MaxLevels {
+			return false
+		}
+		f.levels = append(f.levels, newLevel(f.cfg, len(f.levels)))
+	}
+}
+
+// Contains reports whether h may be in the cascade, probing levels
+// newest-first: recent items live in the newest (largest) level, so the
+// common hit short-circuits after one level's two SWAR block scans.
+func (f *Filter) Contains(h uint64) bool {
+	for i := len(f.levels) - 1; i >= 0; i-- {
+		if f.levels[i].filter.Contains(h) {
+			return true
+		}
+	}
+	return false
+}
+
+// Remove deletes one previously inserted instance of h, searching levels
+// newest-first. It returns false if no level holds a matching fingerprint.
+func (f *Filter) Remove(h uint64) bool {
+	for i := len(f.levels) - 1; i >= 0; i-- {
+		if f.levels[i].filter.Remove(h) {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of items stored across all levels.
+func (f *Filter) Count() uint64 { return sumCounts(f.levels) }
+
+// Capacity returns the total allocated fingerprint slots across all levels.
+func (f *Filter) Capacity() uint64 { return sumCapacities(f.levels) }
+
+// SizeBytes returns the cascade's memory footprint.
+func (f *Filter) SizeBytes() uint64 { return sumSizes(f.levels) }
+
+// NumLevels returns the current cascade depth.
+func (f *Filter) NumLevels() int { return len(f.levels) }
+
+// TargetFPR returns the configured total false-positive budget ε.
+func (f *Filter) TargetFPR() float64 { return f.cfg.TargetFPR }
+
+// Stats returns operation counters summed over all levels.
+func (f *Filter) Stats() stats.OpCounts { return sumStats(f.levels) }
+
+// Snapshot returns the cascade's structural snapshot: an aggregate plus one
+// per-level snapshot, newest level last.
+func (f *Filter) Snapshot() stats.CascadeSnapshot {
+	return snapshotLevels(f.cfg.TargetFPR, f.levels)
+}
+
+func sumCounts(ls []*level) uint64 {
+	var n uint64
+	for _, l := range ls {
+		n += l.filter.Count()
+	}
+	return n
+}
+
+func sumCapacities(ls []*level) uint64 {
+	var n uint64
+	for _, l := range ls {
+		n += l.filter.Capacity()
+	}
+	return n
+}
+
+func sumSizes(ls []*level) uint64 {
+	var n uint64
+	for _, l := range ls {
+		n += l.filter.SizeBytes()
+	}
+	return n
+}
+
+func sumStats(ls []*level) stats.OpCounts {
+	var total stats.OpCounts
+	for _, l := range ls {
+		total = total.Add(l.filter.Stats())
+	}
+	return total
+}
+
+// snapshotLevels assembles a CascadeSnapshot from a level list. The
+// aggregate's occupancy histogram is the newest level's (the only one
+// receiving inserts; levels can mix geometries, so their histograms do not
+// merge meaningfully), its FPRFullLoad is the configured budget ε, and its
+// FPREstimate sums the per-level realized estimates — the quantity the
+// budget actually bounds.
+func snapshotLevels(targetFPR float64, ls []*level) stats.CascadeSnapshot {
+	cs := stats.CascadeSnapshot{Levels: make([]stats.Snapshot, len(ls))}
+	var fprSum float64
+	for i, l := range ls {
+		snap := stats.BuildSnapshot(
+			l.filter.Count(), l.filter.Capacity(), l.filter.SizeBytes(), l.geomFPR,
+			l.filter.BlockOccupancies(), l.filter.SlotsPerBlock(), l.filter.Stats())
+		cs.Levels[i] = snap
+		fprSum += snap.FPREstimate
+	}
+	newest := ls[len(ls)-1]
+	cs.Aggregate = stats.BuildSnapshot(
+		sumCounts(ls), sumCapacities(ls), sumSizes(ls), targetFPR,
+		newest.filter.BlockOccupancies(), newest.filter.SlotsPerBlock(), sumStats(ls))
+	cs.Aggregate.FPREstimate = fprSum
+	return cs
+}

@@ -1,0 +1,252 @@
+package elastic
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"vqf/internal/workload"
+)
+
+func testConfig() Config {
+	return Config{TargetFPR: 1.0 / 256, InitialSlots: 1 << 10}
+}
+
+func TestGrowthAddsLevels(t *testing.T) {
+	f, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumLevels() != 1 {
+		t.Fatalf("fresh cascade has %d levels", f.NumLevels())
+	}
+	src := workload.NewStream(1)
+	keys := src.Keys(40000) // ≈ 39× the initial item budget → several growths
+	for _, k := range keys {
+		if !f.Insert(k) {
+			t.Fatal("elastic insert failed")
+		}
+	}
+	if f.NumLevels() < 4 {
+		t.Fatalf("expected ≥4 levels after 40k inserts into 2^10 base, got %d", f.NumLevels())
+	}
+	if f.Count() != uint64(len(keys)) {
+		t.Fatalf("count %d != %d", f.Count(), len(keys))
+	}
+	for _, k := range keys {
+		if !f.Contains(k) {
+			t.Fatal("false negative across growth")
+		}
+	}
+}
+
+func TestRemoveAcrossLevels(t *testing.T) {
+	f, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := workload.NewStream(2).Keys(10000)
+	for _, k := range keys {
+		f.Insert(k)
+	}
+	if f.NumLevels() < 3 {
+		t.Fatalf("want ≥3 levels, got %d", f.NumLevels())
+	}
+	// Every key — including those trapped in old, read-only levels — must be
+	// removable.
+	for _, k := range keys {
+		if !f.Remove(k) {
+			t.Fatal("remove of inserted key failed")
+		}
+	}
+	if f.Count() != 0 {
+		t.Fatalf("count %d after removing everything", f.Count())
+	}
+}
+
+func TestBudgetSchedule(t *testing.T) {
+	cfg := testConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Budgets must sum to ε over the full possible depth.
+	var sum float64
+	for i := 0; i < MaxLevels; i++ {
+		sum += levelBudget(cfg, i)
+	}
+	if sum > cfg.TargetFPR*(1+1e-9) {
+		t.Fatalf("budget sum %g exceeds ε %g", sum, cfg.TargetFPR)
+	}
+	// Each level's worst-case realized FPR (at its growth trigger) must fit
+	// its budget, for every level small enough to ever be allocated (beyond
+	// ~2^50 slots the sizing clamp kicks in and the level could not be built).
+	for i := 0; i < 24; i++ {
+		_, trigger, alloc := levelSizing(cfg, i)
+		geomFPR := FPR8Full
+		if levelKind(cfg, i) == 16 {
+			geomFPR = FPR16Full
+		}
+		realized := geomFPR * float64(trigger) / float64(alloc)
+		if realized > levelBudget(cfg, i)*(1+1e-9) {
+			t.Fatalf("level %d: worst-case realized FPR %g exceeds budget %g",
+				i, realized, levelBudget(cfg, i))
+		}
+	}
+	// The schedule must tighten: deep levels get 16-bit fingerprints and
+	// eventually over-provisioned slots.
+	if levelKind(cfg, 0) != 16 { // ε/2 < 8-bit full-load FPR already
+		t.Fatalf("level 0 kind %d", levelKind(cfg, 0))
+	}
+	base20, _, alloc20 := levelSizing(cfg, 20)
+	if alloc20 <= base20 {
+		t.Fatalf("level 20 not over-provisioned: base %d alloc %d", base20, alloc20)
+	}
+}
+
+func TestLooseBudgetUses8Bit(t *testing.T) {
+	cfg := Config{TargetFPR: 0.02, InitialSlots: 1 << 10}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if levelKind(cfg, 0) != 8 {
+		t.Fatalf("ε=0.02 level 0 should use 8-bit fingerprints, got %d-bit", levelKind(cfg, 0))
+	}
+	if levelKind(cfg, 3) != 16 {
+		t.Fatalf("ε=0.02 level 3 should have tightened to 16-bit, got %d-bit", levelKind(cfg, 3))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{TargetFPR: 0},
+		{TargetFPR: 1.5},
+		{TargetFPR: 0.01, GrowthFactor: 1.1},
+		{TargetFPR: 0.01, TightenRatio: 0.95},
+		{TargetFPR: 0.01, FillThreshold: 0.99},
+		{TargetFPR: 0.01, InitialSlots: 4},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestSnapshotLevels(t *testing.T) {
+	f, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := workload.NewStream(3).Keys(5000)
+	for _, k := range keys {
+		f.Insert(k)
+	}
+	cs := f.Snapshot()
+	if len(cs.Levels) != f.NumLevels() {
+		t.Fatalf("%d level snapshots for %d levels", len(cs.Levels), f.NumLevels())
+	}
+	var count uint64
+	for _, ls := range cs.Levels {
+		count += ls.Count
+	}
+	if count != cs.Aggregate.Count || count != uint64(len(keys)) {
+		t.Fatalf("level counts %d, aggregate %d, want %d", count, cs.Aggregate.Count, len(keys))
+	}
+	if cs.Aggregate.FPRFullLoad != f.TargetFPR() {
+		t.Fatalf("aggregate FPRFullLoad %g != target %g", cs.Aggregate.FPRFullLoad, f.TargetFPR())
+	}
+	if cs.Aggregate.FPREstimate > f.TargetFPR() {
+		t.Fatalf("estimated FPR %g exceeds budget %g", cs.Aggregate.FPREstimate, f.TargetFPR())
+	}
+	if cs.Aggregate.Ops.Inserts+cs.Aggregate.Ops.ShortcutInserts == 0 {
+		t.Fatal("aggregate counters empty")
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	f, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := workload.NewStream(4).Keys(12000)
+	for _, k := range keys {
+		f.Insert(k)
+	}
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumLevels() != f.NumLevels() || g.Count() != f.Count() {
+		t.Fatalf("round trip: %d levels/%d items, want %d/%d",
+			g.NumLevels(), g.Count(), f.NumLevels(), f.Count())
+	}
+	for _, k := range keys {
+		if !g.Contains(k) {
+			t.Fatal("false negative after round trip")
+		}
+	}
+	// The reloaded cascade must keep growing with the same schedule.
+	more := workload.NewStream(5).Keys(20000)
+	for _, k := range more {
+		if !g.Insert(k) {
+			t.Fatal("insert after reload failed")
+		}
+	}
+	if g.NumLevels() <= f.NumLevels() {
+		t.Fatal("reloaded cascade did not grow")
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	f, _ := New(testConfig())
+	for _, k := range workload.NewStream(6).Keys(100) {
+		f.Insert(k)
+	}
+	var buf bytes.Buffer
+	f.WriteTo(&buf)
+	data := buf.Bytes()
+
+	if _, err := Read(bytes.NewReader(data[:20])); err == nil {
+		t.Error("truncated header accepted")
+	}
+	if _, err := Read(bytes.NewReader(data[:len(data)-7])); err == nil {
+		t.Error("truncated level stream accepted")
+	}
+	// Forge an absurd level count.
+	forged := append([]byte(nil), data...)
+	forged[6], forged[7] = 0xff, 0xff
+	if _, err := Read(bytes.NewReader(forged)); err == nil {
+		t.Error("forged level count accepted")
+	}
+	// Forge an invalid config float.
+	forged = append([]byte(nil), data...)
+	for i := 16; i < 24; i++ {
+		forged[i] = 0xff // TargetFPR = NaN
+	}
+	if _, err := Read(bytes.NewReader(forged)); err == nil {
+		t.Error("NaN target FPR accepted")
+	}
+}
+
+func TestInsertNeverFailsBelowBackstop(t *testing.T) {
+	// A tight fill threshold plus tiny levels exercises the grow-and-retry
+	// path: inserts that lose the two-choice game below the trigger must
+	// still land via a fresh level.
+	cfg := Config{TargetFPR: 1.0 / 256, InitialSlots: 64, FillThreshold: 0.9}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range workload.NewStream(7).Keys(50000) {
+		if !f.Insert(k) {
+			t.Fatal("insert failed below MaxLevels")
+		}
+	}
+	if math.Abs(float64(f.Count())-50000) > 0 {
+		t.Fatalf("count %d", f.Count())
+	}
+}

@@ -1,0 +1,123 @@
+package elastic
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"vqf/internal/core"
+)
+
+// Cascade serialization: a header carrying the Config (everything needed to
+// regrow the cascade deterministically) followed by each level's core
+// filter stream, oldest first. Per-level budgets, triggers and geometries
+// are pure functions of (Config, level index), so they are recomputed on
+// read rather than stored; the core streams' own magic numbers then enforce
+// that each level has the geometry the config dictates.
+//
+// Only sequential cascades serialize, matching the core filters.
+
+const (
+	magicElastic   = 0x45465156 // "VQFE"
+	elasticVersion = 1
+	// elasticHeaderBytes: magic(4) version(2) levels(2) flags(2) pad(6)
+	// targetFPR(8) growth(8) tighten(8) fill(8) initialSlots(8).
+	elasticHeaderBytes = 4 + 2 + 2 + 2 + 6 + 8 + 8 + 8 + 8 + 8
+
+	eflagNoShortcut = 1 << 0
+)
+
+// WriteTo serializes the cascade. It implements io.WriterTo.
+func (f *Filter) WriteTo(w io.Writer) (int64, error) {
+	var hdr [elasticHeaderBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:], magicElastic)
+	binary.LittleEndian.PutUint16(hdr[4:], elasticVersion)
+	binary.LittleEndian.PutUint16(hdr[6:], uint16(len(f.levels)))
+	var flags uint16
+	if f.cfg.NoShortcut {
+		flags |= eflagNoShortcut
+	}
+	binary.LittleEndian.PutUint16(hdr[8:], flags)
+	binary.LittleEndian.PutUint64(hdr[16:], math.Float64bits(f.cfg.TargetFPR))
+	binary.LittleEndian.PutUint64(hdr[24:], math.Float64bits(f.cfg.GrowthFactor))
+	binary.LittleEndian.PutUint64(hdr[32:], math.Float64bits(f.cfg.TightenRatio))
+	binary.LittleEndian.PutUint64(hdr[40:], math.Float64bits(f.cfg.FillThreshold))
+	binary.LittleEndian.PutUint64(hdr[48:], f.cfg.InitialSlots)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	n := int64(len(hdr))
+	for _, lvl := range f.levels {
+		wt, ok := lvl.filter.(io.WriterTo)
+		if !ok {
+			return n, fmt.Errorf("elastic: level filter %T does not serialize", lvl.filter)
+		}
+		m, err := wt.WriteTo(w)
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// Read deserializes a cascade written by WriteTo. The header's config is
+// validated with the same rules as New, the level count is capped at
+// MaxLevels, and every level stream passes through the core readers'
+// structural audits, so adversarial input fails cleanly instead of
+// allocating absurd amounts or corrupting later operations.
+func Read(r io.Reader) (*Filter, error) {
+	var hdr [elasticHeaderBytes]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", core.ErrBadFormat, err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != magicElastic {
+		return nil, fmt.Errorf("%w: bad cascade magic", core.ErrBadFormat)
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:]); v != elasticVersion {
+		return nil, fmt.Errorf("%w: unsupported cascade version %d", core.ErrBadFormat, v)
+	}
+	nlevels := int(binary.LittleEndian.Uint16(hdr[6:]))
+	flags := binary.LittleEndian.Uint16(hdr[8:])
+	cfg := Config{
+		TargetFPR:     math.Float64frombits(binary.LittleEndian.Uint64(hdr[16:])),
+		GrowthFactor:  math.Float64frombits(binary.LittleEndian.Uint64(hdr[24:])),
+		TightenRatio:  math.Float64frombits(binary.LittleEndian.Uint64(hdr[32:])),
+		FillThreshold: math.Float64frombits(binary.LittleEndian.Uint64(hdr[40:])),
+		InitialSlots:  binary.LittleEndian.Uint64(hdr[48:]),
+		NoShortcut:    flags&eflagNoShortcut != 0,
+	}
+	if nlevels < 1 || nlevels > MaxLevels {
+		return nil, fmt.Errorf("%w: cascade level count %d outside [1, %d]", core.ErrBadFormat, nlevels, MaxLevels)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", core.ErrBadFormat, err)
+	}
+	f := &Filter{cfg: cfg, levels: make([]*level, 0, nlevels)}
+	for i := 0; i < nlevels; i++ {
+		_, trigger, _ := levelSizing(cfg, i)
+		lvl := &level{
+			kind:    levelKind(cfg, i),
+			budget:  levelBudget(cfg, i),
+			trigger: trigger,
+			geomFPR: FPR16Full,
+		}
+		if lvl.kind == 8 {
+			lvl.geomFPR = FPR8Full
+			impl, err := core.ReadFilter8(r)
+			if err != nil {
+				return nil, fmt.Errorf("level %d: %w", i, err)
+			}
+			lvl.filter = impl
+		} else {
+			impl, err := core.ReadFilter16(r)
+			if err != nil {
+				return nil, fmt.Errorf("level %d: %w", i, err)
+			}
+			lvl.filter = impl
+		}
+		f.levels = append(f.levels, lvl)
+	}
+	return f, nil
+}

@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"time"
+
+	"vqf/internal/elastic"
+	"vqf/internal/stats"
+	"vqf/internal/workload"
+)
+
+// The elastic growth experiment: fill an elastic cascade far past its initial
+// capacity and record, for each level lifetime (the span during which that
+// level is the newest), the insert throughput, the measured false-positive
+// rate at the moment the next growth triggers, and lookup throughput as a
+// function of how many levels a probe must traverse. Together the segments
+// show the two costs growth is supposed to bound: FPR (must stay under the
+// configured ε at every checkpoint) and lookup time (grows with level count
+// until the newest level absorbs most probes).
+
+// GrowthSegment is one level lifetime. The JSON tags are the schema of
+// BENCH_elastic.json.
+type GrowthSegment struct {
+	Levels         int     `json:"levels"`           // level count during this segment
+	Items          uint64  `json:"items"`            // cumulative items at segment end
+	InsertMops     float64 `json:"insert_mops"`      // insert throughput over the segment
+	PosLookupMops  float64 `json:"pos_lookup_mops"`  // successful lookups at segment end
+	RandLookupMops float64 `json:"rand_lookup_mops"` // uniform-random (mostly negative) lookups
+	MeasuredFPR    float64 `json:"measured_fpr"`     // over `probes` never-inserted keys at segment end
+	BitsPerItem    float64 `json:"bits_per_item"`    // total cascade size over items held
+}
+
+// GrowthResult is a full growth run.
+type GrowthResult struct {
+	TargetFPR    float64         `json:"target_fpr"`
+	GrowthFactor float64         `json:"growth_factor"`
+	TightenRatio float64         `json:"tighten_ratio"`
+	InitialSlots uint64          `json:"initial_slots"`
+	GrowthEvents int             `json:"growth_events"`
+	Segments     []GrowthSegment `json:"segments"`
+	// Failed is set if an insert failed (level backstop reached).
+	Failed bool `json:"failed,omitempty"`
+}
+
+// RunGrowth fills an elastic cascade with totalItems keys, snapping a
+// measurement segment at every growth event (and a final one at the end).
+// Panics on invalid config, like the other harness runners do on broken
+// invariants — the config comes from the benchmark driver, not user input.
+func RunGrowth(cfg elastic.Config, totalItems uint64, probes, queries int, seed uint64) GrowthResult {
+	if err := cfg.Validate(); err != nil {
+		panic("harness: growth config: " + err.Error())
+	}
+	f, err := elastic.New(cfg)
+	if err != nil {
+		panic("harness: growth config: " + err.Error())
+	}
+	ObserveSnapshot("elastic", func() stats.Snapshot { return f.Snapshot().Aggregate })
+	res := GrowthResult{
+		TargetFPR:    cfg.TargetFPR,
+		GrowthFactor: cfg.GrowthFactor,
+		TightenRatio: cfg.TightenRatio,
+		InitialSlots: cfg.InitialSlots,
+	}
+
+	ins := workload.NewStream(seed)
+	neg := workload.NewStream(seed ^ 0xdeadbeefcafef00d)
+	inserted := make([]uint64, 0, totalItems)
+
+	segment := func(start time.Time, segItems uint64) GrowthSegment {
+		seg := GrowthSegment{
+			Levels:     f.NumLevels(),
+			Items:      f.Count(),
+			InsertMops: mops(segItems, time.Since(start)),
+		}
+		if n := f.Count(); n > 0 {
+			seg.BitsPerItem = float64(f.SizeBytes()) * 8 / float64(n)
+		}
+
+		qn := queries
+		if qn > len(inserted) {
+			qn = len(inserted)
+		}
+		stride := len(inserted) / qn
+		if stride == 0 {
+			stride = 1
+		}
+		t0 := time.Now()
+		got := 0
+		for i := 0; i < qn; i++ {
+			if f.Contains(inserted[(i*stride)%len(inserted)]) {
+				got++
+			}
+		}
+		seg.PosLookupMops = mops(uint64(qn), time.Since(t0))
+		if got != qn {
+			panic("harness: false negative during elastic growth run")
+		}
+
+		t0 = time.Now()
+		fps := 0
+		for i := 0; i < probes; i++ {
+			if f.Contains(neg.Next()) {
+				fps++
+			}
+		}
+		seg.RandLookupMops = mops(uint64(probes), time.Since(t0))
+		seg.MeasuredFPR = float64(fps) / float64(probes)
+		return seg
+	}
+
+	levels := f.NumLevels()
+	segStart := time.Now()
+	var segItems uint64
+	for uint64(len(inserted)) < totalItems {
+		h := ins.Next()
+		if !f.Insert(h) {
+			res.Failed = true
+			break
+		}
+		inserted = append(inserted, h)
+		segItems++
+		if n := f.NumLevels(); n != levels {
+			// Growth event: close the segment that just ended.
+			res.Segments = append(res.Segments, segment(segStart, segItems))
+			res.GrowthEvents += n - levels
+			levels = n
+			segStart = time.Now()
+			segItems = 0
+		}
+	}
+	if segItems > 0 {
+		res.Segments = append(res.Segments, segment(segStart, segItems))
+	}
+	return res
+}

@@ -49,6 +49,15 @@ func Observe(name string, f Filter) {
 	obsMu.Unlock()
 }
 
+// ObserveSnapshot registers a live snapshot closure directly, for sources
+// that don't fit the statsProvider shape (the elastic cascade registers its
+// aggregate snapshot this way — per-block occupancy lives in the levels).
+func ObserveSnapshot(name string, snap func() stats.Snapshot) {
+	obsMu.Lock()
+	observed[name] = snap
+	obsMu.Unlock()
+}
+
 // fprForGeometry returns the analytic full-load false-positive rate of the
 // VQF geometry with the given slots per block (paper §5).
 func fprForGeometry(slotsPerBlock uint) float64 {

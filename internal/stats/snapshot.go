@@ -81,6 +81,18 @@ type Snapshot struct {
 	Ops       OpCounts  `json:"ops"`
 }
 
+// CascadeSnapshot is the structural snapshot of a multi-level (elastic)
+// filter: an aggregate over the whole cascade plus one Snapshot per level,
+// oldest level first. In the aggregate, FPRFullLoad carries the configured
+// total budget ε, FPREstimate the sum of per-level realized estimates (the
+// quantity the budget bounds), and Occupancy the newest level's
+// distribution — levels can mix fingerprint geometries, so their histograms
+// do not merge meaningfully.
+type CascadeSnapshot struct {
+	Aggregate Snapshot   `json:"aggregate"`
+	Levels    []Snapshot `json:"levels"`
+}
+
 // BuildSnapshot assembles a Snapshot from the primitive readings every
 // introspectable filter exposes.
 func BuildSnapshot(count, capacity, sizeBytes uint64, fprFullLoad float64, occs []uint, slotsPerBlock uint, ops OpCounts) Snapshot {

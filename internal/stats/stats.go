@@ -92,6 +92,25 @@ func fromArray(c *[numOps]uint64) OpCounts {
 	}
 }
 
+// Add returns the per-counter sum o + other, for aggregating counters
+// across the members of a composite filter (e.g. the levels of an elastic
+// cascade).
+func (o OpCounts) Add(other OpCounts) OpCounts {
+	return OpCounts{
+		Inserts:         o.Inserts + other.Inserts,
+		InsertFailures:  o.InsertFailures + other.InsertFailures,
+		ShortcutInserts: o.ShortcutInserts + other.ShortcutInserts,
+		Lookups:         o.Lookups + other.Lookups,
+		Removes:         o.Removes + other.Removes,
+		RemoveMisses:    o.RemoveMisses + other.RemoveMisses,
+		OptAttempts:     o.OptAttempts + other.OptAttempts,
+		OptRetries:      o.OptRetries + other.OptRetries,
+		OptFallbacks:    o.OptFallbacks + other.OptFallbacks,
+		BatchOps:        o.BatchOps + other.BatchOps,
+		BatchKeys:       o.BatchKeys + other.BatchKeys,
+	}
+}
+
 // Sub returns the per-counter difference o − prev: the operations that
 // happened between two readings.
 func (o OpCounts) Sub(prev OpCounts) OpCounts {

@@ -3,6 +3,7 @@ package vqf
 import (
 	"bytes"
 	"expvar"
+	"fmt"
 	"net/http"
 	"sort"
 
@@ -28,10 +29,16 @@ type Occupancy = stats.Occupancy
 // Snapshot is a full structural snapshot of one filter; see Filter.Snapshot.
 type Snapshot = stats.Snapshot
 
-// Source is anything that can produce a metrics snapshot: *Filter and *Map
-// both implement it, as can application wrappers.
+// Source is anything that can produce a metrics snapshot: *Filter, *Map
+// and *Elastic all implement it, as can application wrappers.
 type Source interface {
 	Snapshot() Snapshot
+}
+
+// cascadeSource is the additional surface multi-level sources (*Elastic)
+// expose; MetricsHandler uses it to export per-level series.
+type cascadeSource interface {
+	CascadeSnapshot() CascadeSnapshot
 }
 
 // MetricsContentType is the Content-Type of MetricsHandler responses
@@ -50,6 +57,10 @@ const MetricsContentType = stats.ContentType
 // alongside live traffic (see Filter.Snapshot). The handler holds only the
 // sources map, so filters added to the map before the handler is created are
 // the ones exported for its lifetime.
+//
+// An Elastic source exports its aggregate under the given name plus one
+// series per cascade level under "name.level<i>" — the level set follows
+// the filter's growth from scrape to scrape.
 func MetricsHandler(sources map[string]Source) http.Handler {
 	names := make([]string, 0, len(sources))
 	for name := range sources {
@@ -59,6 +70,15 @@ func MetricsHandler(sources map[string]Source) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		snaps := make([]stats.NamedSnapshot, 0, len(names))
 		for _, name := range names {
+			if cs, ok := sources[name].(cascadeSource); ok {
+				cascade := cs.CascadeSnapshot()
+				snaps = append(snaps, stats.NamedSnapshot{Name: name, Snap: cascade.Aggregate})
+				for i, lvl := range cascade.Levels {
+					snaps = append(snaps, stats.NamedSnapshot{
+						Name: fmt.Sprintf("%s.level%d", name, i), Snap: lvl})
+				}
+				continue
+			}
 			snaps = append(snaps, stats.NamedSnapshot{Name: name, Snap: sources[name].Snapshot()})
 		}
 		var buf bytes.Buffer

@@ -8,16 +8,77 @@ import (
 	"vqf/internal/core"
 )
 
-// Serialization of the public Filter type: a small envelope (geometry kind
-// and hash seed) around the core filter stream, so a filter saved by one
-// process answers queries identically in another.
+// Serialization of the public types: a small envelope (payload kind and
+// hash seed) around the internal filter stream, so a filter saved by one
+// process answers queries identically in another. Filter, Map and Elastic
+// share the envelope format and differ only in the kind tag, which lets
+// each reader reject the others' streams with a pointed error.
 
 const (
-	envMagic   = 0x53465156 // "VQFS"
-	envVersion = 1
-	kind8      = 8
-	kind16     = 16
+	envMagic    = 0x53465156 // "VQFS"
+	envVersion  = 1
+	kind8       = 8
+	kind16      = 16
+	kindMap     = 0x4b // 'K': value-associating filter (Map)
+	kindElastic = 0x45 // 'E': elastic cascade
 )
+
+// envelopeBytes is the envelope header size: magic(4) version(2) kind(2)
+// seed(8).
+const envelopeBytes = 16
+
+// writeEnvelope writes the shared envelope header.
+func writeEnvelope(w io.Writer, kind uint16, seed uint64) (int64, error) {
+	var hdr [envelopeBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:], envMagic)
+	binary.LittleEndian.PutUint16(hdr[4:], envVersion)
+	binary.LittleEndian.PutUint16(hdr[6:], kind)
+	binary.LittleEndian.PutUint64(hdr[8:], seed)
+	n, err := w.Write(hdr[:])
+	return int64(n), err
+}
+
+// kindName names an envelope kind and the function that reads it, for
+// mismatch errors.
+func kindName(kind uint16) string {
+	switch kind {
+	case kind8, kind16:
+		return "a Filter (use vqf.Read)"
+	case kindMap:
+		return "a Map (use vqf.NewMapFromReader)"
+	case kindElastic:
+		return "an Elastic filter (use vqf.ReadElastic)"
+	}
+	return fmt.Sprintf("unknown kind %d", kind)
+}
+
+// readEnvelopeKind reads and validates the envelope header, returning the
+// payload kind and seed.
+func readEnvelopeKind(r io.Reader) (kind uint16, seed uint64, err error) {
+	var hdr [envelopeBytes]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, fmt.Errorf("vqf: reading header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != envMagic {
+		return 0, 0, fmt.Errorf("vqf: not a serialized filter")
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:]); v != envVersion {
+		return 0, 0, fmt.Errorf("vqf: unsupported serialization version %d", v)
+	}
+	return binary.LittleEndian.Uint16(hdr[6:]), binary.LittleEndian.Uint64(hdr[8:]), nil
+}
+
+// readEnvelope reads the envelope header and requires the given kind.
+func readEnvelope(r io.Reader, want uint16) (seed uint64, err error) {
+	kind, seed, err := readEnvelopeKind(r)
+	if err != nil {
+		return 0, err
+	}
+	if kind != want {
+		return 0, fmt.Errorf("vqf: stream holds %s", kindName(kind))
+	}
+	return seed, nil
+}
 
 // WriteTo serializes the filter. Only filters created with New (not
 // NewConcurrent) support serialization; concurrent filters should quiesce
@@ -34,32 +95,22 @@ func (f *Filter) WriteTo(w io.Writer) (int64, error) {
 	default:
 		return 0, fmt.Errorf("vqf: filter type %T does not support serialization", f.impl)
 	}
-	var hdr [16]byte
-	binary.LittleEndian.PutUint32(hdr[0:], envMagic)
-	binary.LittleEndian.PutUint16(hdr[4:], envVersion)
-	binary.LittleEndian.PutUint16(hdr[6:], kind)
-	binary.LittleEndian.PutUint64(hdr[8:], f.seed)
-	if _, err := w.Write(hdr[:]); err != nil {
-		return 0, err
+	n, err := writeEnvelope(w, kind, f.seed)
+	if err != nil {
+		return n, err
 	}
-	n, err := wt.WriteTo(w)
-	return n + int64(len(hdr)), err
+	m, err := wt.WriteTo(w)
+	return n + m, err
 }
 
 // Read deserializes a filter previously written with WriteTo.
 func Read(r io.Reader) (*Filter, error) {
-	var hdr [16]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, fmt.Errorf("vqf: reading header: %w", err)
+	kind, seed, err := readEnvelopeKind(r)
+	if err != nil {
+		return nil, err
 	}
-	if binary.LittleEndian.Uint32(hdr[0:]) != envMagic {
-		return nil, fmt.Errorf("vqf: not a serialized filter")
-	}
-	if v := binary.LittleEndian.Uint16(hdr[4:]); v != envVersion {
-		return nil, fmt.Errorf("vqf: unsupported serialization version %d", v)
-	}
-	f := &Filter{seed: binary.LittleEndian.Uint64(hdr[8:])}
-	switch kind := binary.LittleEndian.Uint16(hdr[6:]); kind {
+	f := &Filter{seed: seed}
+	switch kind {
 	case kind8:
 		impl, err := core.ReadFilter8(r)
 		if err != nil {
@@ -75,7 +126,33 @@ func Read(r io.Reader) (*Filter, error) {
 		f.impl = impl
 		f.fpr = 2.0 * 28 / 36 / 65536
 	default:
-		return nil, fmt.Errorf("vqf: unknown filter kind %d", kind)
+		return nil, fmt.Errorf("vqf: stream holds %s", kindName(kind))
 	}
 	return f, nil
+}
+
+// WriteTo serializes the Map (envelope, blocks and values). It implements
+// io.WriterTo.
+func (m *Map) WriteTo(w io.Writer) (int64, error) {
+	n, err := writeEnvelope(w, kindMap, m.seed)
+	if err != nil {
+		return n, err
+	}
+	k, err := m.impl.WriteTo(w)
+	return n + k, err
+}
+
+// NewMapFromReader deserializes a Map written by Map.WriteTo. The hash seed
+// travels with the Map, so keys stored by the writing process resolve
+// identically.
+func NewMapFromReader(r io.Reader) (*Map, error) {
+	seed, err := readEnvelope(r, kindMap)
+	if err != nil {
+		return nil, err
+	}
+	impl, err := core.ReadKV8(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Map{impl: impl, seed: seed}, nil
 }

@@ -2,6 +2,7 @@ package vqf
 
 import (
 	"bytes"
+	"encoding/binary"
 	"strconv"
 	"testing"
 )
@@ -63,6 +64,80 @@ func TestConcurrentFilterSerializationUnsupported(t *testing.T) {
 	var buf bytes.Buffer
 	if _, err := f.WriteTo(&buf); err == nil {
 		t.Error("concurrent filter serialization should fail")
+	}
+}
+
+func TestMapSerializeRoundTrip(t *testing.T) {
+	m := NewMap(10000, WithSeed(31))
+	for i := 0; i < 5000; i++ {
+		if err := m.PutString("key-"+strconv.Itoa(i), byte(i%251)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewMapFromReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Count() != m.Count() {
+		t.Fatalf("count %d != %d", g.Count(), m.Count())
+	}
+	// Fingerprint collisions can mis-attribute values (see TestMapManyKeys),
+	// so the round-trip property is answer fidelity: the reloaded Map gives
+	// byte-identical answers to the original on every key.
+	for i := 0; i < 6000; i++ {
+		key := "key-" + strconv.Itoa(i)
+		wantV, wantOK := m.GetString(key)
+		gotV, gotOK := g.GetString(key)
+		if gotOK != wantOK || gotV != wantV {
+			t.Fatalf("%s: (%d,%v) after round trip, want (%d,%v)", key, gotV, gotOK, wantV, wantOK)
+		}
+	}
+	// The reloaded Map stays mutable.
+	if err := g.PutString("new-key", 7); err != nil {
+		t.Fatal(err)
+	}
+	if !g.DeleteHash(0) && !g.Delete([]byte("key-1")) {
+		t.Fatal("delete failed after round trip")
+	}
+}
+
+// TestReadRejectsForgedBlockCount patches a valid stream's block-count field
+// to a huge value and checks every decoder fails fast on the length check
+// instead of attempting a multi-gigabyte allocation.
+func TestReadRejectsForgedBlockCount(t *testing.T) {
+	forge := func(stream []byte) []byte {
+		out := append([]byte(nil), stream...)
+		// Envelope is 16 bytes; the core header stores nblocks at offset 8.
+		binary.LittleEndian.PutUint64(out[16+8:], 1<<38) // ~16 TiB of blocks
+		return out
+	}
+	var filterBuf, mapBuf, elasticBuf bytes.Buffer
+	pf := New(100)
+	pf.AddString("x")
+	pf.WriteTo(&filterBuf)
+	m := NewMap(100)
+	m.PutString("x", 1)
+	m.WriteTo(&mapBuf)
+	e := NewElastic()
+	e.AddString("x")
+	e.WriteTo(&elasticBuf)
+
+	if _, err := Read(bytes.NewReader(forge(filterBuf.Bytes()))); err == nil {
+		t.Error("Read accepted forged block count")
+	}
+	if _, err := NewMapFromReader(bytes.NewReader(forge(mapBuf.Bytes()))); err == nil {
+		t.Error("NewMapFromReader accepted forged block count")
+	}
+	// For the elastic stream the core header sits behind the cascade header
+	// (56 bytes after the envelope).
+	forged := append([]byte(nil), elasticBuf.Bytes()...)
+	binary.LittleEndian.PutUint64(forged[16+56+8:], 1<<38)
+	if _, err := ReadElastic(bytes.NewReader(forged)); err == nil {
+		t.Error("ReadElastic accepted forged block count")
 	}
 }
 

@@ -64,6 +64,12 @@ type config struct {
 	seed       uint64
 	noShortcut bool
 	sizingLoad float64
+
+	// Elastic-only knobs (see NewElastic); ignored by New/NewConcurrent.
+	initialCap    uint64
+	growthFactor  float64
+	tightenRatio  float64
+	growThreshold float64
 }
 
 // Option configures New and NewConcurrent.
@@ -90,6 +96,36 @@ func WithSeed(seed uint64) Option {
 // rises from ≈ 93.5% to ≈ 94.4%.
 func WithoutShortcut() Option {
 	return func(c *config) { c.noShortcut = true }
+}
+
+// WithInitialCapacity sets the item count an elastic filter's first level
+// is provisioned for; each growth multiplies capacity by the growth factor.
+// Only NewElastic and NewConcurrentElastic use it. The default is 4096.
+func WithInitialCapacity(n uint64) Option {
+	return func(c *config) { c.initialCap = n }
+}
+
+// WithGrowthFactor sets the capacity ratio between consecutive levels of an
+// elastic filter (default 2; valid range [1.5, 16]). Only NewElastic and
+// NewConcurrentElastic use it.
+func WithGrowthFactor(g float64) Option {
+	return func(c *config) { c.growthFactor = g }
+}
+
+// WithTightenRatio sets the geometric decay r of an elastic filter's
+// per-level false-positive budgets εᵢ = ε·(1−r)·rⁱ (default 0.5; valid
+// range (0, 0.9]). Smaller r spends the budget faster on early levels,
+// keeping deep cascades cheaper per level; larger r delays the switch to
+// 16-bit fingerprints. Only NewElastic and NewConcurrentElastic use it.
+func WithTightenRatio(r float64) Option {
+	return func(c *config) { c.tightenRatio = r }
+}
+
+// WithGrowthThreshold sets the fraction of a level's item budget at which
+// an elastic filter appends its next level (default 0.85; valid range
+// (0, 0.93]). Only NewElastic and NewConcurrentElastic use it.
+func WithGrowthThreshold(t float64) Option {
+	return func(c *config) { c.growThreshold = t }
 }
 
 // WithSizingLoadFactor sets the load factor the filter is provisioned for:
