@@ -56,6 +56,11 @@ type config struct {
 	csv           bool
 	which         string
 	repeat        int
+	batch         int
+	reps          int
+	oldJSON       string
+	newJSON       string
+	gateThreshold float64
 	benchout      string
 	cpuprofile    string
 	memprofile    string
@@ -76,6 +81,12 @@ func main() {
 	fs.Uint64Var(&cfg.seed, "seed", 42, "workload seed")
 	fs.StringVar(&cfg.which, "which", "", "fig6 sub-panel: a, b, c or d (default: all four)")
 	fs.IntVar(&cfg.repeat, "repeat", 1, "repetitions to average for fig4/fig5 sweeps")
+	fs.IntVar(&cfg.batch, "batch", 1<<14, "keys per sequential batch call for the kernels experiment")
+	fs.IntVar(&cfg.reps, "reps", 5, "timed samples per op for the kernels experiment")
+	fs.StringVar(&cfg.oldJSON, "old", "", "baseline BENCH_kernels.json for kernelgate")
+	fs.StringVar(&cfg.newJSON, "new", "", "candidate BENCH_kernels.json for kernelgate")
+	fs.Float64Var(&cfg.gateThreshold, "gatethreshold", 5.0,
+		"kernelgate failure threshold: max tolerated significant slowdown in percent")
 	fs.BoolVar(&cfg.csv, "csv", false, "emit CSV instead of aligned text")
 	fs.StringVar(&cfg.benchout, "benchout", "auto",
 		"output file for JSON-emitting experiments (fig4, fig5, concurrent, elastic, choices); \"auto\" writes BENCH_<experiment>.json, empty skips")
@@ -85,7 +96,7 @@ func main() {
 	fs.StringVar(&cfg.httpserve, "httpserve", "",
 		"serve /metrics (Prometheus, live filters), /debug/pprof/ and /debug/vars on this address (e.g. 127.0.0.1:8080) while experiments run")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: vqfbench [flags] <experiment>\n\nexperiments: table1 fig2 fig3 table2 fig4 fig5 fig6 table3 table4 concurrent elastic maxload maxloadscale choices ablation all\n\nflags:\n")
+		fmt.Fprintf(os.Stderr, "usage: vqfbench [flags] <experiment>\n\nexperiments: table1 fig2 fig3 table2 fig4 fig5 fig6 table3 table4 concurrent elastic maxload maxloadscale choices ablation kernels kernelgate all\n\nflags:\n")
 		fs.PrintDefaults()
 	}
 	fs.Parse(os.Args[1:])
@@ -117,6 +128,8 @@ func main() {
 		"maxloadscale": runMaxLoadScale,
 		"choices":      runChoices,
 		"ablation":     runAblation,
+		"kernels":      runKernels,
+		"kernelgate":   runKernelGate,
 	}
 	if cmd == "all" {
 		for _, name := range []string{"table1", "fig2", "fig3", "table2", "fig4",

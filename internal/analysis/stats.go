@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+)
+
+// Benchmark-sample statistics in the style of benchstat: summarize repeated
+// measurements as mean ± 95% confidence interval, and compare old/new sample
+// sets with an interval-overlap significance test. Used by the vqfbench
+// `kernels` experiment and its CI regression gate.
+
+// tCrit95 holds two-sided Student-t critical values at 95% confidence for
+// 1..30 degrees of freedom; beyond that the normal approximation is used.
+var tCrit95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+func tCrit(df int) float64 {
+	if df < 1 {
+		return math.Inf(1)
+	}
+	if df <= len(tCrit95) {
+		return tCrit95[df-1]
+	}
+	return 1.960
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// MeanCI95 returns the sample mean and the half-width of its two-sided 95%
+// confidence interval under Student's t. A single sample has an infinite
+// interval; an empty slice returns zeros.
+func MeanCI95(xs []float64) (mean, half float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	mean = Mean(xs)
+	if len(xs) == 1 {
+		return mean, math.Inf(1)
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(len(xs)-1))
+	half = tCrit(len(xs)-1) * sd / math.Sqrt(float64(len(xs)))
+	return mean, half
+}
+
+// Median returns the median of xs (0 for an empty slice).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}
+
+// BenchDelta is the comparison of two sample sets of a higher-is-better
+// metric (throughput).
+type BenchDelta struct {
+	OldMean float64 `json:"old_mean"`
+	OldCI   float64 `json:"old_ci95"`
+	NewMean float64 `json:"new_mean"`
+	NewCI   float64 `json:"new_ci95"`
+	// DeltaPct is the relative change of the means in percent:
+	// positive = faster, negative = slower.
+	DeltaPct float64 `json:"delta_pct"`
+	// Significant reports that the two 95% confidence intervals do not
+	// overlap — the same conservative test benchstat's interval display
+	// invites. Noisy samples (wide intervals) are never significant.
+	Significant bool `json:"significant"`
+}
+
+// CompareBench summarizes the change from oldSamples to newSamples.
+func CompareBench(oldSamples, newSamples []float64) BenchDelta {
+	om, oci := MeanCI95(oldSamples)
+	nm, nci := MeanCI95(newSamples)
+	d := BenchDelta{OldMean: om, OldCI: oci, NewMean: nm, NewCI: nci}
+	if om > 0 {
+		d.DeltaPct = (nm - om) / om * 100
+	}
+	d.Significant = om-oci > nm+nci || nm-nci > om+oci
+	return d
+}
+
+// Regression reports whether d is a statistically significant slowdown of
+// more than thresholdPct percent. Insignificant deltas (overlapping
+// intervals) never count: a regression gate should fail on evidence, not on
+// noise.
+func (d BenchDelta) Regression(thresholdPct float64) bool {
+	return d.DeltaPct < -thresholdPct && d.Significant
+}

@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeanCI95(t *testing.T) {
+	mean, half := MeanCI95([]float64{10, 12, 11, 9, 13})
+	if math.Abs(mean-11) > 1e-9 {
+		t.Fatalf("mean = %v, want 11", mean)
+	}
+	// sd = sqrt(2.5), t(4) = 2.776: half = 2.776*sqrt(2.5)/sqrt(5) ≈ 1.963
+	if math.Abs(half-1.9629) > 1e-3 {
+		t.Fatalf("half-width = %v, want ≈1.963", half)
+	}
+	if m, h := MeanCI95(nil); m != 0 || h != 0 {
+		t.Fatalf("empty samples: %v ± %v", m, h)
+	}
+	if _, h := MeanCI95([]float64{5}); !math.IsInf(h, 1) {
+		t.Fatalf("single sample must have infinite interval, got %v", h)
+	}
+	// Identical samples: zero-width interval.
+	if m, h := MeanCI95([]float64{7, 7, 7, 7}); m != 7 || h != 0 {
+		t.Fatalf("constant samples: %v ± %v", m, h)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("odd median = %v", m)
+	}
+	if m := Median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Fatalf("even median = %v", m)
+	}
+}
+
+func TestCompareBenchSignificance(t *testing.T) {
+	// Tight samples, clearly apart: significant change.
+	d := CompareBench([]float64{100, 101, 99, 100}, []float64{80, 81, 79, 80})
+	if !d.Significant {
+		t.Fatal("clear 20% drop not flagged significant")
+	}
+	if math.Abs(d.DeltaPct+20) > 0.5 {
+		t.Fatalf("delta = %v, want ≈ -20", d.DeltaPct)
+	}
+	if !d.Regression(5) {
+		t.Fatal("significant 20% drop must fail a 5% gate")
+	}
+	if d.Regression(25) {
+		t.Fatal("20% drop must pass a 25% gate")
+	}
+
+	// Same means, wide noise: never significant, never a regression.
+	noisy := CompareBench([]float64{100, 140, 60, 110}, []float64{90, 130, 50, 100})
+	if noisy.Significant {
+		t.Fatal("overlapping intervals flagged significant")
+	}
+	if noisy.Regression(5) {
+		t.Fatal("noise flagged as regression")
+	}
+
+	// Improvement: significant but not a regression.
+	up := CompareBench([]float64{100, 101, 99, 100}, []float64{120, 121, 119, 120})
+	if !up.Significant || up.Regression(5) {
+		t.Fatalf("improvement misclassified: %+v", up)
+	}
+}
+
+func TestCompareBenchSingleSample(t *testing.T) {
+	// One sample per side has infinite intervals: never significant, so a
+	// gate fed single-sample runs can warn but not fail.
+	d := CompareBench([]float64{100}, []float64{50})
+	if d.Significant || d.Regression(5) {
+		t.Fatal("single-sample comparison cannot be significant")
+	}
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestContainsBatchInputOrder pins the ContainsBatch contract: out[i]
+// answers hs[i] even though probes run in radix-reordered block order.
+// Membership is deterministic for a fixed filter, so batch answers must
+// equal per-key Contains exactly (false positives included).
+func TestContainsBatchInputOrder(t *testing.T) {
+	for _, geom := range []string{"8", "16"} {
+		t.Run(geom, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			present := make([]uint64, 4096)
+			for i := range present {
+				present[i] = rng.Uint64()
+			}
+			var insert func([]uint64) int
+			var contains func(uint64) bool
+			var containsBatch func([]uint64, []bool) []bool
+			if geom == "8" {
+				f := NewFilter8(1<<13, Options{})
+				insert, contains, containsBatch = f.InsertBatch, f.Contains, f.ContainsBatch
+			} else {
+				f := NewFilter16(1<<13, Options{})
+				insert, contains, containsBatch = f.InsertBatch, f.Contains, f.ContainsBatch
+			}
+			insert(present)
+			// Interleave present and absent keys so hits and misses alternate
+			// within each radix shard.
+			hs := make([]uint64, 0, 2*len(present))
+			for _, h := range present {
+				hs = append(hs, h, rng.Uint64())
+			}
+			got := containsBatch(hs, nil)
+			if len(got) != len(hs) {
+				t.Fatalf("result length %d != %d", len(got), len(hs))
+			}
+			for i, h := range hs {
+				if got[i] != contains(h) {
+					t.Fatalf("out[%d] = %v, Contains(hs[%d]) = %v", i, got[i], i, contains(h))
+				}
+			}
+		})
+	}
+}
+
+// TestContainsBatchReusesDst checks that a dirty, oversized dst is reused
+// and every position rewritten: stale true values must not leak through for
+// misses.
+func TestContainsBatchReusesDst(t *testing.T) {
+	f := NewFilter8(1<<12, Options{})
+	rng := rand.New(rand.NewSource(12))
+	hs := make([]uint64, 1000) // all absent: filter is empty
+	for i := range hs {
+		hs[i] = rng.Uint64()
+	}
+	dst := make([]bool, 2000)
+	for i := range dst {
+		dst[i] = true
+	}
+	out := f.ContainsBatch(hs, dst)
+	if len(out) != len(hs) {
+		t.Fatalf("result length %d != %d", len(out), len(hs))
+	}
+	if &out[0] != &dst[0] {
+		t.Fatal("oversized dst was not reused")
+	}
+	for i, v := range out {
+		if v {
+			t.Fatalf("stale true leaked at %d on an empty filter", i)
+		}
+	}
+}
+
+// TestBatchEmptyAndTiny: zero-length and single-key batches go through the
+// small-batch path without touching the radix machinery.
+func TestBatchEmptyAndTiny(t *testing.T) {
+	f := NewFilter8(1<<10, Options{})
+	if got := f.InsertBatch(nil); got != 0 {
+		t.Fatalf("InsertBatch(nil) = %d", got)
+	}
+	if out := f.ContainsBatch(nil, nil); len(out) != 0 {
+		t.Fatalf("ContainsBatch(nil) returned %d results", len(out))
+	}
+	if got := f.RemoveBatch(nil); got != 0 {
+		t.Fatalf("RemoveBatch(nil) = %d", got)
+	}
+	if got := f.InsertBatch([]uint64{42}); got != 1 {
+		t.Fatalf("single-key InsertBatch = %d", got)
+	}
+	// Raw small integers can collide into false positives; compare the absent
+	// key against Contains instead of assuming false.
+	if out := f.ContainsBatch([]uint64{42, 43}, nil); !out[0] || out[1] != f.Contains(43) {
+		t.Fatalf("tiny ContainsBatch = %v, Contains(43) = %v", out, f.Contains(43))
+	}
+	if got := f.RemoveBatch([]uint64{42}); got != 1 {
+		t.Fatalf("single-key RemoveBatch = %d", got)
+	}
+	if f.Count() != 0 {
+		t.Fatalf("count %d after symmetric insert/remove", f.Count())
+	}
+}
+
+// TestInsertBatchAllDuplicates: a radix-path batch of one repeated key lands
+// entirely on one block pair; successes must match repeated per-key Insert
+// on an identical filter (both candidate blocks fill, the rest fail).
+func TestInsertBatchAllDuplicates(t *testing.T) {
+	const n = 1024 // >> minBatchPartition and >> two blocks' 96 slots
+	hs := make([]uint64, n)
+	for i := range hs {
+		hs[i] = 0xdeadbeefcafef00d
+	}
+	f := NewFilter8(1<<12, Options{})
+	model := NewFilter8(1<<12, Options{})
+	want := 0
+	for range hs {
+		if model.Insert(hs[0]) {
+			want++
+		}
+	}
+	got := f.InsertBatch(hs)
+	if got != want {
+		t.Fatalf("duplicate batch inserted %d, per-key reference %d", got, want)
+	}
+	if got >= n {
+		t.Fatal("scenario too weak: every duplicate fit")
+	}
+	if f.Count() != uint64(got) {
+		t.Fatalf("Count %d != returned %d", f.Count(), got)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after duplicate overflow: %v", err)
+	}
+	// Removing the duplicates back out must find exactly the stored copies.
+	if removed := f.RemoveBatch(hs); removed != got {
+		t.Fatalf("RemoveBatch removed %d of %d stored duplicates", removed, got)
+	}
+	if f.Count() != 0 {
+		t.Fatalf("count %d after removing all duplicates", f.Count())
+	}
+}
+
+// TestRemoveBatchMatchesPerKey: batch removal of a present/absent mix agrees
+// with per-key Remove fed the same radix order.
+func TestRemoveBatchMatchesPerKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	present := make([]uint64, 4096)
+	for i := range present {
+		present[i] = rng.Uint64()
+	}
+	f := NewFilter16(1<<13, Options{})
+	model := NewFilter16(1<<13, Options{})
+	f.InsertBatch(present)
+	model.InsertBatch(present)
+	// Remove every other present key plus noise that was never inserted.
+	victims := make([]uint64, 0, len(present))
+	for i := 0; i < len(present); i += 2 {
+		victims = append(victims, present[i], rng.Uint64())
+	}
+	sorted := model.scratch.partition(victims, model.mask, blockShift16)
+	want := 0
+	for _, h := range sorted {
+		if model.Remove(h) {
+			want++
+		}
+	}
+	got := f.RemoveBatch(victims)
+	if got != want {
+		t.Fatalf("RemoveBatch = %d, per-key reference = %d", got, want)
+	}
+	if f.Count() != model.Count() {
+		t.Fatalf("counts differ after batch removal: %d vs %d", f.Count(), model.Count())
+	}
+}
+
+// TestBatchZeroAlloc guards the pipeline's allocation-free steady state:
+// after a warm-up call grows the scratch buffers, batch calls (and the
+// single-key hot paths they are built from) must not allocate at all.
+func TestBatchZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	hs := make([]uint64, 4096)
+	for i := range hs {
+		hs[i] = rng.Uint64()
+	}
+	dst := make([]bool, len(hs))
+
+	t.Run("Filter8", func(t *testing.T) {
+		f := NewFilter8(1<<16, Options{})
+		f.InsertBatch(hs) // warm up scratch
+		checkAllocs(t, "ContainsBatch", func() { f.ContainsBatch(hs, dst) })
+		checkAllocs(t, "RemoveBatch", func() { f.RemoveBatch(hs) })
+		checkAllocs(t, "InsertBatch", func() { f.InsertBatch(hs[:512]) })
+		k := rng.Uint64()
+		checkAllocs(t, "Insert", func() { f.Insert(k) })
+		checkAllocs(t, "Contains", func() { f.Contains(k) })
+		checkAllocs(t, "Remove", func() { f.Remove(k) })
+	})
+	t.Run("Filter16", func(t *testing.T) {
+		f := NewFilter16(1<<16, Options{})
+		f.InsertBatch(hs)
+		checkAllocs(t, "ContainsBatch", func() { f.ContainsBatch(hs, dst) })
+		checkAllocs(t, "RemoveBatch", func() { f.RemoveBatch(hs) })
+		checkAllocs(t, "InsertBatch", func() { f.InsertBatch(hs[:512]) })
+		k := rng.Uint64()
+		checkAllocs(t, "Insert", func() { f.Insert(k) })
+		checkAllocs(t, "Contains", func() { f.Contains(k) })
+		checkAllocs(t, "Remove", func() { f.Remove(k) })
+	})
+}
+
+func checkAllocs(t *testing.T, name string, fn func()) {
+	t.Helper()
+	if avg := testing.AllocsPerRun(20, fn); avg != 0 {
+		t.Errorf("%s allocates %.1f times per call, want 0", name, avg)
+	}
+}

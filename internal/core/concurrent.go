@@ -5,6 +5,7 @@ import (
 
 	"vqf/internal/minifilter"
 	"vqf/internal/stats"
+	"vqf/internal/swar"
 )
 
 // Concurrent filter variants (paper §6.3, extended). Writers take per-block
@@ -165,7 +166,8 @@ func (f *CFilter8) Insert(h uint64) bool {
 func (f *CFilter8) Contains(h uint64) bool {
 	b1, bucket, fp, tag := split8(h, f.mask)
 	f.st.Lookup(b1)
-	found, retries, fellBack := f.blocks[b1].ContainsOptimisticCounted(f.seq(b1), bucket, fp)
+	bc := swar.BroadcastByte(fp)
+	found, retries, fellBack := f.blocks[b1].ContainsOptimisticCountedB(f.seq(b1), bucket, bc)
 	f.st.Optimistic(b1, retries, fellBack)
 	if found {
 		return true
@@ -174,7 +176,7 @@ func (f *CFilter8) Contains(h uint64) bool {
 	if b2 == b1 {
 		return false
 	}
-	found, retries, fellBack = f.blocks[b2].ContainsOptimisticCounted(f.seq(b2), bucket, fp)
+	found, retries, fellBack = f.blocks[b2].ContainsOptimisticCountedB(f.seq(b2), bucket, bc)
 	f.st.Optimistic(b1, retries, fellBack)
 	return found
 }
@@ -393,7 +395,8 @@ func (f *CFilter16) Insert(h uint64) bool {
 func (f *CFilter16) Contains(h uint64) bool {
 	b1, bucket, fp, tag := split16(h, f.mask)
 	f.st.Lookup(b1)
-	found, retries, fellBack := f.blocks[b1].ContainsOptimisticCounted(f.seq(b1), bucket, fp)
+	bc := swar.BroadcastU16(fp)
+	found, retries, fellBack := f.blocks[b1].ContainsOptimisticCountedB(f.seq(b1), bucket, bc)
 	f.st.Optimistic(b1, retries, fellBack)
 	if found {
 		return true
@@ -402,7 +405,7 @@ func (f *CFilter16) Contains(h uint64) bool {
 	if b2 == b1 {
 		return false
 	}
-	found, retries, fellBack = f.blocks[b2].ContainsOptimisticCounted(f.seq(b2), bucket, fp)
+	found, retries, fellBack = f.blocks[b2].ContainsOptimisticCountedB(f.seq(b2), bucket, bc)
 	f.st.Optimistic(b1, retries, fellBack)
 	return found
 }

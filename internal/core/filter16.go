@@ -3,6 +3,7 @@ package core
 import (
 	"vqf/internal/minifilter"
 	"vqf/internal/stats"
+	"vqf/internal/swar"
 )
 
 // Filter16 is a single-threaded vector quotient filter with 16-bit
@@ -16,6 +17,10 @@ type Filter16 struct {
 	opts   Options
 	thresh uint
 	st     stats.Local
+
+	// scratch backs the sequential batch pipeline (batch.go); owning it here
+	// makes steady-state batch calls allocation-free.
+	scratch batchScratch
 }
 
 // NewFilter16 creates a filter with at least nslots fingerprint slots; see
@@ -115,11 +120,13 @@ func (f *Filter16) Contains(h uint64) bool {
 		b2 := secondary(h, b1, tag, f.mask, f.opts.IndependentHash)
 		return f.blocks[b2].ContainsGeneric(bucket, fp)
 	}
-	if f.blocks[b1].Contains(bucket, fp) {
+	// Broadcast the fingerprint once; both block probes reuse it.
+	bc := swar.BroadcastU16(fp)
+	if f.blocks[b1].Probe(bucket, bc) != 0 {
 		return true
 	}
 	b2 := secondary(h, b1, tag, f.mask, f.opts.IndependentHash)
-	return f.blocks[b2].Contains(bucket, fp)
+	return f.blocks[b2].Probe(bucket, bc) != 0
 }
 
 // Remove deletes one previously inserted instance of the pre-hashed key h;
@@ -136,7 +143,8 @@ func (f *Filter16) Remove(h uint64) bool {
 		f.st.RemoveMiss()
 		return false
 	}
-	if f.blocks[b1].Remove(bucket, fp) || f.blocks[b2].Remove(bucket, fp) {
+	bc := swar.BroadcastU16(fp)
+	if f.blocks[b1].RemoveB(bucket, bc) || f.blocks[b2].RemoveB(bucket, bc) {
 		f.count--
 		f.st.Remove()
 		return true

@@ -3,6 +3,7 @@ package core
 import (
 	"vqf/internal/minifilter"
 	"vqf/internal/stats"
+	"vqf/internal/swar"
 )
 
 // Filter8 is a single-threaded vector quotient filter with 8-bit fingerprints
@@ -15,6 +16,10 @@ type Filter8 struct {
 	opts   Options
 	thresh uint
 	st     stats.Local
+
+	// scratch backs the sequential batch pipeline (batch.go); owning it here
+	// makes steady-state batch calls allocation-free.
+	scratch batchScratch
 }
 
 // NewFilter8 creates a filter with at least nslots fingerprint slots. The
@@ -123,11 +128,13 @@ func (f *Filter8) Contains(h uint64) bool {
 		b2 := secondary(h, b1, tag, f.mask, f.opts.IndependentHash)
 		return f.blocks[b2].ContainsGeneric(bucket, fp)
 	}
-	if f.blocks[b1].Contains(bucket, fp) {
+	// Broadcast the fingerprint once; both block probes reuse it.
+	bc := swar.BroadcastByte(fp)
+	if f.blocks[b1].Probe(bucket, bc) != 0 {
 		return true
 	}
 	b2 := secondary(h, b1, tag, f.mask, f.opts.IndependentHash)
-	return f.blocks[b2].Contains(bucket, fp)
+	return f.blocks[b2].Probe(bucket, bc) != 0
 }
 
 // Remove deletes one previously inserted instance of the pre-hashed key h.
@@ -147,7 +154,8 @@ func (f *Filter8) Remove(h uint64) bool {
 		f.st.RemoveMiss()
 		return false
 	}
-	if f.blocks[b1].Remove(bucket, fp) || f.blocks[b2].Remove(bucket, fp) {
+	bc := swar.BroadcastByte(fp)
+	if f.blocks[b1].RemoveB(bucket, bc) || f.blocks[b2].RemoveB(bucket, bc) {
 		f.count--
 		f.st.Remove()
 		return true

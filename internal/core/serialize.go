@@ -117,7 +117,12 @@ func (f *Filter8) WriteTo(w io.Writer) (int64, error) {
 		b := &f.blocks[i]
 		binary.LittleEndian.PutUint64(buf[0:], b.MetaLo)
 		binary.LittleEndian.PutUint64(buf[8:], b.MetaHi)
-		copy(buf[16:], b.Fps[:])
+		// Word-native lanes are little-endian within each word, so one
+		// PutUint64 per word emits the same byte stream as the historical
+		// byte-array layout: the on-disk format is unchanged.
+		for j, word := range b.Fps {
+			binary.LittleEndian.PutUint64(buf[16+8*j:], word)
+		}
 		m, err := w.Write(buf)
 		n += int64(m)
 		if err != nil {
@@ -157,7 +162,9 @@ func ReadFilter8(r io.Reader) (*Filter8, error) {
 			b := &f.blocks[read+j]
 			b.MetaLo = binary.LittleEndian.Uint64(buf[0:])
 			b.MetaHi = binary.LittleEndian.Uint64(buf[8:])
-			copy(b.Fps[:], buf[16:])
+			for k := range b.Fps {
+				b.Fps[k] = binary.LittleEndian.Uint64(buf[16+8*k:])
+			}
 		}
 		read += n
 	}
@@ -182,7 +189,9 @@ func (f *KVFilter8) WriteTo(w io.Writer) (int64, error) {
 		b := &f.blocks[i]
 		binary.LittleEndian.PutUint64(buf[0:], b.MetaLo)
 		binary.LittleEndian.PutUint64(buf[8:], b.MetaHi)
-		copy(buf[16:], b.Fps[:])
+		for j, word := range b.Fps {
+			binary.LittleEndian.PutUint64(buf[16+8*j:], word)
+		}
 		copy(buf[blockBytes:], f.blockVals(uint64(i)))
 		m, err := w.Write(buf)
 		n += int64(m)
@@ -219,7 +228,9 @@ func ReadKV8(r io.Reader) (*KVFilter8, error) {
 			b := &f.blocks[read+j]
 			b.MetaLo = binary.LittleEndian.Uint64(buf[0:])
 			b.MetaHi = binary.LittleEndian.Uint64(buf[8:])
-			copy(b.Fps[:], buf[16:blockBytes])
+			for k := range b.Fps {
+				b.Fps[k] = binary.LittleEndian.Uint64(buf[16+8*k:])
+			}
 			copy(f.blockVals(read+j), buf[blockBytes:])
 		}
 		read += n
@@ -240,8 +251,10 @@ func (f *Filter16) WriteTo(w io.Writer) (int64, error) {
 	for i := range f.blocks {
 		b := &f.blocks[i]
 		binary.LittleEndian.PutUint64(buf[0:], b.Meta)
-		for j, fp := range b.Fps {
-			binary.LittleEndian.PutUint16(buf[8+2*j:], fp)
+		// As with Filter8, word-native uint16 lanes serialize byte-identically
+		// to the historical per-lane little-endian encoding.
+		for j, word := range b.Fps {
+			binary.LittleEndian.PutUint64(buf[8+8*j:], word)
 		}
 		m, err := w.Write(buf)
 		n += int64(m)
@@ -279,7 +292,7 @@ func ReadFilter16(r io.Reader) (*Filter16, error) {
 			b := &f.blocks[read+j]
 			b.Meta = binary.LittleEndian.Uint64(buf[0:])
 			for k := range b.Fps {
-				b.Fps[k] = binary.LittleEndian.Uint16(buf[8+2*k:])
+				b.Fps[k] = binary.LittleEndian.Uint64(buf[8+8*k:])
 			}
 		}
 		read += n

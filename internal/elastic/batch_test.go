@@ -1,0 +1,78 @@
+package elastic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestContainsBatchCascade: batch answers over a multi-level cascade must
+// equal per-key Contains exactly (same probes, deterministic state), in
+// input order, for both the sequential and concurrent cascades.
+func TestContainsBatchCascade(t *testing.T) {
+	cfg := Config{TargetFPR: 1e-3, InitialSlots: 1 << 9}
+	rng := rand.New(rand.NewSource(21))
+	present := make([]uint64, 8000) // forces several growths past 512 slots
+	for i := range present {
+		present[i] = rng.Uint64()
+	}
+	mixed := make([]uint64, 0, 2*len(present))
+	for _, h := range present {
+		mixed = append(mixed, h, rng.Uint64())
+	}
+
+	t.Run("sequential", func(t *testing.T) {
+		f, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range present {
+			f.Insert(h)
+		}
+		if f.NumLevels() < 3 {
+			t.Fatalf("scenario too weak: only %d levels", f.NumLevels())
+		}
+		out := f.ContainsBatch(mixed, nil)
+		for i, h := range mixed {
+			if out[i] != f.Contains(h) {
+				t.Fatalf("out[%d] = %v, Contains = %v", i, out[i], f.Contains(h))
+			}
+		}
+		// Steady state: the second call reuses the grown scratch and dst.
+		if avg := testing.AllocsPerRun(10, func() { f.ContainsBatch(mixed, out) }); avg != 0 {
+			t.Errorf("cascade ContainsBatch allocates %.1f times per call, want 0", avg)
+		}
+	})
+
+	t.Run("concurrent", func(t *testing.T) {
+		f, err := NewConcurrent(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range present {
+			f.Insert(h)
+		}
+		out := f.ContainsBatch(mixed, nil)
+		for i, h := range mixed {
+			if out[i] != f.Contains(h) {
+				t.Fatalf("out[%d] = %v, Contains = %v", i, out[i], f.Contains(h))
+			}
+		}
+	})
+}
+
+// TestContainsBatchCascadeEmpty: zero-length batches and empty cascades.
+func TestContainsBatchCascadeEmpty(t *testing.T) {
+	f, err := New(Config{TargetFPR: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := f.ContainsBatch(nil, nil); len(out) != 0 {
+		t.Fatalf("empty batch returned %d results", len(out))
+	}
+	out := f.ContainsBatch([]uint64{1, 2, 3}, nil)
+	for i, v := range out {
+		if v {
+			t.Fatalf("empty cascade claims membership at %d", i)
+		}
+	}
+}

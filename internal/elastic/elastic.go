@@ -219,6 +219,9 @@ func newLevel(c Config, i int) *level {
 type Filter struct {
 	cfg    Config
 	levels []*level
+
+	// scratch backs ContainsBatch's shrinking working set (batch.go).
+	scratch cascadeScratch
 }
 
 // New creates an empty cascade with one level.

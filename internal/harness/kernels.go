@@ -1,0 +1,182 @@
+package harness
+
+import (
+	"math/rand"
+	"time"
+
+	"vqf/internal/analysis"
+	"vqf/internal/core"
+	"vqf/internal/workload"
+)
+
+// Kernel microbenchmarks: repeated timed runs of the fused hot-path kernels
+// (single-key Insert/Contains/Remove and the sequential batch pipeline) on
+// both geometries at a fixed load factor. Unlike the paper-figure sweeps,
+// these exist to feed a regression gate: each op is sampled Reps times and
+// reported with a benchstat-style mean ± 95% CI so an old-vs-new comparison
+// can tell a real slowdown from run-to-run noise.
+
+// KernelConfig parameterizes a RunKernels invocation.
+type KernelConfig struct {
+	// NSlots is the requested slot count (rounded up by the filters).
+	NSlots uint64
+	// Load is the fill fraction at which lookups/removes run (default 0.85).
+	Load float64
+	// Batch is the key count per sequential batch call (default 1<<14).
+	Batch int
+	// Reps is the number of timed samples per op (default 5).
+	Reps int
+	// Seed drives the deterministic workload streams.
+	Seed uint64
+}
+
+func (c *KernelConfig) defaults() {
+	if c.Load == 0 {
+		c.Load = 0.85
+	}
+	if c.Batch == 0 {
+		c.Batch = 1 << 14
+	}
+	if c.Reps == 0 {
+		c.Reps = 5
+	}
+}
+
+// KernelResult is one op's samples with their benchstat-style summary.
+type KernelResult struct {
+	Name    string    `json:"name"`
+	Mops    float64   `json:"mops"`
+	CI95    float64   `json:"ci95_mops"`
+	Samples []float64 `json:"samples_mops"`
+}
+
+// kernelFilter is the surface the kernel benchmarks exercise; both
+// sequential core geometries satisfy it.
+type kernelFilter interface {
+	Insert(h uint64) bool
+	Contains(h uint64) bool
+	Remove(h uint64) bool
+	Capacity() uint64
+	InsertBatch(hs []uint64) int
+	ContainsBatch(hs []uint64, dst []bool) []bool
+	RemoveBatch(hs []uint64) int
+}
+
+// RunKernels measures the hot-path kernels of both geometries and returns
+// one result per (geometry, op). Result names are stable identifiers — the
+// regression gate matches old and new runs by them.
+func RunKernels(cfg KernelConfig) []KernelResult {
+	cfg.defaults()
+	var out []KernelResult
+	out = append(out, runKernelGeom(cfg, "filter8", func() kernelFilter {
+		return core.NewFilter8(cfg.NSlots, core.Options{})
+	})...)
+	out = append(out, runKernelGeom(cfg, "filter16", func() kernelFilter {
+		return core.NewFilter16(cfg.NSlots, core.Options{})
+	})...)
+	return out
+}
+
+func runKernelGeom(cfg KernelConfig, geom string, mk func() kernelFilter) []KernelResult {
+	f := mk()
+	n := uint64(float64(f.Capacity()) * cfg.Load)
+	keys := workload.NewStream(cfg.Seed).Keys(int(n))
+	absent := workload.NewStream(cfg.Seed ^ 0x5ca1ab1e0ddba11).Keys(int(n))
+	// Lookups and removes probe in an order unrelated to insertion order, so
+	// the single-key ops see the random cache-line walk the batch pipeline is
+	// built to avoid.
+	probe := append([]uint64(nil), keys...)
+	rand.New(rand.NewSource(int64(cfg.Seed))).Shuffle(len(probe), func(i, j int) {
+		probe[i], probe[j] = probe[j], probe[i]
+	})
+	dst := make([]bool, cfg.Batch)
+
+	// sample times op Reps times; between timed runs the untimed restore
+	// rolls the filter state back (nil when op leaves state unchanged).
+	sample := func(name string, op func() uint64, restore func()) KernelResult {
+		r := KernelResult{Name: geom + "/" + name, Samples: make([]float64, 0, cfg.Reps)}
+		for rep := 0; rep < cfg.Reps; rep++ {
+			start := time.Now()
+			ops := op()
+			r.Samples = append(r.Samples, mops(ops, time.Since(start)))
+			if restore != nil {
+				restore()
+			}
+		}
+		r.Mops, r.CI95 = analysis.MeanCI95(r.Samples)
+		return r
+	}
+	var out []KernelResult
+
+	// Fill throughput: a fresh filter per sample so every rep inserts over
+	// the same empty-to-Load range.
+	out = append(out, sample("insert", func() uint64 {
+		g := mk()
+		for _, h := range keys {
+			g.Insert(h)
+		}
+		return n
+	}, nil))
+	out = append(out, sample("insert-batch", func() uint64 {
+		g := mk()
+		for lo := 0; lo < len(keys); lo += cfg.Batch {
+			g.InsertBatch(keys[lo:min(lo+cfg.Batch, len(keys))])
+		}
+		return n
+	}, nil))
+
+	// Steady-state lookups on one filter held at the target load.
+	for _, h := range keys {
+		f.Insert(h)
+	}
+	out = append(out, sample("lookup-pos", func() uint64 {
+		got := 0
+		for _, h := range probe {
+			if f.Contains(h) {
+				got++
+			}
+		}
+		if uint64(got) != n {
+			panic("harness: false negative in kernel benchmark")
+		}
+		return n
+	}, nil))
+	out = append(out, sample("lookup-rand", func() uint64 {
+		sink := 0
+		for _, h := range absent {
+			if f.Contains(h) {
+				sink++
+			}
+		}
+		_ = sink
+		return n
+	}, nil))
+	out = append(out, sample("contains-batch", func() uint64 {
+		for lo := 0; lo < len(probe); lo += cfg.Batch {
+			f.ContainsBatch(probe[lo:min(lo+cfg.Batch, len(probe))], dst)
+		}
+		return n
+	}, nil))
+
+	// Drains: time the removes; the restore refills untimed.
+	refill := func() {
+		for _, h := range keys {
+			f.Insert(h)
+		}
+	}
+	out = append(out, sample("remove", func() uint64 {
+		for _, h := range probe {
+			if !f.Remove(h) {
+				panic("harness: remove failed in kernel benchmark")
+			}
+		}
+		return n
+	}, refill))
+	out = append(out, sample("remove-batch", func() uint64 {
+		for lo := 0; lo < len(probe); lo += cfg.Batch {
+			f.RemoveBatch(probe[lo:min(lo+cfg.Batch, len(probe))])
+		}
+		return n
+	}, refill))
+	return out
+}

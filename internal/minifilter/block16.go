@@ -3,7 +3,6 @@ package minifilter
 import (
 	"math/bits"
 
-	"vqf/internal/bitvec"
 	"vqf/internal/swar"
 )
 
@@ -19,16 +18,18 @@ const (
 
 // Block16 is a mini-filter with 16-bit fingerprints. Its 64 metadata bits
 // hold 36 bucket terminators interleaved with one zero per fingerprint.
-// The zero-value Block16 is NOT valid; call Reset first.
+// Fingerprint lanes are stored word-native: uint16 lane i lives at bits
+// 16·(i mod 4) of Fps[i/4]; see Block8. The zero-value Block16 is NOT valid;
+// call Reset first.
 type Block16 struct {
 	Meta uint64
-	Fps  [B16Slots]uint16
+	Fps  [swar.Words16]uint64
 }
 
 // Reset returns the block to the empty state.
 func (b *Block16) Reset() {
 	b.Meta = b16Init
-	b.Fps = [B16Slots]uint16{}
+	b.Fps = [swar.Words16]uint64{}
 }
 
 // Occupancy returns the number of fingerprints stored in the block: the
@@ -37,17 +38,16 @@ func (b *Block16) Occupancy() uint {
 	return uint(bits.Len64(b.Meta)) - B16Buckets
 }
 
-// Full reports whether all 28 slots are occupied.
-func (b *Block16) Full() bool { return b.Occupancy() == B16Slots }
+// Full reports whether all 28 slots are occupied; in plain mode the final
+// terminator reaches metadata bit 63 exactly when the block is full (see
+// Block8.Full).
+func (b *Block16) Full() bool { return b.Meta>>63 != 0 }
+
+// Lane returns fingerprint lane i; serialization/debug accessor.
+func (b *Block16) Lane(i int) uint16 { return swar.Lane16(&b.Fps, i) }
 
 func (b *Block16) bucketRange(bucket uint) (start, end uint) {
-	if bucket == 0 {
-		return 0, uint(bits.TrailingZeros64(b.Meta))
-	}
-	p := bitvec.Select64(b.Meta, bucket-1)
-	rest := b.Meta >> (p + 1) << (p + 1)
-	q := uint(bits.TrailingZeros64(rest))
-	return p - bucket + 1, q - bucket
+	return bucketRange64(b.Meta, bucket)
 }
 
 // BucketCount returns the number of fingerprints currently stored in bucket.
@@ -56,21 +56,19 @@ func (b *Block16) BucketCount(bucket uint) uint {
 	return end - start
 }
 
+// Probe returns the slot match mask of the pre-broadcast fingerprint within
+// bucket; see Block8.Probe.
+func (b *Block16) Probe(bucket uint, bcast uint64) uint64 {
+	return probe16(b.Meta, &b.Fps, bucket, bcast)
+}
+
 // Contains reports whether fp is present in bucket.
 func (b *Block16) Contains(bucket uint, fp uint16) bool {
-	start, end := b.bucketRange(bucket)
-	if start == end {
-		return false
-	}
-	return swar.MatchMaskU16Range(b.Fps[:], fp, start, end) != 0
+	return b.Probe(bucket, swar.BroadcastU16(fp)) != 0
 }
 
 func (b *Block16) find(bucket uint, fp uint16) int {
-	start, end := b.bucketRange(bucket)
-	if start == end {
-		return -1
-	}
-	mask := swar.MatchMaskU16Range(b.Fps[:], fp, start, end)
+	mask := b.Probe(bucket, swar.BroadcastU16(fp))
 	if mask == 0 {
 		return -1
 	}
@@ -79,27 +77,24 @@ func (b *Block16) find(bucket uint, fp uint16) int {
 
 // Insert adds fp to bucket. It returns false if the block is full.
 func (b *Block16) Insert(bucket uint, fp uint16) bool {
-	occ := b.Occupancy()
-	if occ == B16Slots {
+	if b.Full() {
 		return false
 	}
-	m := bitvec.Select64(b.Meta, bucket)
-	z := int(m - bucket)
-	swar.ShiftU16Up(b.Fps[:], z, int(occ))
-	b.Fps[z] = fp
-	b.Meta = bitvec.InsertZero64(b.Meta, m)
+	b.Meta, _ = insertSlot16(b.Meta, &b.Fps, bucket, fp)
 	return true
 }
 
 // Remove deletes one instance of fp from bucket, returning false if absent.
 func (b *Block16) Remove(bucket uint, fp uint16) bool {
-	l := b.find(bucket, fp)
-	if l < 0 {
+	return b.RemoveB(bucket, swar.BroadcastU16(fp))
+}
+
+// RemoveB is Remove with a pre-broadcast fingerprint.
+func (b *Block16) RemoveB(bucket uint, bcast uint64) bool {
+	meta, z := removeSlot16(b.Meta, b.Meta, &b.Fps, bucket, bcast)
+	if z < 0 {
 		return false
 	}
-	occ := b.Occupancy()
-	m := uint(l) + bucket
-	b.Meta = bitvec.RemoveBit64(b.Meta, m)
-	swar.ShiftU16Down(b.Fps[:], l, int(occ))
+	b.Meta = meta
 	return true
 }

@@ -3,7 +3,6 @@ package minifilter
 import (
 	"math/bits"
 
-	"vqf/internal/bitvec"
 	"vqf/internal/swar"
 )
 
@@ -22,12 +21,15 @@ const (
 // Block8 is a mini-filter with 8-bit fingerprints. Its metadata is the
 // 128-bit word (MetaHi<<64)|MetaLo holding B8Buckets one-bits (bucket
 // terminators) interleaved with one zero per stored fingerprint, in bucket
-// order. The zero-value Block8 is NOT valid; call Reset first (or allocate
-// through the filter types, which do).
+// order. Fingerprint lanes are stored word-native: byte lane i lives at bits
+// 8·(i mod 8) of Fps[i/8], so the SWAR kernels run on pre-assembled words
+// with no per-call repack (the byte view exists only at the serialization
+// boundary). The zero-value Block8 is NOT valid; call Reset first (or
+// allocate through the filter types, which do).
 type Block8 struct {
 	MetaLo uint64
 	MetaHi uint64
-	Fps    [B8Slots]byte
+	Fps    [swar.Words8]uint64
 }
 
 // Reset returns the block to the empty state: 80 bucket terminators and no
@@ -35,7 +37,7 @@ type Block8 struct {
 func (b *Block8) Reset() {
 	b.MetaLo = ^uint64(0)
 	b.MetaHi = b8InitHi
-	b.Fps = [B8Slots]byte{}
+	b.Fps = [swar.Words8]uint64{}
 }
 
 // Occupancy returns the number of fingerprints stored in the block. The
@@ -47,33 +49,20 @@ func (b *Block8) Occupancy() uint {
 	return 64 + uint(bits.Len64(b.MetaHi)) - B8Buckets
 }
 
-// Full reports whether all 48 slots are occupied.
-func (b *Block8) Full() bool { return b.Occupancy() == B8Slots }
+// Full reports whether all 48 slots are occupied. In plain (single-threaded)
+// mode the final terminator reaches metadata bit 127 exactly when occupancy
+// is 48, so fullness is the top bit of MetaHi — one load, one test. Locked
+// mode repurposes that bit and uses OccupancyLocked instead.
+func (b *Block8) Full() bool { return b.MetaHi>>63 != 0 }
+
+// Lane returns fingerprint lane i; serialization/debug accessor.
+func (b *Block8) Lane(i int) byte { return swar.Lane8(&b.Fps, i) }
 
 // bucketRange returns the slot range [start, end) holding bucket's
-// fingerprints (paper §3.3). The range needs select(m, bucket−1) and
-// select(m, bucket); since terminators are consecutive set bits, the second
-// select is a find-next-set-bit from the first.
+// fingerprints (paper §3.3); it shares the explicit-word implementation with
+// the locked and optimistic paths.
 func (b *Block8) bucketRange(bucket uint) (start, end uint) {
-	if bucket == 0 {
-		if t := uint(bits.TrailingZeros64(b.MetaLo)); t < 64 {
-			return 0, t
-		}
-		return 0, 64 + uint(bits.TrailingZeros64(b.MetaHi))
-	}
-	p := bitvec.Select128(b.MetaLo, b.MetaHi, bucket-1)
-	var q uint
-	if p < 64 {
-		if rest := b.MetaLo >> (p + 1) << (p + 1); rest != 0 {
-			q = uint(bits.TrailingZeros64(rest))
-		} else {
-			q = 64 + uint(bits.TrailingZeros64(b.MetaHi))
-		}
-	} else {
-		rest := b.MetaHi >> (p - 63) << (p - 63)
-		q = 64 + uint(bits.TrailingZeros64(rest))
-	}
-	return p - bucket + 1, q - bucket
+	return bucketRange128(b.MetaLo, b.MetaHi, bucket)
 }
 
 // BucketCount returns the number of fingerprints currently stored in bucket.
@@ -82,24 +71,21 @@ func (b *Block8) BucketCount(bucket uint) uint {
 	return end - start
 }
 
-// Contains reports whether fp is present in bucket. It is the VPCMPB-analog
-// lookup: one SWAR match mask over the whole fingerprint array, masked down
-// to the bucket's slot range.
+// Probe returns the slot match mask of the pre-broadcast fingerprint within
+// bucket (the fused select + compare kernel). Callers probing two blocks for
+// the same fingerprint broadcast once and reuse bcast.
+func (b *Block8) Probe(bucket uint, bcast uint64) uint64 {
+	return probe8(b.MetaLo, b.MetaHi, &b.Fps, bucket, bcast)
+}
+
+// Contains reports whether fp is present in bucket.
 func (b *Block8) Contains(bucket uint, fp byte) bool {
-	start, end := b.bucketRange(bucket)
-	if start == end {
-		return false
-	}
-	return swar.MatchMaskBytesRange(b.Fps[:], fp, start, end) != 0
+	return b.Probe(bucket, swar.BroadcastByte(fp)) != 0
 }
 
 // find returns the slot index of one instance of fp in bucket, or -1.
 func (b *Block8) find(bucket uint, fp byte) int {
-	start, end := b.bucketRange(bucket)
-	if start == end {
-		return -1
-	}
-	mask := swar.MatchMaskBytesRange(b.Fps[:], fp, start, end)
+	mask := b.Probe(bucket, swar.BroadcastByte(fp))
 	if mask == 0 {
 		return -1
 	}
@@ -110,28 +96,26 @@ func (b *Block8) find(bucket uint, fp byte) int {
 // bits up by one position. It returns false if the block is full. Duplicates
 // are permitted (the filter is a multiset).
 func (b *Block8) Insert(bucket uint, fp byte) bool {
-	occ := b.Occupancy()
-	if occ == B8Slots {
+	if b.Full() {
 		return false
 	}
-	m := bitvec.Select128(b.MetaLo, b.MetaHi, bucket) // bucket's terminator
-	z := int(m - bucket)                              // slot for the new fingerprint
-	swar.ShiftBytesUp(b.Fps[:], z, int(occ))
-	b.Fps[z] = fp
-	b.MetaLo, b.MetaHi = bitvec.InsertZero128(b.MetaLo, b.MetaHi, m)
+	b.MetaLo, b.MetaHi, _ = insertSlot8(b.MetaLo, b.MetaHi, &b.Fps, bucket, fp)
 	return true
 }
 
 // Remove deletes one instance of fp from bucket, reversing Insert. It
 // returns false if fp is not present in bucket.
 func (b *Block8) Remove(bucket uint, fp byte) bool {
-	l := b.find(bucket, fp)
-	if l < 0 {
+	return b.RemoveB(bucket, swar.BroadcastByte(fp))
+}
+
+// RemoveB is Remove with a pre-broadcast fingerprint, for callers that probe
+// multiple blocks for the same fingerprint.
+func (b *Block8) RemoveB(bucket uint, bcast uint64) bool {
+	lo, hi, z := removeSlot8(b.MetaLo, b.MetaHi, b.MetaHi, &b.Fps, bucket, bcast)
+	if z < 0 {
 		return false
 	}
-	occ := b.Occupancy()
-	m := uint(l) + bucket // metadata index of the slot's zero bit
-	b.MetaLo, b.MetaHi = bitvec.RemoveBit128(b.MetaLo, b.MetaHi, m)
-	swar.ShiftBytesDown(b.Fps[:], l, int(occ))
+	b.MetaLo, b.MetaHi = lo, hi
 	return true
 }

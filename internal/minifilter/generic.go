@@ -1,10 +1,13 @@
 package minifilter
 
+import "vqf/internal/swar"
+
 // Loop-based ("generic") variants of every block operation. These are the
 // ablation baseline for the paper's §7.7 AVX-512-vs-AVX2 experiment: the
-// data-structure layout is identical, but select, compare, and shift run as
-// plain scalar loops instead of broadword/SWAR operations. The filter types
-// expose an option to route all block operations through these.
+// data-structure layout is identical (word-native fingerprint lanes,
+// addressed through the scalar lane accessors), but select, compare, and
+// shift run as plain scalar loops instead of broadword/SWAR operations. The
+// filter types expose an option to route all block operations through these.
 
 // selectLoop128 is the naive select over the 128-bit metadata word.
 func selectLoop128(lo, hi uint64, k uint) uint {
@@ -55,7 +58,7 @@ func (b *Block8) bucketRangeGeneric(bucket uint) (start, end uint) {
 func (b *Block8) ContainsGeneric(bucket uint, fp byte) bool {
 	start, end := b.bucketRangeGeneric(bucket)
 	for i := start; i < end; i++ {
-		if b.Fps[i] == fp {
+		if swar.Lane8(&b.Fps, int(i)) == fp {
 			return true
 		}
 	}
@@ -71,9 +74,9 @@ func (b *Block8) InsertGeneric(bucket uint, fp byte) bool {
 	m := selectLoop128(b.MetaLo, b.MetaHi, bucket)
 	z := m - bucket
 	for i := occ; i > z; i-- {
-		b.Fps[i] = b.Fps[i-1]
+		swar.SetLane8(&b.Fps, int(i), swar.Lane8(&b.Fps, int(i-1)))
 	}
-	b.Fps[z] = fp
+	swar.SetLane8(&b.Fps, int(z), fp)
 	// Shift metadata bits >= m up by one, inserting a 0 at m, bit by bit.
 	for i := uint(B8Meta - 1); i > m; i-- {
 		setBit128(b, i, getBit128(b, i-1))
@@ -87,7 +90,7 @@ func (b *Block8) RemoveGeneric(bucket uint, fp byte) bool {
 	start, end := b.bucketRangeGeneric(bucket)
 	l := -1
 	for i := start; i < end; i++ {
-		if b.Fps[i] == fp {
+		if swar.Lane8(&b.Fps, int(i)) == fp {
 			l = int(i)
 			break
 		}
@@ -102,9 +105,9 @@ func (b *Block8) RemoveGeneric(bucket uint, fp byte) bool {
 	}
 	setBit128(b, B8Meta-1, 0)
 	for i := uint(l); i+1 < occ; i++ {
-		b.Fps[i] = b.Fps[i+1]
+		swar.SetLane8(&b.Fps, int(i), swar.Lane8(&b.Fps, int(i+1)))
 	}
-	b.Fps[occ-1] = 0
+	swar.SetLane8(&b.Fps, int(occ-1), 0)
 	return true
 }
 
@@ -141,7 +144,7 @@ func (b *Block16) bucketRangeGeneric(bucket uint) (start, end uint) {
 func (b *Block16) ContainsGeneric(bucket uint, fp uint16) bool {
 	start, end := b.bucketRangeGeneric(bucket)
 	for i := start; i < end; i++ {
-		if b.Fps[i] == fp {
+		if swar.Lane16(&b.Fps, int(i)) == fp {
 			return true
 		}
 	}
@@ -157,9 +160,9 @@ func (b *Block16) InsertGeneric(bucket uint, fp uint16) bool {
 	m := selectLoop64(b.Meta, bucket)
 	z := m - bucket
 	for i := occ; i > z; i-- {
-		b.Fps[i] = b.Fps[i-1]
+		swar.SetLane16(&b.Fps, int(i), swar.Lane16(&b.Fps, int(i-1)))
 	}
-	b.Fps[z] = fp
+	swar.SetLane16(&b.Fps, int(z), fp)
 	for i := uint(B16Meta - 1); i > m; i-- {
 		b.Meta = b.Meta&^(1<<i) | (b.Meta >> (i - 1) & 1 << i)
 	}
@@ -172,7 +175,7 @@ func (b *Block16) RemoveGeneric(bucket uint, fp uint16) bool {
 	start, end := b.bucketRangeGeneric(bucket)
 	l := -1
 	for i := start; i < end; i++ {
-		if b.Fps[i] == fp {
+		if swar.Lane16(&b.Fps, int(i)) == fp {
 			l = int(i)
 			break
 		}
@@ -187,8 +190,8 @@ func (b *Block16) RemoveGeneric(bucket uint, fp uint16) bool {
 	}
 	b.Meta &^= 1 << (B16Meta - 1)
 	for i := uint(l); i+1 < occ; i++ {
-		b.Fps[i] = b.Fps[i+1]
+		swar.SetLane16(&b.Fps, int(i), swar.Lane16(&b.Fps, int(i+1)))
 	}
-	b.Fps[occ-1] = 0
+	swar.SetLane16(&b.Fps, int(occ-1), 0)
 	return true
 }

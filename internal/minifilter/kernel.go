@@ -1,0 +1,85 @@
+package minifilter
+
+import (
+	"math/bits"
+
+	"vqf/internal/bitvec"
+	"vqf/internal/swar"
+)
+
+// Fused hot-path kernels. Each kernel takes a block's *logical* metadata
+// words explicitly — the plain paths pass the stored words, the locked paths
+// pass the lock-bit-adjusted form, and the optimistic paths pass a validated
+// snapshot — so one zero-allocation implementation serves Contains, Insert,
+// and Remove across all execution modes. A kernel computes the metadata
+// select, the bucket's slot-range offsets, and the SWAR match or funnel shift
+// in a single pass; the fingerprint target arrives pre-broadcast so a
+// two-block probe pays for one broadcast.
+
+// probe8 returns the match mask of the pre-broadcast fingerprint within
+// bucket: bit i is set iff slot i belongs to bucket and holds the
+// fingerprint. An empty bucket yields an empty range mask, so no branch is
+// needed for that case.
+func probe8(lo, hi uint64, fps *[swar.Words8]uint64, bucket uint, bcast uint64) uint64 {
+	start, end := bucketRange128(lo, hi, bucket)
+	return swar.Match48Range(fps, bcast, start, end)
+}
+
+// probe16 is the 16-bit-fingerprint analog of probe8.
+func probe16(meta uint64, fps *[swar.Words16]uint64, bucket uint, bcast uint64) uint64 {
+	start, end := bucketRange64(meta, bucket)
+	return swar.Match28Range(fps, bcast, start, end)
+}
+
+// insertSlot8 makes room for fp at the head of bucket and stores it, mutating
+// fps in place, and returns the updated metadata words plus the slot index
+// used. The funnel shift moves the whole lane tail, so occupancy is not
+// needed here — the caller must have verified the block is not full (lanes at
+// and above occupancy are zero, so nothing real falls off the top).
+func insertSlot8(lo, hi uint64, fps *[swar.Words8]uint64, bucket uint, fp byte) (newLo, newHi uint64, z int) {
+	m := bitvec.Select128(lo, hi, bucket)
+	z = int(m - bucket)
+	swar.InsertLane8(fps, z, fp)
+	newLo, newHi = bitvec.InsertZero128(lo, hi, m)
+	return
+}
+
+// insertSlot16 is the 16-bit-fingerprint analog of insertSlot8.
+func insertSlot16(meta uint64, fps *[swar.Words16]uint64, bucket uint, fp uint16) (newMeta uint64, z int) {
+	m := bitvec.Select64(meta, bucket)
+	z = int(m - bucket)
+	swar.InsertLane16(fps, z, fp)
+	return bitvec.InsertZero64(meta, m), z
+}
+
+// removeSlot8 deletes one instance of the pre-broadcast fingerprint from
+// bucket, mutating fps in place, and returns the updated metadata words plus
+// the slot index freed — or z = −1 with fps untouched when the fingerprint is
+// absent. hiSel is the select form of the high word (top bit forced in locked
+// mode); hiLog is the arithmetic form fed to the metadata shift (top bit set
+// only when it is a real terminator, i.e. the block is full). Plain callers
+// pass the stored word for both. The down shift feeds zero at the top, so
+// the freed lane needs no explicit clear and occupancy is not consulted.
+func removeSlot8(lo, hiSel, hiLog uint64, fps *[swar.Words8]uint64, bucket uint, bcast uint64) (newLo, newHi uint64, z int) {
+	start, end := bucketRange128(lo, hiSel, bucket)
+	mask := swar.Match48Range(fps, bcast, start, end)
+	if mask == 0 {
+		return lo, hiLog, -1
+	}
+	z = bits.TrailingZeros64(mask)
+	swar.RemoveLane8(fps, z)
+	newLo, newHi = bitvec.RemoveBit128(lo, hiLog, uint(z)+bucket)
+	return
+}
+
+// removeSlot16 is the 16-bit-fingerprint analog of removeSlot8.
+func removeSlot16(metaSel, metaLog uint64, fps *[swar.Words16]uint64, bucket uint, bcast uint64) (newMeta uint64, z int) {
+	start, end := bucketRange64(metaSel, bucket)
+	mask := swar.Match28Range(fps, bcast, start, end)
+	if mask == 0 {
+		return metaLog, -1
+	}
+	z = bits.TrailingZeros64(mask)
+	swar.RemoveLane16(fps, z)
+	return bitvec.RemoveBit64(metaLog, uint(z)+bucket), z
+}

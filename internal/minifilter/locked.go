@@ -23,46 +23,23 @@ import (
 // optimistic readers (see optimistic.go) can snapshot a block with atomic
 // word loads: under the Go memory model a plain store racing an atomic load
 // is a data race even when a seqlock discards the torn value, so every word
-// a reader may touch is published atomically. Lock holders may still *read*
+// a reader may touch is published atomically. The word-native fingerprint
+// layout makes this direct: Fps already is the array of uint64 words readers
+// snapshot, no reinterpreting cast needed. Lock holders may still *read*
 // their own block with plain loads (loads never race with loads, and no
 // other thread stores while the lock is held).
 
 const lockBit = uint64(1) << 63
 
-// The fingerprint arrays are viewed as aligned 64-bit words for atomic
-// publication/snapshotting. The casts below require 8-byte alignment of the
-// Fps fields and the exact 64-byte block size; both are asserted at compile
+// The locked-mode protocol depends on blocks being exactly one 64-byte cache
+// line with word-aligned fingerprint storage; both are asserted at compile
 // time.
-const (
-	b8FpsWords  = B8Slots / 8      // 6 words of 8 fingerprint bytes
-	b16FpsWords = B16Slots * 2 / 8 // 7 words of 4 fingerprint uint16s
-)
-
 var (
 	_ [0]struct{} = [unsafe.Offsetof(Block8{}.Fps) % 8]struct{}{}
 	_ [0]struct{} = [unsafe.Offsetof(Block16{}.Fps) % 8]struct{}{}
 	_ [0]struct{} = [64 - unsafe.Sizeof(Block8{})]struct{}{}
 	_ [0]struct{} = [64 - unsafe.Sizeof(Block16{})]struct{}{}
 )
-
-func (b *Block8) fpsWords() *[b8FpsWords]uint64 {
-	return (*[b8FpsWords]uint64)(unsafe.Pointer(&b.Fps))
-}
-
-func (b *Block16) fpsWords() *[b16FpsWords]uint64 {
-	return (*[b16FpsWords]uint64)(unsafe.Pointer(&b.Fps))
-}
-
-// fpsBuf8 is a stack buffer for a block's 48 fingerprint bytes, declared as
-// words so it is 8-aligned for the atomic write-back.
-type fpsBuf8 [b8FpsWords]uint64
-
-func (w *fpsBuf8) bytes() *[B8Slots]byte { return (*[B8Slots]byte)(unsafe.Pointer(w)) }
-
-// fpsBuf16 is the 16-bit analog of fpsBuf8.
-type fpsBuf16 [b16FpsWords]uint64
-
-func (w *fpsBuf16) slots() *[B16Slots]uint16 { return (*[B16Slots]uint16)(unsafe.Pointer(w)) }
 
 // TryLock attempts to acquire the block's lock bit; it reports success.
 func (b *Block8) TryLock() bool {
@@ -129,13 +106,9 @@ func (b *Block8) OccupancyLocked() uint {
 	return occupancy128(lo, hi)
 }
 
-func (b *Block8) bucketRangeLocked(bucket uint) (start, end uint) {
-	lo, hi := b.metaLocked()
-	return bucketRange128(lo, hi, bucket)
-}
-
 // bucketRange128 computes a bucket's slot range on explicit metadata words
-// (shared by the locked and optimistic paths, which read the words once).
+// (shared by the plain, locked, and optimistic paths, which read the words
+// once).
 func bucketRange128(lo, hi uint64, bucket uint) (start, end uint) {
 	if bucket == 0 {
 		if t := uint(bits.TrailingZeros64(lo)); t < 64 {
@@ -161,11 +134,13 @@ func bucketRange128(lo, hi uint64, bucket uint) (start, end uint) {
 // ContainsLocked reports whether fp is present in bucket. The caller must
 // hold the block lock.
 func (b *Block8) ContainsLocked(bucket uint, fp byte) bool {
-	start, end := b.bucketRangeLocked(bucket)
-	if start == end {
-		return false
-	}
-	return swar.MatchMaskBytesRange(b.Fps[:], fp, start, end) != 0
+	return b.ContainsLockedB(bucket, swar.BroadcastByte(fp))
+}
+
+// ContainsLockedB is ContainsLocked with a pre-broadcast fingerprint.
+func (b *Block8) ContainsLockedB(bucket uint, bcast uint64) bool {
+	lo, hi := b.metaLocked()
+	return probe8(lo, hi, &b.Fps, bucket, bcast) != 0
 }
 
 // InsertLocked adds fp to bucket. The caller must hold the block lock; the
@@ -174,21 +149,14 @@ func (b *Block8) ContainsLocked(bucket uint, fp byte) bool {
 // concurrent optimistic snapshots never race with it.
 func (b *Block8) InsertLocked(bucket uint, fp byte) bool {
 	lo, hi := b.metaLocked()
-	occ := occupancy128(lo, hi)
-	if occ == B8Slots {
+	if occupancy128(lo, hi) == B8Slots {
 		return false
 	}
-	var buf fpsBuf8
-	fps := buf.bytes()
-	*fps = b.Fps
-	m := bitvec.Select128(lo, hi, bucket)
-	z := int(m - bucket)
-	swar.ShiftBytesUp(fps[:], z, int(occ))
-	fps[z] = fp
+	buf := b.Fps // private copy; plain read is safe under the lock
 	// The forced top bit (spurious when not full) is discarded by the shift;
 	// re-set it afterwards: it is the still-held lock, and coincides with the
 	// final terminator if the insert filled the block.
-	newLo, newHi := bitvec.InsertZero128(lo, hi, m)
+	newLo, newHi, _ := insertSlot8(lo, hi, &buf, bucket, fp)
 	b.publishFps(&buf)
 	atomic.StoreUint64(&b.MetaLo, newLo)
 	atomic.StoreUint64(&b.MetaHi, newHi|lockBit)
@@ -200,44 +168,30 @@ func (b *Block8) InsertLocked(bucket uint, fp byte) bool {
 // present in bucket.
 func (b *Block8) RemoveLocked(bucket uint, fp byte) bool {
 	lo, hi := b.metaLocked()
-	start, end := bucketRange128(lo, hi, bucket)
-	if start == end {
-		return false
-	}
-	mask := swar.MatchMaskBytesRange(b.Fps[:], fp, start, end)
-	if mask == 0 {
-		return false
-	}
-	l := trailingZeros(mask)
-	occ := occupancy128(lo, hi)
 	// The logical top bit is 1 only when the block is full; otherwise the
 	// forced lock bit must not shift down into the metadata body.
-	hiLogical := hi &^ lockBit
-	if occ == B8Slots {
-		hiLogical |= lockBit
+	hiLog := hi &^ lockBit
+	if occupancy128(lo, hi) == B8Slots {
+		hiLog |= lockBit
 	}
-	m := uint(l) + bucket
-	newLo, newHi := bitvec.RemoveBit128(lo, hiLogical, m)
-	var buf fpsBuf8
-	fps := buf.bytes()
-	*fps = b.Fps
-	swar.ShiftBytesDown(fps[:], int(l), int(occ))
+	buf := b.Fps
+	newLo, newHi, z := removeSlot8(lo, hi, hiLog, &buf, bucket, swar.BroadcastByte(fp))
+	if z < 0 {
+		return false
+	}
 	b.publishFps(&buf)
 	atomic.StoreUint64(&b.MetaLo, newLo)
 	atomic.StoreUint64(&b.MetaHi, newHi|lockBit)
 	return true
 }
 
-// publishFps stores the prepared fingerprint bytes with atomic word stores.
+// publishFps stores the prepared fingerprint words with atomic word stores.
 // The caller must hold the block lock.
-func (b *Block8) publishFps(buf *fpsBuf8) {
-	dst := b.fpsWords()
+func (b *Block8) publishFps(buf *[swar.Words8]uint64) {
 	for i := range buf {
-		atomic.StoreUint64(&dst[i], buf[i])
+		atomic.StoreUint64(&b.Fps[i], buf[i])
 	}
 }
-
-func trailingZeros(x uint64) uint { return uint(bits.TrailingZeros64(x)) }
 
 // TryLock attempts to acquire the block's lock bit; it reports success.
 func (b *Block16) TryLock() bool {
@@ -305,11 +259,12 @@ func bucketRange64(meta uint64, bucket uint) (start, end uint) {
 // ContainsLocked reports whether fp is present in bucket. The caller must
 // hold the block lock.
 func (b *Block16) ContainsLocked(bucket uint, fp uint16) bool {
-	start, end := bucketRange64(b.metaLocked(), bucket)
-	if start == end {
-		return false
-	}
-	return swar.MatchMaskU16Range(b.Fps[:], fp, start, end) != 0
+	return b.ContainsLockedB(bucket, swar.BroadcastU16(fp))
+}
+
+// ContainsLockedB is ContainsLocked with a pre-broadcast fingerprint.
+func (b *Block16) ContainsLockedB(bucket uint, bcast uint64) bool {
+	return probe16(b.metaLocked(), &b.Fps, bucket, bcast) != 0
 }
 
 // InsertLocked adds fp to bucket. The caller must hold the block lock. The
@@ -317,19 +272,13 @@ func (b *Block16) ContainsLocked(bucket uint, fp uint16) bool {
 // Block8.InsertLocked.
 func (b *Block16) InsertLocked(bucket uint, fp uint16) bool {
 	meta := b.metaLocked()
-	occ := occupancy64(meta)
-	if occ == B16Slots {
+	if occupancy64(meta) == B16Slots {
 		return false
 	}
-	var buf fpsBuf16
-	fps := buf.slots()
-	*fps = b.Fps
-	m := bitvec.Select64(meta, bucket)
-	z := int(m - bucket)
-	swar.ShiftU16Up(fps[:], z, int(occ))
-	fps[z] = fp
+	buf := b.Fps
+	newMeta, _ := insertSlot16(meta, &buf, bucket, fp)
 	b.publishFps(&buf)
-	atomic.StoreUint64(&b.Meta, bitvec.InsertZero64(meta, m)|lockBit)
+	atomic.StoreUint64(&b.Meta, newMeta|lockBit)
 	return true
 }
 
@@ -337,36 +286,24 @@ func (b *Block16) InsertLocked(bucket uint, fp uint16) bool {
 // the block lock.
 func (b *Block16) RemoveLocked(bucket uint, fp uint16) bool {
 	meta := b.metaLocked()
-	start, end := bucketRange64(meta, bucket)
-	if start == end {
+	metaLog := meta &^ lockBit
+	if occupancy64(meta) == B16Slots {
+		metaLog |= lockBit
+	}
+	buf := b.Fps
+	newMeta, z := removeSlot16(meta, metaLog, &buf, bucket, swar.BroadcastU16(fp))
+	if z < 0 {
 		return false
 	}
-	mask := swar.MatchMaskU16Range(b.Fps[:], fp, start, end)
-	if mask == 0 {
-		return false
-	}
-	l := trailingZeros(mask)
-	occ := occupancy64(meta)
-	metaLogical := meta &^ lockBit
-	if occ == B16Slots {
-		metaLogical |= lockBit
-	}
-	m := uint(l) + bucket
-	newMeta := bitvec.RemoveBit64(metaLogical, m)
-	var buf fpsBuf16
-	fps := buf.slots()
-	*fps = b.Fps
-	swar.ShiftU16Down(fps[:], int(l), int(occ))
 	b.publishFps(&buf)
 	atomic.StoreUint64(&b.Meta, newMeta|lockBit)
 	return true
 }
 
-// publishFps stores the prepared fingerprints with atomic word stores. The
-// caller must hold the block lock.
-func (b *Block16) publishFps(buf *fpsBuf16) {
-	dst := b.fpsWords()
+// publishFps stores the prepared fingerprint words with atomic word stores.
+// The caller must hold the block lock.
+func (b *Block16) publishFps(buf *[swar.Words16]uint64) {
 	for i := range buf {
-		atomic.StoreUint64(&dst[i], buf[i])
+		atomic.StoreUint64(&b.Fps[i], buf[i])
 	}
 }

@@ -4,11 +4,13 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+
+	"vqf/internal/swar"
 )
 
 // logicalState8 extracts the lock-independent view of a locked-mode block:
 // metadata with the top bit forced to (full ? 1 : 0), plus the fingerprints.
-func logicalState8(b *Block8) (uint64, uint64, [B8Slots]byte) {
+func logicalState8(b *Block8) (uint64, uint64, [swar.Words8]uint64) {
 	lo, hi := b.MetaLo, b.MetaHi|lockBit
 	occ := b.OccupancyLocked()
 	hi &^= lockBit

@@ -55,10 +55,11 @@ const OptRetryBudget = optRetries
 
 // snap8 is an optimistic reader's private copy of a Block8, plus the version
 // observed before the copy. Fields hold the locked-mode logical form (top
-// metadata bit forced to 1).
+// metadata bit forced to 1); fps is the word-native fingerprint array,
+// probed with the same fused kernel the plain and locked paths use.
 type snap8 struct {
 	lo, hi uint64
-	fps    fpsBuf8
+	fps    [swar.Words8]uint64
 	ver    uint64
 }
 
@@ -73,9 +74,8 @@ func (b *Block8) snapRead(seq *atomic.Uint64, s *snap8) bool {
 	}
 	s.hi = hi | lockBit
 	s.lo = atomic.LoadUint64(&b.MetaLo)
-	src := b.fpsWords()
 	for i := range s.fps {
-		s.fps[i] = atomic.LoadUint64(&src[i])
+		s.fps[i] = atomic.LoadUint64(&b.Fps[i])
 	}
 	return true
 }
@@ -95,7 +95,7 @@ func (b *Block8) snapValidate(seq *atomic.Uint64, s *snap8) bool {
 // it falls back to a locked scan, so the operation always terminates even
 // under a continuous writer storm.
 func (b *Block8) ContainsOptimistic(seq *atomic.Uint64, bucket uint, fp byte) bool {
-	found, _, _ := b.ContainsOptimisticCounted(seq, bucket, fp)
+	found, _, _ := b.ContainsOptimisticCountedB(seq, bucket, swar.BroadcastByte(fp))
 	return found
 }
 
@@ -104,19 +104,21 @@ func (b *Block8) ContainsOptimistic(seq *atomic.Uint64, bucket uint, fp byte) bo
 // fellBack is true when the retry budget was exhausted and the scan ran
 // under the block lock. The counts feed the internal/stats counters.
 func (b *Block8) ContainsOptimisticCounted(seq *atomic.Uint64, bucket uint, fp byte) (found bool, retries uint, fellBack bool) {
+	return b.ContainsOptimisticCountedB(seq, bucket, swar.BroadcastByte(fp))
+}
+
+// ContainsOptimisticCountedB is ContainsOptimisticCounted with a
+// pre-broadcast fingerprint, so a two-block probe broadcasts once.
+func (b *Block8) ContainsOptimisticCountedB(seq *atomic.Uint64, bucket uint, bcast uint64) (found bool, retries uint, fellBack bool) {
 	var s snap8
 	for i := 0; i < optRetries; i++ {
 		if b.snapRead(seq, &s) && b.snapValidate(seq, &s) {
-			start, end := bucketRange128(s.lo, s.hi, bucket)
-			if start == end {
-				return false, uint(i), false
-			}
-			return swar.MatchMaskBytesRange(s.fps.bytes()[:], fp, start, end) != 0, uint(i), false
+			return probe8(s.lo, s.hi, &s.fps, bucket, bcast) != 0, uint(i), false
 		}
 		runtime.Gosched()
 	}
 	b.Lock()
-	found = b.ContainsLocked(bucket, fp)
+	found = b.ContainsLockedB(bucket, bcast)
 	b.Unlock()
 	return found, optRetries, true
 }
@@ -149,7 +151,7 @@ func (b *Block8) OccupancyOptimisticCounted(seq *atomic.Uint64) (occ uint, retri
 // snap16 is an optimistic reader's private copy of a Block16; see snap8.
 type snap16 struct {
 	meta uint64
-	fps  fpsBuf16
+	fps  [swar.Words16]uint64
 	ver  uint64
 }
 
@@ -161,9 +163,8 @@ func (b *Block16) snapRead(seq *atomic.Uint64, s *snap16) bool {
 		return false
 	}
 	s.meta = meta | lockBit
-	src := b.fpsWords()
 	for i := range s.fps {
-		s.fps[i] = atomic.LoadUint64(&src[i])
+		s.fps[i] = atomic.LoadUint64(&b.Fps[i])
 	}
 	return true
 }
@@ -178,26 +179,28 @@ func (b *Block16) snapValidate(seq *atomic.Uint64, s *snap16) bool {
 
 // ContainsOptimistic is the lock-free lookup; see Block8.ContainsOptimistic.
 func (b *Block16) ContainsOptimistic(seq *atomic.Uint64, bucket uint, fp uint16) bool {
-	found, _, _ := b.ContainsOptimisticCounted(seq, bucket, fp)
+	found, _, _ := b.ContainsOptimisticCountedB(seq, bucket, swar.BroadcastU16(fp))
 	return found
 }
 
 // ContainsOptimisticCounted is the counted lock-free lookup; see
 // Block8.ContainsOptimisticCounted.
 func (b *Block16) ContainsOptimisticCounted(seq *atomic.Uint64, bucket uint, fp uint16) (found bool, retries uint, fellBack bool) {
+	return b.ContainsOptimisticCountedB(seq, bucket, swar.BroadcastU16(fp))
+}
+
+// ContainsOptimisticCountedB is the counted lock-free lookup with a
+// pre-broadcast fingerprint; see Block8.ContainsOptimisticCountedB.
+func (b *Block16) ContainsOptimisticCountedB(seq *atomic.Uint64, bucket uint, bcast uint64) (found bool, retries uint, fellBack bool) {
 	var s snap16
 	for i := 0; i < optRetries; i++ {
 		if b.snapRead(seq, &s) && b.snapValidate(seq, &s) {
-			start, end := bucketRange64(s.meta, bucket)
-			if start == end {
-				return false, uint(i), false
-			}
-			return swar.MatchMaskU16Range(s.fps.slots()[:], fp, start, end) != 0, uint(i), false
+			return probe16(s.meta, &s.fps, bucket, bcast) != 0, uint(i), false
 		}
 		runtime.Gosched()
 	}
 	b.Lock()
-	found = b.ContainsLocked(bucket, fp)
+	found = b.ContainsLockedB(bucket, bcast)
 	b.Unlock()
 	return found, optRetries, true
 }

@@ -121,7 +121,7 @@ func TestBlock8SnapshotABADetected(t *testing.T) {
 	if b.MetaLo != loBefore || atomic.LoadUint64(&b.MetaHi) != hiBefore {
 		t.Fatalf("test setup: metadata words changed; not an ABA scenario")
 	}
-	if b.Fps == *s.fps.bytes() {
+	if b.Fps == s.fps {
 		t.Fatalf("test setup: fingerprints unchanged; not an ABA scenario")
 	}
 	if b.snapValidate(&seq, &s) {
@@ -156,7 +156,7 @@ func TestBlock16SnapshotABADetected(t *testing.T) {
 	if atomic.LoadUint64(&b.Meta) != metaBefore {
 		t.Fatalf("test setup: metadata word changed; not an ABA scenario")
 	}
-	if b.Fps == *s.fps.slots() {
+	if b.Fps == s.fps {
 		t.Fatalf("test setup: fingerprints unchanged; not an ABA scenario")
 	}
 	if b.snapValidate(&seq, &s) {
@@ -180,7 +180,7 @@ func TestBlock8SnapshotValidatesWhenQuiescent(t *testing.T) {
 	if s.lo != b.MetaLo || s.hi != atomic.LoadUint64(&b.MetaHi)|lockBit {
 		t.Fatal("snapshot metadata differs from block")
 	}
-	if *s.fps.bytes() != b.Fps {
+	if s.fps != b.Fps {
 		t.Fatal("snapshot fingerprints differ from block")
 	}
 	// A snapshot taken while the lock is held must refuse to read.

@@ -1,9 +1,6 @@
 package minifilter
 
-import (
-	"vqf/internal/bitvec"
-	"vqf/internal/swar"
-)
+import "vqf/internal/swar"
 
 // Slot-reporting operation variants. The value-associating filter (paper §8:
 // "the vector quotient filter also has the ability to associate a small
@@ -15,15 +12,11 @@ import (
 // or -1 if the block is full. Slots at and above the returned index have
 // shifted up by one.
 func (b *Block8) InsertAt(bucket uint, fp byte) int {
-	occ := b.Occupancy()
-	if occ == B8Slots {
+	if b.Full() {
 		return -1
 	}
-	m := bitvec.Select128(b.MetaLo, b.MetaHi, bucket)
-	z := int(m - bucket)
-	swar.ShiftBytesUp(b.Fps[:], z, int(occ))
-	b.Fps[z] = fp
-	b.MetaLo, b.MetaHi = bitvec.InsertZero128(b.MetaLo, b.MetaHi, m)
+	var z int
+	b.MetaLo, b.MetaHi, z = insertSlot8(b.MetaLo, b.MetaHi, &b.Fps, bucket, fp)
 	return z
 }
 
@@ -31,15 +24,11 @@ func (b *Block8) InsertAt(bucket uint, fp byte) int {
 // it occupied, or -1 if absent. Slots above the returned index have shifted
 // down by one.
 func (b *Block8) RemoveAt(bucket uint, fp byte) int {
-	l := b.find(bucket, fp)
-	if l < 0 {
-		return -1
+	lo, hi, z := removeSlot8(b.MetaLo, b.MetaHi, b.MetaHi, &b.Fps, bucket, swar.BroadcastByte(fp))
+	if z >= 0 {
+		b.MetaLo, b.MetaHi = lo, hi
 	}
-	occ := b.Occupancy()
-	m := uint(l) + bucket
-	b.MetaLo, b.MetaHi = bitvec.RemoveBit128(b.MetaLo, b.MetaHi, m)
-	swar.ShiftBytesDown(b.Fps[:], l, int(occ))
-	return l
+	return z
 }
 
 // FindSlot returns the slot index of one instance of fp in bucket, or -1.
@@ -48,39 +37,27 @@ func (b *Block8) FindSlot(bucket uint, fp byte) int { return b.find(bucket, fp) 
 // FindSlots returns a bitmask of every slot in bucket holding fp (for
 // callers that must disambiguate duplicates).
 func (b *Block8) FindSlots(bucket uint, fp byte) uint64 {
-	start, end := b.bucketRange(bucket)
-	if start == end {
-		return 0
-	}
-	return swar.MatchMaskBytesRange(b.Fps[:], fp, start, end)
+	return b.Probe(bucket, swar.BroadcastByte(fp))
 }
 
 // InsertAt inserts fp into bucket and returns the slot it occupies, or -1.
 func (b *Block16) InsertAt(bucket uint, fp uint16) int {
-	occ := b.Occupancy()
-	if occ == B16Slots {
+	if b.Full() {
 		return -1
 	}
-	m := bitvec.Select64(b.Meta, bucket)
-	z := int(m - bucket)
-	swar.ShiftU16Up(b.Fps[:], z, int(occ))
-	b.Fps[z] = fp
-	b.Meta = bitvec.InsertZero64(b.Meta, m)
+	var z int
+	b.Meta, z = insertSlot16(b.Meta, &b.Fps, bucket, fp)
 	return z
 }
 
 // RemoveAt removes one instance of fp from bucket, returning its former slot
 // or -1.
 func (b *Block16) RemoveAt(bucket uint, fp uint16) int {
-	l := b.find(bucket, fp)
-	if l < 0 {
-		return -1
+	meta, z := removeSlot16(b.Meta, b.Meta, &b.Fps, bucket, swar.BroadcastU16(fp))
+	if z >= 0 {
+		b.Meta = meta
 	}
-	occ := b.Occupancy()
-	m := uint(l) + bucket
-	b.Meta = bitvec.RemoveBit64(b.Meta, m)
-	swar.ShiftU16Down(b.Fps[:], l, int(occ))
-	return l
+	return z
 }
 
 // FindSlot returns the slot index of one instance of fp in bucket, or -1.

@@ -27,8 +27,8 @@ func TestBlock8InsertAtReturnsRunEnd(t *testing.T) {
 	// Layout now: [3(b5), 1(b10), 2(b10), 4(b20)].
 	want := [4]byte{3, 1, 2, 4}
 	for i, w := range want {
-		if b.Fps[i] != w {
-			t.Fatalf("Fps = %v, want %v", b.Fps[:4], want)
+		if b.Lane(i) != w {
+			t.Fatalf("lane %d = %d, want %v", i, b.Lane(i), want)
 		}
 	}
 }

@@ -5,81 +5,93 @@ import (
 	"testing"
 )
 
-func TestMatchMaskBytesRangeMatchesFull(t *testing.T) {
+// The range variants are defined as the full-mask kernel masked to the range
+// (there is exactly one matching implementation per lane width); these tests
+// pin that equivalence and the boundary behaviour.
+
+func TestMatch48RangeMatchesFull(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	data := make([]byte, 48)
+	var lanes [48]byte
 	for trial := 0; trial < 5000; trial++ {
-		rng.Read(data)
+		rng.Read(lanes[:])
 		target := byte(rng.Intn(256))
-		data[rng.Intn(48)] = target
+		lanes[rng.Intn(48)] = target
 		start := uint(rng.Intn(48))
 		end := start + uint(rng.Intn(48-int(start))) + 1
 		if end > 48 {
 			end = 48
 		}
-		want := MatchMaskBytes(data, target) & RangeMask(start, end)
-		if got := MatchMaskBytesRange(data, target, start, end); got != want {
-			t.Fatalf("MatchMaskBytesRange(%d,%d) = %#x, want %#x", start, end, got, want)
+		fps := packLanes8(&lanes)
+		bc := BroadcastByte(target)
+		want := Match48(&fps, bc) & RangeMask(start, end)
+		if got := Match48Range(&fps, bc, start, end); got != want {
+			t.Fatalf("Match48Range(%d,%d) = %#x, want %#x", start, end, got, want)
 		}
 	}
 }
 
-func TestMatchMaskBytesRangeBoundaries(t *testing.T) {
-	data := make([]byte, 48)
-	for i := range data {
-		data[i] = 0xaa
+func TestMatch48RangeBoundaries(t *testing.T) {
+	var lanes [48]byte
+	for i := range lanes {
+		lanes[i] = 0xaa
 	}
+	fps := packLanes8(&lanes)
+	bc := BroadcastByte(0xaa)
 	// Full range, single-slot ranges at both ends, and a word-straddling one.
-	if got := MatchMaskBytesRange(data, 0xaa, 0, 48); got != 1<<48-1 {
+	if got := Match48Range(&fps, bc, 0, 48); got != 1<<48-1 {
 		t.Errorf("full range = %#x", got)
 	}
-	if got := MatchMaskBytesRange(data, 0xaa, 0, 1); got != 1 {
+	if got := Match48Range(&fps, bc, 0, 1); got != 1 {
 		t.Errorf("first slot = %#x", got)
 	}
-	if got := MatchMaskBytesRange(data, 0xaa, 47, 48); got != 1<<47 {
+	if got := Match48Range(&fps, bc, 47, 48); got != 1<<47 {
 		t.Errorf("last slot = %#x", got)
 	}
-	if got := MatchMaskBytesRange(data, 0xaa, 7, 9); got != 0b11<<7 {
+	if got := Match48Range(&fps, bc, 7, 9); got != 0b11<<7 {
 		t.Errorf("straddling range = %#x", got)
 	}
-	if got := MatchMaskBytesRange(data, 0xbb, 0, 48); got != 0 {
+	if got := Match48Range(&fps, BroadcastByte(0xbb), 0, 48); got != 0 {
 		t.Errorf("no-match = %#x", got)
 	}
 }
 
-func TestMatchMaskU16RangeMatchesFull(t *testing.T) {
+func TestMatch28RangeMatchesFull(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	data := make([]uint16, 28)
+	var lanes [28]uint16
 	for trial := 0; trial < 5000; trial++ {
-		for i := range data {
-			data[i] = uint16(rng.Intn(1 << 16))
+		for i := range lanes {
+			lanes[i] = uint16(rng.Intn(1 << 16))
 		}
 		target := uint16(rng.Intn(1 << 16))
-		data[rng.Intn(28)] = target
+		lanes[rng.Intn(28)] = target
 		start := uint(rng.Intn(28))
 		end := start + uint(rng.Intn(28-int(start))) + 1
 		if end > 28 {
 			end = 28
 		}
-		want := MatchMaskU16(data, target) & RangeMask(start, end)
-		if got := MatchMaskU16Range(data, target, start, end); got != want {
-			t.Fatalf("MatchMaskU16Range(%d,%d) = %#x, want %#x", start, end, got, want)
+		fps := packLanes16(&lanes)
+		bc := BroadcastU16(target)
+		want := Match28(&fps, bc) & RangeMask(start, end)
+		if got := Match28Range(&fps, bc, start, end); got != want {
+			t.Fatalf("Match28Range(%d,%d) = %#x, want %#x", start, end, got, want)
 		}
 	}
 }
 
-func TestMatchMaskU16RangeBoundaries(t *testing.T) {
-	data := make([]uint16, 28)
-	for i := range data {
-		data[i] = 0x1234
+func TestMatch28RangeBoundaries(t *testing.T) {
+	var lanes [28]uint16
+	for i := range lanes {
+		lanes[i] = 0x1234
 	}
-	if got := MatchMaskU16Range(data, 0x1234, 0, 28); got != 1<<28-1 {
+	fps := packLanes16(&lanes)
+	bc := BroadcastU16(0x1234)
+	if got := Match28Range(&fps, bc, 0, 28); got != 1<<28-1 {
 		t.Errorf("full range = %#x", got)
 	}
-	if got := MatchMaskU16Range(data, 0x1234, 27, 28); got != 1<<27 {
+	if got := Match28Range(&fps, bc, 27, 28); got != 1<<27 {
 		t.Errorf("last lane = %#x", got)
 	}
-	if got := MatchMaskU16Range(data, 0x1234, 3, 5); got != 0b11<<3 {
+	if got := Match28Range(&fps, bc, 3, 5); got != 0b11<<3 {
 		t.Errorf("straddling = %#x", got)
 	}
 }

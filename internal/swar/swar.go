@@ -2,12 +2,21 @@
 // instructions the vector quotient filter paper relies on. VPCMPB (compare 64
 // bytes against a broadcast byte, producing a match mask) becomes a
 // branch-free zero-detection trick over uint64 words; VPERMB-style fingerprint
-// shifts are provided as single-copy in-block moves. Each operation executes a
-// small constant number of instructions regardless of how full a block is,
-// which is the property the paper's constant-time claim rests on.
+// shifts are single-pass funnel shifts across the block's words. Each
+// operation executes a small constant number of instructions regardless of how
+// full a block is, which is the property the paper's constant-time claim rests
+// on.
+//
+// All kernels operate on the word-native fingerprint layout: a mini-filter's
+// fingerprint lanes are stored pre-assembled as little-endian lane words
+// (lane i lives at bits 8·(i mod 8) of word i/8 for byte lanes, bits
+// 16·(i mod 4) of word i/4 for uint16 lanes), so the hot path never
+// re-assembles words from bytes. Kernels take fixed-size array pointers and
+// use only constant indices, so the compiler emits no bounds checks — the
+// stdlib substitute for the paper's "small constant instruction count per
+// probe" (verified with -gcflags=-d=ssa/check_bnd/debug=1: zero checks in
+// this package's match and shift kernels).
 package swar
-
-import "encoding/binary"
 
 const (
 	onesBytes uint64 = 0x0101010101010101
@@ -16,87 +25,116 @@ const (
 	highU16   uint64 = 0x8000800080008000
 )
 
+// Words8 and Words16 are the word counts of the two mini-filter fingerprint
+// arrays: 48 byte lanes and 28 uint16 lanes, each exactly filling the
+// fingerprint region of a 64-byte block.
+const (
+	Words8  = 6 // 48 byte lanes
+	Words16 = 7 // 28 uint16 lanes
+)
+
 // BroadcastByte returns a word with b replicated into all 8 byte lanes
-// (the analog of VPBROADCASTB).
+// (the analog of VPBROADCASTB). Hot paths broadcast once per operation and
+// pass the result to the *B kernels, so a two-block probe pays for one
+// multiply.
 func BroadcastByte(b byte) uint64 { return uint64(b) * onesBytes }
 
 // BroadcastU16 returns a word with v replicated into all 4 uint16 lanes.
 func BroadcastU16(v uint16) uint64 { return uint64(v) * onesU16 }
 
-// MatchByteMask compares each byte lane of word against target and returns an
-// 8-bit mask with bit i set iff lane i matches. This is the VPCMPB analog for
-// one word. It is exact: the zero-detection expression flags a lane iff the
-// lane is zero, and the movemask multiply generates no carries for the
-// high-bit-only input pattern.
-func MatchByteMask(word uint64, target byte) uint8 {
-	x := word ^ BroadcastByte(target)
+// matchBytesB compares each byte lane of word against the pre-broadcast
+// target and returns an 8-bit mask with bit i set iff lane i matches. This is
+// the VPCMPB analog for one word. It is exact: the zero-detection expression
+// flags a lane iff the lane is zero, and the movemask multiply generates no
+// carries for the high-bit-only input pattern.
+func matchBytesB(word, bcast uint64) uint64 {
+	x := word ^ bcast
 	// Exact zero-byte detection: lane arithmetic never crosses lanes because
 	// the addend tops out at 0x7f+0x7f per lane. (The textbook v-1 borrow
 	// trick is *not* exact — it flags the lane above a zero lane.)
 	low7 := x & ^highBytes
 	t := (low7 + ^highBytes) | x
 	zero := ^t & highBytes
-	return uint8(((zero >> 7) * 0x0102040810204080) >> 56)
+	return ((zero >> 7) * 0x0102040810204080) >> 56
 }
 
-// MatchU16Mask compares each 16-bit lane of word against target and returns a
-// 4-bit mask with bit i set iff lane i matches.
-func MatchU16Mask(word uint64, target uint16) uint8 {
-	x := word ^ BroadcastU16(target)
+// matchU16B compares each 16-bit lane of word against the pre-broadcast
+// target and returns a 4-bit mask with bit i set iff lane i matches.
+func matchU16B(word, bcast uint64) uint64 {
+	x := word ^ bcast
 	low15 := x & ^highU16
 	t := (low15 + ^highU16) | x
 	zero := ^t & highU16
-	return uint8(((zero >> 15) * 0x1000200040008000) >> 60)
+	return ((zero >> 15) * 0x1000200040008000) >> 60
 }
 
-// MatchMaskBytes compares every byte of data (len(data) <= 64, and a multiple
-// of 8) against target, returning a bitmask with bit i set iff data[i] ==
-// target. This is the whole-block VPCMPB analog used to search a mini-filter's
-// fingerprint array in a constant number of word operations.
-func MatchMaskBytes(data []byte, target byte) uint64 {
-	var mask uint64
-	for w := 0; w*8 < len(data); w++ {
-		word := binary.LittleEndian.Uint64(data[w*8:])
-		mask |= uint64(MatchByteMask(word, target)) << (8 * w)
+// MatchByteMask is the single-word VPCMPB analog against an unbroadcast
+// target byte.
+func MatchByteMask(word uint64, target byte) uint8 {
+	return uint8(matchBytesB(word, BroadcastByte(target)))
+}
+
+// MatchU16Mask is the single-word lane compare against an unbroadcast uint16.
+func MatchU16Mask(word uint64, target uint16) uint8 {
+	return uint8(matchU16B(word, BroadcastU16(target)))
+}
+
+// Match48 compares every byte lane of the word-native fingerprint array
+// against the pre-broadcast target, returning a bitmask with bit i set iff
+// lane i matches. This is the whole-block VPCMPB analog: six independent word
+// compares, fully unrolled, no loads beyond the block itself and no bounds
+// checks.
+func Match48(fps *[Words8]uint64, bcast uint64) uint64 {
+	return matchBytesB(fps[0], bcast) |
+		matchBytesB(fps[1], bcast)<<8 |
+		matchBytesB(fps[2], bcast)<<16 |
+		matchBytesB(fps[3], bcast)<<24 |
+		matchBytesB(fps[4], bcast)<<32 |
+		matchBytesB(fps[5], bcast)<<40
+}
+
+// Match28 is the 16-bit-lane analog of Match48: bit i set iff uint16 lane i
+// matches the pre-broadcast target.
+func Match28(fps *[Words16]uint64, bcast uint64) uint64 {
+	return matchU16B(fps[0], bcast) |
+		matchU16B(fps[1], bcast)<<4 |
+		matchU16B(fps[2], bcast)<<8 |
+		matchU16B(fps[3], bcast)<<12 |
+		matchU16B(fps[4], bcast)<<16 |
+		matchU16B(fps[5], bcast)<<20 |
+		matchU16B(fps[6], bcast)<<24
+}
+
+// Match48Range is Match48 restricted to lanes [start, end): only the words
+// overlapping the range are compared, and the result is masked to the range.
+// Bucket runs are short — at 85% load roughly half are empty (early-out) and
+// the rest almost always fit one word — so skipping the other five words'
+// compares beats the branch-free full scan. The per-word compare is shared
+// with Match48 (matchBytesB), the final mask with everything else
+// (RangeMask): the range variant adds only the word-overlap bookkeeping.
+func Match48Range(fps *[Words8]uint64, bcast uint64, start, end uint) uint64 {
+	if start >= end {
+		return 0
 	}
-	return mask
-}
-
-// MatchMaskU16 compares every uint16 lane of data (len(data) <= 64, a multiple
-// of 4 lanes) against target, returning a bitmask with bit i set iff
-// data[i] == target.
-func MatchMaskU16(data []uint16, target uint16) uint64 {
-	var mask uint64
-	for w := 0; w*4 < len(data); w++ {
-		word := uint64(data[w*4]) | uint64(data[w*4+1])<<16 |
-			uint64(data[w*4+2])<<32 | uint64(data[w*4+3])<<48
-		mask |= uint64(MatchU16Mask(word, target)) << (4 * w)
-	}
-	return mask
-}
-
-// MatchMaskBytesRange is MatchMaskBytes restricted to slots [start, end):
-// only the words overlapping the range are compared (bucket runs are short,
-// so this is typically a single word), and the result is masked to the
-// range. start < end <= len(data) required.
-func MatchMaskBytesRange(data []byte, target byte, start, end uint) uint64 {
-	var mask uint64
 	w0, w1 := start>>3, (end-1)>>3
-	for w := w0; w <= w1; w++ {
-		word := binary.LittleEndian.Uint64(data[w*8:])
-		mask |= uint64(MatchByteMask(word, target)) << (8 * w)
+	var mask uint64
+	// The w < Words8 condition both clamps an out-of-contract end and lets
+	// the compiler prove fps[w] in bounds (no check in the loop body).
+	for w := w0; w < Words8 && w <= w1; w++ {
+		mask |= matchBytesB(fps[w], bcast) << (8 * w)
 	}
 	return mask & RangeMask(start, end)
 }
 
-// MatchMaskU16Range is MatchMaskU16 restricted to lanes [start, end).
-func MatchMaskU16Range(data []uint16, target uint16, start, end uint) uint64 {
-	var mask uint64
+// Match28Range is Match28 restricted to lanes [start, end); see Match48Range.
+func Match28Range(fps *[Words16]uint64, bcast uint64, start, end uint) uint64 {
+	if start >= end {
+		return 0
+	}
 	w0, w1 := start>>2, (end-1)>>2
-	for w := w0; w <= w1; w++ {
-		word := uint64(data[w*4]) | uint64(data[w*4+1])<<16 |
-			uint64(data[w*4+2])<<32 | uint64(data[w*4+3])<<48
-		mask |= uint64(MatchU16Mask(word, target)) << (4 * w)
+	var mask uint64
+	for w := w0; w < Words16 && w <= w1; w++ {
+		mask |= matchU16B(fps[w], bcast) << (4 * w)
 	}
 	return mask & RangeMask(start, end)
 }
@@ -112,27 +150,193 @@ func RangeMask(start, end uint) uint64 {
 	return hi &^ (1<<start - 1)
 }
 
-// ShiftBytesUp shifts data[z:n] up by one position (data[z+1:n+1] = data[z:n])
-// in a single move — the VPERMB analog for making room for a fingerprint.
-// The caller guarantees n < len(data).
-func ShiftBytesUp(data []byte, z, n int) {
-	copy(data[z+1:n+1], data[z:n])
+// InsertLane8 shifts byte lanes [z, 47) up by one position (lane i moves to
+// lane i+1) and writes fp into lane z — the VPERMB analog for making room for
+// a fingerprint, fused with the fingerprint store. Lane 47 falls off the top;
+// the caller guarantees the block is not full (its top lanes are zero), so no
+// stored fingerprint is lost. 0 <= z <= 47.
+func InsertLane8(fps *[Words8]uint64, z int, fp byte) {
+	s := uint(z&7) * 8
+	keep := uint64(1)<<s - 1 // lanes below z within word z/8
+	ins := uint64(fp) << s
+	switch z >> 3 {
+	case 0:
+		fps[5] = fps[5]<<8 | fps[4]>>56
+		fps[4] = fps[4]<<8 | fps[3]>>56
+		fps[3] = fps[3]<<8 | fps[2]>>56
+		fps[2] = fps[2]<<8 | fps[1]>>56
+		fps[1] = fps[1]<<8 | fps[0]>>56
+		fps[0] = fps[0]&keep | (fps[0]&^keep)<<8 | ins
+	case 1:
+		fps[5] = fps[5]<<8 | fps[4]>>56
+		fps[4] = fps[4]<<8 | fps[3]>>56
+		fps[3] = fps[3]<<8 | fps[2]>>56
+		fps[2] = fps[2]<<8 | fps[1]>>56
+		fps[1] = fps[1]&keep | (fps[1]&^keep)<<8 | ins
+	case 2:
+		fps[5] = fps[5]<<8 | fps[4]>>56
+		fps[4] = fps[4]<<8 | fps[3]>>56
+		fps[3] = fps[3]<<8 | fps[2]>>56
+		fps[2] = fps[2]&keep | (fps[2]&^keep)<<8 | ins
+	case 3:
+		fps[5] = fps[5]<<8 | fps[4]>>56
+		fps[4] = fps[4]<<8 | fps[3]>>56
+		fps[3] = fps[3]&keep | (fps[3]&^keep)<<8 | ins
+	case 4:
+		fps[5] = fps[5]<<8 | fps[4]>>56
+		fps[4] = fps[4]&keep | (fps[4]&^keep)<<8 | ins
+	default:
+		fps[5] = fps[5]&keep | (fps[5]&^keep)<<8 | ins
+	}
 }
 
-// ShiftBytesDown shifts data[z+1:n] down by one position, overwriting data[z]
-// — the VPERMB analog for deleting a fingerprint.
-func ShiftBytesDown(data []byte, z, n int) {
-	copy(data[z:n-1], data[z+1:n])
-	data[n-1] = 0
+// RemoveLane8 shifts byte lanes (z, 47] down by one position, overwriting
+// lane z and feeding zero into lane 47 — the VPERMB analog for deleting a
+// fingerprint. Lanes at or above the block's occupancy are zero before and
+// after. 0 <= z <= 47.
+func RemoveLane8(fps *[Words8]uint64, z int) {
+	s := uint(z&7) * 8
+	keep := uint64(1)<<s - 1
+	switch z >> 3 {
+	case 0:
+		fps[0] = fps[0]&keep | (fps[0]>>8|fps[1]<<56)&^keep
+		fps[1] = fps[1]>>8 | fps[2]<<56
+		fps[2] = fps[2]>>8 | fps[3]<<56
+		fps[3] = fps[3]>>8 | fps[4]<<56
+		fps[4] = fps[4]>>8 | fps[5]<<56
+		fps[5] = fps[5] >> 8
+	case 1:
+		fps[1] = fps[1]&keep | (fps[1]>>8|fps[2]<<56)&^keep
+		fps[2] = fps[2]>>8 | fps[3]<<56
+		fps[3] = fps[3]>>8 | fps[4]<<56
+		fps[4] = fps[4]>>8 | fps[5]<<56
+		fps[5] = fps[5] >> 8
+	case 2:
+		fps[2] = fps[2]&keep | (fps[2]>>8|fps[3]<<56)&^keep
+		fps[3] = fps[3]>>8 | fps[4]<<56
+		fps[4] = fps[4]>>8 | fps[5]<<56
+		fps[5] = fps[5] >> 8
+	case 3:
+		fps[3] = fps[3]&keep | (fps[3]>>8|fps[4]<<56)&^keep
+		fps[4] = fps[4]>>8 | fps[5]<<56
+		fps[5] = fps[5] >> 8
+	case 4:
+		fps[4] = fps[4]&keep | (fps[4]>>8|fps[5]<<56)&^keep
+		fps[5] = fps[5] >> 8
+	default:
+		fps[5] = fps[5]&keep | fps[5]>>8&^keep
+	}
 }
 
-// ShiftU16Up shifts data[z:n] up by one lane.
-func ShiftU16Up(data []uint16, z, n int) {
-	copy(data[z+1:n+1], data[z:n])
+// InsertLane16 shifts uint16 lanes [z, 27) up by one position and writes fp
+// into lane z; see InsertLane8. 0 <= z <= 27.
+func InsertLane16(fps *[Words16]uint64, z int, fp uint16) {
+	s := uint(z&3) * 16
+	keep := uint64(1)<<s - 1
+	ins := uint64(fp) << s
+	switch z >> 2 {
+	case 0:
+		fps[6] = fps[6]<<16 | fps[5]>>48
+		fps[5] = fps[5]<<16 | fps[4]>>48
+		fps[4] = fps[4]<<16 | fps[3]>>48
+		fps[3] = fps[3]<<16 | fps[2]>>48
+		fps[2] = fps[2]<<16 | fps[1]>>48
+		fps[1] = fps[1]<<16 | fps[0]>>48
+		fps[0] = fps[0]&keep | (fps[0]&^keep)<<16 | ins
+	case 1:
+		fps[6] = fps[6]<<16 | fps[5]>>48
+		fps[5] = fps[5]<<16 | fps[4]>>48
+		fps[4] = fps[4]<<16 | fps[3]>>48
+		fps[3] = fps[3]<<16 | fps[2]>>48
+		fps[2] = fps[2]<<16 | fps[1]>>48
+		fps[1] = fps[1]&keep | (fps[1]&^keep)<<16 | ins
+	case 2:
+		fps[6] = fps[6]<<16 | fps[5]>>48
+		fps[5] = fps[5]<<16 | fps[4]>>48
+		fps[4] = fps[4]<<16 | fps[3]>>48
+		fps[3] = fps[3]<<16 | fps[2]>>48
+		fps[2] = fps[2]&keep | (fps[2]&^keep)<<16 | ins
+	case 3:
+		fps[6] = fps[6]<<16 | fps[5]>>48
+		fps[5] = fps[5]<<16 | fps[4]>>48
+		fps[4] = fps[4]<<16 | fps[3]>>48
+		fps[3] = fps[3]&keep | (fps[3]&^keep)<<16 | ins
+	case 4:
+		fps[6] = fps[6]<<16 | fps[5]>>48
+		fps[5] = fps[5]<<16 | fps[4]>>48
+		fps[4] = fps[4]&keep | (fps[4]&^keep)<<16 | ins
+	case 5:
+		fps[6] = fps[6]<<16 | fps[5]>>48
+		fps[5] = fps[5]&keep | (fps[5]&^keep)<<16 | ins
+	default:
+		fps[6] = fps[6]&keep | (fps[6]&^keep)<<16 | ins
+	}
 }
 
-// ShiftU16Down shifts data[z+1:n] down by one lane, overwriting data[z].
-func ShiftU16Down(data []uint16, z, n int) {
-	copy(data[z:n-1], data[z+1:n])
-	data[n-1] = 0
+// RemoveLane16 shifts uint16 lanes (z, 27] down by one position, overwriting
+// lane z; see RemoveLane8. 0 <= z <= 27.
+func RemoveLane16(fps *[Words16]uint64, z int) {
+	s := uint(z&3) * 16
+	keep := uint64(1)<<s - 1
+	switch z >> 2 {
+	case 0:
+		fps[0] = fps[0]&keep | (fps[0]>>16|fps[1]<<48)&^keep
+		fps[1] = fps[1]>>16 | fps[2]<<48
+		fps[2] = fps[2]>>16 | fps[3]<<48
+		fps[3] = fps[3]>>16 | fps[4]<<48
+		fps[4] = fps[4]>>16 | fps[5]<<48
+		fps[5] = fps[5]>>16 | fps[6]<<48
+		fps[6] = fps[6] >> 16
+	case 1:
+		fps[1] = fps[1]&keep | (fps[1]>>16|fps[2]<<48)&^keep
+		fps[2] = fps[2]>>16 | fps[3]<<48
+		fps[3] = fps[3]>>16 | fps[4]<<48
+		fps[4] = fps[4]>>16 | fps[5]<<48
+		fps[5] = fps[5]>>16 | fps[6]<<48
+		fps[6] = fps[6] >> 16
+	case 2:
+		fps[2] = fps[2]&keep | (fps[2]>>16|fps[3]<<48)&^keep
+		fps[3] = fps[3]>>16 | fps[4]<<48
+		fps[4] = fps[4]>>16 | fps[5]<<48
+		fps[5] = fps[5]>>16 | fps[6]<<48
+		fps[6] = fps[6] >> 16
+	case 3:
+		fps[3] = fps[3]&keep | (fps[3]>>16|fps[4]<<48)&^keep
+		fps[4] = fps[4]>>16 | fps[5]<<48
+		fps[5] = fps[5]>>16 | fps[6]<<48
+		fps[6] = fps[6] >> 16
+	case 4:
+		fps[4] = fps[4]&keep | (fps[4]>>16|fps[5]<<48)&^keep
+		fps[5] = fps[5]>>16 | fps[6]<<48
+		fps[6] = fps[6] >> 16
+	case 5:
+		fps[5] = fps[5]&keep | (fps[5]>>16|fps[6]<<48)&^keep
+		fps[6] = fps[6] >> 16
+	default:
+		fps[6] = fps[6]&keep | fps[6]>>16&^keep
+	}
+}
+
+// Lane8 returns byte lane i of the word-native fingerprint array. Lane
+// accessors serve the cold paths — the scalar ablation variant,
+// serialization, and tests; hot paths use the whole-block kernels above.
+func Lane8(fps *[Words8]uint64, i int) byte {
+	return byte(fps[i>>3] >> (uint(i&7) * 8))
+}
+
+// SetLane8 stores v into byte lane i.
+func SetLane8(fps *[Words8]uint64, i int, v byte) {
+	s := uint(i&7) * 8
+	fps[i>>3] = fps[i>>3]&^(0xff<<s) | uint64(v)<<s
+}
+
+// Lane16 returns uint16 lane i of the word-native fingerprint array.
+func Lane16(fps *[Words16]uint64, i int) uint16 {
+	return uint16(fps[i>>2] >> (uint(i&3) * 16))
+}
+
+// SetLane16 stores v into uint16 lane i.
+func SetLane16(fps *[Words16]uint64, i int, v uint16) {
+	s := uint(i&3) * 16
+	fps[i>>2] = fps[i>>2]&^(0xffff<<s) | uint64(v)<<s
 }

@@ -1,21 +1,51 @@
 package swar
 
 import (
-	"encoding/binary"
 	"math/rand"
 	"testing"
 	"testing/quick"
 )
 
+// packLanes8 assembles 48 byte lanes into the word-native layout.
+func packLanes8(lanes *[48]byte) (fps [Words8]uint64) {
+	for i, b := range lanes {
+		SetLane8(&fps, i, b)
+	}
+	return
+}
+
+// unpackLanes8 is the inverse of packLanes8, via the lane accessor.
+func unpackLanes8(fps *[Words8]uint64) (lanes [48]byte) {
+	for i := range lanes {
+		lanes[i] = Lane8(fps, i)
+	}
+	return
+}
+
+func packLanes16(lanes *[28]uint16) (fps [Words16]uint64) {
+	for i, v := range lanes {
+		SetLane16(&fps, i, v)
+	}
+	return
+}
+
+func unpackLanes16(fps *[Words16]uint64) (lanes [28]uint16) {
+	for i := range lanes {
+		lanes[i] = Lane16(fps, i)
+	}
+	return
+}
+
 func TestMatchByteMaskExhaustivePattern(t *testing.T) {
 	// Every target byte against words built from nearby values, which is
 	// where zero-detection tricks typically break (off-by-one lanes).
 	for target := 0; target < 256; target++ {
+		var word uint64
 		var data [8]byte
 		for i := range data {
 			data[i] = byte(target + i - 4)
+			word |= uint64(data[i]) << (8 * i)
 		}
-		word := binary.LittleEndian.Uint64(data[:])
 		got := MatchByteMask(word, byte(target))
 		var want uint8
 		for i, b := range data {
@@ -74,48 +104,68 @@ func TestMatchU16MaskAllLanesMatch(t *testing.T) {
 	}
 }
 
-func TestMatchMaskBytes(t *testing.T) {
-	data := make([]byte, 48)
+func TestMatch48(t *testing.T) {
+	var lanes [48]byte
 	rng := rand.New(rand.NewSource(3))
 	for trial := 0; trial < 2000; trial++ {
-		rng.Read(data)
+		rng.Read(lanes[:])
 		target := byte(rng.Intn(256))
 		// Plant a few guaranteed matches.
 		for j := 0; j < 3; j++ {
-			data[rng.Intn(48)] = target
+			lanes[rng.Intn(48)] = target
 		}
-		got := MatchMaskBytes(data, target)
+		fps := packLanes8(&lanes)
+		got := Match48(&fps, BroadcastByte(target))
 		var want uint64
-		for i, b := range data {
+		for i, b := range lanes {
 			if b == target {
 				want |= 1 << i
 			}
 		}
 		if got != want {
-			t.Fatalf("MatchMaskBytes = %#x, want %#x", got, want)
+			t.Fatalf("Match48 = %#x, want %#x", got, want)
 		}
 	}
 }
 
-func TestMatchMaskU16(t *testing.T) {
-	data := make([]uint16, 28)
+func TestMatch28(t *testing.T) {
+	var lanes [28]uint16
 	rng := rand.New(rand.NewSource(4))
 	for trial := 0; trial < 2000; trial++ {
-		for i := range data {
-			data[i] = uint16(rng.Intn(1 << 16))
+		for i := range lanes {
+			lanes[i] = uint16(rng.Intn(1 << 16))
 		}
 		target := uint16(rng.Intn(1 << 16))
-		data[rng.Intn(28)] = target
-		got := MatchMaskU16(data, target)
+		lanes[rng.Intn(28)] = target
+		fps := packLanes16(&lanes)
+		got := Match28(&fps, BroadcastU16(target))
 		var want uint64
-		for i, v := range data {
+		for i, v := range lanes {
 			if v == target {
 				want |= 1 << i
 			}
 		}
 		if got != want {
-			t.Fatalf("MatchMaskU16 = %#x, want %#x", got, want)
+			t.Fatalf("Match28 = %#x, want %#x", got, want)
 		}
+	}
+}
+
+func TestLaneAccessorsRoundTrip(t *testing.T) {
+	var lanes [48]byte
+	rng := rand.New(rand.NewSource(5))
+	rng.Read(lanes[:])
+	fps := packLanes8(&lanes)
+	if unpackLanes8(&fps) != lanes {
+		t.Fatal("Lane8/SetLane8 round trip mismatch")
+	}
+	var lanes16 [28]uint16
+	for i := range lanes16 {
+		lanes16[i] = uint16(rng.Intn(1 << 16))
+	}
+	fps16 := packLanes16(&lanes16)
+	if unpackLanes16(&fps16) != lanes16 {
+		t.Fatal("Lane16/SetLane16 round trip mismatch")
 	}
 }
 
@@ -158,41 +208,80 @@ func TestRangeMaskProperty(t *testing.T) {
 	}
 }
 
-func TestShiftBytesUpDown(t *testing.T) {
-	data := []byte{1, 2, 3, 4, 5, 0}
-	ShiftBytesUp(data, 1, 5) // make room at index 1
-	want := []byte{1, 2, 2, 3, 4, 5}
-	for i := range want {
-		if data[i] != want[i] {
-			t.Fatalf("after ShiftBytesUp: %v, want %v", data, want)
+func TestInsertRemoveLane8AgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 5000; trial++ {
+		var lanes [48]byte
+		occ := rng.Intn(48) // insert requires a free top lane
+		for i := 0; i < occ; i++ {
+			lanes[i] = byte(1 + rng.Intn(255))
 		}
-	}
-	data[1] = 9
-	ShiftBytesDown(data, 1, 6) // remove index 1
-	want = []byte{1, 2, 3, 4, 5, 0}
-	for i := range want {
-		if data[i] != want[i] {
-			t.Fatalf("after ShiftBytesDown: %v, want %v", data, want)
+		z := rng.Intn(occ + 1)
+		fp := byte(rng.Intn(256))
+
+		fps := packLanes8(&lanes)
+		InsertLane8(&fps, z, fp)
+
+		var want [48]byte
+		copy(want[:z], lanes[:z])
+		want[z] = fp
+		copy(want[z+1:], lanes[z:47])
+		if got := unpackLanes8(&fps); got != want {
+			t.Fatalf("InsertLane8(z=%d): got %v, want %v", z, got, want)
+		}
+
+		// Removing the lane just inserted must restore the original array.
+		RemoveLane8(&fps, z)
+		if got := unpackLanes8(&fps); got != lanes {
+			t.Fatalf("RemoveLane8(z=%d) did not invert insert: got %v, want %v", z, got, lanes)
 		}
 	}
 }
 
-func TestShiftU16UpDown(t *testing.T) {
-	data := []uint16{10, 20, 30, 0}
-	ShiftU16Up(data, 0, 3)
-	data[0] = 5
-	want := []uint16{5, 10, 20, 30}
-	for i := range want {
-		if data[i] != want[i] {
-			t.Fatalf("after ShiftU16Up: %v, want %v", data, want)
+func TestInsertRemoveLane16AgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5000; trial++ {
+		var lanes [28]uint16
+		occ := rng.Intn(28)
+		for i := 0; i < occ; i++ {
+			lanes[i] = uint16(1 + rng.Intn(1<<16-1))
+		}
+		z := rng.Intn(occ + 1)
+		fp := uint16(rng.Intn(1 << 16))
+
+		fps := packLanes16(&lanes)
+		InsertLane16(&fps, z, fp)
+
+		var want [28]uint16
+		copy(want[:z], lanes[:z])
+		want[z] = fp
+		copy(want[z+1:], lanes[z:27])
+		if got := unpackLanes16(&fps); got != want {
+			t.Fatalf("InsertLane16(z=%d): got %v, want %v", z, got, want)
+		}
+
+		RemoveLane16(&fps, z)
+		if got := unpackLanes16(&fps); got != lanes {
+			t.Fatalf("RemoveLane16(z=%d) did not invert insert: got %v, want %v", z, got, lanes)
 		}
 	}
-	ShiftU16Down(data, 2, 4)
-	want = []uint16{5, 10, 30, 0}
-	for i := range want {
-		if data[i] != want[i] {
-			t.Fatalf("after ShiftU16Down: %v, want %v", data, want)
+}
+
+func TestRemoveLane8FeedsZeroAtTop(t *testing.T) {
+	var lanes [48]byte
+	for i := range lanes {
+		lanes[i] = byte(i + 1)
+	}
+	fps := packLanes8(&lanes)
+	RemoveLane8(&fps, 0)
+	got := unpackLanes8(&fps)
+	for i := 0; i < 47; i++ {
+		if got[i] != lanes[i+1] {
+			t.Fatalf("lane %d = %d, want %d", i, got[i], lanes[i+1])
 		}
+	}
+	if got[47] != 0 {
+		t.Fatalf("top lane = %d, want 0", got[47])
 	}
 }
 
@@ -205,27 +294,42 @@ func TestBroadcast(t *testing.T) {
 	}
 }
 
-func BenchmarkMatchMaskBytes48(b *testing.B) {
-	data := make([]byte, 48)
-	rand.New(rand.NewSource(5)).Read(data)
+func BenchmarkMatch48(b *testing.B) {
+	var lanes [48]byte
+	rand.New(rand.NewSource(5)).Read(lanes[:])
+	fps := packLanes8(&lanes)
 	b.ResetTimer()
 	var sink uint64
 	for i := 0; i < b.N; i++ {
-		sink += MatchMaskBytes(data, byte(i))
+		sink += Match48(&fps, BroadcastByte(byte(i)))
 	}
 	_ = sink
 }
 
-func BenchmarkMatchMaskU16x28(b *testing.B) {
-	data := make([]uint16, 28)
+func BenchmarkMatch28(b *testing.B) {
+	var lanes [28]uint16
 	rng := rand.New(rand.NewSource(6))
-	for i := range data {
-		data[i] = uint16(rng.Intn(1 << 16))
+	for i := range lanes {
+		lanes[i] = uint16(rng.Intn(1 << 16))
 	}
+	fps := packLanes16(&lanes)
 	b.ResetTimer()
 	var sink uint64
 	for i := 0; i < b.N; i++ {
-		sink += MatchMaskU16(data, uint16(i))
+		sink += Match28(&fps, BroadcastU16(uint16(i)))
 	}
 	_ = sink
+}
+
+func BenchmarkInsertRemoveLane8(b *testing.B) {
+	var lanes [48]byte
+	rand.New(rand.NewSource(7)).Read(lanes[:])
+	lanes[47] = 0
+	fps := packLanes8(&lanes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z := i % 47
+		InsertLane8(&fps, z, byte(i))
+		RemoveLane8(&fps, z)
+	}
 }
