@@ -94,7 +94,13 @@ func runKernelGate(cfg config) {
 			t.AddRow(nr.Name, "-", fmt.Sprintf("%.2f", nr.Mops), "-", "new")
 			continue
 		}
-		d := analysis.CompareBench(olds, nr.Samples)
+		d, err := analysis.CompareBenchChecked(olds, nr.Samples)
+		if err != nil {
+			// An unmeasurable comparison must stop the gate, not sail through
+			// with infinite intervals that can never flag a regression.
+			fmt.Fprintf(os.Stderr, "vqfbench: kernelgate: %s: %v\n", nr.Name, err)
+			os.Exit(2)
+		}
 		verdict := "~" // no significant change
 		switch {
 		case d.Regression(cfg.gateThreshold):

@@ -47,25 +47,29 @@ import (
 )
 
 type config struct {
-	logSlotsRAM   uint
-	logSlotsCache uint
-	queries       int
-	mixedOps      int
-	probes        int
-	seed          uint64
-	csv           bool
-	which         string
-	repeat        int
-	batch         int
-	reps          int
-	oldJSON       string
-	newJSON       string
-	gateThreshold float64
-	benchout      string
-	cpuprofile    string
-	memprofile    string
-	mutexprofile  string
-	httpserve     string
+	logSlotsRAM    uint
+	logSlotsCache  uint
+	queries        int
+	mixedOps       int
+	probes         int
+	seed           uint64
+	csv            bool
+	which          string
+	repeat         int
+	batch          int
+	reps           int
+	oldJSON        string
+	newJSON        string
+	gateThreshold  float64
+	benchout       string
+	oracleRounds   int
+	oracleOps      int
+	oracleUniverse int
+	oracleDir      string
+	cpuprofile     string
+	memprofile     string
+	mutexprofile   string
+	httpserve      string
 }
 
 func main() {
@@ -90,13 +94,17 @@ func main() {
 	fs.BoolVar(&cfg.csv, "csv", false, "emit CSV instead of aligned text")
 	fs.StringVar(&cfg.benchout, "benchout", "auto",
 		"output file for JSON-emitting experiments (fig4, fig5, concurrent, elastic, choices); \"auto\" writes BENCH_<experiment>.json, empty skips")
+	fs.IntVar(&cfg.oracleRounds, "oracle-rounds", 4, "oracle: traces per (subject, property) pair")
+	fs.IntVar(&cfg.oracleOps, "oracle-ops", 8000, "oracle: operations per trace")
+	fs.IntVar(&cfg.oracleUniverse, "oracle-universe", 2000, "oracle: distinct keys per trace")
+	fs.StringVar(&cfg.oracleDir, "oracle-dir", "oracle-repros", "oracle: directory for shrunk repro traces (empty skips)")
 	fs.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&cfg.memprofile, "memprofile", "", "write an end-of-run heap profile to this file")
 	fs.StringVar(&cfg.mutexprofile, "mutexprofile", "", "write an end-of-run mutex-contention profile to this file")
 	fs.StringVar(&cfg.httpserve, "httpserve", "",
 		"serve /metrics (Prometheus, live filters), /debug/pprof/ and /debug/vars on this address (e.g. 127.0.0.1:8080) while experiments run")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: vqfbench [flags] <experiment>\n\nexperiments: table1 fig2 fig3 table2 fig4 fig5 fig6 table3 table4 concurrent elastic maxload maxloadscale choices ablation kernels kernelgate all\n\nflags:\n")
+		fmt.Fprintf(os.Stderr, "usage: vqfbench [flags] <experiment>\n\nexperiments: table1 fig2 fig3 table2 fig4 fig5 fig6 table3 table4 concurrent elastic maxload maxloadscale choices ablation kernels kernelgate oracle all\n\nflags:\n")
 		fs.PrintDefaults()
 	}
 	fs.Parse(os.Args[1:])
@@ -130,6 +138,7 @@ func main() {
 		"ablation":     runAblation,
 		"kernels":      runKernels,
 		"kernelgate":   runKernelGate,
+		"oracle":       runOracle,
 	}
 	if cmd == "all" {
 		for _, name := range []string{"table1", "fig2", "fig3", "table2", "fig4",

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"vqf/internal/oracle"
+)
+
+// The oracle experiment runs the differential/metamorphic verification
+// campaign (internal/oracle) outside go test, with budgets scaled by flags
+// instead of -short/-oracle.long: CI soak jobs run it with large budgets,
+// and a post-change sanity run uses the defaults. Every property violation
+// is reported with its seed and its shrunk repro trace path; the process
+// exits 1 if any property failed.
+func runOracle(cfg config) {
+	ocfg := oracle.Config{
+		Seed:     cfg.seed,
+		Rounds:   cfg.oracleRounds,
+		Ops:      cfg.oracleOps,
+		Universe: cfg.oracleUniverse,
+		ReproDir: cfg.oracleDir,
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	fmt.Printf("Verification campaign: %d rounds x %d ops (universe %d, seed %#x)\n",
+		ocfg.Rounds, ocfg.Ops, ocfg.Universe, ocfg.Seed)
+	failures := oracle.Run(ocfg)
+	if len(failures) == 0 {
+		fmt.Println("all properties hold across all subjects")
+		return
+	}
+	for _, f := range failures {
+		fmt.Fprintf(os.Stderr, "FAIL %s\n", f)
+		if f.ReproPath != "" {
+			fmt.Fprintf(os.Stderr, "     repro: %s\n", f.ReproPath)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "oracle: %d propert%s violated\n",
+		len(failures), map[bool]string{true: "y", false: "ies"}[len(failures) == 1])
+	os.Exit(1)
+}

@@ -34,6 +34,24 @@ func FuzzRead(f *testing.F) {
 
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xff}, 100))
+
+	// Rejected shapes the hardened readers must refuse before allocating:
+	// a core header whose count exceeds the block array's capacity, and an
+	// elastic level stream whose block count disagrees with the geometry the
+	// cascade config dictates. Offsets: 16-byte envelope, then the core header
+	// (count at +16, block count at +8) or the 56-byte cascade header.
+	forgedCount := append([]byte(nil), filterBuf.Bytes()...)
+	binary.LittleEndian.PutUint64(forgedCount[16+16:], ^uint64(0))
+	f.Add(forgedCount)
+
+	forgedKV := append([]byte(nil), mapBuf.Bytes()...)
+	binary.LittleEndian.PutUint64(forgedKV[16+16:], ^uint64(0))
+	f.Add(forgedKV)
+
+	forgedLevel := append([]byte(nil), elasticBuf.Bytes()...)
+	lvlBlocks := binary.LittleEndian.Uint64(forgedLevel[16+56+8:])
+	binary.LittleEndian.PutUint64(forgedLevel[16+56+8:], lvlBlocks/2)
+	f.Add(forgedLevel)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if got, err := Read(bytes.NewReader(data)); err == nil {
 			// Anything accepted must be a usable filter that re-serializes.

@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"sort"
 )
@@ -100,6 +102,22 @@ func CompareBench(oldSamples, newSamples []float64) BenchDelta {
 	}
 	d.Significant = om-oci > nm+nci || nm-nci > om+oci
 	return d
+}
+
+// ErrTooFewSamples is returned by CompareBenchChecked when either side has
+// fewer than two samples.
+var ErrTooFewSamples = errors.New("analysis: need at least 2 samples per side")
+
+// CompareBenchChecked is CompareBench for gating contexts. With fewer than
+// two samples on a side the confidence interval is infinite, so no slowdown
+// could ever register as significant and a gate built on the comparison
+// would pass vacuously — it must refuse instead.
+func CompareBenchChecked(oldSamples, newSamples []float64) (BenchDelta, error) {
+	if len(oldSamples) < 2 || len(newSamples) < 2 {
+		return BenchDelta{}, fmt.Errorf("%w (got %d old, %d new)",
+			ErrTooFewSamples, len(oldSamples), len(newSamples))
+	}
+	return CompareBench(oldSamples, newSamples), nil
 }
 
 // Regression reports whether d is a statistically significant slowdown of

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"errors"
 	"math"
 	"testing"
 )
@@ -73,5 +74,71 @@ func TestCompareBenchSingleSample(t *testing.T) {
 	d := CompareBench([]float64{100}, []float64{50})
 	if d.Significant || d.Regression(5) {
 		t.Fatal("single-sample comparison cannot be significant")
+	}
+}
+
+// TestTCritEdges pins the degrees-of-freedom boundary behavior: df<1 yields
+// an infinite critical value (one sample tells you nothing), the table
+// endpoints are hit exactly, and past the table the normal approximation
+// takes over.
+func TestTCritEdges(t *testing.T) {
+	cases := []struct {
+		df   int
+		want float64
+	}{
+		{-1, math.Inf(1)},
+		{0, math.Inf(1)},
+		{1, 12.706},
+		{2, 4.303},
+		{30, 2.042},
+		{31, 1.960},
+		{1000, 1.960},
+	}
+	for _, c := range cases {
+		if got := tCrit(c.df); got != c.want {
+			t.Errorf("tCrit(%d) = %v, want %v", c.df, got, c.want)
+		}
+	}
+}
+
+// TestMeanCI95Edges: empty input is all zeros; a single sample has a defined
+// mean but an infinite interval — it must never look precise.
+func TestMeanCI95Edges(t *testing.T) {
+	if m, h := MeanCI95(nil); m != 0 || h != 0 {
+		t.Errorf("MeanCI95(nil) = (%v, %v), want zeros", m, h)
+	}
+	m, h := MeanCI95([]float64{3.5})
+	if m != 3.5 || !math.IsInf(h, 1) {
+		t.Errorf("MeanCI95(single) = (%v, %v), want (3.5, +Inf)", m, h)
+	}
+}
+
+// TestCompareBenchCheckedRefusal: the gating comparison must refuse
+// sub-minimal sample sets instead of returning a vacuously insignificant
+// delta that a regression gate would read as "pass".
+func TestCompareBenchCheckedRefusal(t *testing.T) {
+	good := []float64{10, 11, 10.5}
+	for name, pair := range map[string][2][]float64{
+		"empty-old":  {nil, good},
+		"empty-new":  {good, nil},
+		"single-old": {{10}, good},
+		"single-new": {good, {1}},
+		"both-bad":   {{10}, {1}},
+	} {
+		if _, err := CompareBenchChecked(pair[0], pair[1]); !errors.Is(err, ErrTooFewSamples) {
+			t.Errorf("%s: err = %v, want ErrTooFewSamples", name, err)
+		}
+	}
+	// A clear significant slowdown with adequate samples still reports.
+	d, err := CompareBenchChecked([]float64{100, 101, 99}, []float64{50, 51, 49})
+	if err != nil {
+		t.Fatalf("valid comparison refused: %v", err)
+	}
+	if !d.Regression(10) {
+		t.Errorf("50%% slowdown not flagged: %+v", d)
+	}
+	// The unchecked path remains vacuous by design — document the contrast.
+	if d := CompareBench([]float64{100}, []float64{50}); d.Significant {
+		t.Errorf("single-sample CompareBench claimed significance: %+v", d)
 	}
 }

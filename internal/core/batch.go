@@ -24,6 +24,12 @@ const (
 	blockShift16 = 32
 )
 
+// maxIdxSegment bounds any single radix pass that carries int32 scatter
+// indices (partitionIdx/radixPartitionIdx); larger batches are processed in
+// segments so the indices always fit. A variable so tests can shrink it and
+// exercise the segmented path without multi-gigabyte inputs.
+var maxIdxSegment = 1 << 30
+
 // batchRadix maps a key hash to its shard: the top batchRadixBits bits of
 // the primary block index. effShift is precomputed by effectiveShift(mask).
 // The final mask is a no-op by construction; it lets the compiler prove
@@ -213,6 +219,16 @@ func (f *Filter8) ContainsBatch(hs []uint64, dst []bool) []bool {
 		}
 		return out
 	}
+	for off := 0; off < len(hs); off += maxIdxSegment {
+		end := min(off+maxIdxSegment, len(hs))
+		f.containsSegment(hs[off:end], out[off:end])
+	}
+	return out
+}
+
+// containsSegment probes one index-safe segment in radix order, scattering
+// results back to segment order.
+func (f *Filter8) containsSegment(hs []uint64, out []bool) {
 	sorted, idx := f.scratch.partitionIdx(hs, f.mask, blockShift8)
 	sink := f.scratch.sink
 	for i, h := range sorted {
@@ -222,7 +238,6 @@ func (f *Filter8) ContainsBatch(hs []uint64, dst []bool) []bool {
 		out[idx[i]] = f.Contains(h)
 	}
 	f.scratch.sink = sink
-	return out
 }
 
 // RemoveBatch removes one previously inserted instance of each key of hs,
@@ -280,6 +295,16 @@ func (f *Filter16) ContainsBatch(hs []uint64, dst []bool) []bool {
 		}
 		return out
 	}
+	for off := 0; off < len(hs); off += maxIdxSegment {
+		end := min(off+maxIdxSegment, len(hs))
+		f.containsSegment(hs[off:end], out[off:end])
+	}
+	return out
+}
+
+// containsSegment probes one index-safe segment in radix order, scattering
+// results back to segment order.
+func (f *Filter16) containsSegment(hs []uint64, out []bool) {
 	sorted, idx := f.scratch.partitionIdx(hs, f.mask, blockShift16)
 	sink := f.scratch.sink
 	for i, h := range sorted {
@@ -289,7 +314,6 @@ func (f *Filter16) ContainsBatch(hs []uint64, dst []bool) []bool {
 		out[idx[i]] = f.Contains(h)
 	}
 	f.scratch.sink = sink
-	return out
 }
 
 // RemoveBatch removes one instance of each key of hs; see

@@ -217,3 +217,57 @@ func checkAllocs(t *testing.T, name string, fn func()) {
 		t.Errorf("%s allocates %.1f times per call, want 0", name, avg)
 	}
 }
+
+// TestContainsBatchSegmented shrinks maxIdxSegment to force the
+// multi-segment scatter path (normally reached only by >2^30-key batches,
+// where int32 indices would otherwise overflow) and checks input-order
+// results across segment boundaries, with duplicates straddling segments.
+func TestContainsBatchSegmented(t *testing.T) {
+	old := maxIdxSegment
+	maxIdxSegment = 300 // several segments per batch, each still radix-worthy
+	defer func() { maxIdxSegment = old }()
+
+	rng := rand.New(rand.NewSource(15))
+	present := make([]uint64, 512)
+	for i := range present {
+		present[i] = rng.Uint64()
+	}
+	hs := make([]uint64, 0, 2048)
+	for i := 0; i < 1024; i++ {
+		// Mix hits, misses, and a recurring duplicate so the same key lands in
+		// multiple segments.
+		switch i % 3 {
+		case 0:
+			hs = append(hs, present[i%len(present)])
+		case 1:
+			hs = append(hs, rng.Uint64())
+		default:
+			hs = append(hs, present[0])
+		}
+	}
+
+	t.Run("Filter8", func(t *testing.T) {
+		f := NewFilter8(1<<13, Options{})
+		f.InsertBatch(present)
+		out := f.ContainsBatch(hs, nil)
+		for i, h := range hs {
+			if out[i] != f.Contains(h) {
+				t.Fatalf("segmented out[%d] = %v, Contains = %v", i, out[i], f.Contains(h))
+			}
+		}
+	})
+	t.Run("Filter16", func(t *testing.T) {
+		f := NewFilter16(1<<13, Options{})
+		f.InsertBatch(present)
+		dst := make([]bool, len(hs)) // aliased reuse across both segment sweeps
+		out := f.ContainsBatch(hs, dst)
+		if &out[0] != &dst[0] {
+			t.Fatal("dst not reused on segmented path")
+		}
+		for i, h := range hs {
+			if out[i] != f.Contains(h) {
+				t.Fatalf("segmented out[%d] = %v, Contains = %v", i, out[i], f.Contains(h))
+			}
+		}
+	})
+}

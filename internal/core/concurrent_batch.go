@@ -77,23 +77,28 @@ func parallelShardCount(hs []uint64, mask uint64, blockShift uint, op func(uint6
 func parallelShardContains(hs []uint64, out []bool, mask uint64, blockShift uint, contains func(uint64) bool) {
 	w := batchWorkers(len(hs))
 	if w == 1 {
-		if len(hs) >= minBatchPartition {
-			sorted, idx, _ := radixPartitionIdx(hs, mask, blockShift)
-			for j, h := range sorted {
-				out[idx[j]] = contains(h)
+		if len(hs) < minBatchPartition {
+			for i, h := range hs {
+				out[i] = contains(h)
 			}
 			return
 		}
-		for i, h := range hs {
-			out[i] = contains(h)
+		// Same int32 index-width concern as below: a GOMAXPROCS=1 process can
+		// still be handed a multi-billion-key batch.
+		for off := 0; off < len(hs); off += maxIdxSegment {
+			end := min(off+maxIdxSegment, len(hs))
+			seg, segOut := hs[off:end], out[off:end]
+			sorted, idx, _ := radixPartitionIdx(seg, mask, blockShift)
+			for j, h := range sorted {
+				segOut[idx[j]] = contains(h)
+			}
 		}
 		return
 	}
 	// radixPartitionIdx carries int32 positions; segment huge batches so the
 	// indices always fit.
-	const maxSeg = 1 << 30
-	for off := 0; off < len(hs); off += maxSeg {
-		end := min(off+maxSeg, len(hs))
+	for off := 0; off < len(hs); off += maxIdxSegment {
+		end := min(off+maxIdxSegment, len(hs))
 		seg, segOut := hs[off:end], out[off:end]
 		sorted, idx, bounds := radixPartitionIdx(seg, mask, blockShift)
 		var cursor atomic.Int64

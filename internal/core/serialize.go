@@ -77,7 +77,7 @@ func remainingSize(r io.Reader) int64 {
 	return -1
 }
 
-func readHeader(r io.Reader, wantMagic uint32, bytesPerBlock uint64) (nblocks, count uint64, opts Options, err error) {
+func readHeader(r io.Reader, wantMagic uint32, bytesPerBlock, slotsPerBlock uint64) (nblocks, count uint64, opts Options, err error) {
 	var hdr [headerBytes]byte
 	if _, err = io.ReadFull(r, hdr[:]); err != nil {
 		return 0, 0, opts, fmt.Errorf("%w: %v", ErrBadFormat, err)
@@ -95,6 +95,13 @@ func readHeader(r io.Reader, wantMagic uint32, bytesPerBlock uint64) (nblocks, c
 	count = binary.LittleEndian.Uint64(hdr[16:])
 	if nblocks < 2 || nblocks&(nblocks-1) != 0 || nblocks > 1<<40 {
 		return 0, 0, opts, fmt.Errorf("%w: block count %d not a power of two >= 2", ErrBadFormat, nblocks)
+	}
+	// A count no block array of this size could hold is a forged header;
+	// reject before any allocation (nblocks ≤ 2^40 and slotsPerBlock ≤ 48, so
+	// the product cannot overflow).
+	if maxCount := nblocks * slotsPerBlock; count > maxCount {
+		return 0, 0, opts, fmt.Errorf("%w: count %d exceeds capacity %d of %d blocks",
+			ErrBadFormat, count, maxCount, nblocks)
 	}
 	// With a known input length, a header claiming more blocks than the
 	// remaining bytes can hold is rejected up front (nblocks ≤ 2^40 and
@@ -134,9 +141,25 @@ func (f *Filter8) WriteTo(w io.Writer) (int64, error) {
 
 // ReadFilter8 deserializes a Filter8 written by WriteTo.
 func ReadFilter8(r io.Reader) (*Filter8, error) {
-	nblocks, count, opts, err := readHeader(r, magic8, blockBytes)
+	return readFilter8(r, 0)
+}
+
+// ReadFilter8Sized deserializes a Filter8 whose geometry is known in advance
+// (e.g. an elastic-cascade level derived from the cascade config): the
+// stream's block count must equal the geometry NewFilter8(wantSlots, ...)
+// would build, rejecting inconsistent streams before any block allocation.
+func ReadFilter8Sized(r io.Reader, wantSlots uint64) (*Filter8, error) {
+	return readFilter8(r, blocksFor(wantSlots, minifilter.B8Slots))
+}
+
+func readFilter8(r io.Reader, wantBlocks uint64) (*Filter8, error) {
+	nblocks, count, opts, err := readHeader(r, magic8, blockBytes, minifilter.B8Slots)
 	if err != nil {
 		return nil, err
+	}
+	if wantBlocks != 0 && nblocks != wantBlocks {
+		return nil, fmt.Errorf("%w: stream has %d blocks, declared geometry needs %d",
+			ErrBadFormat, nblocks, wantBlocks)
 	}
 	f := &Filter8{
 		mask:   nblocks - 1,
@@ -204,7 +227,7 @@ func (f *KVFilter8) WriteTo(w io.Writer) (int64, error) {
 
 // ReadKV8 deserializes a KVFilter8 written by WriteTo.
 func ReadKV8(r io.Reader) (*KVFilter8, error) {
-	nblocks, count, _, err := readHeader(r, magicKV, kvBlockBytes)
+	nblocks, count, _, err := readHeader(r, magicKV, kvBlockBytes, minifilter.B8Slots)
 	if err != nil {
 		return nil, err
 	}
@@ -267,9 +290,22 @@ func (f *Filter16) WriteTo(w io.Writer) (int64, error) {
 
 // ReadFilter16 deserializes a Filter16 written by WriteTo.
 func ReadFilter16(r io.Reader) (*Filter16, error) {
-	nblocks, count, opts, err := readHeader(r, magic16, blockBytes)
+	return readFilter16(r, 0)
+}
+
+// ReadFilter16Sized is ReadFilter8Sized for the 16-bit geometry.
+func ReadFilter16Sized(r io.Reader, wantSlots uint64) (*Filter16, error) {
+	return readFilter16(r, blocksFor(wantSlots, minifilter.B16Slots))
+}
+
+func readFilter16(r io.Reader, wantBlocks uint64) (*Filter16, error) {
+	nblocks, count, opts, err := readHeader(r, magic16, blockBytes, minifilter.B16Slots)
 	if err != nil {
 		return nil, err
+	}
+	if wantBlocks != 0 && nblocks != wantBlocks {
+		return nil, fmt.Errorf("%w: stream has %d blocks, declared geometry needs %d",
+			ErrBadFormat, nblocks, wantBlocks)
 	}
 	f := &Filter16{
 		mask:   nblocks - 1,

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
 	"testing"
 )
@@ -108,5 +109,50 @@ func TestDeserializeRejectsNonPow2Blocks(t *testing.T) {
 	data[8] = 3 // block count 3: not a power of two
 	if _, err := ReadFilter8(bytes.NewReader(data)); err == nil {
 		t.Error("accepted non-power-of-two block count")
+	}
+}
+
+// TestDeserializeRejectsOverCapacityCount pins the pre-allocation count
+// check: a header whose count no block array of the declared size could hold
+// must be refused before any blocks are read.
+func TestDeserializeRejectsOverCapacityCount(t *testing.T) {
+	var buf bytes.Buffer
+	NewFilter8(1<<8, Options{}).WriteTo(&buf)
+	data := append([]byte(nil), buf.Bytes()...)
+	binary.LittleEndian.PutUint64(data[16:], ^uint64(0)) // count field
+	if _, err := ReadFilter8(bytes.NewReader(data)); err == nil {
+		t.Error("accepted count exceeding block capacity")
+	}
+
+	var kvBuf bytes.Buffer
+	NewKV8(1 << 8).WriteTo(&kvBuf)
+	kvData := append([]byte(nil), kvBuf.Bytes()...)
+	binary.LittleEndian.PutUint64(kvData[16:], ^uint64(0))
+	if _, err := ReadKV8(bytes.NewReader(kvData)); err == nil {
+		t.Error("KV reader accepted count exceeding block capacity")
+	}
+}
+
+// TestSizedReadersRejectGeometryMismatch: when the expected geometry is known
+// (elastic levels), a stream with a structurally valid but different block
+// count must be refused.
+func TestSizedReadersRejectGeometryMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	f8 := NewFilter8(1<<10, Options{})
+	f8.WriteTo(&buf)
+	if _, err := ReadFilter8Sized(bytes.NewReader(buf.Bytes()), 1<<10); err != nil {
+		t.Fatalf("matching geometry rejected: %v", err)
+	}
+	if _, err := ReadFilter8Sized(bytes.NewReader(buf.Bytes()), 1<<14); err == nil {
+		t.Error("8-bit stream with mismatched block count accepted")
+	}
+
+	var buf16 bytes.Buffer
+	NewFilter16(1<<10, Options{}).WriteTo(&buf16)
+	if _, err := ReadFilter16Sized(bytes.NewReader(buf16.Bytes()), 1<<10); err != nil {
+		t.Fatalf("matching 16-bit geometry rejected: %v", err)
+	}
+	if _, err := ReadFilter16Sized(bytes.NewReader(buf16.Bytes()), 1<<14); err == nil {
+		t.Error("16-bit stream with mismatched block count accepted")
 	}
 }

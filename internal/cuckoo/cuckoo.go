@@ -6,6 +6,7 @@
 package cuckoo
 
 import (
+	"fmt"
 	"math/bits"
 
 	"vqf/internal/hashing"
@@ -19,6 +20,11 @@ const SlotsPerBucket = 4
 // implementation.
 const MaxKicks = 500
 
+// EvictionAttempts bounds how many independent eviction walks an insert may
+// try: each failed walk is rolled back, so a retry explores a different
+// random displacement chain instead of dead-ending on one unlucky victim.
+const EvictionAttempts = 8
+
 // Filter is a cuckoo filter. Fingerprints are fpBits wide, packed without
 // padding; a zero fingerprint encodes an empty slot, so raw fingerprints are
 // mapped into [1, 2^fpBits).
@@ -30,19 +36,24 @@ type Filter struct {
 	count    uint64
 	kicks    uint64 // total evictions performed (diagnostic)
 	rngState uint64
-	// victim holds an evicted fingerprint that could not be re-placed, as in
-	// the reference implementation; the filter is full once it is occupied.
-	victim       uint64
-	victimBucket uint64
-	hasVictim    bool
 }
+
+// MaxSlots bounds the requested slot count: 2^42 slots of 32-bit
+// fingerprints is a multi-terabyte table, and the cap keeps the packed-table
+// bit arithmetic far from uint64 overflow.
+const MaxSlots = 1 << 42
 
 // New creates a cuckoo filter with at least nslots fingerprint slots and
 // fpBits-bit fingerprints (12 and 16 are the paper's configurations). The
-// bucket count rounds up to a power of two.
-func New(nslots uint64, fpBits uint) *Filter {
+// bucket count rounds up to a power of two. Out-of-range parameters are
+// reported as an error, so run-time configuration (harness, oracle) cannot
+// panic the process.
+func New(nslots uint64, fpBits uint) (*Filter, error) {
 	if fpBits < 4 || fpBits > 32 {
-		panic("cuckoo: fingerprint width out of range")
+		return nil, fmt.Errorf("cuckoo: fingerprint width %d outside [4, 32]", fpBits)
+	}
+	if nslots > MaxSlots {
+		return nil, fmt.Errorf("cuckoo: %d slots exceeds maximum 2^42", nslots)
 	}
 	buckets := nextPow2((nslots + SlotsPerBucket - 1) / SlotsPerBucket)
 	return &Filter{
@@ -51,7 +62,7 @@ func New(nslots uint64, fpBits uint) *Filter {
 		fpBits:   fpBits,
 		fpMask:   1<<fpBits - 1,
 		rngState: 0x853c49e6748fea9b,
-	}
+	}, nil
 }
 
 func nextPow2(x uint64) uint64 {
@@ -120,13 +131,15 @@ func (f *Filter) rand32() uint32 {
 	return uint32(x)
 }
 
-// Insert adds the pre-hashed key h. It returns false once an eviction walk
-// exceeds MaxKicks while a previous victim is still pending — the filter is
-// then full (typically at ≈95% load).
+// Insert adds the pre-hashed key h. It either succeeds or returns false with
+// the filter unchanged: a failed eviction walk is rolled back rather than
+// parking a homeless victim, because a parked victim blocks every subsequent
+// insert — and a walk can fail far below capacity when one bucket pair is
+// saturated by duplicates or self-paired fingerprints (see
+// testdata/repros/cuckoo12-differential-*). Sustained failure therefore
+// signals a full filter (typically ≈95% load) or a saturated pair, and the
+// filter stays usable for other keys either way.
 func (f *Filter) Insert(h uint64) bool {
-	if f.hasVictim {
-		return false
-	}
 	bucket, fp := f.split(h)
 	if f.bucketInsert(bucket, fp) {
 		f.count++
@@ -137,42 +150,71 @@ func (f *Filter) Insert(h uint64) bool {
 		f.count++
 		return true
 	}
-	// Both buckets full: random-walk eviction starting from a random side.
+	// Both buckets full: random-walk eviction. A greedy walk commits to one
+	// displacement chain, and a single unlucky victim choice (one whose own
+	// pair is saturated) dead-ends even when a sibling victim would have
+	// worked — so a failed walk is rolled back and retried with fresh random
+	// choices before giving up.
+	for attempt := 0; attempt < EvictionAttempts; attempt++ {
+		if f.evictInsert(bucket, alt, fp) {
+			f.count++
+			return true
+		}
+	}
+	return false
+}
+
+// evictInsert runs one bounded random-walk eviction trying to place fp
+// (whose candidate buckets are both full). A victim is only eligible when
+// displacing it can make progress: an identical fingerprint is a no-op swap,
+// and a fingerprint whose partner bucket is this same bucket just bounces
+// back. When a bucket holds nothing but ineligible entries, or the walk
+// exhausts MaxKicks, the displacement chain is rolled back (reverse order,
+// so revisited slots restore correctly) and the walk reports failure with
+// the table unchanged.
+func (f *Filter) evictInsert(bucket, alt, fp uint64) bool {
+	type move struct{ slot, prev uint64 }
+	var chain []move
 	cur := bucket
 	if f.rand32()&1 == 1 {
 		cur = alt
 	}
 	curFp := fp
 	for kick := 0; kick < MaxKicks; kick++ {
-		slot := cur*SlotsPerBucket + uint64(f.rand32()%SlotsPerBucket)
-		evicted := f.table.get(slot)
+		base := cur * SlotsPerBucket
+		r := uint64(f.rand32() % SlotsPerBucket)
+		slot, evicted, found := uint64(0), uint64(0), false
+		for s := uint64(0); s < SlotsPerBucket; s++ {
+			cand := base + (r+s)%SlotsPerBucket
+			vf := f.table.get(cand)
+			if vf == curFp || f.altBucket(cur, vf) == cur {
+				continue
+			}
+			slot, evicted, found = cand, vf, true
+			break
+		}
+		if !found {
+			break
+		}
 		f.table.set(slot, curFp)
+		chain = append(chain, move{slot, evicted})
 		f.kicks++
 		curFp = evicted
 		cur = f.altBucket(cur, curFp)
 		if f.bucketInsert(cur, curFp) {
-			f.count++
 			return true
 		}
 	}
-	// Could not re-place the last evicted fingerprint: park it as the victim.
-	// The original key is stored (it displaced the victim), so this insert
-	// succeeds; the *next* insert fails, as in the reference implementation.
-	f.victim = curFp
-	f.victimBucket = cur
-	f.hasVictim = true
-	f.count++
-	return true
+	for i := len(chain) - 1; i >= 0; i-- {
+		f.table.set(chain[i].slot, chain[i].prev)
+	}
+	return false
 }
 
 // Contains reports whether the pre-hashed key h may be in the filter.
 func (f *Filter) Contains(h uint64) bool {
 	bucket, fp := f.split(h)
 	if f.bucketContains(bucket, fp) {
-		return true
-	}
-	if f.hasVictim && fp == f.victim &&
-		(f.victimBucket == bucket || f.victimBucket == f.altBucket(bucket, fp)) {
 		return true
 	}
 	return f.bucketContains(f.altBucket(bucket, fp), fp)
@@ -183,51 +225,9 @@ func (f *Filter) Remove(h uint64) bool {
 	bucket, fp := f.split(h)
 	if f.bucketRemove(bucket, fp) || f.bucketRemove(f.altBucket(bucket, fp), fp) {
 		f.count--
-		// A pending victim can now be re-homed.
-		if f.hasVictim {
-			f.hasVictim = false
-			v, vb := f.victim, f.victimBucket
-			f.count--
-			f.insertExisting(vb, v)
-		}
-		return true
-	}
-	if f.hasVictim && fp == f.victim &&
-		(f.victimBucket == bucket || f.victimBucket == f.altBucket(bucket, fp)) {
-		f.hasVictim = false
-		f.count--
 		return true
 	}
 	return false
-}
-
-// insertExisting re-inserts a parked fingerprint at its known bucket.
-func (f *Filter) insertExisting(bucket, fp uint64) {
-	if f.bucketInsert(bucket, fp) {
-		f.count++
-		return
-	}
-	alt := f.altBucket(bucket, fp)
-	if f.bucketInsert(alt, fp) {
-		f.count++
-		return
-	}
-	cur, curFp := bucket, fp
-	for kick := 0; kick < MaxKicks; kick++ {
-		slot := cur*SlotsPerBucket + uint64(f.rand32()%SlotsPerBucket)
-		evicted := f.table.get(slot)
-		f.table.set(slot, curFp)
-		curFp = evicted
-		cur = f.altBucket(cur, curFp)
-		if f.bucketInsert(cur, curFp) {
-			f.count++
-			return
-		}
-	}
-	f.victim = curFp
-	f.victimBucket = cur
-	f.hasVictim = true
-	f.count++
 }
 
 // Count returns the number of fingerprints currently stored.

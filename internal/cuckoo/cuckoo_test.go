@@ -38,7 +38,7 @@ func TestPackedTableBoundary(t *testing.T) {
 }
 
 func TestCuckooNoFalseNegatives(t *testing.T) {
-	f := New(1<<14, 12)
+	f := mustNew(1<<14, 12)
 	rng := rand.New(rand.NewSource(1))
 	n := f.Capacity() * 90 / 100
 	keys := make([]uint64, 0, n)
@@ -57,7 +57,7 @@ func TestCuckooNoFalseNegatives(t *testing.T) {
 }
 
 func TestCuckooFalsePositiveRate(t *testing.T) {
-	f := New(1<<14, 12)
+	f := mustNew(1<<14, 12)
 	rng := rand.New(rand.NewSource(2))
 	for f.LoadFactor() < 0.90 {
 		f.Insert(rng.Uint64())
@@ -80,7 +80,7 @@ func TestCuckooFalsePositiveRate(t *testing.T) {
 }
 
 func TestCuckooReachesHighLoadFactor(t *testing.T) {
-	f := New(1<<14, 12)
+	f := mustNew(1<<14, 12)
 	rng := rand.New(rand.NewSource(3))
 	for f.Insert(rng.Uint64()) {
 	}
@@ -93,7 +93,7 @@ func TestCuckooReachesHighLoadFactor(t *testing.T) {
 }
 
 func TestCuckooRemove(t *testing.T) {
-	f := New(1<<12, 16)
+	f := mustNew(1<<12, 16)
 	rng := rand.New(rand.NewSource(4))
 	n := f.Capacity() * 80 / 100
 	keys := make([]uint64, 0, n)
@@ -120,17 +120,21 @@ func TestCuckooRemove(t *testing.T) {
 }
 
 func TestCuckooInsertAfterFullFails(t *testing.T) {
-	f := New(1<<10, 12)
+	f := mustNew(1<<10, 12)
 	rng := rand.New(rand.NewSource(5))
+	inserted := uint64(0)
 	for f.Insert(rng.Uint64()) {
+		inserted++
 	}
-	// Once full, inserts keep failing.
-	for i := 0; i < 100; i++ {
-		if f.Insert(rng.Uint64()) {
-			t.Fatal("insert succeeded on full filter")
-		}
+	// A failed insert rolls its eviction walk back: the filter stays at the
+	// load it reached and keeps working for keys whose buckets have room.
+	if f.Count() != inserted {
+		t.Fatalf("Count = %d after %d successful inserts", f.Count(), inserted)
 	}
-	// Removing frees space and re-enables insertion (victim is re-homed).
+	if f.LoadFactor() < 0.90 {
+		t.Fatalf("filled only to load factor %.3f before first failure", f.LoadFactor())
+	}
+	// Removing frees space and re-enables insertion.
 	removed := 0
 	rng2 := rand.New(rand.NewSource(5))
 	for removed < 100 {
@@ -148,7 +152,7 @@ func TestCuckooInsertAfterFullFails(t *testing.T) {
 }
 
 func TestCuckooDuplicates(t *testing.T) {
-	f := New(1<<10, 16)
+	f := mustNew(1<<10, 16)
 	const h = 0x1122334455667788
 	// A bucket holds 4 slots and the pair holds 8 copies max.
 	for i := 0; i < 8; i++ {
@@ -167,7 +171,7 @@ func TestCuckooDuplicates(t *testing.T) {
 }
 
 func TestCuckooAltBucketInvolution(t *testing.T) {
-	f := New(1<<12, 12)
+	f := mustNew(1<<12, 12)
 	prop := func(h uint64) bool {
 		b, fp := f.split(h)
 		alt := f.altBucket(b, fp)
@@ -179,7 +183,7 @@ func TestCuckooAltBucketInvolution(t *testing.T) {
 }
 
 func TestCuckooSizeAccounting(t *testing.T) {
-	f := New(1<<12, 12)
+	f := mustNew(1<<12, 12)
 	want := f.Capacity() * 12 / 8
 	if f.SizeBytes() != want {
 		t.Errorf("SizeBytes = %d, want %d (12 bits/slot packed)", f.SizeBytes(), want)
@@ -190,7 +194,7 @@ func BenchmarkCuckooInsertTo50(b *testing.B) { benchInsert(b, 50) }
 func BenchmarkCuckooInsertTo90(b *testing.B) { benchInsert(b, 90) }
 
 func benchInsert(b *testing.B, pct uint64) {
-	f := New(1<<18, 12)
+	f := mustNew(1<<18, 12)
 	rng := rand.New(rand.NewSource(6))
 	target := f.Capacity() * pct / 100
 	for f.Count() < target {
@@ -201,7 +205,7 @@ func benchInsert(b *testing.B, pct uint64) {
 		h := rng.Uint64()
 		if !f.Insert(h) {
 			b.StopTimer()
-			f2 := New(1<<18, 12)
+			f2 := mustNew(1<<18, 12)
 			rng2 := rand.New(rand.NewSource(7))
 			for f2.Count() < target {
 				f2.Insert(rng2.Uint64())
@@ -213,7 +217,7 @@ func benchInsert(b *testing.B, pct uint64) {
 }
 
 func BenchmarkCuckooLookup(b *testing.B) {
-	f := New(1<<18, 12)
+	f := mustNew(1<<18, 12)
 	rng := rand.New(rand.NewSource(8))
 	for f.LoadFactor() < 0.90 {
 		f.Insert(rng.Uint64())
@@ -224,4 +228,48 @@ func BenchmarkCuckooLookup(b *testing.B) {
 		sink = f.Contains(uint64(i) * 0x9e3779b97f4a7c15)
 	}
 	_ = sink
+}
+
+// TestCuckooDuplicateFloodDoesNotWedge mirrors the morton oracle finding for
+// the cuckoo filter: a key whose partner bucket equals its primary (the xor
+// offset hashes to zero) can store at most SlotsPerBucket copies, and
+// flooding past that used to cycle the eviction walk into parking a victim,
+// after which every insert failed. Overflow duplicates must be rejected
+// without wedging the filter.
+func TestCuckooDuplicateFloodDoesNotWedge(t *testing.T) {
+	f := mustNew(1<<12, 12)
+	// Find a self-paired key: altBucket(bucket, fp) == bucket.
+	var dup uint64
+	found := false
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1_000_000; i++ {
+		h := rng.Uint64()
+		bucket, fp := f.split(h)
+		if f.altBucket(bucket, fp) == bucket {
+			dup, found = h, true
+			break
+		}
+	}
+	if !found {
+		t.Skip("no self-paired key found in sample")
+	}
+	accepted := 0
+	for i := 0; i < 20; i++ {
+		if f.Insert(dup) {
+			accepted++
+		}
+	}
+	if accepted != SlotsPerBucket {
+		t.Fatalf("accepted %d duplicates of a self-paired key, want %d", accepted, SlotsPerBucket)
+	}
+	for i := 0; i < 500; i++ {
+		if h := rng.Uint64(); !f.Insert(h) {
+			t.Fatalf("fresh insert %d failed after duplicate flood (filter wedged)", i)
+		}
+	}
+	for i := 0; i < accepted; i++ {
+		if !f.Remove(dup) {
+			t.Fatalf("remove of accepted duplicate %d/%d failed", i, accepted)
+		}
+	}
 }

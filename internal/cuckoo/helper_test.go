@@ -1,0 +1,10 @@
+package cuckoo
+
+// mustNew builds a filter from statically valid test parameters.
+func mustNew(nslots uint64, fpBits uint) *Filter {
+	f, err := New(nslots, fpBits)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

@@ -10,7 +10,7 @@ import (
 // they share a fingerprint and an unordered candidate-bucket pair, so the
 // model key is (min(b1,b2), fp).
 func TestModelBasedOps(t *testing.T) {
-	f := New(1<<10, 12)
+	f := mustNew(1<<10, 12)
 	rng := rand.New(rand.NewSource(1))
 	type fpKey struct {
 		bucket uint64

@@ -2,6 +2,7 @@ package elastic
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math"
 	"testing"
 
@@ -248,5 +249,27 @@ func TestInsertNeverFailsBelowBackstop(t *testing.T) {
 	}
 	if math.Abs(float64(f.Count())-50000) > 0 {
 		t.Fatalf("count %d", f.Count())
+	}
+}
+
+// TestReadRejectsLevelGeometryMismatch: the cascade's per-level geometry is a
+// pure function of (config, index), so a level stream whose block count
+// disagrees with the declared config must be refused before allocation.
+func TestReadRejectsLevelGeometryMismatch(t *testing.T) {
+	f, _ := New(testConfig())
+	for _, k := range workload.NewStream(7).Keys(100) {
+		f.Insert(k)
+	}
+	var buf bytes.Buffer
+	f.WriteTo(&buf)
+	data := append([]byte(nil), buf.Bytes()...)
+	// First level's core header follows the cascade header; its block count
+	// sits 8 bytes in. Halve it — still a power of two, still fewer bytes
+	// than remain, but inconsistent with the config.
+	off := elasticHeaderBytes + 8
+	nb := binary.LittleEndian.Uint64(data[off:])
+	binary.LittleEndian.PutUint64(data[off:], nb/2)
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Error("level stream with config-inconsistent block count accepted")
 	}
 }

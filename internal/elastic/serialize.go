@@ -96,22 +96,25 @@ func Read(r io.Reader) (*Filter, error) {
 	}
 	f := &Filter{cfg: cfg, levels: make([]*level, 0, nlevels)}
 	for i := 0; i < nlevels; i++ {
-		_, trigger, _ := levelSizing(cfg, i)
+		_, trigger, allocSlots := levelSizing(cfg, i)
 		lvl := &level{
 			kind:    levelKind(cfg, i),
 			budget:  levelBudget(cfg, i),
 			trigger: trigger,
 			geomFPR: FPR16Full,
 		}
+		// Level geometry is a pure function of (config, index): a stream whose
+		// block count disagrees with the declared config is forged or corrupt,
+		// and the sized readers reject it before allocating the claimed size.
 		if lvl.kind == 8 {
 			lvl.geomFPR = FPR8Full
-			impl, err := core.ReadFilter8(r)
+			impl, err := core.ReadFilter8Sized(r, allocSlots)
 			if err != nil {
 				return nil, fmt.Errorf("level %d: %w", i, err)
 			}
 			lvl.filter = impl
 		} else {
-			impl, err := core.ReadFilter16(r)
+			impl, err := core.ReadFilter16Sized(r, allocSlots)
 			if err != nil {
 				return nil, fmt.Errorf("level %d: %w", i, err)
 			}

@@ -21,7 +21,10 @@ type AggregateResult struct {
 // spec's maximum load, looking up every inserted key, performing an equal
 // number of random lookups, and deleting every key.
 func RunAggregate(spec Spec, nslots uint64, seed uint64) AggregateResult {
-	f := spec.New(nslots)
+	f, err := spec.New(nslots)
+	if err != nil {
+		return AggregateResult{Name: spec.Name, Failed: true}
+	}
 	n := uint64(float64(f.Capacity()) * spec.MaxLoad)
 	ins := workload.NewStream(seed)
 	neg := workload.NewStream(seed ^ 0x5ca1ab1e0ddba11)

@@ -42,7 +42,7 @@ type Spec struct {
 	MaxLoad float64
 	// NoDelete marks filters without deletion support (plain Bloom).
 	NoDelete bool
-	New      func(nslots uint64) Filter
+	New      func(nslots uint64) (Filter, error)
 }
 
 // The paper's Figure 4–6 line-up at target ε ≈ 2⁻⁸ (Table 2 configurations):
@@ -53,29 +53,29 @@ type Spec struct {
 
 // SpecVQF8 is the vector quotient filter, no shortcut.
 func SpecVQF8() Spec {
-	return Spec{Name: "vqf", MaxLoad: 0.90, New: func(n uint64) Filter {
-		return core.NewFilter8(n, core.Options{NoShortcut: true})
+	return Spec{Name: "vqf", MaxLoad: 0.90, New: func(n uint64) (Filter, error) {
+		return core.NewFilter8(n, core.Options{NoShortcut: true}), nil
 	}}
 }
 
 // SpecVQF8Shortcut is the vector quotient filter with the §6.2 shortcut.
 func SpecVQF8Shortcut() Spec {
-	return Spec{Name: "vqf-shortcut", MaxLoad: 0.90, New: func(n uint64) Filter {
-		return core.NewFilter8(n, core.Options{})
+	return Spec{Name: "vqf-shortcut", MaxLoad: 0.90, New: func(n uint64) (Filter, error) {
+		return core.NewFilter8(n, core.Options{}), nil
 	}}
 }
 
 // SpecVQF8Generic is the scalar-loop ablation variant (§7.7 analog).
 func SpecVQF8Generic() Spec {
-	return Spec{Name: "vqf-generic", MaxLoad: 0.90, New: func(n uint64) Filter {
-		return core.NewFilter8(n, core.Options{Generic: true})
+	return Spec{Name: "vqf-generic", MaxLoad: 0.90, New: func(n uint64) (Filter, error) {
+		return core.NewFilter8(n, core.Options{Generic: true}), nil
 	}}
 }
 
 // SpecQF8 is the quotient filter with 8-bit remainders: the rank-and-select
 // encoding (internal/rsqf), matching the paper's CQF comparator.
 func SpecQF8() Spec {
-	return Spec{Name: "qf", MaxLoad: 0.95, New: func(n uint64) Filter {
+	return Spec{Name: "qf", MaxLoad: 0.95, New: func(n uint64) (Filter, error) {
 		return rsqf.NewForSlots(n, 8)
 	}}
 }
@@ -83,30 +83,30 @@ func SpecQF8() Spec {
 // SpecQFClassic8 is the classic 3-bit-metadata quotient filter (the
 // resizable/mergeable variant), reported alongside Table 2 for reference.
 func SpecQFClassic8() Spec {
-	return Spec{Name: "qf-classic", MaxLoad: 0.95, New: func(n uint64) Filter {
+	return Spec{Name: "qf-classic", MaxLoad: 0.95, New: func(n uint64) (Filter, error) {
 		return quotient.New(log2ceil(n), 8)
 	}}
 }
 
 // SpecCF12 is the cuckoo filter with 12-bit fingerprints.
 func SpecCF12() Spec {
-	return Spec{Name: "cf", MaxLoad: 0.95, New: func(n uint64) Filter {
+	return Spec{Name: "cf", MaxLoad: 0.95, New: func(n uint64) (Filter, error) {
 		return cuckoo.New(n, 12)
 	}}
 }
 
 // SpecMF8 is the Morton filter with 8-bit fingerprints.
 func SpecMF8() Spec {
-	return Spec{Name: "mf", MaxLoad: 0.95, New: func(n uint64) Filter {
-		return morton.New8(n)
+	return Spec{Name: "mf", MaxLoad: 0.95, New: func(n uint64) (Filter, error) {
+		return morton.New8(n), nil
 	}}
 }
 
 // SpecBloom8 is a standard Bloom filter targeting ε = 2⁻⁸ (used for the
 // space comparisons; it cannot delete).
 func SpecBloom8() Spec {
-	return Spec{Name: "bloom", MaxLoad: 0.95, NoDelete: true, New: func(n uint64) Filter {
-		return bloom.New(n*95/100, 1.0/256)
+	return Spec{Name: "bloom", MaxLoad: 0.95, NoDelete: true, New: func(n uint64) (Filter, error) {
+		return bloom.New(n*95/100, 1.0/256), nil
 	}}
 }
 
@@ -120,43 +120,43 @@ func SpecsFPR8() []Spec {
 
 // SpecVQF16 is the 16-bit vector quotient filter, no shortcut.
 func SpecVQF16() Spec {
-	return Spec{Name: "vqf16", MaxLoad: 0.88, New: func(n uint64) Filter {
-		return core.NewFilter16(n, core.Options{NoShortcut: true})
+	return Spec{Name: "vqf16", MaxLoad: 0.88, New: func(n uint64) (Filter, error) {
+		return core.NewFilter16(n, core.Options{NoShortcut: true}), nil
 	}}
 }
 
 // SpecVQF16Shortcut is the 16-bit VQF with the shortcut optimization.
 func SpecVQF16Shortcut() Spec {
-	return Spec{Name: "vqf16-shortcut", MaxLoad: 0.88, New: func(n uint64) Filter {
-		return core.NewFilter16(n, core.Options{})
+	return Spec{Name: "vqf16-shortcut", MaxLoad: 0.88, New: func(n uint64) (Filter, error) {
+		return core.NewFilter16(n, core.Options{}), nil
 	}}
 }
 
 // SpecVQF16Generic is the 16-bit scalar-loop ablation variant.
 func SpecVQF16Generic() Spec {
-	return Spec{Name: "vqf16-generic", MaxLoad: 0.88, New: func(n uint64) Filter {
-		return core.NewFilter16(n, core.Options{Generic: true})
+	return Spec{Name: "vqf16-generic", MaxLoad: 0.88, New: func(n uint64) (Filter, error) {
+		return core.NewFilter16(n, core.Options{Generic: true}), nil
 	}}
 }
 
 // SpecQF16 is the rank-and-select quotient filter with 16-bit remainders.
 func SpecQF16() Spec {
-	return Spec{Name: "qf16", MaxLoad: 0.95, New: func(n uint64) Filter {
+	return Spec{Name: "qf16", MaxLoad: 0.95, New: func(n uint64) (Filter, error) {
 		return rsqf.NewForSlots(n, 16)
 	}}
 }
 
 // SpecCF16 is the cuckoo filter with 16-bit fingerprints.
 func SpecCF16() Spec {
-	return Spec{Name: "cf16", MaxLoad: 0.95, New: func(n uint64) Filter {
+	return Spec{Name: "cf16", MaxLoad: 0.95, New: func(n uint64) (Filter, error) {
 		return cuckoo.New(n, 16)
 	}}
 }
 
 // SpecMF16 is the Morton filter with 16-bit fingerprints.
 func SpecMF16() Spec {
-	return Spec{Name: "mf16", MaxLoad: 0.95, New: func(n uint64) Filter {
-		return morton.New16(n)
+	return Spec{Name: "mf16", MaxLoad: 0.95, New: func(n uint64) (Filter, error) {
+		return morton.New16(n), nil
 	}}
 }
 

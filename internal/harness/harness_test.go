@@ -164,7 +164,10 @@ func TestSpecCapacitiesComparable(t *testing.T) {
 	// one another (power-of-two rounding) — a sanity check that Table 2
 	// space comparisons are apples-to-apples.
 	for _, spec := range SpecsFPR8() {
-		f := spec.New(testSlots)
+		f, err := spec.New(testSlots)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
 		c := f.Capacity()
 		if c < testSlots || c > testSlots*3 {
 			t.Errorf("%s: capacity %d for %d requested slots", spec.Name, c, testSlots)

@@ -18,7 +18,10 @@ type MixedResult struct {
 // the paper's write-heavy application workload and reports aggregate
 // throughput.
 func RunMixed(spec Spec, nslots uint64, ops int, seed uint64) MixedResult {
-	f := spec.New(nslots)
+	f, err := spec.New(nslots)
+	if err != nil {
+		return MixedResult{Name: spec.Name, Failed: true}
+	}
 	n := f.Capacity() * 90 / 100
 	ins := workload.NewStream(seed)
 	live := make([]uint64, 0, n)

@@ -23,7 +23,10 @@ type SpaceRow struct {
 func RunSpace(specs []Spec, nslots uint64, probes int, seed uint64) []SpaceRow {
 	rows := make([]SpaceRow, 0, len(specs))
 	for _, spec := range specs {
-		f := spec.New(nslots)
+		f, err := spec.New(nslots)
+		if err != nil {
+			continue // unbuildable config: no row rather than a crash
+		}
 		n := uint64(float64(f.Capacity()) * spec.MaxLoad)
 		ins := workload.NewStream(seed)
 		var count uint64

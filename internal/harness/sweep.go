@@ -37,7 +37,10 @@ type SweepResult struct {
 // and random lookups after each slice, then delete back down in 5% slices.
 // queriesPerPoint bounds the lookup sample per measurement point.
 func RunSweep(spec Spec, nslots uint64, queriesPerPoint int, seed uint64) SweepResult {
-	f := spec.New(nslots)
+	f, err := spec.New(nslots)
+	if err != nil {
+		return SweepResult{Name: spec.Name, Failed: true}
+	}
 	Observe(spec.Name, f)
 	cap := f.Capacity()
 	slice := cap * 5 / 100

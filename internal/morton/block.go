@@ -106,6 +106,40 @@ func (b *block8) remove(bucket uint, fp uint8) bool {
 	return false
 }
 
+// pickVictim chooses a displacement victim for an insert of fp into bucket,
+// starting the scan at a random slot. Two exclusions guarantee the eviction
+// walk makes progress instead of cycling inside one block until MaxKicks:
+// a victim identical to the incoming item (same bucket, same fingerprint)
+// is never eligible — removing it and re-inserting ours is a no-op — and
+// escapes (supplied by the caller, true when the victim's alternate block
+// differs from this one) must hold, so every successful kick moves the
+// in-flight item to a different block. When the bucket is at BucketCap only
+// that bucket's entries can make room; when the block store is the
+// constraint any entry works. ok is false when no eligible victim exists.
+func (b *block8) pickVictim(bucket uint, fp uint8, r uint32, escapes func(uint, uint8) bool) (vBucket uint, vFp uint8, ok bool) {
+	start, n := uint(0), b.total()
+	if b.count(bucket) >= BucketCap {
+		start, n = fcaPrefix(b.p0, b.p1, bucket), b.count(bucket)
+	}
+	if n == 0 {
+		return 0, 0, false
+	}
+	i := uint(r) % n
+	for off := uint(0); off < n; off++ {
+		j := start + (i+off)%n
+		vb := b.slotBucket(j)
+		vf := b.fsa[j]
+		if vb == bucket && vf == fp {
+			continue
+		}
+		if !escapes(vb, vf) {
+			continue
+		}
+		return vb, vf, true
+	}
+	return 0, 0, false
+}
+
 // slotBucket returns the bucket owning FSA slot i (used when choosing an
 // eviction victim).
 func (b *block8) slotBucket(i uint) uint {
@@ -170,6 +204,31 @@ func (b *block16) remove(bucket uint, fp uint16) bool {
 		}
 	}
 	return false
+}
+
+// pickVictim mirrors block8.pickVictim for 16-bit fingerprints.
+func (b *block16) pickVictim(bucket uint, fp uint16, r uint32, escapes func(uint, uint16) bool) (vBucket uint, vFp uint16, ok bool) {
+	start, n := uint(0), b.total()
+	if b.count(bucket) >= BucketCap {
+		start, n = fcaPrefix(b.p0, b.p1, bucket), b.count(bucket)
+	}
+	if n == 0 {
+		return 0, 0, false
+	}
+	i := uint(r) % n
+	for off := uint(0); off < n; off++ {
+		j := start + (i+off)%n
+		vb := b.slotBucket(j)
+		vf := b.fsa[j]
+		if vb == bucket && vf == fp {
+			continue
+		}
+		if !escapes(vb, vf) {
+			continue
+		}
+		return vb, vf, true
+	}
+	return 0, 0, false
 }
 
 func (b *block16) slotBucket(i uint) uint {

@@ -82,3 +82,60 @@ func TestOTAGrowsWithLoad(t *testing.T) {
 		t.Errorf("OTA fraction did not grow with load: %.3f -> %.3f", low, high)
 	}
 }
+
+// TestDuplicateFloodDoesNotWedge is the regression test for the oracle
+// finding morton{8,16}-differential (see testdata/repros/): flooding one key
+// past its pair's bucket capacity used to send the eviction walk into a
+// twin-swapping cycle that parked a victim and wedged the whole filter at
+// <1% load. Overflow duplicates must now be rejected cleanly, leaving the
+// filter fully usable for other keys.
+func TestDuplicateFloodDoesNotWedge(t *testing.T) {
+	t.Run("8", func(t *testing.T) {
+		f := New8(4096)
+		const dup = 0x5ee61ac0ad4b8000
+		accepted := 0
+		for i := 0; i < 20; i++ {
+			if f.Insert(dup) {
+				accepted++
+			}
+		}
+		if accepted < BucketCap || accepted > 2*BucketCap {
+			t.Fatalf("accepted %d duplicates, want within [%d, %d]", accepted, BucketCap, 2*BucketCap)
+		}
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; i < 500; i++ {
+			if h := rng.Uint64(); !f.Insert(h) {
+				t.Fatalf("fresh insert %d failed after duplicate flood (filter wedged)", i)
+			}
+		}
+		for i := 0; i < accepted; i++ {
+			if !f.Remove(dup) {
+				t.Fatalf("remove of accepted duplicate %d/%d failed", i, accepted)
+			}
+		}
+	})
+	t.Run("16", func(t *testing.T) {
+		f := New16(4096)
+		const dup = 0x8664d6e0196c5900
+		accepted := 0
+		for i := 0; i < 20; i++ {
+			if f.Insert(dup) {
+				accepted++
+			}
+		}
+		if accepted < BucketCap || accepted > 2*BucketCap {
+			t.Fatalf("accepted %d duplicates, want within [%d, %d]", accepted, BucketCap, 2*BucketCap)
+		}
+		rng := rand.New(rand.NewSource(43))
+		for i := 0; i < 500; i++ {
+			if h := rng.Uint64(); !f.Insert(h) {
+				t.Fatalf("fresh insert %d failed after duplicate flood (filter wedged)", i)
+			}
+		}
+		for i := 0; i < accepted; i++ {
+			if !f.Remove(dup) {
+				t.Fatalf("remove of accepted duplicate %d/%d failed", i, accepted)
+			}
+		}
+	})
+}

@@ -10,6 +10,11 @@ import (
 // overflow.
 const MaxKicks = 500
 
+// EvictionAttempts bounds how many independent eviction walks an insert may
+// try; each failed walk is rolled back, so a retry explores a different
+// random displacement chain instead of dead-ending on one unlucky victim.
+const EvictionAttempts = 8
+
 // Filter8 is a Morton filter with 8-bit fingerprints (target ε ≈ 2⁻⁸ with
 // 3-slot logical buckets).
 type Filter8 struct {
@@ -18,14 +23,6 @@ type Filter8 struct {
 	count    uint64
 	kicks    uint64
 	rngState uint64
-	// An eviction walk that exhausts MaxKicks has already displaced its last
-	// victim; parking it here (rather than dropping it) preserves the
-	// no-false-negative guarantee. The filter is full while a victim is
-	// parked, exactly as in the reference cuckoo filter.
-	victimBlock  uint64
-	victimBucket uint
-	victimFp     uint8
-	hasVictim    bool
 }
 
 // New8 creates a Morton filter with at least nslots fingerprint slots (block
@@ -69,13 +66,14 @@ func (f *Filter8) altBlock(blk, tag uint64) uint64 {
 	return hashing.AltIndex(blk, tag, f.mask)
 }
 
-// Insert adds the pre-hashed key h, biased toward the primary bucket; it
-// returns false when an eviction walk exceeds MaxKicks (the filter is
-// effectively full, typically ≈95% load).
+// Insert adds the pre-hashed key h, biased toward the primary bucket. It
+// either succeeds or returns false with the filter unchanged: a failed
+// eviction walk is rolled back rather than parking a homeless victim, since
+// a parked victim blocks every subsequent insert and a walk can fail far
+// below capacity when one bucket pair is saturated by duplicates (see
+// testdata/repros/morton*-differential-*). Sustained failure signals a full
+// filter (typically ≈95% load) or a saturated pair.
 func (f *Filter8) Insert(h uint64) bool {
-	if f.hasVictim {
-		return false
-	}
 	b1, bucket, fp, tag := f.split(h)
 	if f.blocks[b1].insert(bucket, fp) {
 		f.count++
@@ -90,75 +88,64 @@ func (f *Filter8) Insert(h uint64) bool {
 		return true
 	}
 	// Both candidate buckets overflow: bounded cuckoo eviction out of the
-	// secondary block.
+	// secondary block. A greedy walk commits to one displacement chain and
+	// can dead-end on one unlucky victim, so failed walks are rolled back
+	// and retried with fresh random choices before the insert is rejected.
+	for attempt := 0; attempt < EvictionAttempts; attempt++ {
+		if f.evictInsert(b2, bucket, fp) {
+			f.count++
+			return true
+		}
+	}
+	return false
+}
+
+// evictInsert runs one bounded eviction walk trying to place fp (whose
+// candidate buckets are both full) starting from block b2. pickVictim only
+// offers victims whose displacement can make room and whose alternate block
+// differs from the current one, so every kick moves the in-flight item to a
+// new block. If a block offers no eligible victim, or the walk exhausts
+// MaxKicks, the displacement chain is rolled back (reverse order, so
+// revisited blocks restore correctly) and the walk reports failure with the
+// fingerprint store unchanged.
+func (f *Filter8) evictInsert(b2 uint64, bucket uint, fp uint8) bool {
+	type move struct {
+		blk              uint64
+		vBucket, iBucket uint
+		vFp, iFp         uint8
+	}
+	var chain []move
 	cur, curBucket, curFp := b2, bucket, fp
 	for kick := 0; kick < MaxKicks; kick++ {
 		blk := &f.blocks[cur]
-		total := blk.total()
-		if total == 0 {
-			return false // degenerate (block has capacity 0 items yet insert failed)
+		src := cur
+		vBucket, vFp, ok := blk.pickVictim(curBucket, curFp, f.rand32(), func(vb uint, vf uint8) bool {
+			return f.altBlock(src, uint64(vb)<<8|uint64(vf)) != src
+		})
+		if !ok {
+			break
 		}
-		victim := uint(f.rand32()) % total
-		vBucket := blk.slotBucket(victim)
-		vFp := blk.fsa[victim]
-		// Replace the victim in place: remove it, then retry our insert.
-		if !blk.remove(vBucket, vFp) {
-			return false
+		// Replace the victim in place: remove it, then insert ours (which
+		// pickVictim's constraints guarantee now fits).
+		if !blk.remove(vBucket, vFp) || !blk.insert(curBucket, curFp) {
+			return false // unreachable
 		}
-		if !blk.insert(curBucket, curFp) {
-			// Restore and give up: the displaced slot did not free the right
-			// bucket (our bucket is at BucketCap even with a slot free).
-			blk.insert(vBucket, vFp)
-			// Try evicting again from a different victim.
-			f.kicks++
-			continue
-		}
+		chain = append(chain, move{cur, vBucket, curBucket, vFp, curFp})
 		f.kicks++
 		// The victim overflows from this block; track and re-home it.
 		blk.otaSet(vBucket)
 		cur = f.altBlock(cur, uint64(vBucket)<<8|uint64(vFp))
 		curBucket, curFp = vBucket, vFp
 		if f.blocks[cur].insert(curBucket, curFp) {
-			f.count++
 			return true
 		}
 	}
-	// The walk displaced the original item into storage but left the last
-	// victim homeless: park it. This insert succeeded; the next fails.
-	f.victimBlock, f.victimBucket, f.victimFp = cur, curBucket, curFp
-	f.hasVictim = true
-	f.count++
-	return true
-}
-
-// victimMatches reports whether the parked victim is indistinguishable from
-// (bucket, fp) with candidate blocks b1/b2.
-func (f *Filter8) victimMatches(b1, b2 uint64, bucket uint, fp uint8) bool {
-	return f.hasVictim && f.victimBucket == bucket && f.victimFp == fp &&
-		(f.victimBlock == b1 || f.victimBlock == b2)
-}
-
-// rehomeVictim tries to place the parked victim after a deletion freed space.
-func (f *Filter8) rehomeVictim() {
-	if !f.hasVictim {
-		return
+	for i := len(chain) - 1; i >= 0; i-- {
+		mv := chain[i]
+		f.blocks[mv.blk].remove(mv.iBucket, mv.iFp)
+		f.blocks[mv.blk].insert(mv.vBucket, mv.vFp)
 	}
-	f.hasVictim = false
-	f.count--
-	b, bucket, fp := f.victimBlock, f.victimBucket, f.victimFp
-	if f.blocks[b].insert(bucket, fp) {
-		f.count++
-		return
-	}
-	alt := f.altBlock(b, uint64(bucket)<<8|uint64(fp))
-	if f.blocks[alt].insert(bucket, fp) {
-		f.blocks[b].otaSet(bucket) // conservative: b may be its primary
-		f.count++
-		return
-	}
-	f.victimBlock, f.victimBucket, f.victimFp = b, bucket, fp
-	f.hasVictim = true
-	f.count++
+	return false
 }
 
 // Contains reports whether the pre-hashed key h may be in the filter. When
@@ -170,9 +157,6 @@ func (f *Filter8) Contains(h uint64) bool {
 	if blk.contains(bucket, fp) {
 		return true
 	}
-	if f.hasVictim && f.victimMatches(b1, f.altBlock(b1, tag), bucket, fp) {
-		return true
-	}
 	if !blk.otaTest(bucket) {
 		return false
 	}
@@ -182,21 +166,11 @@ func (f *Filter8) Contains(h uint64) bool {
 // Remove deletes one previously inserted instance of the pre-hashed key h.
 func (f *Filter8) Remove(h uint64) bool {
 	b1, bucket, fp, tag := f.split(h)
-	b2 := f.altBlock(b1, tag)
 	if f.blocks[b1].remove(bucket, fp) {
 		f.count--
-		f.rehomeVictim()
 		return true
 	}
-	// The OTA gate applies to stored fingerprints; the parked victim is
-	// checked regardless (it may predate the relevant overflow bit).
-	if f.blocks[b1].otaTest(bucket) && f.blocks[b2].remove(bucket, fp) {
-		f.count--
-		f.rehomeVictim()
-		return true
-	}
-	if f.victimMatches(b1, b2, bucket, fp) {
-		f.hasVictim = false
+	if f.blocks[b1].otaTest(bucket) && f.blocks[f.altBlock(b1, tag)].remove(bucket, fp) {
 		f.count--
 		return true
 	}
@@ -225,11 +199,6 @@ type Filter16 struct {
 	count    uint64
 	kicks    uint64
 	rngState uint64
-	// Victim cache; see Filter8.
-	victimBlock  uint64
-	victimBucket uint
-	victimFp     uint16
-	hasVictim    bool
 }
 
 // New16 creates a 16-bit-fingerprint Morton filter with at least nslots
@@ -264,11 +233,9 @@ func (f *Filter16) altBlock(blk, tag uint64) uint64 {
 	return hashing.AltIndex(blk, tag, f.mask)
 }
 
-// Insert adds the pre-hashed key h; see Filter8.Insert.
+// Insert adds the pre-hashed key h; see Filter8.Insert. It either succeeds
+// or returns false with the filter unchanged.
 func (f *Filter16) Insert(h uint64) bool {
-	if f.hasVictim {
-		return false
-	}
 	b1, bucket, fp, tag := f.split(h)
 	if f.blocks[b1].insert(bucket, fp) {
 		f.count++
@@ -280,64 +247,53 @@ func (f *Filter16) Insert(h uint64) bool {
 		f.count++
 		return true
 	}
+	// See Filter8.Insert: failed walks roll back and retry with fresh
+	// random choices before the insert is rejected.
+	for attempt := 0; attempt < EvictionAttempts; attempt++ {
+		if f.evictInsert(b2, bucket, fp) {
+			f.count++
+			return true
+		}
+	}
+	return false
+}
+
+// evictInsert mirrors Filter8.evictInsert for 16-bit fingerprints.
+func (f *Filter16) evictInsert(b2 uint64, bucket uint, fp uint16) bool {
+	type move struct {
+		blk              uint64
+		vBucket, iBucket uint
+		vFp, iFp         uint16
+	}
+	var chain []move
 	cur, curBucket, curFp := b2, bucket, fp
 	for kick := 0; kick < MaxKicks; kick++ {
 		blk := &f.blocks[cur]
-		total := blk.total()
-		if total == 0 {
-			return false
+		src := cur
+		vBucket, vFp, ok := blk.pickVictim(curBucket, curFp, f.rand32(), func(vb uint, vf uint16) bool {
+			return f.altBlock(src, uint64(vb)<<16|uint64(vf)) != src
+		})
+		if !ok {
+			break
 		}
-		victim := uint(f.rand32()) % total
-		vBucket := blk.slotBucket(victim)
-		vFp := blk.fsa[victim]
-		if !blk.remove(vBucket, vFp) {
-			return false
+		if !blk.remove(vBucket, vFp) || !blk.insert(curBucket, curFp) {
+			return false // unreachable
 		}
-		if !blk.insert(curBucket, curFp) {
-			blk.insert(vBucket, vFp)
-			f.kicks++
-			continue
-		}
+		chain = append(chain, move{cur, vBucket, curBucket, vFp, curFp})
 		f.kicks++
 		blk.otaSet(vBucket)
 		cur = f.altBlock(cur, uint64(vBucket)<<16|uint64(vFp))
 		curBucket, curFp = vBucket, vFp
 		if f.blocks[cur].insert(curBucket, curFp) {
-			f.count++
 			return true
 		}
 	}
-	f.victimBlock, f.victimBucket, f.victimFp = cur, curBucket, curFp
-	f.hasVictim = true
-	f.count++
-	return true
-}
-
-func (f *Filter16) victimMatches(b1, b2 uint64, bucket uint, fp uint16) bool {
-	return f.hasVictim && f.victimBucket == bucket && f.victimFp == fp &&
-		(f.victimBlock == b1 || f.victimBlock == b2)
-}
-
-func (f *Filter16) rehomeVictim() {
-	if !f.hasVictim {
-		return
+	for i := len(chain) - 1; i >= 0; i-- {
+		mv := chain[i]
+		f.blocks[mv.blk].remove(mv.iBucket, mv.iFp)
+		f.blocks[mv.blk].insert(mv.vBucket, mv.vFp)
 	}
-	f.hasVictim = false
-	f.count--
-	b, bucket, fp := f.victimBlock, f.victimBucket, f.victimFp
-	if f.blocks[b].insert(bucket, fp) {
-		f.count++
-		return
-	}
-	alt := f.altBlock(b, uint64(bucket)<<16|uint64(fp))
-	if f.blocks[alt].insert(bucket, fp) {
-		f.blocks[b].otaSet(bucket)
-		f.count++
-		return
-	}
-	f.victimBlock, f.victimBucket, f.victimFp = b, bucket, fp
-	f.hasVictim = true
-	f.count++
+	return false
 }
 
 // Contains reports whether the pre-hashed key h may be in the filter.
@@ -345,9 +301,6 @@ func (f *Filter16) Contains(h uint64) bool {
 	b1, bucket, fp, tag := f.split(h)
 	blk := &f.blocks[b1]
 	if blk.contains(bucket, fp) {
-		return true
-	}
-	if f.hasVictim && f.victimMatches(b1, f.altBlock(b1, tag), bucket, fp) {
 		return true
 	}
 	if !blk.otaTest(bucket) {
@@ -359,19 +312,11 @@ func (f *Filter16) Contains(h uint64) bool {
 // Remove deletes one previously inserted instance of the pre-hashed key h.
 func (f *Filter16) Remove(h uint64) bool {
 	b1, bucket, fp, tag := f.split(h)
-	b2 := f.altBlock(b1, tag)
 	if f.blocks[b1].remove(bucket, fp) {
 		f.count--
-		f.rehomeVictim()
 		return true
 	}
-	if f.blocks[b1].otaTest(bucket) && f.blocks[b2].remove(bucket, fp) {
-		f.count--
-		f.rehomeVictim()
-		return true
-	}
-	if f.victimMatches(b1, b2, bucket, fp) {
-		f.hasVictim = false
+	if f.blocks[b1].otaTest(bucket) && f.blocks[f.altBlock(b1, tag)].remove(bucket, fp) {
 		f.count--
 		return true
 	}

@@ -1,0 +1,130 @@
+package oracle
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Config bounds a verification campaign.
+type Config struct {
+	// Seed derives every trace deterministically; a CI failure log's seed
+	// reproduces the exact campaign locally.
+	Seed uint64
+	// Rounds is the number of traces per (subject, property) pair.
+	Rounds int
+	// Ops and Universe bound each generated trace.
+	Ops      int
+	Universe int
+	// ReproDir, when non-empty, receives a shrunk .trace file per failure.
+	ReproDir string
+	// Log, when non-nil, receives one line per campaign event.
+	Log func(format string, args ...any)
+}
+
+// Failure is one property violation, already shrunk.
+type Failure struct {
+	Subject  string
+	Property string
+	Seed     uint64
+	Err      error
+	Trace    Trace
+	// ReproPath is the emitted trace file, if ReproDir was set.
+	ReproPath string
+}
+
+func (f Failure) String() string {
+	return fmt.Sprintf("%s/%s (seed %#x, %d ops after shrink): %v",
+		f.Subject, f.Property, f.Seed, len(f.Trace.Ops), f.Err)
+}
+
+// Run executes the campaign: every property against every subject it applies
+// to, Rounds traces each. Failures are shrunk to minimal traces and, when
+// ReproDir is set, emitted as replayable repro files named
+// <subject>-<property>-<seed>.trace.
+func Run(cfg Config) []Failure {
+	logf := cfg.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	var failures []Failure
+	for _, prop := range Properties() {
+		for _, sub := range Subjects() {
+			if prop.Applies != nil && !prop.Applies(sub) {
+				continue
+			}
+			for round := 0; round < cfg.Rounds; round++ {
+				seed := cfg.Seed ^ mixSeed(sub.Name, prop.Name, round)
+				tr := Generate(seed, GenConfig{Ops: cfg.Ops, Universe: cfg.Universe})
+				err := prop.Check(sub, tr)
+				if err == nil {
+					continue
+				}
+				logf("oracle: %s/%s failed (seed %#x): %v — shrinking %d ops",
+					sub.Name, prop.Name, seed, err, len(tr.Ops))
+				shrunk := Shrink(tr, func(cand Trace) bool {
+					return prop.Check(sub, cand) != nil
+				})
+				// Re-run to capture the minimal trace's own error message.
+				ferr := prop.Check(sub, shrunk)
+				if ferr == nil {
+					ferr = err // non-deterministic failure: keep the original
+				}
+				f := Failure{Subject: sub.Name, Property: prop.Name, Seed: seed, Err: ferr, Trace: shrunk}
+				if cfg.ReproDir != "" {
+					if path, werr := emitRepro(cfg.ReproDir, f); werr != nil {
+						logf("oracle: writing repro: %v", werr)
+					} else {
+						f.ReproPath = path
+					}
+				}
+				logf("oracle: shrunk to %d ops: %v", len(shrunk.Ops), ferr)
+				failures = append(failures, f)
+			}
+		}
+	}
+	return failures
+}
+
+// mixSeed folds subject, property and round into a seed offset so every
+// (subject, property, round) cell sees an independent trace.
+func mixSeed(subject, property string, round int) uint64 {
+	h := uint64(14695981039346656037)
+	for _, s := range []string{subject, property} {
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint64(s[i])) * 1099511628211
+		}
+	}
+	return h ^ uint64(round)*0x9e3779b97f4a7c15
+}
+
+// emitRepro writes the shrunk trace as a replayable repro file.
+func emitRepro(dir string, f Failure) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s-%s-%x.trace", f.Subject, f.Property, f.Seed))
+	file, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	defer file.Close()
+	if err := WriteTrace(file, f.Subject, f.Property, f.Trace); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// ReplayRepro re-runs one parsed repro file's property; nil means the bug it
+// recorded stays fixed.
+func ReplayRepro(rep Repro) error {
+	sub, err := SubjectByName(rep.Subject)
+	if err != nil {
+		return err
+	}
+	prop, err := PropertyByName(rep.Property)
+	if err != nil {
+		return err
+	}
+	return prop.Check(sub, rep.Trace)
+}

@@ -1,0 +1,47 @@
+package oracle
+
+// model is the exact ground truth: a multiset of live keys. Filters answer
+// approximately; the model answers exactly, and the differential property
+// holds each filter to its one hard guarantee — no false negatives for keys
+// that are live in the model.
+type model struct {
+	counts map[uint64]int
+	total  int
+}
+
+func newModel() *model {
+	return &model{counts: make(map[uint64]int)}
+}
+
+func (m *model) insert(k uint64) {
+	m.counts[k]++
+	m.total++
+}
+
+// remove decrements one instance of k, reporting whether k was live. Callers
+// replaying a trace skip the filter op entirely when this returns false —
+// the subsequence-closure rule that keeps shrinking sound.
+func (m *model) remove(k uint64) bool {
+	if m.counts[k] == 0 {
+		return false
+	}
+	m.counts[k]--
+	if m.counts[k] == 0 {
+		delete(m.counts, k)
+	}
+	m.total--
+	return true
+}
+
+func (m *model) live(k uint64) bool { return m.counts[k] > 0 }
+
+func (m *model) count() int { return m.total }
+
+// liveKeys returns the distinct live keys (order unspecified).
+func (m *model) liveKeys() []uint64 {
+	keys := make([]uint64, 0, len(m.counts))
+	for k := range m.counts {
+		keys = append(keys, k)
+	}
+	return keys
+}

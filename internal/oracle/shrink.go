@@ -1,0 +1,40 @@
+package oracle
+
+// Shrink reduces a failing trace to a locally minimal one with the classic
+// ddmin strategy: repeatedly try dropping chunks of halving size, keeping
+// any reduction that still fails. Traces are closed under subsequence
+// (replay skips removes of non-live keys), so every candidate is a valid
+// trace and the shrunk result replays standalone.
+//
+// fails must be deterministic for a fixed trace; the concurrent property is
+// shrunk best-effort (a race that stops reproducing simply stops shrinking).
+// The step budget bounds worst-case work on large traces.
+func Shrink(tr Trace, fails func(Trace) bool) Trace {
+	const maxSteps = 2000
+	steps := 0
+	chunk := len(tr.Ops) / 2
+	for chunk >= 1 && steps < maxSteps {
+		reduced := false
+		for start := 0; start < len(tr.Ops) && steps < maxSteps; {
+			end := start + chunk
+			if end > len(tr.Ops) {
+				end = len(tr.Ops)
+			}
+			cand := Trace{NSlots: tr.NSlots}
+			cand.Ops = append(cand.Ops, tr.Ops[:start]...)
+			cand.Ops = append(cand.Ops, tr.Ops[end:]...)
+			steps++
+			if len(cand.Ops) < len(tr.Ops) && fails(cand) {
+				tr = cand
+				reduced = true
+				// Keep start: the next chunk slid into this position.
+			} else {
+				start = end
+			}
+		}
+		if !reduced || chunk == 1 {
+			chunk /= 2
+		}
+	}
+	return tr
+}

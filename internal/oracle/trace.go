@@ -1,0 +1,214 @@
+// Package oracle is the differential and metamorphic verification subsystem:
+// it drives every filter variant in the module through randomized operation
+// traces against an exact ground-truth multiset, cross-checks the
+// equivalence properties the codebase relies on (batch ≡ one-at-a-time,
+// optimistic ≡ locked reads, serialize ≡ identity, elastic cascade ≡ flat
+// filter), shrinks any failure to a minimal reproducing trace, and emits it
+// as a regression artifact under testdata/repros/.
+//
+// The design follows the differential-testing methodology of the Xor Filters
+// paper (validate probabilistic filters against an exact set) and the
+// metamorphic style of cross-implementation agreement the VQF paper itself
+// uses in its evaluation (§7): properties compare two executions that must
+// agree, so no property needs to know a filter's exact false-positive
+// behavior — only its guarantees.
+package oracle
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// OpKind is a trace operation type.
+type OpKind uint8
+
+const (
+	// OpInsert adds a key.
+	OpInsert OpKind = iota
+	// OpRemove removes one instance of a key. During replay a remove whose
+	// key is not live in the exact model is skipped entirely — this closure
+	// under subsequence is what makes shrinking sound: any subset of a trace
+	// is itself a valid trace.
+	OpRemove
+	// OpQuery asserts no-false-negative membership for live keys.
+	OpQuery
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpInsert:
+		return "insert"
+	case OpRemove:
+		return "remove"
+	case OpQuery:
+		return "query"
+	}
+	return fmt.Sprintf("op(%d)", uint8(k))
+}
+
+// Op is one trace operation on a pre-hashed 64-bit key. Keys are used as
+// hashes directly (the public API's AddHash path), so a trace replays
+// identically regardless of any instance's seed.
+type Op struct {
+	Kind OpKind
+	Key  uint64
+}
+
+// Trace is a replayable operation sequence plus the sizing its subject needs.
+type Trace struct {
+	// NSlots is the slot budget the subject is built with; sized by the
+	// generator so the live set stays below every variant's maximum load.
+	NSlots uint64
+	Ops    []Op
+}
+
+// splitmix64 is the PRNG used everywhere in the oracle: tiny, seedable and
+// deterministic across runs, so a failure seed in a CI log reproduces
+// locally. (math/rand would also do, but an explicit generator keeps traces
+// stable across Go releases.)
+type splitmix64 struct{ state uint64 }
+
+func (s *splitmix64) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// keyFor maps (seed, index) into a dense key universe. A small universe
+// forces fingerprint collisions and duplicate inserts — the regimes where
+// multiset semantics and remove ordering actually bite.
+func keyFor(seed uint64, idx, universe int) uint64 {
+	g := splitmix64{state: seed ^ uint64(idx%universe)*0x2545f4914f6cdd1d}
+	return g.next()
+}
+
+// probeKeyFor yields keys provably outside the trace universe (different
+// derivation chain), for false-positive measurement.
+func probeKeyFor(seed uint64, idx int) uint64 {
+	g := splitmix64{state: (seed ^ 0xabcdef123456789) + uint64(idx)*0x9e3779b97f4a7c15}
+	v := g.next()
+	return g.next() ^ v<<1
+}
+
+// GenConfig bounds trace generation.
+type GenConfig struct {
+	Ops      int // total operations per trace
+	Universe int // distinct keys drawn from
+}
+
+// Generate builds a randomized trace from seed: ~55% inserts, ~20% removes
+// of currently-live keys, ~25% queries (live and fresh keys mixed). The
+// subject's slot budget is sized so the peak live count stays below ~60%
+// load — every variant's safe operating region — so inserts are expected to
+// succeed and a failed insert is itself suspicious.
+func Generate(seed uint64, cfg GenConfig) Trace {
+	rng := splitmix64{state: seed}
+	live := make([]uint64, 0, cfg.Ops)
+	ops := make([]Op, 0, cfg.Ops)
+	peak := 0
+	for i := 0; i < cfg.Ops; i++ {
+		r := rng.next() % 100
+		switch {
+		case r < 55 || len(live) == 0:
+			k := keyFor(seed, int(rng.next()%uint64(cfg.Universe)), cfg.Universe)
+			ops = append(ops, Op{OpInsert, k})
+			live = append(live, k)
+			if len(live) > peak {
+				peak = len(live)
+			}
+		case r < 75:
+			j := int(rng.next() % uint64(len(live)))
+			ops = append(ops, Op{OpRemove, live[j]})
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+		default:
+			if rng.next()%2 == 0 && len(live) > 0 {
+				ops = append(ops, Op{OpQuery, live[int(rng.next()%uint64(len(live)))]})
+			} else {
+				ops = append(ops, Op{OpQuery, keyFor(seed, int(rng.next()%uint64(cfg.Universe)), cfg.Universe)})
+			}
+		}
+	}
+	nslots := uint64(peak)*5/3 + 256 // peak load ≤ 60%
+	return Trace{NSlots: nslots, Ops: ops}
+}
+
+// WriteTrace serializes a trace in the one-op-per-line repro format. The
+// header records the subject and property so the repro test can re-run the
+// exact failing check.
+func WriteTrace(w io.Writer, subject, property string, tr Trace) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# vqf oracle repro\n")
+	fmt.Fprintf(bw, "subject %s\n", subject)
+	fmt.Fprintf(bw, "property %s\n", property)
+	fmt.Fprintf(bw, "nslots %d\n", tr.NSlots)
+	for _, op := range tr.Ops {
+		fmt.Fprintf(bw, "%s %#x\n", op.Kind, op.Key)
+	}
+	return bw.Flush()
+}
+
+// Repro is a parsed repro file: the trace plus the subject/property pair it
+// must be replayed against.
+type Repro struct {
+	Subject  string
+	Property string
+	Trace    Trace
+}
+
+// ParseRepro reads the WriteTrace format.
+func ParseRepro(r io.Reader) (Repro, error) {
+	var rep Repro
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return rep, fmt.Errorf("oracle: malformed repro line %q", line)
+		}
+		switch fields[0] {
+		case "subject":
+			rep.Subject = fields[1]
+		case "property":
+			rep.Property = fields[1]
+		case "nslots":
+			n, err := strconv.ParseUint(fields[1], 0, 64)
+			if err != nil {
+				return rep, fmt.Errorf("oracle: bad nslots %q: %v", fields[1], err)
+			}
+			rep.Trace.NSlots = n
+		case "insert", "remove", "query":
+			k, err := strconv.ParseUint(fields[1], 0, 64)
+			if err != nil {
+				return rep, fmt.Errorf("oracle: bad key %q: %v", fields[1], err)
+			}
+			var kind OpKind
+			switch fields[0] {
+			case "insert":
+				kind = OpInsert
+			case "remove":
+				kind = OpRemove
+			default:
+				kind = OpQuery
+			}
+			rep.Trace.Ops = append(rep.Trace.Ops, Op{kind, k})
+		default:
+			return rep, fmt.Errorf("oracle: unknown repro directive %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return rep, err
+	}
+	if rep.Subject == "" || rep.Property == "" {
+		return rep, fmt.Errorf("oracle: repro missing subject or property header")
+	}
+	return rep, nil
+}

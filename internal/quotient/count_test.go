@@ -6,7 +6,7 @@ import (
 )
 
 func TestCountOfTracksDuplicates(t *testing.T) {
-	f := New(10, 8)
+	f := mustNew(10, 8)
 	const h = 0x7777aaaa1234
 	for want := uint64(1); want <= 6; want++ {
 		if !f.Insert(h) {
@@ -30,7 +30,7 @@ func TestCountOfTracksDuplicates(t *testing.T) {
 }
 
 func TestCountOfModel(t *testing.T) {
-	f := New(8, 8)
+	f := mustNew(8, 8)
 	rng := rand.New(rand.NewSource(1))
 	type fpKey struct{ fq, fr uint64 }
 	model := map[fpKey]uint64{}

@@ -21,7 +21,7 @@ func Merge(a, b *Filter) (*Filter, error) {
 		return nil, fmt.Errorf("quotient: merged count %d exceeds capacity %d",
 			a.count+b.count, a.Capacity())
 	}
-	out := New(a.qbits, a.rbits)
+	out := mustNew(a.qbits, a.rbits)
 	a.Quotients(func(fq, fr uint64) { out.insertQR(fq, fr) })
 	b.Quotients(func(fq, fr uint64) { out.insertQR(fq, fr) })
 	return out, nil
@@ -38,7 +38,10 @@ func MergeResize(a, b *Filter) (*Filter, error) {
 	if a.rbits <= 1 {
 		return nil, fmt.Errorf("quotient: cannot shrink %d-bit remainders", a.rbits)
 	}
-	out := New(a.qbits+1, a.rbits-1)
+	if a.qbits >= MaxQBits {
+		return nil, fmt.Errorf("quotient: cannot grow past %d quotient bits", MaxQBits)
+	}
+	out := mustNew(a.qbits+1, a.rbits-1)
 	move := func(f *Filter) {
 		f.Quotients(func(fq, fr uint64) {
 			out.insertQR(fq<<1|fr>>(f.rbits-1), fr&(f.rmask>>1))

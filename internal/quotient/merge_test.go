@@ -6,7 +6,7 @@ import (
 )
 
 func TestMergePreservesMembership(t *testing.T) {
-	a, b := New(12, 8), New(12, 8)
+	a, b := mustNew(12, 8), mustNew(12, 8)
 	rng := rand.New(rand.NewSource(1))
 	var aKeys, bKeys []uint64
 	for len(aKeys) < 1200 {
@@ -40,16 +40,16 @@ func TestMergePreservesMembership(t *testing.T) {
 }
 
 func TestMergeGeometryMismatch(t *testing.T) {
-	if _, err := Merge(New(10, 8), New(11, 8)); err == nil {
+	if _, err := Merge(mustNew(10, 8), mustNew(11, 8)); err == nil {
 		t.Error("merge of mismatched qbits succeeded")
 	}
-	if _, err := Merge(New(10, 8), New(10, 16)); err == nil {
+	if _, err := Merge(mustNew(10, 8), mustNew(10, 16)); err == nil {
 		t.Error("merge of mismatched rbits succeeded")
 	}
 }
 
 func TestMergeOverflowRejected(t *testing.T) {
-	a, b := New(6, 8), New(6, 8)
+	a, b := mustNew(6, 8), mustNew(6, 8)
 	rng := rand.New(rand.NewSource(2))
 	for a.LoadFactor() < 0.7 {
 		a.Insert(rng.Uint64())
@@ -71,7 +71,7 @@ func TestMergeOverflowRejected(t *testing.T) {
 }
 
 func TestMergeResizePreservesMembership(t *testing.T) {
-	a, b := New(10, 8), New(10, 8)
+	a, b := mustNew(10, 8), mustNew(10, 8)
 	rng := rand.New(rand.NewSource(3))
 	var keys []uint64
 	for len(keys) < 600 {

@@ -20,7 +20,10 @@
 // metadata. Space accounting reports the real 3-bit layout.
 package quotient
 
-import "math/bits"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Metadata bits, packed with the remainder as rem<<3 | bits.
 const (
@@ -44,15 +47,22 @@ type Filter struct {
 	count      uint64
 }
 
+// MaxQBits bounds the quotient width: 2^40 slots is already a terabyte-scale
+// filter, and the cap keeps size arithmetic far from uint64 overflow.
+const MaxQBits = 40
+
 // New creates a quotient filter with 2^qbits slots and rbits-bit remainders
 // (8 and 16 are the benchmarked configurations; 1–16 are accepted — Resize
 // produces intermediate widths). Remainders are stored byte-aligned.
-func New(qbits, rbits uint) *Filter {
-	if qbits < 1 || qbits > 40 {
-		panic("quotient: qbits out of range")
+// Out-of-range parameters are reported as an error: the harness and the
+// verification oracle size filters from run-time configuration, so bad
+// sizing must be recoverable, not a panic.
+func New(qbits, rbits uint) (*Filter, error) {
+	if qbits < 1 || qbits > MaxQBits {
+		return nil, fmt.Errorf("quotient: qbits %d outside [1, %d]", qbits, MaxQBits)
 	}
 	if rbits < 1 || rbits > 16 {
-		panic("quotient: rbits must be in [1, 16]")
+		return nil, fmt.Errorf("quotient: rbits %d outside [1, 16]", rbits)
 	}
 	size := uint64(1) << qbits
 	width := uint(1)
@@ -67,15 +77,26 @@ func New(qbits, rbits uint) *Filter {
 		width:      width,
 		mask:       size - 1,
 		rmask:      1<<rbits - 1,
+	}, nil
+}
+
+// mustNew builds a filter from parameters the caller has already proven
+// valid (derived from an existing filter's geometry). A failure here is an
+// internal invariant violation, hence the panic.
+func mustNew(qbits, rbits uint) *Filter {
+	f, err := New(qbits, rbits)
+	if err != nil {
+		panic("quotient: internal sizing invariant violated: " + err.Error())
 	}
+	return f
 }
 
 // NewForSlots creates a filter with at least nslots slots (rounded up to a
 // power of two).
-func NewForSlots(nslots uint64, rbits uint) *Filter {
-	q := uint(bits.Len64(nslots - 1))
-	if nslots <= 1 {
-		q = 1
+func NewForSlots(nslots uint64, rbits uint) (*Filter, error) {
+	q := uint(1)
+	if nslots > 2 {
+		q = uint(bits.Len64(nslots - 1))
 	}
 	return New(q, rbits)
 }
@@ -413,12 +434,13 @@ func (f *Filter) Quotients(fn func(fq, fr uint64)) {
 // new filter answers queries for exactly the keys inserted into the old one
 // (both split the same q+r hash bits), at the cost of one remainder bit, so
 // the false-positive rate roughly doubles. Resizing below 1 remainder bit is
-// not possible; Resize returns nil in that case.
+// not possible, nor is growing past MaxQBits; Resize returns nil in either
+// case.
 func (f *Filter) Resize() *Filter {
-	if f.rbits <= 1 {
+	if f.rbits <= 1 || f.qbits >= MaxQBits {
 		return nil
 	}
-	g := New(f.qbits+1, f.rbits-1)
+	g := mustNew(f.qbits+1, f.rbits-1)
 	f.Quotients(func(fq, fr uint64) {
 		newFq := fq<<1 | fr>>(f.rbits-1)
 		newFr := fr & (f.rmask >> 1)

@@ -6,7 +6,7 @@ import (
 )
 
 func TestInsertContainsBasic(t *testing.T) {
-	f := New(10, 8)
+	f := mustNew(10, 8)
 	keys := []uint64{0, 1, 0xdeadbeef, 1 << 40, ^uint64(0)}
 	for _, h := range keys {
 		if !f.Insert(h) {
@@ -24,7 +24,7 @@ func TestInsertContainsBasic(t *testing.T) {
 }
 
 func TestNoFalseNegativesAt95(t *testing.T) {
-	f := New(14, 8)
+	f := mustNew(14, 8)
 	rng := rand.New(rand.NewSource(1))
 	n := f.Capacity() * 95 / 100
 	keys := make([]uint64, 0, n)
@@ -43,7 +43,7 @@ func TestNoFalseNegativesAt95(t *testing.T) {
 }
 
 func TestFalsePositiveRate(t *testing.T) {
-	f := New(14, 8)
+	f := mustNew(14, 8)
 	rng := rand.New(rand.NewSource(2))
 	for f.LoadFactor() < 0.90 {
 		f.Insert(rng.Uint64())
@@ -70,7 +70,7 @@ func TestFalsePositiveRate(t *testing.T) {
 // fingerprints. It exercises run sorting, cluster shifting, wraparound, and
 // the delete FSM.
 func TestModelBasedOps(t *testing.T) {
-	f := New(8, 8) // tiny: 256 slots, forces dense clusters and wraparound
+	f := mustNew(8, 8) // tiny: 256 slots, forces dense clusters and wraparound
 	rng := rand.New(rand.NewSource(3))
 	type fpKey struct{ fq, fr uint64 }
 	model := map[fpKey]int{}
@@ -136,7 +136,7 @@ func TestModelBasedOps(t *testing.T) {
 func TestDeleteHeavyChurnAtHighLoad(t *testing.T) {
 	// Sustained insert/delete churn at 90% load — the Table 3 write-heavy
 	// regime — must preserve exact fingerprint-level behaviour.
-	f := New(10, 8)
+	f := mustNew(10, 8)
 	rng := rand.New(rand.NewSource(4))
 	var live []uint64
 	for f.LoadFactor() < 0.90 {
@@ -164,7 +164,7 @@ func TestDeleteHeavyChurnAtHighLoad(t *testing.T) {
 }
 
 func TestDuplicatesMultiset(t *testing.T) {
-	f := New(8, 8)
+	f := mustNew(8, 8)
 	const h = 0x123456789abcdef0
 	for i := 0; i < 5; i++ {
 		if !f.Insert(h) {
@@ -190,7 +190,7 @@ func TestDuplicatesMultiset(t *testing.T) {
 func TestWraparoundCluster(t *testing.T) {
 	// Force a cluster that wraps the end of the table: insert many keys with
 	// quotients at the top of a tiny table.
-	f := New(4, 8) // 16 slots
+	f := mustNew(4, 8) // 16 slots
 	var keys []uint64
 	for i := 0; i < 8; i++ {
 		// quotient 14 or 15, distinct remainders
@@ -218,7 +218,7 @@ func TestWraparoundCluster(t *testing.T) {
 }
 
 func TestQuotientsEnumeration(t *testing.T) {
-	f := New(10, 8)
+	f := mustNew(10, 8)
 	rng := rand.New(rand.NewSource(5))
 	type fpKey struct{ fq, fr uint64 }
 	model := map[fpKey]int{}
@@ -241,7 +241,7 @@ func TestQuotientsEnumeration(t *testing.T) {
 }
 
 func TestResizePreservesMembership(t *testing.T) {
-	f := New(10, 8)
+	f := mustNew(10, 8)
 	rng := rand.New(rand.NewSource(6))
 	keys := make([]uint64, 0, 900)
 	for len(keys) < 900 {
@@ -274,7 +274,7 @@ func TestResizePreservesMembership(t *testing.T) {
 }
 
 func TestResizeChain(t *testing.T) {
-	f := New(6, 8)
+	f := mustNew(6, 8)
 	rng := rand.New(rand.NewSource(7))
 	var keys []uint64
 	for len(keys) < 50 {
@@ -298,7 +298,7 @@ func TestResizeChain(t *testing.T) {
 }
 
 func TestRemoveAbsent(t *testing.T) {
-	f := New(12, 8)
+	f := mustNew(12, 8)
 	rng := rand.New(rand.NewSource(8))
 	for i := 0; i < 1000; i++ {
 		f.Insert(rng.Uint64())
@@ -315,21 +315,21 @@ func TestRemoveAbsent(t *testing.T) {
 }
 
 func TestSizeAccounting(t *testing.T) {
-	f := New(10, 8)
+	f := mustNew(10, 8)
 	if f.SizeBitsPacked() != 1024*11 {
 		t.Errorf("packed bits = %d, want %d", f.SizeBitsPacked(), 1024*11)
 	}
 	if f.SizeBytes() != 1024+1024 {
 		t.Errorf("SizeBytes = %d", f.SizeBytes())
 	}
-	f16 := New(10, 16)
+	f16 := mustNew(10, 16)
 	if f16.SizeBitsPacked() != 1024*19 {
 		t.Errorf("packed bits (16) = %d", f16.SizeBitsPacked())
 	}
 }
 
 func TestSixteenBitRemainders(t *testing.T) {
-	f := New(12, 16)
+	f := mustNew(12, 16)
 	rng := rand.New(rand.NewSource(9))
 	keys := make([]uint64, 0, 3000)
 	for len(keys) < 3000 {
@@ -358,7 +358,7 @@ func BenchmarkInsertTo50(b *testing.B) { benchInsertAt(b, 50) }
 func BenchmarkInsertTo90(b *testing.B) { benchInsertAt(b, 90) }
 
 func benchInsertAt(b *testing.B, pct uint64) {
-	f := New(18, 8)
+	f := mustNew(18, 8)
 	rng := rand.New(rand.NewSource(10))
 	target := f.Capacity() * pct / 100
 	for f.Count() < target {
@@ -371,7 +371,7 @@ func benchInsertAt(b *testing.B, pct uint64) {
 		}
 		if f.LoadFactor() > 0.96 {
 			b.StopTimer()
-			f = New(18, 8)
+			f = mustNew(18, 8)
 			for f.Count() < target {
 				f.Insert(rng.Uint64())
 			}
@@ -381,7 +381,7 @@ func benchInsertAt(b *testing.B, pct uint64) {
 }
 
 func BenchmarkLookupAt90(b *testing.B) {
-	f := New(18, 8)
+	f := mustNew(18, 8)
 	rng := rand.New(rand.NewSource(11))
 	for f.LoadFactor() < 0.90 {
 		f.Insert(rng.Uint64())

@@ -18,36 +18,39 @@ func TestNewForSlotsBounds(t *testing.T) {
 		{1<<20 + 1, 1 << 21},
 	}
 	for _, c := range cases {
-		f := NewForSlots(c.nslots, 8)
+		f := mustNewForSlots(t, c.nslots, 8)
 		if f.Capacity() < c.minCap {
 			t.Errorf("NewForSlots(%d) capacity %d < %d", c.nslots, f.Capacity(), c.minCap)
 		}
 	}
+	// Zero slots used to panic (bits.Len64 of 2^64-1 demanded 64 quotient
+	// bits); it must now yield the minimum geometry.
+	if f := mustNewForSlots(t, 0, 8); f.Capacity() < 64 {
+		t.Errorf("NewForSlots(0) capacity %d < 64", f.Capacity())
+	}
 }
 
-func TestNewPanicsOnBadParams(t *testing.T) {
-	for name, fn := range map[string]func(){
-		"qbits-small": func() { New(2, 8) },
-		"qbits-big":   func() { New(50, 8) },
-		"rbits-odd":   func() { New(10, 12) },
+func TestNewRejectsBadParams(t *testing.T) {
+	for name, fn := range map[string]func() (*Filter, error){
+		"qbits-small":  func() (*Filter, error) { return New(2, 8) },
+		"qbits-big":    func() (*Filter, error) { return New(50, 8) },
+		"rbits-odd":    func() (*Filter, error) { return New(10, 12) },
+		"slots-excess": func() (*Filter, error) { return NewForSlots(1<<62, 8) },
 	} {
 		t.Run(name, func(t *testing.T) {
-			defer func() {
-				if recover() == nil {
-					t.Error("expected panic")
-				}
-			}()
-			fn()
+			if f, err := fn(); err == nil || f != nil {
+				t.Errorf("got (%v, %v), want nil filter and an error", f, err)
+			}
 		})
 	}
 }
 
 // Property: insert-then-contains always holds below the load ceiling.
 func TestPropertyInsertThenContains(t *testing.T) {
-	f := New(10, 8)
+	f := mustNew(10, 8)
 	prop := func(h uint64) bool {
 		if f.LoadFactor() > 0.93 {
-			f = New(10, 8)
+			f = mustNew(10, 8)
 		}
 		if !f.Insert(h) {
 			return false
@@ -62,7 +65,7 @@ func TestPropertyInsertThenContains(t *testing.T) {
 func TestPaddingAbsorbsTailClusters(t *testing.T) {
 	// Hammer the top quotient with distinct remainders: the run extends into
 	// the padding region beyond the last quotient slot.
-	f := New(6, 8)
+	f := mustNew(6, 8)
 	top := f.Capacity() - 1
 	var keys []uint64
 	for r := uint64(0); r < 40; r++ {
@@ -91,7 +94,7 @@ func TestPaddingAbsorbsTailClusters(t *testing.T) {
 }
 
 func BenchmarkRemoveAt90(b *testing.B) {
-	f := New(18, 8)
+	f := mustNew(18, 8)
 	rng := rand.New(rand.NewSource(1))
 	var keys []uint64
 	for f.LoadFactor() < 0.90 {
@@ -105,7 +108,7 @@ func BenchmarkRemoveAt90(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if j >= len(keys) {
 			b.StopTimer()
-			f = New(18, 8)
+			f = mustNew(18, 8)
 			keys = keys[:0]
 			for f.LoadFactor() < 0.90 {
 				h := rng.Uint64()

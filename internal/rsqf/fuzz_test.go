@@ -18,7 +18,7 @@ func FuzzOpSequence(f *testing.F) {
 	}
 	f.Add(seed)
 	f.Fuzz(func(t *testing.T, data []byte) {
-		filter := New(6, 8) // 64 quotients: dense clusters come quickly
+		filter := mustNew(6, 8) // 64 quotients: dense clusters come quickly
 		type fpKey struct{ fq, fr uint64 }
 		model := map[fpKey]int{}
 		total := 0

@@ -1,0 +1,22 @@
+package rsqf
+
+import "testing"
+
+// mustNew is a test helper for in-range geometries where New cannot fail.
+func mustNew(qbits, rbits uint) *Filter {
+	f, err := New(qbits, rbits)
+	if err != nil {
+		panic("rsqf: test geometry rejected: " + err.Error())
+	}
+	return f
+}
+
+// mustNewForSlots mirrors mustNew for slot-count construction.
+func mustNewForSlots(t *testing.T, nslots uint64, rbits uint) *Filter {
+	t.Helper()
+	f, err := NewForSlots(nslots, rbits)
+	if err != nil {
+		t.Fatalf("NewForSlots(%d, %d): %v", nslots, rbits, err)
+	}
+	return f
+}

@@ -20,6 +20,7 @@
 package rsqf
 
 import (
+	"fmt"
 	"math"
 	"math/bits"
 
@@ -42,14 +43,24 @@ type Filter struct {
 	count      uint64
 }
 
+// Quotient-width bounds: below 6 bits the 64-slot block machinery has
+// nothing to anchor to; above 40 the table would be terabytes and the size
+// arithmetic approaches uint64 overflow.
+const (
+	MinQBits = 6
+	MaxQBits = 40
+)
+
 // New creates an RSQF with 2^qbits quotient slots and rbits-bit remainders
-// (8 or 16).
-func New(qbits, rbits uint) *Filter {
-	if qbits < 6 || qbits > 40 {
-		panic("rsqf: qbits out of range [6, 40]")
+// (8 or 16). Out-of-range parameters are reported as an error — run-time
+// sizing (harness, oracle) must be recoverable; panics are reserved for
+// internal invariant violations (e.g. block-offset overflow).
+func New(qbits, rbits uint) (*Filter, error) {
+	if qbits < MinQBits || qbits > MaxQBits {
+		return nil, fmt.Errorf("rsqf: qbits %d outside [%d, %d]", qbits, MinQBits, MaxQBits)
 	}
 	if rbits != 8 && rbits != 16 {
-		panic("rsqf: rbits must be 8 or 16")
+		return nil, fmt.Errorf("rsqf: rbits %d, want 8 or 16", rbits)
 	}
 	nslots := uint64(1) << qbits
 	pad := (uint64(10*math.Sqrt(float64(nslots))) + 64) &^ 63
@@ -66,14 +77,18 @@ func New(qbits, rbits uint) *Filter {
 		width:      width,
 		nslots:     nslots,
 		xnslots:    xn,
-	}
+	}, nil
 }
 
-// NewForSlots creates a filter with at least nslots quotient slots.
-func NewForSlots(nslots uint64, rbits uint) *Filter {
-	q := uint(bits.Len64(nslots - 1))
-	if q < 6 {
-		q = 6
+// NewForSlots creates a filter with at least nslots quotient slots. Slot
+// counts that would need more than MaxQBits quotient bits are rejected;
+// nslots of zero or one gets the minimum geometry.
+func NewForSlots(nslots uint64, rbits uint) (*Filter, error) {
+	q := uint(MinQBits)
+	if nslots > 2 {
+		if lg := uint(bits.Len64(nslots - 1)); lg > q {
+			q = lg
+		}
 	}
 	return New(q, rbits)
 }

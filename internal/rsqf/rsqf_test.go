@@ -6,7 +6,7 @@ import (
 )
 
 func TestInsertContainsBasic(t *testing.T) {
-	f := New(10, 8)
+	f := mustNew(10, 8)
 	keys := []uint64{0, 1, 0xdeadbeef, 1 << 40, ^uint64(0)}
 	for _, h := range keys {
 		if !f.Insert(h) {
@@ -24,7 +24,7 @@ func TestInsertContainsBasic(t *testing.T) {
 }
 
 func TestNoFalseNegativesAt95(t *testing.T) {
-	f := New(14, 8)
+	f := mustNew(14, 8)
 	rng := rand.New(rand.NewSource(1))
 	n := f.Capacity() * 95 / 100
 	keys := make([]uint64, 0, n)
@@ -43,7 +43,7 @@ func TestNoFalseNegativesAt95(t *testing.T) {
 }
 
 func TestFalsePositiveRate(t *testing.T) {
-	f := New(14, 8)
+	f := mustNew(14, 8)
 	rng := rand.New(rand.NewSource(2))
 	for f.LoadFactor() < 0.90 {
 		f.Insert(rng.Uint64())
@@ -67,7 +67,7 @@ func TestFalsePositiveRate(t *testing.T) {
 // TestModelBasedOps validates the RSQF against an exact fingerprint multiset
 // under random insert/delete/lookup churn, including dense clusters.
 func TestModelBasedOps(t *testing.T) {
-	f := New(8, 8)
+	f := mustNew(8, 8)
 	rng := rand.New(rand.NewSource(3))
 	type fpKey struct{ fq, fr uint64 }
 	model := map[fpKey]int{}
@@ -128,7 +128,7 @@ func TestModelBasedOps(t *testing.T) {
 }
 
 func TestDeleteHeavyChurnAtHighLoad(t *testing.T) {
-	f := New(10, 8)
+	f := mustNew(10, 8)
 	rng := rand.New(rand.NewSource(4))
 	var live []uint64
 	for f.LoadFactor() < 0.90 {
@@ -156,7 +156,7 @@ func TestDeleteHeavyChurnAtHighLoad(t *testing.T) {
 }
 
 func TestDuplicatesMultiset(t *testing.T) {
-	f := New(8, 8)
+	f := mustNew(8, 8)
 	const h = 0x123456789abcdef0
 	for i := 0; i < 5; i++ {
 		if !f.Insert(h) {
@@ -179,7 +179,7 @@ func TestDuplicatesMultiset(t *testing.T) {
 func TestDenseTailQuotients(t *testing.T) {
 	// Clusters at the top quotients must spill into the padding region and
 	// still delete cleanly.
-	f := New(6, 8) // 64 quotients
+	f := mustNew(6, 8) // 64 quotients
 	var keys []uint64
 	for i := 0; i < 30; i++ {
 		h := uint64(60+(i&3))<<8 | uint64(i*7+1)
@@ -207,7 +207,7 @@ func TestDenseTailQuotients(t *testing.T) {
 func TestOffsetsConsistencyAfterChurn(t *testing.T) {
 	// After heavy churn, runEnd computed with offsets must agree with ground
 	// truth derived by a full scan.
-	f := New(9, 8)
+	f := mustNew(9, 8)
 	rng := rand.New(rand.NewSource(6))
 	var live []uint64
 	for step := 0; step < 30000; step++ {
@@ -236,7 +236,7 @@ func TestOffsetsConsistencyAfterChurn(t *testing.T) {
 }
 
 func TestRemoveAbsent(t *testing.T) {
-	f := New(12, 8)
+	f := mustNew(12, 8)
 	rng := rand.New(rand.NewSource(7))
 	for i := 0; i < 1000; i++ {
 		f.Insert(rng.Uint64())
@@ -253,7 +253,7 @@ func TestRemoveAbsent(t *testing.T) {
 }
 
 func TestSixteenBitRemainders(t *testing.T) {
-	f := New(12, 16)
+	f := mustNew(12, 16)
 	rng := rand.New(rand.NewSource(8))
 	keys := make([]uint64, 0, 3500)
 	for len(keys) < 3500 {
@@ -284,7 +284,7 @@ func TestSixteenBitRemainders(t *testing.T) {
 }
 
 func TestSizeAccounting(t *testing.T) {
-	f := New(12, 8)
+	f := mustNew(12, 8)
 	// 2.25 metadata bits + 8 remainder bits per slot, plus padding.
 	min := f.Capacity() * (8 + 2) / 8
 	if f.SizeBytes() < min {
@@ -296,7 +296,7 @@ func TestSizeAccounting(t *testing.T) {
 }
 
 func BenchmarkInsertTo90(b *testing.B) {
-	f := New(18, 8)
+	f := mustNew(18, 8)
 	rng := rand.New(rand.NewSource(9))
 	target := f.Capacity() * 90 / 100
 	for f.Count() < target {
@@ -309,7 +309,7 @@ func BenchmarkInsertTo90(b *testing.B) {
 		}
 		if f.LoadFactor() > 0.95 {
 			b.StopTimer()
-			f = New(18, 8)
+			f = mustNew(18, 8)
 			for f.Count() < target {
 				f.Insert(rng.Uint64())
 			}
@@ -319,7 +319,7 @@ func BenchmarkInsertTo90(b *testing.B) {
 }
 
 func BenchmarkLookupAt90(b *testing.B) {
-	f := New(18, 8)
+	f := mustNew(18, 8)
 	rng := rand.New(rand.NewSource(10))
 	for f.LoadFactor() < 0.90 {
 		f.Insert(rng.Uint64())

@@ -6,7 +6,7 @@ import (
 )
 
 func TestInvariantsHoldUnderChurn(t *testing.T) {
-	f := New(9, 8)
+	f := mustNew(9, 8)
 	rng := rand.New(rand.NewSource(1))
 	var live []uint64
 	for step := 0; step < 20000; step++ {
@@ -35,7 +35,7 @@ func TestInvariantsHoldUnderChurn(t *testing.T) {
 }
 
 func TestInvariantsDetectOffsetCorruption(t *testing.T) {
-	f := New(9, 8)
+	f := mustNew(9, 8)
 	rng := rand.New(rand.NewSource(2))
 	for f.LoadFactor() < 0.85 {
 		f.Insert(rng.Uint64())
@@ -52,7 +52,7 @@ func TestInvariantsDetectOffsetCorruption(t *testing.T) {
 }
 
 func TestInvariantsAtEmptyAndFull(t *testing.T) {
-	f := New(8, 8)
+	f := mustNew(8, 8)
 	if err := f.CheckInvariants(); err != nil {
 		t.Fatalf("empty filter: %v", err)
 	}
