@@ -18,6 +18,7 @@ import (
 // kernelDoc is the BENCH_kernels.json schema, shared by writer and gate.
 type kernelDoc struct {
 	Experiment string                 `json:"experiment"`
+	Env        harness.BenchEnv       `json:"env"`
 	Log2Slots  uint                   `json:"log2_slots"`
 	Load       float64                `json:"load"`
 	Batch      int                    `json:"batch"`
@@ -43,6 +44,7 @@ func runKernels(cfg config) {
 	emit(cfg, t)
 	doc := kernelDoc{
 		Experiment: "kernel-microbenchmarks",
+		Env:        harness.CaptureEnv(),
 		Log2Slots:  cfg.logSlotsRAM,
 		Load:       0.85,
 		Batch:      cfg.batch,

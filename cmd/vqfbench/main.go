@@ -44,6 +44,7 @@ import (
 	"vqf/internal/elastic"
 	"vqf/internal/harness"
 	"vqf/internal/stats"
+	"vqf/internal/swar"
 )
 
 type config struct {
@@ -70,6 +71,7 @@ type config struct {
 	memprofile     string
 	mutexprofile   string
 	httpserve      string
+	kernelsImpl    string
 }
 
 func main() {
@@ -103,13 +105,30 @@ func main() {
 	fs.StringVar(&cfg.mutexprofile, "mutexprofile", "", "write an end-of-run mutex-contention profile to this file")
 	fs.StringVar(&cfg.httpserve, "httpserve", "",
 		"serve /metrics (Prometheus, live filters), /debug/pprof/ and /debug/vars on this address (e.g. 127.0.0.1:8080) while experiments run")
+	fs.StringVar(&cfg.kernelsImpl, "kernels-impl", "auto",
+		"kernel implementation: auto (assembly where built in), asm (require assembly), generic (portable Go)")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: vqfbench [flags] <experiment>\n\nexperiments: table1 fig2 fig3 table2 fig4 fig5 fig6 table3 table4 concurrent elastic maxload maxloadscale choices ablation kernels kernelgate oracle all\n\nflags:\n")
+		fmt.Fprintf(os.Stderr, "usage: vqfbench [flags] <experiment>\n\nexperiments: table1 fig2 fig3 table2 fig4 fig5 fig6 table3 table4 concurrent elastic maxload maxloadscale choices ablation kernels kernelgate multicore oracle all\n\nflags:\n")
 		fs.PrintDefaults()
 	}
 	fs.Parse(os.Args[1:])
 	if fs.NArg() != 1 {
 		fs.Usage()
+		os.Exit(2)
+	}
+
+	switch cfg.kernelsImpl {
+	case "auto":
+	case "asm":
+		if !swar.HasAsmKernels() {
+			fmt.Fprintln(os.Stderr, "vqfbench: -kernels-impl=asm but this build has no assembly kernels (GOARCH or purego)")
+			os.Exit(2)
+		}
+		swar.SetAsmKernels(true)
+	case "generic":
+		swar.SetAsmKernels(false)
+	default:
+		fmt.Fprintf(os.Stderr, "vqfbench: unknown -kernels-impl %q (want auto, asm or generic)\n", cfg.kernelsImpl)
 		os.Exit(2)
 	}
 
@@ -138,6 +157,7 @@ func main() {
 		"ablation":     runAblation,
 		"kernels":      runKernels,
 		"kernelgate":   runKernelGate,
+		"multicore":    runMulticore,
 		"oracle":       runOracle,
 	}
 	if cmd == "all" {
@@ -367,6 +387,7 @@ func sweepTables(cfg config, logSlots uint, specs []harness.Spec) []harness.Swee
 // final repetition's sweep (stats field of each result).
 type sweepDoc struct {
 	Experiment string                `json:"experiment"`
+	Env        harness.BenchEnv      `json:"env"`
 	Log2Slots  uint                  `json:"log2_slots"`
 	Queries    int                   `json:"queries_per_point"`
 	Repeat     int                   `json:"repeat"`
@@ -377,13 +398,13 @@ type sweepDoc struct {
 func runFig4(cfg config) {
 	fmt.Printf("Figure 4: in-RAM throughput vs load factor (2^%d slots, FPR 2^-8)\n", cfg.logSlotsRAM)
 	results := sweepTables(cfg, cfg.logSlotsRAM, harness.SpecsFPR8())
-	writeJSON(cfg, "fig4", sweepDoc{"fig4-load-sweep-ram", cfg.logSlotsRAM, cfg.queries, cfg.repeat, cfg.seed, results})
+	writeJSON(cfg, "fig4", sweepDoc{"fig4-load-sweep-ram", harness.CaptureEnv(), cfg.logSlotsRAM, cfg.queries, cfg.repeat, cfg.seed, results})
 }
 
 func runFig5(cfg config) {
 	fmt.Printf("Figure 5: in-cache throughput vs load factor (2^%d slots, FPR 2^-8)\n", cfg.logSlotsCache)
 	results := sweepTables(cfg, cfg.logSlotsCache, harness.SpecsFPR8())
-	writeJSON(cfg, "fig5", sweepDoc{"fig5-load-sweep-cache", cfg.logSlotsCache, cfg.queries, cfg.repeat, cfg.seed, results})
+	writeJSON(cfg, "fig5", sweepDoc{"fig5-load-sweep-cache", harness.CaptureEnv(), cfg.logSlotsCache, cfg.queries, cfg.repeat, cfg.seed, results})
 }
 
 func runFig6(cfg config) {
@@ -464,12 +485,12 @@ func runConcurrent(cfg config) {
 	emit(cfg, t)
 	doc := struct {
 		Experiment   string                        `json:"experiment"`
-		GoMaxProcs   int                           `json:"gomaxprocs"`
+		Env          harness.BenchEnv              `json:"env"`
 		Log2Slots    uint                          `json:"log2_slots"`
 		OpsPerThread int                           `json:"ops_per_thread"`
 		Seed         uint64                        `json:"seed"`
 		Results      []harness.ReaderScalingResult `json:"results"`
-	}{"concurrent-reader-scaling", runtime.GOMAXPROCS(0), cfg.logSlotsCache, cfg.queries, cfg.seed, results}
+	}{"concurrent-reader-scaling", harness.CaptureEnv(), cfg.logSlotsCache, cfg.queries, cfg.seed, results}
 	writeJSON(cfg, "concurrent", doc)
 }
 
@@ -496,11 +517,12 @@ func runElastic(cfg config) {
 		res.GrowthEvents, res.TargetFPR)
 	doc := struct {
 		Experiment string               `json:"experiment"`
+		Env        harness.BenchEnv     `json:"env"`
 		Probes     int                  `json:"probes"`
 		Queries    int                  `json:"queries_per_point"`
 		Seed       uint64               `json:"seed"`
 		Result     harness.GrowthResult `json:"result"`
-	}{"elastic-growth", cfg.probes, cfg.queries, cfg.seed, res}
+	}{"elastic-growth", harness.CaptureEnv(), cfg.probes, cfg.queries, cfg.seed, res}
 	writeJSON(cfg, "elastic", doc)
 }
 
@@ -541,11 +563,12 @@ func runChoices(cfg config) {
 	emit(cfg, t)
 	doc := struct {
 		Experiment string                `json:"experiment"`
+		Env        harness.BenchEnv      `json:"env"`
 		Log2Slots  uint                  `json:"log2_slots"`
 		Load       float64               `json:"load"`
 		Seed       uint64                `json:"seed"`
 		Results    []harness.ChoiceStats `json:"results"`
-	}{"choices-placement-ablation", cfg.logSlotsCache, 0.85, cfg.seed, results}
+	}{"choices-placement-ablation", harness.CaptureEnv(), cfg.logSlotsCache, 0.85, cfg.seed, results}
 	writeJSON(cfg, "choices", doc)
 }
 

@@ -1,0 +1,119 @@
+package elastic
+
+import (
+	"sync"
+	"testing"
+
+	"vqf/internal/workload"
+)
+
+func TestShardedGrowthCorrectness(t *testing.T) {
+	f, err := NewSharded(testConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumShards() != 4 {
+		t.Fatalf("got %d shards, want 4", f.NumShards())
+	}
+	keys := workload.NewStream(301).Keys(20000)
+	for _, h := range keys {
+		if !f.Insert(h) {
+			t.Fatal("insert failed")
+		}
+	}
+	for _, h := range keys {
+		if !f.Contains(h) {
+			t.Fatal("false negative after sharded growth")
+		}
+	}
+	if f.Count() != uint64(len(keys)) {
+		t.Fatalf("count %d != %d", f.Count(), len(keys))
+	}
+	if f.NumLevels() < 2 {
+		t.Fatalf("expected growth, got %d levels", f.NumLevels())
+	}
+	for _, h := range keys[:500] {
+		if !f.Remove(h) {
+			t.Fatal("remove failed")
+		}
+	}
+	if f.Count() != uint64(len(keys)-500) {
+		t.Fatalf("count after removes %d", f.Count())
+	}
+}
+
+func TestShardedConcurrentInsert(t *testing.T) {
+	f, err := NewSharded(testConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, keysPerWriter = 4, 6000
+	var wg sync.WaitGroup
+	keys := make([][]uint64, writers)
+	for w := 0; w < writers; w++ {
+		keys[w] = workload.NewStream(uint64(400 + w)).Keys(keysPerWriter)
+		wg.Add(1)
+		go func(ks []uint64) {
+			defer wg.Done()
+			for _, k := range ks {
+				if !f.Insert(k) {
+					t.Error("concurrent sharded insert failed")
+					return
+				}
+			}
+		}(keys[w])
+	}
+	wg.Wait()
+	if f.Count() != writers*keysPerWriter {
+		t.Fatalf("count %d != %d", f.Count(), writers*keysPerWriter)
+	}
+	for _, ks := range keys {
+		for _, k := range ks {
+			if !f.Contains(k) {
+				t.Fatal("false negative after concurrent sharded growth")
+			}
+		}
+	}
+}
+
+// TestShardedSnapshot checks the level-merged snapshot: per-level gauges sum
+// across shards, the aggregate count matches, and the FPR estimate stays
+// within the configured budget.
+func TestShardedSnapshot(t *testing.T) {
+	cfg := testConfig()
+	f, err := NewSharded(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := workload.NewStream(500).Keys(15000)
+	for _, h := range keys {
+		f.Insert(h)
+	}
+	cs := f.Snapshot()
+	if len(cs.Levels) != f.NumLevels() {
+		t.Fatalf("snapshot has %d levels, filter reports %d", len(cs.Levels), f.NumLevels())
+	}
+	var levelCount, levelCap uint64
+	for _, ls := range cs.Levels {
+		levelCount += ls.Count
+		levelCap += ls.Capacity
+	}
+	if levelCount != f.Count() {
+		t.Fatalf("level counts sum to %d, filter holds %d", levelCount, f.Count())
+	}
+	if levelCap != f.Capacity() {
+		t.Fatalf("level capacities sum to %d, filter has %d", levelCap, f.Capacity())
+	}
+	if cs.Aggregate.Count != f.Count() {
+		t.Fatalf("aggregate count %d != %d", cs.Aggregate.Count, f.Count())
+	}
+	if cs.Aggregate.FPRFullLoad != cfg.TargetFPR {
+		t.Fatalf("aggregate budget %g != configured %g", cs.Aggregate.FPRFullLoad, cfg.TargetFPR)
+	}
+	if cs.Aggregate.FPREstimate > cfg.TargetFPR {
+		t.Fatalf("FPR estimate %g exceeds budget %g", cs.Aggregate.FPREstimate, cfg.TargetFPR)
+	}
+	if st := f.Stats(); st.Inserts != uint64(len(keys)) {
+		t.Fatalf("Stats.Inserts = %d, want %d", st.Inserts, len(keys))
+	}
+}

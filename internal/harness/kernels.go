@@ -91,92 +91,110 @@ func runKernelGeom(cfg KernelConfig, geom string, mk func() kernelFilter) []Kern
 	})
 	dst := make([]bool, cfg.Batch)
 
-	// sample times op Reps times; between timed runs the untimed restore
-	// rolls the filter state back (nil when op leaves state unchanged).
-	sample := func(name string, op func() uint64, restore func()) KernelResult {
-		r := KernelResult{Name: geom + "/" + name, Samples: make([]float64, 0, cfg.Reps)}
-		for rep := 0; rep < cfg.Reps; rep++ {
-			start := time.Now()
-			ops := op()
-			r.Samples = append(r.Samples, mops(ops, time.Since(start)))
-			if restore != nil {
-				restore()
-			}
-		}
-		r.Mops, r.CI95 = analysis.MeanCI95(r.Samples)
-		return r
-	}
-	var out []KernelResult
-
-	// Fill throughput: a fresh filter per sample so every rep inserts over
-	// the same empty-to-Load range.
-	out = append(out, sample("insert", func() uint64 {
-		g := mk()
-		for _, h := range keys {
-			g.Insert(h)
-		}
-		return n
-	}, nil))
-	out = append(out, sample("insert-batch", func() uint64 {
-		g := mk()
-		for lo := 0; lo < len(keys); lo += cfg.Batch {
-			g.InsertBatch(keys[lo:min(lo+cfg.Batch, len(keys))])
-		}
-		return n
-	}, nil))
-
-	// Steady-state lookups on one filter held at the target load.
+	// Steady-state kernels run against one filter held at the target load;
+	// the remove kernels drain it and their restore refills untimed.
 	for _, h := range keys {
 		f.Insert(h)
 	}
-	out = append(out, sample("lookup-pos", func() uint64 {
-		got := 0
-		for _, h := range probe {
-			if f.Contains(h) {
-				got++
-			}
-		}
-		if uint64(got) != n {
-			panic("harness: false negative in kernel benchmark")
-		}
-		return n
-	}, nil))
-	out = append(out, sample("lookup-rand", func() uint64 {
-		sink := 0
-		for _, h := range absent {
-			if f.Contains(h) {
-				sink++
-			}
-		}
-		_ = sink
-		return n
-	}, nil))
-	out = append(out, sample("contains-batch", func() uint64 {
-		for lo := 0; lo < len(probe); lo += cfg.Batch {
-			f.ContainsBatch(probe[lo:min(lo+cfg.Batch, len(probe))], dst)
-		}
-		return n
-	}, nil))
-
-	// Drains: time the removes; the restore refills untimed.
 	refill := func() {
 		for _, h := range keys {
 			f.Insert(h)
 		}
 	}
-	out = append(out, sample("remove", func() uint64 {
-		for _, h := range probe {
-			if !f.Remove(h) {
-				panic("harness: remove failed in kernel benchmark")
+
+	// Each kernel is one entry; op returns the operation count for the timed
+	// run and restore (nil when op leaves state unchanged) rolls the filter
+	// state back untimed. Within a round the order matters only in that every
+	// remove kernel restores before the next kernel runs.
+	type kernelSpec struct {
+		name    string
+		op      func() uint64
+		restore func()
+	}
+	specs := []kernelSpec{
+		// Fill throughput: a fresh filter per sample so every rep inserts
+		// over the same empty-to-Load range.
+		{"insert", func() uint64 {
+			g := mk()
+			for _, h := range keys {
+				g.Insert(h)
+			}
+			return n
+		}, nil},
+		{"insert-batch", func() uint64 {
+			g := mk()
+			for lo := 0; lo < len(keys); lo += cfg.Batch {
+				g.InsertBatch(keys[lo:min(lo+cfg.Batch, len(keys))])
+			}
+			return n
+		}, nil},
+		{"lookup-pos", func() uint64 {
+			got := 0
+			for _, h := range probe {
+				if f.Contains(h) {
+					got++
+				}
+			}
+			if uint64(got) != n {
+				panic("harness: false negative in kernel benchmark")
+			}
+			return n
+		}, nil},
+		{"lookup-rand", func() uint64 {
+			sink := 0
+			for _, h := range absent {
+				if f.Contains(h) {
+					sink++
+				}
+			}
+			_ = sink
+			return n
+		}, nil},
+		{"contains-batch", func() uint64 {
+			for lo := 0; lo < len(probe); lo += cfg.Batch {
+				f.ContainsBatch(probe[lo:min(lo+cfg.Batch, len(probe))], dst)
+			}
+			return n
+		}, nil},
+		{"remove", func() uint64 {
+			for _, h := range probe {
+				if !f.Remove(h) {
+					panic("harness: remove failed in kernel benchmark")
+				}
+			}
+			return n
+		}, refill},
+		{"remove-batch", func() uint64 {
+			for lo := 0; lo < len(probe); lo += cfg.Batch {
+				f.RemoveBatch(probe[lo:min(lo+cfg.Batch, len(probe))])
+			}
+			return n
+		}, refill},
+	}
+
+	// Sampling is interleaved: round r times every kernel once, rather than
+	// taking all Reps samples of one kernel back to back. On hosts with
+	// coarse-grained interference (a shared vCPU being throttled for seconds
+	// at a time) consecutive sampling concentrates a slow window into one
+	// kernel's entire sample set, which reads as a large, falsely significant
+	// regression; round-robin spreads the window across kernels so it widens
+	// confidence intervals instead of silently biasing one mean.
+	out := make([]KernelResult, len(specs))
+	for i, s := range specs {
+		out[i] = KernelResult{Name: geom + "/" + s.name, Samples: make([]float64, 0, cfg.Reps)}
+	}
+	for rep := 0; rep < cfg.Reps; rep++ {
+		for i, s := range specs {
+			start := time.Now()
+			ops := s.op()
+			out[i].Samples = append(out[i].Samples, mops(ops, time.Since(start)))
+			if s.restore != nil {
+				s.restore()
 			}
 		}
-		return n
-	}, refill))
-	out = append(out, sample("remove-batch", func() uint64 {
-		for lo := 0; lo < len(probe); lo += cfg.Batch {
-			f.RemoveBatch(probe[lo:min(lo+cfg.Batch, len(probe))])
-		}
-		return n
-	}, refill))
+	}
+	for i := range out {
+		out[i].Mops, out[i].CI95 = analysis.MeanCI95(out[i].Samples)
+	}
 	return out
 }

@@ -16,17 +16,25 @@ import (
 // in a single pass; the fingerprint target arrives pre-broadcast so a
 // two-block probe pays for one broadcast.
 
-// probe8 returns the match mask of the pre-broadcast fingerprint within
-// bucket: bit i is set iff slot i belongs to bucket and holds the
+// probe8Generic returns the match mask of the pre-broadcast fingerprint
+// within bucket: bit i is set iff slot i belongs to bucket and holds the
 // fingerprint. An empty bucket yields an empty range mask, so no branch is
 // needed for that case.
-func probe8(lo, hi uint64, fps *[swar.Words8]uint64, bucket uint, bcast uint64) uint64 {
+//
+// This is the portable body behind probe8, which is build-tagged: on amd64
+// (without purego) kernel_amd64.go dispatches to a fused assembly kernel that
+// folds the metadata select and the lane match into one routine, falling back
+// here when the CPU lacks PDEP/TZCNT or the assembly kernels are switched
+// off; everywhere else kernel_generic.go aliases probe8 to this directly.
+// The generic body is always compiled so the differential parity tests can
+// compare both implementations in one binary.
+func probe8Generic(lo, hi uint64, fps *[swar.Words8]uint64, bucket uint, bcast uint64) uint64 {
 	start, end := bucketRange128(lo, hi, bucket)
 	return swar.Match48Range(fps, bcast, start, end)
 }
 
-// probe16 is the 16-bit-fingerprint analog of probe8.
-func probe16(meta uint64, fps *[swar.Words16]uint64, bucket uint, bcast uint64) uint64 {
+// probe16Generic is the 16-bit-fingerprint analog of probe8Generic.
+func probe16Generic(meta uint64, fps *[swar.Words16]uint64, bucket uint, bcast uint64) uint64 {
 	start, end := bucketRange64(meta, bucket)
 	return swar.Match28Range(fps, bcast, start, end)
 }

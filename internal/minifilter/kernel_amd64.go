@@ -1,0 +1,47 @@
+//go:build amd64 && !purego
+
+package minifilter
+
+import "vqf/internal/swar"
+
+// Fused assembly probes. The generic probe is two dependent steps — a SWAR
+// metadata select (bucketRange128/bucketRange64: byte-wise popcount prefix
+// plus a table lookup) feeding a lane match — and the select dominates the
+// critical path. With BMI2 the select collapses to two instructions
+// (PDEP to isolate the bucket's terminator, TZCNT for its position), so the
+// whole probe — select, slot-range arithmetic, SSE2 lane compare, range
+// mask — fits in one assembly routine with no function-call boundary in the
+// middle. The CPUID gate lives in internal/swar next to the kernel switch:
+// one SetAsmKernels toggle moves the match kernels and the fused probes
+// together, which is what the asm-vs-generic benchmark and parity gates
+// flip.
+
+func probe8(lo, hi uint64, fps *[swar.Words8]uint64, bucket uint, bcast uint64) uint64 {
+	if swar.FastProbeEnabled() {
+		return fusedProbe8Asm(lo, hi, fps, bucket, bcast)
+	}
+	return probe8Generic(lo, hi, fps, bucket, bcast)
+}
+
+func probe16(meta uint64, fps *[swar.Words16]uint64, bucket uint, bcast uint64) uint64 {
+	if swar.FastProbeEnabled() {
+		return fusedProbe16Asm(meta, fps, bucket, bcast)
+	}
+	return probe16Generic(meta, fps, bucket, bcast)
+}
+
+// fusedProbe8Asm is probe8Generic in one assembly routine: PDEP/TZCNT
+// metadata select over the 128-bit terminator words, then the SSE2 lane
+// match restricted to the bucket's slot range. Requires swar.HasFastSelect
+// and *valid* block metadata (80 terminators among the 128 bits, bucket <
+// 80); both are guaranteed by the callers, which probe only locked blocks or
+// validated optimistic snapshots.
+//
+//go:noescape
+func fusedProbe8Asm(lo, hi uint64, fps *[swar.Words8]uint64, bucket uint, bcast uint64) uint64
+
+// fusedProbe16Asm is the 16-bit-fingerprint analog of fusedProbe8Asm
+// (36 terminators in one 64-bit word, bucket < 36).
+//
+//go:noescape
+func fusedProbe16Asm(meta uint64, fps *[swar.Words16]uint64, bucket uint, bcast uint64) uint64

@@ -1,0 +1,183 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// Fused probe kernels: metadata select + slot-range arithmetic + lane match
+// in one routine. The select uses the BMI2 trick
+//
+//	position of k-th set bit of m  =  TZCNT(PDEP(1 << k, m))
+//
+// which replaces the generic SWAR popcount-prefix select. The bucket's slot
+// range [start, end) then falls out of two terminator positions, and the
+// SSE2 compare + range mask is identical to the swar match kernels. Callers
+// guarantee valid block metadata (see kernel_amd64.go), which bounds every
+// shift count below 64:
+//
+//   - a terminator always follows terminator bucket-1 (bucket is in range),
+//     so the "rest" mask TZCNT operates on is nonzero wherever the code
+//     relies on it;
+//   - "bits strictly above p" is built as (-1 << p) << 1 — two shifts each
+//     < 64 — rather than -1 << (p+1), which would wrap at p = 63.
+//
+// Requires swar.HasFastSelect (POPCNT + BMI1 + BMI2); gated by the caller.
+
+// func fusedProbe8Asm(lo, hi uint64, fps *[6]uint64, bucket uint, bcast uint64) uint64
+TEXT ·fusedProbe8Asm(SB), NOSPLIT, $0-48
+	MOVQ    lo+0(FP), R8
+	MOVQ    hi+8(FP), R9
+	MOVQ    bucket+24(FP), BX
+	XORQ    R10, R10            // start = 0 (bucket-0 case)
+	TESTQ   BX, BX
+	JEQ     firstBucket8
+	LEAQ    -1(BX), DX          // k = bucket-1
+	POPCNTQ R8, R12             // terminators in the low word
+	CMPQ    DX, R12
+	JCC     selectHi8           // k >= popcount(lo): terminator k is in hi
+
+	// p = TZCNT(PDEP(1<<k, lo)), the k-th terminator's bit position.
+	MOVQ    DX, CX
+	MOVQ    $1, R13
+	SHLQ    CX, R13
+	PDEPQ   R8, R13, R13
+	TZCNTQ  R13, R13            // p (0..63)
+	MOVQ    $-1, R12
+	MOVQ    R13, CX
+	SHLQ    CX, R12
+	SHLQ    $1, R12             // bits strictly above p
+	ANDQ    R8, R12             // rest of lo
+	JNE     nextInLo8
+	TZCNTQ  R9, R11             // next terminator is in hi
+	ADDQ    $64, R11            // q = 64 + TZCNT(hi)
+	JMP     haveRange8
+
+nextInLo8:
+	TZCNTQ  R12, R11            // q
+	JMP     haveRange8
+
+selectHi8:
+	SUBQ    R12, DX             // k' = k - popcount(lo)
+	MOVQ    DX, CX
+	MOVQ    $1, R13
+	SHLQ    CX, R13
+	PDEPQ   R9, R13, R13
+	TZCNTQ  R13, R13            // p - 64
+	MOVQ    $-1, R12
+	MOVQ    R13, CX
+	SHLQ    CX, R12
+	SHLQ    $1, R12
+	ANDQ    R9, R12             // rest of hi; nonzero (terminator bucket follows)
+	TZCNTQ  R12, R11
+	ADDQ    $64, R11            // q
+	ADDQ    $64, R13            // p
+
+haveRange8:
+	SUBQ    BX, R11             // end = q - bucket
+	SUBQ    BX, R13
+	LEAQ    1(R13), R10         // start = p - bucket + 1
+	JMP     match8
+
+firstBucket8:
+	TZCNTQ  R8, R11             // end = TZCNT(lo), or into hi when lo == 0
+	CMPQ    R11, $64
+	JNE     match8
+	TZCNTQ  R9, R11
+	ADDQ    $64, R11
+
+match8:
+	CMPQ    R10, R11
+	JCC     empty8              // start >= end: empty bucket, skip the loads
+	MOVQ    fps+16(FP), SI
+	MOVQ    bcast+32(FP), AX
+	MOVQ    AX, X0
+	PUNPCKLQDQ X0, X0
+	MOVOU   (SI), X1
+	MOVOU   16(SI), X2
+	MOVOU   32(SI), X3
+	PCMPEQB X0, X1
+	PCMPEQB X0, X2
+	PCMPEQB X0, X3
+	PMOVMSKB X1, AX
+	PMOVMSKB X2, BX
+	PMOVMSKB X3, DX
+	SHLQ    $16, BX
+	SHLQ    $32, DX
+	ORQ     BX, AX
+	ORQ     DX, AX
+	MOVQ    $-1, R9
+	MOVQ    R10, CX
+	SHLQ    CX, R9              // -1 << start
+	ANDQ    R9, AX
+	MOVQ    $1, R9
+	MOVQ    R11, CX
+	SHLQ    CX, R9
+	DECQ    R9                  // (1 << end) - 1; end <= 48
+	ANDQ    R9, AX
+	MOVQ    AX, ret+40(FP)
+	RET
+
+empty8:
+	MOVQ    $0, ret+40(FP)
+	RET
+
+// func fusedProbe16Asm(meta uint64, fps *[7]uint64, bucket uint, bcast uint64) uint64
+TEXT ·fusedProbe16Asm(SB), NOSPLIT, $0-40
+	MOVQ    meta+0(FP), R8
+	MOVQ    bucket+16(FP), BX
+	XORQ    R10, R10            // start = 0 (bucket-0 case)
+	TESTQ   BX, BX
+	JEQ     firstBucket16
+	LEAQ    -1(BX), CX          // k = bucket-1
+	MOVQ    $1, R12
+	SHLQ    CX, R12
+	PDEPQ   R8, R12, R12
+	TZCNTQ  R12, R13            // p
+	MOVQ    $-1, R12
+	MOVQ    R13, CX
+	SHLQ    CX, R12
+	SHLQ    $1, R12             // bits strictly above p
+	ANDQ    R8, R12             // nonzero: terminator bucket follows
+	TZCNTQ  R12, R11            // q
+	SUBQ    BX, R11             // end = q - bucket
+	SUBQ    BX, R13
+	LEAQ    1(R13), R10         // start = p - bucket + 1
+	JMP     match16
+
+firstBucket16:
+	TZCNTQ  R8, R11             // end = TZCNT(meta); meta != 0 always
+
+match16:
+	CMPQ    R10, R11
+	JCC     empty16             // start >= end: empty bucket, skip the loads
+	MOVQ    fps+8(FP), SI
+	MOVQ    bcast+24(FP), AX
+	MOVQ    AX, X0
+	PUNPCKLQDQ X0, X0
+	MOVOU   (SI), X1
+	MOVOU   16(SI), X2
+	MOVOU   32(SI), X3
+	MOVQ    48(SI), X4
+	PCMPEQW X0, X1
+	PCMPEQW X0, X2
+	PCMPEQW X0, X3
+	PCMPEQW X0, X4
+	PACKSSWB X2, X1
+	PACKSSWB X4, X3
+	PMOVMSKB X1, AX
+	PMOVMSKB X3, BX
+	SHLQ    $16, BX
+	ORQ     BX, AX
+	MOVQ    $-1, R9
+	MOVQ    R10, CX
+	SHLQ    CX, R9              // -1 << start
+	ANDQ    R9, AX
+	MOVQ    $1, R9
+	MOVQ    R11, CX
+	SHLQ    CX, R9
+	DECQ    R9                  // (1 << end) - 1; end <= 28 strips the tail lanes
+	ANDQ    R9, AX
+	MOVQ    AX, ret+32(FP)
+	RET
+
+empty16:
+	MOVQ    $0, ret+32(FP)
+	RET

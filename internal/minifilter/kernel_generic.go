@@ -1,0 +1,16 @@
+//go:build !amd64 || purego
+
+package minifilter
+
+import "vqf/internal/swar"
+
+// On builds without the fused assembly probes, probe8/probe16 are the
+// generic kernels; see kernel_amd64.go for the assembly dispatch.
+
+func probe8(lo, hi uint64, fps *[swar.Words8]uint64, bucket uint, bcast uint64) uint64 {
+	return probe8Generic(lo, hi, fps, bucket, bcast)
+}
+
+func probe16(meta uint64, fps *[swar.Words16]uint64, bucket uint, bcast uint64) uint64 {
+	return probe16Generic(meta, fps, bucket, bcast)
+}

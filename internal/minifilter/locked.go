@@ -31,6 +31,11 @@ import (
 
 const lockBit = uint64(1) << 63
 
+// LockBit exposes the locked-mode lock flag (the top metadata bit) to
+// internal/core, whose serializer converts between the locked and plain
+// metadata conventions.
+const LockBit = lockBit
+
 // The locked-mode protocol depends on blocks being exactly one 64-byte cache
 // line with word-aligned fingerprint storage; both are asserted at compile
 // time.

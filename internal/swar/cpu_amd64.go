@@ -1,0 +1,25 @@
+//go:build amd64 && !purego
+
+package swar
+
+// cpuid executes the CPUID instruction with the given leaf (EAX) and
+// subleaf (ECX); implemented in cpu_amd64.s.
+func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+
+// hasFastSelect reports whether the CPU has the bit-manipulation
+// instructions the fused select+match probe kernels need: POPCNT (CPUID
+// leaf 1 ECX bit 23), and BMI1/BMI2 for TZCNT and PDEP (leaf 7 subleaf 0
+// EBX bits 3 and 8). Unlike the SSE2 match kernels these are not part of
+// the amd64 baseline, so the probe kernels are gated at runtime.
+var hasFastSelect = func() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuid(1, 0)
+	const popcntBit = 1 << 23
+	_, b7, _, _ := cpuid(7, 0)
+	const bmi1Bit = 1 << 3
+	const bmi2Bit = 1 << 8
+	return c1&popcntBit != 0 && b7&bmi1Bit != 0 && b7&bmi2Bit != 0
+}()

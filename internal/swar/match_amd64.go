@@ -1,0 +1,33 @@
+//go:build amd64 && !purego
+
+package swar
+
+// hasAsm gates the assembly match kernels into the dispatch wrappers
+// (match.go). The kernels use only SSE2, the amd64 architectural baseline,
+// so no CPUID feature probe is needed.
+const hasAsm = true
+
+// match48Asm compares all 48 byte lanes against the pre-broadcast target:
+// bit i of the result is set iff lane i matches. Implemented in
+// match_amd64.s with PCMPEQB over three 16-byte loads.
+//
+//go:noescape
+func match48Asm(fps *[Words8]uint64, bcast uint64) uint64
+
+// match28Asm compares all 28 uint16 lanes against the pre-broadcast target;
+// PCMPEQW + PACKSSWB in match_amd64.s.
+//
+//go:noescape
+func match28Asm(fps *[Words16]uint64, bcast uint64) uint64
+
+// matchRange48Asm is match48Asm fused with the [start, end) range mask.
+// Requires start < end <= 48.
+//
+//go:noescape
+func matchRange48Asm(fps *[Words8]uint64, bcast uint64, start, end uint) uint64
+
+// matchRange28Asm is match28Asm fused with the [start, end) range mask.
+// Requires start < end <= 28.
+//
+//go:noescape
+func matchRange28Asm(fps *[Words16]uint64, bcast uint64, start, end uint) uint64

@@ -1,0 +1,136 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// SSE2 whole-block match kernels: the amd64 analog of the paper's AVX-512
+// VPCMPB block probe. A mini-filter's 48 byte lanes (or 28 uint16 lanes) are
+// loaded with three (or three and a half) 16-byte unaligned loads, compared
+// lane-wise against the broadcast fingerprint with PCMPEQB/PCMPEQW, and
+// compressed to a lane bitmask with PMOVMSKB. Everything is SSE2 — the
+// amd64 architectural baseline — so no CPUID feature gate is needed.
+//
+// The caller passes the SWAR broadcast word (fingerprint replicated across
+// a uint64); PUNPCKLQDQ widens it to all 16 XMM bytes, so the scalar and
+// vector paths share one broadcast per probe.
+//
+// The range variants fuse the [start, end) bucket mask: callers guarantee
+// start < end <= 48 (resp. 28), so both shift counts are < 64 and the mask
+// arithmetic is exact.
+
+// func match48Asm(fps *[6]uint64, bcast uint64) uint64
+TEXT ·match48Asm(SB), NOSPLIT, $0-24
+	MOVQ       fps+0(FP), SI
+	MOVQ       bcast+8(FP), AX
+	MOVQ       AX, X0
+	PUNPCKLQDQ X0, X0
+	MOVOU      (SI), X1
+	MOVOU      16(SI), X2
+	MOVOU      32(SI), X3
+	PCMPEQB    X0, X1
+	PCMPEQB    X0, X2
+	PCMPEQB    X0, X3
+	PMOVMSKB   X1, AX
+	PMOVMSKB   X2, BX
+	PMOVMSKB   X3, CX
+	SHLQ       $16, BX
+	SHLQ       $32, CX
+	ORQ        BX, AX
+	ORQ        CX, AX
+	MOVQ       AX, ret+16(FP)
+	RET
+
+// func match28Asm(fps *[7]uint64, bcast uint64) uint64
+//
+// The 28 uint16 lanes span 56 bytes: three full XMM loads plus a MOVQ for
+// lanes 24..27 (upper half zeroed). PCMPEQW yields 0xFFFF per matching lane;
+// PACKSSWB saturates that to one byte per lane so a single PMOVMSKB covers
+// 16 lanes. The zeroed tail lanes of X4 would spuriously match a zero
+// fingerprint, so the result is masked to the 28 real lanes.
+TEXT ·match28Asm(SB), NOSPLIT, $0-24
+	MOVQ       fps+0(FP), SI
+	MOVQ       bcast+8(FP), AX
+	MOVQ       AX, X0
+	PUNPCKLQDQ X0, X0
+	MOVOU      (SI), X1
+	MOVOU      16(SI), X2
+	MOVOU      32(SI), X3
+	MOVQ       48(SI), X4
+	PCMPEQW    X0, X1
+	PCMPEQW    X0, X2
+	PCMPEQW    X0, X3
+	PCMPEQW    X0, X4
+	PACKSSWB   X2, X1
+	PACKSSWB   X4, X3
+	PMOVMSKB   X1, AX
+	PMOVMSKB   X3, BX
+	SHLQ       $16, BX
+	ORQ        BX, AX
+	ANDQ       $0x0FFFFFFF, AX
+	MOVQ       AX, ret+16(FP)
+	RET
+
+// func matchRange48Asm(fps *[6]uint64, bcast uint64, start, end uint) uint64
+TEXT ·matchRange48Asm(SB), NOSPLIT, $0-40
+	MOVQ       fps+0(FP), SI
+	MOVQ       bcast+8(FP), AX
+	MOVQ       AX, X0
+	PUNPCKLQDQ X0, X0
+	MOVOU      (SI), X1
+	MOVOU      16(SI), X2
+	MOVOU      32(SI), X3
+	PCMPEQB    X0, X1
+	PCMPEQB    X0, X2
+	PCMPEQB    X0, X3
+	PMOVMSKB   X1, AX
+	PMOVMSKB   X2, BX
+	PMOVMSKB   X3, DX
+	SHLQ       $16, BX
+	SHLQ       $32, DX
+	ORQ        BX, AX
+	ORQ        DX, AX
+	MOVQ       start+16(FP), CX
+	MOVQ       $-1, R9
+	SHLQ       CX, R9       // -1 << start: clears lanes below the bucket
+	ANDQ       R9, AX
+	MOVQ       end+24(FP), CX
+	MOVQ       $1, R8
+	SHLQ       CX, R8
+	DECQ       R8           // (1 << end) - 1: clears lanes past the bucket
+	ANDQ       R8, AX
+	MOVQ       AX, ret+32(FP)
+	RET
+
+// func matchRange28Asm(fps *[7]uint64, bcast uint64, start, end uint) uint64
+//
+// end <= 28, so the range mask also clears the spurious tail-lane bits that
+// match28Asm strips explicitly.
+TEXT ·matchRange28Asm(SB), NOSPLIT, $0-40
+	MOVQ       fps+0(FP), SI
+	MOVQ       bcast+8(FP), AX
+	MOVQ       AX, X0
+	PUNPCKLQDQ X0, X0
+	MOVOU      (SI), X1
+	MOVOU      16(SI), X2
+	MOVOU      32(SI), X3
+	MOVQ       48(SI), X4
+	PCMPEQW    X0, X1
+	PCMPEQW    X0, X2
+	PCMPEQW    X0, X3
+	PCMPEQW    X0, X4
+	PACKSSWB   X2, X1
+	PACKSSWB   X4, X3
+	PMOVMSKB   X1, AX
+	PMOVMSKB   X3, BX
+	SHLQ       $16, BX
+	ORQ        BX, AX
+	MOVQ       start+16(FP), CX
+	MOVQ       $-1, R9
+	SHLQ       CX, R9
+	ANDQ       R9, AX
+	MOVQ       end+24(FP), CX
+	MOVQ       $1, R8
+	SHLQ       CX, R8
+	DECQ       R8
+	ANDQ       R8, AX
+	MOVQ       AX, ret+32(FP)
+	RET

@@ -1,0 +1,28 @@
+//go:build !amd64 || purego
+
+package swar
+
+// hasAsm is false on architectures without assembly match kernels (or under
+// -tags purego); the dispatch wrappers fold their asm branches away and the
+// stubs below are unreachable.
+const hasAsm = false
+
+// hasFastSelect mirrors the amd64 CPUID probe for PDEP/TZCNT/POPCNT; without
+// assembly kernels there is nothing for it to gate.
+const hasFastSelect = false
+
+func match48Asm(fps *[Words8]uint64, bcast uint64) uint64 {
+	panic("swar: no assembly kernels in this build")
+}
+
+func match28Asm(fps *[Words16]uint64, bcast uint64) uint64 {
+	panic("swar: no assembly kernels in this build")
+}
+
+func matchRange48Asm(fps *[Words8]uint64, bcast uint64, start, end uint) uint64 {
+	panic("swar: no assembly kernels in this build")
+}
+
+func matchRange28Asm(fps *[Words16]uint64, bcast uint64, start, end uint) uint64 {
+	panic("swar: no assembly kernels in this build")
+}

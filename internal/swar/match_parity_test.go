@@ -1,0 +1,178 @@
+package swar
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// Differential parity gate for the assembly match kernels: on builds that
+// have them, every exported match kernel must agree bit-for-bit with the
+// always-compiled generic implementation, over random blocks, adversarial
+// fingerprints (0x00, present, absent) and every [start, end) range. On
+// builds without assembly kernels these tests verify the dispatch wrappers
+// resolve to the generic path.
+
+func randWords8(r *rand.Rand) [Words8]uint64 {
+	var w [Words8]uint64
+	for i := range w {
+		w[i] = r.Uint64()
+	}
+	return w
+}
+
+func randWords16(r *rand.Rand) [Words16]uint64 {
+	var w [Words16]uint64
+	for i := range w {
+		w[i] = r.Uint64()
+	}
+	return w
+}
+
+func TestMatch48AsmParity(t *testing.T) {
+	if !HasAsmKernels() {
+		t.Skip("no assembly kernels in this build")
+	}
+	r := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 2000; iter++ {
+		fps := randWords8(r)
+		fp := byte(r.Uint32())
+		if iter%4 == 0 {
+			fp = Lane8(&fps, r.Intn(48)) // guaranteed present
+		}
+		if iter%16 == 1 {
+			fp = 0
+		}
+		bc := BroadcastByte(fp)
+		if got, want := match48Asm(&fps, bc), match48Generic(&fps, bc); got != want {
+			t.Fatalf("match48 fp %#x: asm %#x generic %#x (fps %v)", fp, got, want, fps)
+		}
+		for start := uint(0); start <= 48; start++ {
+			for _, end := range []uint{start, start + 1, (start + 7) % 49, 48} {
+				if end < start || end > 48 {
+					continue
+				}
+				if start >= end {
+					continue
+				}
+				got := matchRange48Asm(&fps, bc, start, end)
+				want := match48RangeGeneric(&fps, bc, start, end)
+				if got != want {
+					t.Fatalf("matchRange48 fp %#x [%d,%d): asm %#x generic %#x", fp, start, end, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMatch28AsmParity(t *testing.T) {
+	if !HasAsmKernels() {
+		t.Skip("no assembly kernels in this build")
+	}
+	r := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 2000; iter++ {
+		fps := randWords16(r)
+		fp := uint16(r.Uint32())
+		if iter%4 == 0 {
+			fp = Lane16(&fps, r.Intn(28))
+		}
+		if iter%16 == 1 {
+			fp = 0 // the zeroed tail lanes of the asm MOVQ load match 0; must be masked
+		}
+		bc := BroadcastU16(fp)
+		if got, want := match28Asm(&fps, bc), match28Generic(&fps, bc); got != want {
+			t.Fatalf("match28 fp %#x: asm %#x generic %#x (fps %v)", fp, got, want, fps)
+		}
+		for start := uint(0); start <= 28; start++ {
+			for _, end := range []uint{start + 1, (start + 5) % 29, 28} {
+				if end <= start || end > 28 {
+					continue
+				}
+				got := matchRange28Asm(&fps, bc, start, end)
+				want := match28RangeGeneric(&fps, bc, start, end)
+				if got != want {
+					t.Fatalf("matchRange28 fp %#x [%d,%d): asm %#x generic %#x", fp, start, end, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSetAsmKernels verifies the dispatch switch: both settings produce
+// identical results through the exported wrappers, and the reported state
+// matches the build's capability.
+func TestSetAsmKernels(t *testing.T) {
+	defer SetAsmKernels(true)
+	if got := SetAsmKernels(true); got != HasAsmKernels() {
+		t.Fatalf("SetAsmKernels(true) = %v, want %v", got, HasAsmKernels())
+	}
+	if got := SetAsmKernels(false); got {
+		t.Fatal("SetAsmKernels(false) reported asm still enabled")
+	}
+	r := rand.New(rand.NewSource(3))
+	fps8 := randWords8(r)
+	fps16 := randWords16(r)
+	bc8 := BroadcastByte(0x5a)
+	bc16 := BroadcastU16(0xbeef)
+	SetAsmKernels(false)
+	g48, g28 := Match48(&fps8, bc8), Match28(&fps16, bc16)
+	g48r := Match48Range(&fps8, bc8, 3, 17)
+	g28r := Match28Range(&fps16, bc16, 2, 11)
+	SetAsmKernels(true)
+	if a := Match48(&fps8, bc8); a != g48 {
+		t.Fatalf("Match48 differs across dispatch: %#x vs %#x", a, g48)
+	}
+	if a := Match28(&fps16, bc16); a != g28 {
+		t.Fatalf("Match28 differs across dispatch: %#x vs %#x", a, g28)
+	}
+	if a := Match48Range(&fps8, bc8, 3, 17); a != g48r {
+		t.Fatalf("Match48Range differs across dispatch: %#x vs %#x", a, g48r)
+	}
+	if a := Match28Range(&fps16, bc16, 2, 11); a != g28r {
+		t.Fatalf("Match28Range differs across dispatch: %#x vs %#x", a, g28r)
+	}
+}
+
+// FuzzMatchParity fuzzes the asm/generic agreement over arbitrary block
+// contents, fingerprints and ranges — the CI asm-parity smoke. The corpus
+// bytes fill the widest block; both geometries are checked from the same
+// input.
+func FuzzMatchParity(f *testing.F) {
+	f.Add(make([]byte, 64), uint16(0), uint8(0), uint8(48))
+	f.Add([]byte("the quick brown fox jumps over the lazy dog, twice over!"), uint16(0x6f6f), uint8(3), uint8(29))
+	f.Fuzz(func(t *testing.T, raw []byte, fp uint16, start8, end8 uint8) {
+		if !HasAsmKernels() {
+			t.Skip("no assembly kernels in this build")
+		}
+		var buf [56]byte
+		copy(buf[:], raw)
+		var fps8 [Words8]uint64
+		for i := range fps8 {
+			fps8[i] = binary.LittleEndian.Uint64(buf[8*i:])
+		}
+		var fps16 [Words16]uint64
+		for i := range fps16 {
+			fps16[i] = binary.LittleEndian.Uint64(buf[8*i:])
+		}
+		bc8 := BroadcastByte(byte(fp))
+		bc16 := BroadcastU16(fp)
+		if got, want := match48Asm(&fps8, bc8), match48Generic(&fps8, bc8); got != want {
+			t.Errorf("match48: asm %#x generic %#x", got, want)
+		}
+		if got, want := match28Asm(&fps16, bc16), match28Generic(&fps16, bc16); got != want {
+			t.Errorf("match28: asm %#x generic %#x", got, want)
+		}
+		s, e := uint(start8)%49, uint(end8)%49
+		if s < e {
+			if got, want := matchRange48Asm(&fps8, bc8, s, e), match48RangeGeneric(&fps8, bc8, s, e); got != want {
+				t.Errorf("matchRange48 [%d,%d): asm %#x generic %#x", s, e, got, want)
+			}
+		}
+		s16, e16 := s%29, e%29
+		if s16 < e16 {
+			if got, want := matchRange28Asm(&fps16, bc16, s16, e16), match28RangeGeneric(&fps16, bc16, s16, e16); got != want {
+				t.Errorf("matchRange28 [%d,%d): asm %#x generic %#x", s16, e16, got, want)
+			}
+		}
+	})
+}

@@ -79,12 +79,12 @@ func MatchU16Mask(word uint64, target uint16) uint8 {
 	return uint8(matchU16B(word, BroadcastU16(target)))
 }
 
-// Match48 compares every byte lane of the word-native fingerprint array
-// against the pre-broadcast target, returning a bitmask with bit i set iff
-// lane i matches. This is the whole-block VPCMPB analog: six independent word
-// compares, fully unrolled, no loads beyond the block itself and no bounds
-// checks.
-func Match48(fps *[Words8]uint64, bcast uint64) uint64 {
+// match48Generic is the portable whole-block VPCMPB analog behind Match48:
+// six independent word compares, fully unrolled, no loads beyond the block
+// itself and no bounds checks. It is always compiled — on amd64 it is the
+// reference the assembly kernel is differentially verified against
+// (FuzzMatchParity) and the fallback SetAsmKernels(false) selects.
+func match48Generic(fps *[Words8]uint64, bcast uint64) uint64 {
 	return matchBytesB(fps[0], bcast) |
 		matchBytesB(fps[1], bcast)<<8 |
 		matchBytesB(fps[2], bcast)<<16 |
@@ -93,9 +93,9 @@ func Match48(fps *[Words8]uint64, bcast uint64) uint64 {
 		matchBytesB(fps[5], bcast)<<40
 }
 
-// Match28 is the 16-bit-lane analog of Match48: bit i set iff uint16 lane i
-// matches the pre-broadcast target.
-func Match28(fps *[Words16]uint64, bcast uint64) uint64 {
+// match28Generic is the 16-bit-lane analog of match48Generic: bit i set iff
+// uint16 lane i matches the pre-broadcast target.
+func match28Generic(fps *[Words16]uint64, bcast uint64) uint64 {
 	return matchU16B(fps[0], bcast) |
 		matchU16B(fps[1], bcast)<<4 |
 		matchU16B(fps[2], bcast)<<8 |
@@ -105,14 +105,15 @@ func Match28(fps *[Words16]uint64, bcast uint64) uint64 {
 		matchU16B(fps[6], bcast)<<24
 }
 
-// Match48Range is Match48 restricted to lanes [start, end): only the words
-// overlapping the range are compared, and the result is masked to the range.
-// Bucket runs are short — at 85% load roughly half are empty (early-out) and
-// the rest almost always fit one word — so skipping the other five words'
-// compares beats the branch-free full scan. The per-word compare is shared
-// with Match48 (matchBytesB), the final mask with everything else
-// (RangeMask): the range variant adds only the word-overlap bookkeeping.
-func Match48Range(fps *[Words8]uint64, bcast uint64, start, end uint) uint64 {
+// match48RangeGeneric is the portable word-selective range match behind
+// Match48Range: only the words overlapping [start, end) are compared, and
+// the result is masked to the range. Bucket runs are short — at 85% load
+// roughly half are empty (early-out) and the rest almost always fit one word
+// — so skipping the other five words' compares beats a branch-free full
+// scan in scalar code. The per-word compare is shared with match48Generic
+// (matchBytesB), the final mask with everything else (RangeMask): the range
+// variant adds only the word-overlap bookkeeping.
+func match48RangeGeneric(fps *[Words8]uint64, bcast uint64, start, end uint) uint64 {
 	if start >= end {
 		return 0
 	}
@@ -126,8 +127,8 @@ func Match48Range(fps *[Words8]uint64, bcast uint64, start, end uint) uint64 {
 	return mask & RangeMask(start, end)
 }
 
-// Match28Range is Match28 restricted to lanes [start, end); see Match48Range.
-func Match28Range(fps *[Words16]uint64, bcast uint64, start, end uint) uint64 {
+// match28RangeGeneric is match48RangeGeneric for uint16 lanes.
+func match28RangeGeneric(fps *[Words16]uint64, bcast uint64, start, end uint) uint64 {
 	if start >= end {
 		return 0
 	}

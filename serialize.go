@@ -21,6 +21,7 @@ const (
 	kind16      = 16
 	kindMap     = 0x4b // 'K': value-associating filter (Map)
 	kindElastic = 0x45 // 'E': elastic cascade
+	kindSharded = 0x53 // 'S': sharded concurrent filter
 )
 
 // envelopeBytes is the envelope header size: magic(4) version(2) kind(2)
@@ -48,6 +49,8 @@ func kindName(kind uint16) string {
 		return "a Map (use vqf.NewMapFromReader)"
 	case kindElastic:
 		return "an Elastic filter (use vqf.ReadElastic)"
+	case kindSharded:
+		return "a sharded Filter (use vqf.Read or vqf.ReadConcurrent)"
 	}
 	return fmt.Sprintf("unknown kind %d", kind)
 }
@@ -80,10 +83,12 @@ func readEnvelope(r io.Reader, want uint16) (seed uint64, err error) {
 	return seed, nil
 }
 
-// WriteTo serializes the filter. Only filters created with New (not
-// NewConcurrent) support serialization; concurrent filters should quiesce
-// and be rebuilt, or use the pre-hashed API against a reloaded filter.
-// It implements io.WriterTo.
+// WriteTo serializes the filter; it implements io.WriterTo. All Filter
+// variants serialize: sequential and concurrent filters share one stream
+// format per geometry (a filter saved by either loads into either), and
+// sharded filters add a sub-header recording the shard layout. Concurrent
+// and sharded filters must be quiescent — no in-flight writers — while
+// WriteTo runs; a held block lock is detected and reported as an error.
 func (f *Filter) WriteTo(w io.Writer) (int64, error) {
 	var kind uint16
 	var wt io.WriterTo
@@ -92,6 +97,14 @@ func (f *Filter) WriteTo(w io.Writer) (int64, error) {
 		kind, wt = kind8, impl
 	case *core.Filter16:
 		kind, wt = kind16, impl
+	case *core.CFilter8:
+		kind, wt = kind8, impl
+	case *core.CFilter16:
+		kind, wt = kind16, impl
+	case *core.Sharded8:
+		kind, wt = kindSharded, impl
+	case *core.Sharded16:
+		kind, wt = kindSharded, impl
 	default:
 		return 0, fmt.Errorf("vqf: filter type %T does not support serialization", f.impl)
 	}
@@ -103,7 +116,19 @@ func (f *Filter) WriteTo(w io.Writer) (int64, error) {
 	return n + m, err
 }
 
-// Read deserializes a filter previously written with WriteTo.
+// fprFor returns the analytic full-load false-positive rate of a geometry
+// kind (see Filter.FalsePositiveRate).
+func fprFor(is16 bool) float64 {
+	if is16 {
+		return 2.0 * 28 / 36 / 65536
+	}
+	return 2.0 * 48 / 80 / 256
+}
+
+// Read deserializes a filter previously written with WriteTo. Streams of
+// kind 8/16 load as sequential filters regardless of which variant wrote
+// them (use ReadConcurrent to load them thread-safe); sharded streams
+// always load as sharded (thread-safe) filters.
 func Read(r io.Reader) (*Filter, error) {
 	kind, seed, err := readEnvelopeKind(r)
 	if err != nil {
@@ -117,16 +142,66 @@ func Read(r io.Reader) (*Filter, error) {
 			return nil, err
 		}
 		f.impl = impl
-		f.fpr = 2.0 * 48 / 80 / 256
+		f.fpr = fprFor(false)
 	case kind16:
 		impl, err := core.ReadFilter16(r)
 		if err != nil {
 			return nil, err
 		}
 		f.impl = impl
-		f.fpr = 2.0 * 28 / 36 / 65536
+		f.fpr = fprFor(true)
+	case kindSharded:
+		return readShardedFilter(r, seed)
 	default:
 		return nil, fmt.Errorf("vqf: stream holds %s", kindName(kind))
+	}
+	return f, nil
+}
+
+// ReadConcurrent deserializes a filter previously written with WriteTo into
+// a thread-safe form: kind 8/16 streams load as concurrent filters, sharded
+// streams as sharded filters. The stream format does not record which
+// variant wrote it — Read and ReadConcurrent both accept any Filter stream.
+func ReadConcurrent(r io.Reader) (*Filter, error) {
+	kind, seed, err := readEnvelopeKind(r)
+	if err != nil {
+		return nil, err
+	}
+	f := &Filter{seed: seed}
+	switch kind {
+	case kind8:
+		impl, err := core.ReadCFilter8(r)
+		if err != nil {
+			return nil, err
+		}
+		f.impl = impl
+		f.fpr = fprFor(false)
+	case kind16:
+		impl, err := core.ReadCFilter16(r)
+		if err != nil {
+			return nil, err
+		}
+		f.impl = impl
+		f.fpr = fprFor(true)
+	case kindSharded:
+		return readShardedFilter(r, seed)
+	default:
+		return nil, fmt.Errorf("vqf: stream holds %s", kindName(kind))
+	}
+	return f, nil
+}
+
+// readShardedFilter reads the sharded payload following an envelope.
+func readShardedFilter(r io.Reader, seed uint64) (*Filter, error) {
+	s8, s16, err := core.ReadSharded(r)
+	if err != nil {
+		return nil, err
+	}
+	f := &Filter{seed: seed}
+	if s8 != nil {
+		f.impl, f.fpr = s8, fprFor(false)
+	} else {
+		f.impl, f.fpr = s16, fprFor(true)
 	}
 	return f, nil
 }

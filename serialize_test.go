@@ -59,11 +59,23 @@ func TestFilter16SerializeRoundTripFacade(t *testing.T) {
 	}
 }
 
-func TestConcurrentFilterSerializationUnsupported(t *testing.T) {
+func TestConcurrentFilterSerialization(t *testing.T) {
+	// Concurrent filters serialize to the same stream as sequential ones
+	// (see TestConcurrentSerializePublic for the cross-variant loads)...
 	f := NewConcurrent(1000)
+	f.AddUint64(42)
 	var buf bytes.Buffer
-	if _, err := f.WriteTo(&buf); err == nil {
-		t.Error("concurrent filter serialization should fail")
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Errorf("concurrent filter serialization failed: %v", err)
+	}
+	// ...but a filter with an in-flight writer must be refused rather than
+	// persisted torn; the quiescence check catches held block locks.
+	g, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.ContainsUint64(42) {
+		t.Error("false negative after concurrent round trip")
 	}
 }
 
