@@ -20,6 +20,7 @@
 //	table3   write-heavy mixed workload at 90% load (Table 3)
 //	table4   multi-threaded insert scaling (Table 4)
 //	concurrent reader-scaling sweep, locked vs optimistic lookups (writes JSON)
+//	observe  telemetry-layer overhead and quantile accuracy (writes JSON)
 //	elastic  online-growth cascade: throughput and FPR across growth events (writes JSON)
 //	maxload  maximum load factor per design variant (§3.4, §6.2)
 //	choices  block-occupancy dispersion: two-choice vs single (Theorem 1)
@@ -108,7 +109,7 @@ func main() {
 	fs.StringVar(&cfg.kernelsImpl, "kernels-impl", "auto",
 		"kernel implementation: auto (assembly where built in), asm (require assembly), generic (portable Go)")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: vqfbench [flags] <experiment>\n\nexperiments: table1 fig2 fig3 table2 fig4 fig5 fig6 table3 table4 concurrent elastic maxload maxloadscale choices ablation kernels kernelgate multicore oracle all\n\nflags:\n")
+		fmt.Fprintf(os.Stderr, "usage: vqfbench [flags] <experiment>\n\nexperiments: table1 fig2 fig3 table2 fig4 fig5 fig6 table3 table4 concurrent elastic maxload maxloadscale choices ablation kernels kernelgate multicore observe oracle all\n\nflags:\n")
 		fs.PrintDefaults()
 	}
 	fs.Parse(os.Args[1:])
@@ -158,6 +159,7 @@ func main() {
 		"kernels":      runKernels,
 		"kernelgate":   runKernelGate,
 		"multicore":    runMulticore,
+		"observe":      runObserve,
 		"oracle":       runOracle,
 	}
 	if cmd == "all" {

@@ -3,10 +3,12 @@ package vqf
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"vqf/internal/elastic"
 	"vqf/internal/hashing"
 	"vqf/internal/stats"
+	"vqf/internal/telemetry"
 )
 
 // Elastic is an online-growing vector quotient filter: a geometric cascade
@@ -28,6 +30,18 @@ type Elastic struct {
 	impl elasticImpl
 	seq  *elastic.Filter // non-nil on sequential filters; enables WriteTo
 	seed uint64
+	rec  *telemetry.Recorder
+	ring *telemetry.Ring
+}
+
+// initObservability attaches the cascade's latency recorder and event
+// ring; see Filter.initObservability.
+func (e *Elastic) initObservability(rate int, concurrent bool) {
+	e.rec = telemetry.NewRecorder(rate, concurrent)
+	e.ring = telemetry.NewRing(telemetry.DefaultRingSize)
+	if h, ok := e.impl.(interface{ SetEventRing(*telemetry.Ring) }); ok {
+		h.SetEventRing(e.ring)
+	}
 }
 
 // elasticImpl is the shared surface of elastic.Filter and elastic.CFilter.
@@ -91,7 +105,9 @@ func NewElastic(opts ...Option) *Elastic {
 	if err != nil {
 		panic(err)
 	}
-	return &Elastic{impl: impl, seq: impl, seed: c.seed}
+	e := &Elastic{impl: impl, seq: impl, seed: c.seed}
+	e.initObservability(c.latencyRate, false)
+	return e
 }
 
 // NewConcurrentElastic returns an elastic filter safe for concurrent use by
@@ -107,7 +123,9 @@ func NewConcurrentElastic(opts ...Option) *Elastic {
 	if err != nil {
 		panic(err)
 	}
-	return &Elastic{impl: impl, seed: c.seed}
+	e := &Elastic{impl: impl, seed: c.seed}
+	e.initObservability(c.latencyRate, true)
+	return e
 }
 
 func (e *Elastic) hash(key []byte) uint64 { return hashing.HashBytes(key, e.seed) }
@@ -125,7 +143,15 @@ func (e *Elastic) AddUint64(key uint64) error { return e.AddHash(hashing.HashUin
 
 // AddHash inserts a pre-hashed 64-bit key; see Filter.AddHash.
 func (e *Elastic) AddHash(h uint64) error {
-	if !e.impl.Insert(h) {
+	var ok bool
+	if e.rec.Sample(h) {
+		start := time.Now()
+		ok = e.impl.Insert(h)
+		e.rec.Record(telemetry.OpInsert, h, time.Since(start))
+	} else {
+		ok = e.impl.Insert(h)
+	}
+	if !ok {
 		return ErrFull
 	}
 	return nil
@@ -133,37 +159,53 @@ func (e *Elastic) AddHash(h uint64) error {
 
 // Contains reports whether key may be in the filter: true for every added
 // key, false with probability ≥ 1−ε for keys never added, at any size.
-func (e *Elastic) Contains(key []byte) bool { return e.impl.Contains(e.hash(key)) }
+func (e *Elastic) Contains(key []byte) bool { return e.ContainsHash(e.hash(key)) }
 
 // ContainsString queries a string key.
 func (e *Elastic) ContainsString(key string) bool {
-	return e.impl.Contains(hashing.HashString(key, e.seed))
+	return e.ContainsHash(hashing.HashString(key, e.seed))
 }
 
 // ContainsUint64 queries a uint64 key.
 func (e *Elastic) ContainsUint64(key uint64) bool {
-	return e.impl.Contains(hashing.HashUint64(key, e.seed))
+	return e.ContainsHash(hashing.HashUint64(key, e.seed))
 }
 
 // ContainsHash queries a pre-hashed 64-bit key.
-func (e *Elastic) ContainsHash(h uint64) bool { return e.impl.Contains(h) }
+func (e *Elastic) ContainsHash(h uint64) bool {
+	if e.rec.Sample(h) {
+		start := time.Now()
+		found := e.impl.Contains(h)
+		e.rec.Record(telemetry.OpLookup, h, time.Since(start))
+		return found
+	}
+	return e.impl.Contains(h)
+}
 
 // Remove deletes one previously added instance of key, searching every
 // level newest-first; see Filter.Remove for the deletion contract.
-func (e *Elastic) Remove(key []byte) bool { return e.impl.Remove(e.hash(key)) }
+func (e *Elastic) Remove(key []byte) bool { return e.RemoveHash(e.hash(key)) }
 
 // RemoveString removes a string key.
 func (e *Elastic) RemoveString(key string) bool {
-	return e.impl.Remove(hashing.HashString(key, e.seed))
+	return e.RemoveHash(hashing.HashString(key, e.seed))
 }
 
 // RemoveUint64 removes a uint64 key.
 func (e *Elastic) RemoveUint64(key uint64) bool {
-	return e.impl.Remove(hashing.HashUint64(key, e.seed))
+	return e.RemoveHash(hashing.HashUint64(key, e.seed))
 }
 
 // RemoveHash removes a pre-hashed 64-bit key.
-func (e *Elastic) RemoveHash(h uint64) bool { return e.impl.Remove(h) }
+func (e *Elastic) RemoveHash(h uint64) bool {
+	if e.rec.Sample(h) {
+		start := time.Now()
+		ok := e.impl.Remove(h)
+		e.rec.Record(telemetry.OpRemove, h, time.Since(start))
+		return ok
+	}
+	return e.impl.Remove(h)
+}
 
 // Count returns the number of items currently stored across all levels.
 func (e *Elastic) Count() uint64 { return e.impl.Count() }
@@ -231,5 +273,7 @@ func ReadElastic(r io.Reader) (*Elastic, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Elastic{impl: impl, seq: impl, seed: seed}, nil
+	e := &Elastic{impl: impl, seq: impl, seed: seed}
+	e.initObservability(telemetry.DefaultSamplingRate, false)
+	return e, nil
 }

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
@@ -109,6 +110,10 @@ func main() {
 	// would mount this on its ops port next to its other handlers.
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", vqf.MetricsHandler(map[string]vqf.Source{"shard-router": router}))
+	// The events endpoint always carries the process-wide ring ("global"),
+	// which records the assembly-kernel dispatch decision at startup — handy
+	// for confirming which code path a deployed binary is actually running.
+	mux.Handle("/debug/vqf/events", vqf.EventsHandler(nil))
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		panic(err)
@@ -131,4 +136,23 @@ func main() {
 			fmt.Println("  " + line)
 		}
 	}
+
+	resp, err = http.Get("http://" + ln.Addr().String() + "/debug/vqf/events")
+	if err != nil {
+		panic(err)
+	}
+	body, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		panic(err)
+	}
+	var events map[string][]vqf.Event
+	if err := json.Unmarshal(body, &events); err != nil {
+		panic(err)
+	}
+	fmt.Printf("scraped /debug/vqf/events: %d global events", len(events["global"]))
+	for _, ev := range events["global"] {
+		fmt.Printf(" (%s: asm=%d fused-probe=%d available=%d)", ev.Kind, ev.A, ev.B, ev.C)
+	}
+	fmt.Println()
 }

@@ -28,8 +28,10 @@ const (
 )
 
 func main() {
-	// The peer's summary, shared by all request-handling goroutines.
-	summary := vqf.NewConcurrent(cacheCapacity)
+	// The peer's summary, shared by all request-handling goroutines. Latency
+	// sampling at the default 1/64 rate is cheap enough to leave on in
+	// production; it feeds the p99 figures and Prometheus histograms below.
+	summary := vqf.NewConcurrent(cacheCapacity, vqf.WithLatencySampling(vqf.DefaultLatencySamplingRate))
 
 	// Pre-fill to ~90% of the cache capacity: a warm cache.
 	warm := workload.NewStream(3).Keys(cacheCapacity * 9 / 10)
@@ -47,6 +49,9 @@ func main() {
 	// handlers below are mutating the filter (snapshots never block writers).
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", vqf.MetricsHandler(map[string]vqf.Source{"peer-summary": summary}))
+	// Rare-event ring for incident debugging: seqlock fallbacks, shard claim
+	// stalls and the like show up here with their arguments.
+	mux.Handle("/debug/vqf/events", vqf.EventsHandler(map[string]vqf.EventSource{"peer-summary": summary}))
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		panic(err)
@@ -108,6 +113,12 @@ func main() {
 	fmt.Printf("optimistic reads: %d attempts, %d retries, %d lock fallbacks\n",
 		st.OptAttempts, st.OptRetries, st.OptFallbacks)
 
+	// Sampled latency quantiles: the p99 story without timing every op.
+	lat := summary.Latency()
+	fmt.Printf("sampled lookup latency (1/%d ops, %d samples): p50 %dns  p99 %dns  p999 %dns\n",
+		lat.SamplingRate, lat.Lookup.Count, lat.Lookup.P50, lat.Lookup.P99, lat.Lookup.P999)
+	fmt.Printf("rare events on the ring: %d (seqlock fallbacks and friends)\n", len(summary.Events()))
+
 	// Scrape our own endpoint and show a few series, as a monitoring stack
 	// would see them.
 	resp, err := http.Get("http://" + ln.Addr().String() + "/metrics")
@@ -122,7 +133,8 @@ func main() {
 	fmt.Println("scraped /metrics excerpt:")
 	for _, line := range strings.Split(string(body), "\n") {
 		if strings.HasPrefix(line, "vqf_items{") || strings.HasPrefix(line, "vqf_load_factor{") ||
-			strings.HasPrefix(line, "vqf_inserts_total{") || strings.HasPrefix(line, "vqf_optimistic_fallbacks_total{") {
+			strings.HasPrefix(line, "vqf_inserts_total{") || strings.HasPrefix(line, "vqf_optimistic_fallbacks_total{") ||
+			strings.HasPrefix(line, "vqf_op_latency_seconds_count{") {
 			fmt.Println("  " + line)
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"vqf/internal/minifilter"
 	"vqf/internal/stats"
 	"vqf/internal/swar"
+	"vqf/internal/telemetry"
 )
 
 // Concurrent filter variants (paper §6.3, extended). Writers take per-block
@@ -44,6 +45,7 @@ type CFilter8 struct {
 	opts    Options
 	thresh  uint
 	st      stats.Striped
+	ring    *telemetry.Ring
 }
 
 // NewCFilter8 creates a thread-safe filter with at least nslots slots; see
@@ -95,6 +97,9 @@ func (f *CFilter8) Insert(h uint64) bool {
 	if !f.opts.NoShortcut {
 		occ, retries, ok := blk1.OccupancyOptimisticCounted(seq1)
 		f.st.Optimistic(b1, retries, !ok)
+		if !ok {
+			f.fallbackEvent(b1, retries)
+		}
 		if ok && occ < f.thresh {
 			blk1.Lock()
 			// Re-check under the lock: a racing writer may have filled the
@@ -169,6 +174,9 @@ func (f *CFilter8) Contains(h uint64) bool {
 	bc := swar.BroadcastByte(fp)
 	found, retries, fellBack := f.blocks[b1].ContainsOptimisticCountedB(f.seq(b1), bucket, bc)
 	f.st.Optimistic(b1, retries, fellBack)
+	if fellBack {
+		f.fallbackEvent(b1, retries)
+	}
 	if found {
 		return true
 	}
@@ -178,6 +186,9 @@ func (f *CFilter8) Contains(h uint64) bool {
 	}
 	found, retries, fellBack = f.blocks[b2].ContainsOptimisticCountedB(f.seq(b2), bucket, bc)
 	f.st.Optimistic(b1, retries, fellBack)
+	if fellBack {
+		f.fallbackEvent(b2, retries)
+	}
 	return found
 }
 
@@ -283,6 +294,7 @@ type CFilter16 struct {
 	opts    Options
 	thresh  uint
 	st      stats.Striped
+	ring    *telemetry.Ring
 }
 
 // NewCFilter16 creates a thread-safe 16-bit-fingerprint filter.
@@ -329,6 +341,9 @@ func (f *CFilter16) Insert(h uint64) bool {
 	if !f.opts.NoShortcut {
 		occ, retries, ok := blk1.OccupancyOptimisticCounted(seq1)
 		f.st.Optimistic(b1, retries, !ok)
+		if !ok {
+			f.fallbackEvent(b1, retries)
+		}
 		if ok && occ < f.thresh {
 			blk1.Lock()
 			if blk1.OccupancyLocked() < f.thresh {
@@ -398,6 +413,9 @@ func (f *CFilter16) Contains(h uint64) bool {
 	bc := swar.BroadcastU16(fp)
 	found, retries, fellBack := f.blocks[b1].ContainsOptimisticCountedB(f.seq(b1), bucket, bc)
 	f.st.Optimistic(b1, retries, fellBack)
+	if fellBack {
+		f.fallbackEvent(b1, retries)
+	}
 	if found {
 		return true
 	}
@@ -407,6 +425,9 @@ func (f *CFilter16) Contains(h uint64) bool {
 	}
 	found, retries, fellBack = f.blocks[b2].ContainsOptimisticCountedB(f.seq(b2), bucket, bc)
 	f.st.Optimistic(b1, retries, fellBack)
+	if fellBack {
+		f.fallbackEvent(b2, retries)
+	}
 	return found
 }
 

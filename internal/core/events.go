@@ -1,0 +1,58 @@
+package core
+
+import "vqf/internal/telemetry"
+
+// Rare-event hooks. A filter records structured diagnostics into an
+// attached telemetry.Ring: seqlock retry-exhaustion fallbacks here, claim
+// stalls in the sharded batch pools (sharded.go). The ring pointer is
+// plain (not atomic): attach it right after construction, before the
+// filter sees traffic — the same publication contract as every other
+// constructor-time option. A nil ring (the default) costs one predicted
+// branch on the paths that would record, all of which are already rare.
+
+// SetEventRing attaches r as the filter's rare-event sink. Call before
+// sharing the filter across goroutines.
+func (f *CFilter8) SetEventRing(r *telemetry.Ring) { f.ring = r }
+
+// SetEventRing attaches r as the filter's rare-event sink. Call before
+// sharing the filter across goroutines.
+func (f *CFilter16) SetEventRing(r *telemetry.Ring) { f.ring = r }
+
+// SetEventRing attaches r to the sharded filter and every shard, so shard
+// fallbacks and pool stalls land in one stream.
+func (f *Sharded8) SetEventRing(r *telemetry.Ring) {
+	f.ring = r
+	for _, s := range f.shards {
+		s.SetEventRing(r)
+	}
+}
+
+// SetEventRing attaches r to the sharded filter and every shard.
+func (f *Sharded16) SetEventRing(r *telemetry.Ring) {
+	f.ring = r
+	for _, s := range f.shards {
+		s.SetEventRing(r)
+	}
+}
+
+func (f *CFilter8) fallbackEvent(b uint64, retries uint) {
+	if f.ring != nil {
+		f.ring.Record(telemetry.EvSeqlockFallback, b, uint64(retries), 0)
+	}
+}
+
+func (f *CFilter16) fallbackEvent(b uint64, retries uint) {
+	if f.ring != nil {
+		f.ring.Record(telemetry.EvSeqlockFallback, b, uint64(retries), 0)
+	}
+}
+
+// stallEvent records a sharded-batch pool that finished with idle workers:
+// the shard partition was too skewed (or too small) to feed every claimed
+// worker. active is the number of workers that claimed at least one
+// non-empty shard segment out of a pool of w, over a batch of keys keys.
+func stallEvent(ring *telemetry.Ring, active, w, keys int) {
+	if ring != nil && active < w {
+		ring.Record(telemetry.EvShardClaimStall, uint64(w-active), uint64(w), uint64(keys))
+	}
+}

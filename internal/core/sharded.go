@@ -32,6 +32,7 @@ import (
 
 	"vqf/internal/minifilter"
 	"vqf/internal/stats"
+	"vqf/internal/telemetry"
 )
 
 // maxShardBits bounds the shard count to 256: beyond the core counts of any
@@ -133,6 +134,7 @@ func shardBatchWorkers(n, nshards int) int {
 type Sharded8 struct {
 	shards    []*CFilter8
 	shardBits uint
+	ring      *telemetry.Ring
 }
 
 // NewSharded8 creates a sharded filter with at least nslots total slots
@@ -158,6 +160,19 @@ func (f *Sharded8) ShardCounts() []uint64 {
 	out := make([]uint64, len(f.shards))
 	for i, s := range f.shards {
 		out[i] = s.Count()
+	}
+	return out
+}
+
+// ShardSnapshots returns one full structural snapshot per shard, in shard
+// order. fprFullLoad is the geometry's analytic full-load FPR (a constant
+// shared by every shard). Cost is O(total blocks), same as one aggregate
+// snapshot.
+func (f *Sharded8) ShardSnapshots(fprFullLoad float64) []stats.Snapshot {
+	out := make([]stats.Snapshot, len(f.shards))
+	for i, s := range f.shards {
+		out[i] = stats.BuildSnapshot(s.Count(), s.Capacity(), s.SizeBytes(), fprFullLoad,
+			s.BlockOccupancies(), minifilter.B8Slots, s.Stats())
 	}
 	return out
 }
@@ -264,13 +279,13 @@ func shardedCount8(f *Sharded8, hs []uint64, batch func(*CFilter8, []uint64) int
 		}
 		return total
 	}
-	var cursor, total atomic.Int64
+	var cursor, total, active atomic.Int64
 	var wg sync.WaitGroup
 	for i := 0; i < w; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			n := 0
+			n, fed := 0, false
 			for {
 				s := int(cursor.Add(1)) - 1
 				if s >= len(f.shards) {
@@ -280,6 +295,7 @@ func shardedCount8(f *Sharded8, hs []uint64, batch func(*CFilter8, []uint64) int
 				if len(seg) == 0 {
 					continue
 				}
+				fed = true
 				shard := f.shards[s]
 				shard.st.Batch(len(seg))
 				if len(seg) >= minBatchPartition {
@@ -292,10 +308,14 @@ func shardedCount8(f *Sharded8, hs []uint64, batch func(*CFilter8, []uint64) int
 					}
 				}
 			}
+			if fed {
+				active.Add(1)
+			}
 			total.Add(int64(n))
 		}()
 	}
 	wg.Wait()
+	stallEvent(f.ring, int(active.Load()), w, len(hs))
 	return int(total.Load())
 }
 
@@ -361,6 +381,7 @@ func shardedContains(nshards int, shardBits uint, hs []uint64, out []bool, scan 
 type Sharded16 struct {
 	shards    []*CFilter16
 	shardBits uint
+	ring      *telemetry.Ring
 }
 
 // NewSharded16 creates a sharded 16-bit-fingerprint filter; see NewSharded8.
@@ -383,6 +404,17 @@ func (f *Sharded16) ShardCounts() []uint64 {
 	out := make([]uint64, len(f.shards))
 	for i, s := range f.shards {
 		out[i] = s.Count()
+	}
+	return out
+}
+
+// ShardSnapshots returns one full structural snapshot per shard; see
+// Sharded8.ShardSnapshots.
+func (f *Sharded16) ShardSnapshots(fprFullLoad float64) []stats.Snapshot {
+	out := make([]stats.Snapshot, len(f.shards))
+	for i, s := range f.shards {
+		out[i] = stats.BuildSnapshot(s.Count(), s.Capacity(), s.SizeBytes(), fprFullLoad,
+			s.BlockOccupancies(), minifilter.B16Slots, s.Stats())
 	}
 	return out
 }
@@ -479,13 +511,13 @@ func shardedCount16(f *Sharded16, hs []uint64, batch func(*CFilter16, []uint64) 
 		}
 		return total
 	}
-	var cursor, total atomic.Int64
+	var cursor, total, active atomic.Int64
 	var wg sync.WaitGroup
 	for i := 0; i < w; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			n := 0
+			n, fed := 0, false
 			for {
 				s := int(cursor.Add(1)) - 1
 				if s >= len(f.shards) {
@@ -495,6 +527,7 @@ func shardedCount16(f *Sharded16, hs []uint64, batch func(*CFilter16, []uint64) 
 				if len(seg) == 0 {
 					continue
 				}
+				fed = true
 				shard := f.shards[s]
 				shard.st.Batch(len(seg))
 				if len(seg) >= minBatchPartition {
@@ -507,10 +540,14 @@ func shardedCount16(f *Sharded16, hs []uint64, batch func(*CFilter16, []uint64) 
 					}
 				}
 			}
+			if fed {
+				active.Add(1)
+			}
 			total.Add(int64(n))
 		}()
 	}
 	wg.Wait()
+	stallEvent(f.ring, int(active.Load()), w, len(hs))
 	return int(total.Load())
 }
 

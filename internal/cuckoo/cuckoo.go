@@ -10,6 +10,7 @@ import (
 	"math/bits"
 
 	"vqf/internal/hashing"
+	"vqf/internal/telemetry"
 )
 
 // SlotsPerBucket is the bucket width recommended by the cuckoo filter
@@ -208,6 +209,7 @@ func (f *Filter) evictInsert(bucket, alt, fp uint64) bool {
 	for i := len(chain) - 1; i >= 0; i-- {
 		f.table.set(chain[i].slot, chain[i].prev)
 	}
+	telemetry.Global().Record(telemetry.EvEvictionRollback, uint64(len(chain)), bucket, 0)
 	return false
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"vqf/internal/stats"
+	"vqf/internal/telemetry"
 )
 
 // CFilter is the thread-safe elastic VQF. The level list is immutable and
@@ -21,6 +22,7 @@ import (
 type CFilter struct {
 	cfg    Config
 	levels atomic.Pointer[[]*level]
+	ring   *telemetry.Ring
 	// growMu serializes growth; insert and lookup paths never take it.
 	growMu sync.Mutex
 }
@@ -71,7 +73,7 @@ func (f *CFilter) grow(seenLevels int) bool {
 	}
 	next := make([]*level, len(ls)+1)
 	copy(next, ls)
-	next[len(ls)] = newLevel(f.cfg, len(ls))
+	next[len(ls)] = buildLevel(f.cfg, len(ls), f.ring, telemetry.EvElasticSwap)
 	f.levels.Store(&next)
 	return true
 }

@@ -37,6 +37,7 @@ import (
 	"vqf/internal/core"
 	"vqf/internal/minifilter"
 	"vqf/internal/stats"
+	"vqf/internal/telemetry"
 )
 
 // Analytic full-load false-positive rates of the two core geometries
@@ -219,6 +220,7 @@ func newLevel(c Config, i int) *level {
 type Filter struct {
 	cfg    Config
 	levels []*level
+	ring   *telemetry.Ring
 
 	// scratch backs ContainsBatch's shrinking working set (batch.go).
 	scratch cascadeScratch
@@ -245,7 +247,7 @@ func (f *Filter) Insert(h uint64) bool {
 		if len(f.levels) >= MaxLevels {
 			return false
 		}
-		f.levels = append(f.levels, newLevel(f.cfg, len(f.levels)))
+		f.levels = append(f.levels, buildLevel(f.cfg, len(f.levels), f.ring, telemetry.EvElasticGrow))
 	}
 }
 

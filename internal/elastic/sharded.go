@@ -131,6 +131,17 @@ func (f *Sharded) Stats() stats.OpCounts {
 	return total
 }
 
+// ShardSnapshots returns one aggregate cascade snapshot per shard, in
+// shard order — the per-shard heat view (each shard's count, load, and op
+// counters) behind the sharded imbalance metric.
+func (f *Sharded) ShardSnapshots() []stats.Snapshot {
+	out := make([]stats.Snapshot, len(f.shards))
+	for i, s := range f.shards {
+		out[i] = s.Snapshot().Aggregate
+	}
+	return out
+}
+
 // Snapshot returns the sharded cascade's structural snapshot. Levels[i]
 // merges level i across every shard that has one — shards share a config,
 // so level i has the same geometry in every shard and the merge is exact.

@@ -6,6 +6,7 @@ import (
 
 	"vqf/internal/analysis"
 	"vqf/internal/core"
+	"vqf/internal/telemetry"
 	"vqf/internal/workload"
 )
 
@@ -43,11 +44,16 @@ func (c *KernelConfig) defaults() {
 }
 
 // KernelResult is one op's samples with their benchstat-style summary.
+// Latency, when present, is a per-operation latency digest from one
+// dedicated every-op-timed pass run after the throughput samples — the
+// clock read perturbs per-op cost, so the quantiles and the Mops column
+// come from separate passes and the throughput numbers stay clean.
 type KernelResult struct {
-	Name    string    `json:"name"`
-	Mops    float64   `json:"mops"`
-	CI95    float64   `json:"ci95_mops"`
-	Samples []float64 `json:"samples_mops"`
+	Name    string             `json:"name"`
+	Mops    float64            `json:"mops"`
+	CI95    float64            `json:"ci95_mops"`
+	Samples []float64          `json:"samples_mops"`
+	Latency *telemetry.Summary `json:"latency_ns,omitempty"`
 }
 
 // kernelFilter is the surface the kernel benchmarks exercise; both
@@ -106,10 +112,15 @@ func runKernelGeom(cfg KernelConfig, geom string, mk func() kernelFilter) []Kern
 	// run and restore (nil when op leaves state unchanged) rolls the filter
 	// state back untimed. Within a round the order matters only in that every
 	// remove kernel restores before the next kernel runs.
+	// lat is the op's every-op-timed latency pass: it times each individual
+	// call (or each batch call, recorded as per-key amortized observations)
+	// into the histogram. It runs once, after all throughput reps, and any
+	// restore applies to it too.
 	type kernelSpec struct {
 		name    string
 		op      func() uint64
 		restore func()
+		lat     func(lh *telemetry.Hist)
 	}
 	specs := []kernelSpec{
 		// Fill throughput: a fresh filter per sample so every rep inserts
@@ -120,14 +131,30 @@ func runKernelGeom(cfg KernelConfig, geom string, mk func() kernelFilter) []Kern
 				g.Insert(h)
 			}
 			return n
-		}, nil},
+		}, nil, func(lh *telemetry.Hist) {
+			g := mk()
+			for _, h := range keys {
+				start := time.Now()
+				g.Insert(h)
+				lh.Record(h, uint64(time.Since(start)))
+			}
+		}},
 		{"insert-batch", func() uint64 {
 			g := mk()
 			for lo := 0; lo < len(keys); lo += cfg.Batch {
 				g.InsertBatch(keys[lo:min(lo+cfg.Batch, len(keys))])
 			}
 			return n
-		}, nil},
+		}, nil, func(lh *telemetry.Hist) {
+			g := mk()
+			for lo := 0; lo < len(keys); lo += cfg.Batch {
+				b := keys[lo:min(lo+cfg.Batch, len(keys))]
+				start := time.Now()
+				g.InsertBatch(b)
+				d := uint64(time.Since(start))
+				lh.RecordN(uint64(lo), d/uint64(len(b)), uint64(len(b)), d)
+			}
+		}},
 		{"lookup-pos", func() uint64 {
 			got := 0
 			for _, h := range probe {
@@ -139,7 +166,13 @@ func runKernelGeom(cfg KernelConfig, geom string, mk func() kernelFilter) []Kern
 				panic("harness: false negative in kernel benchmark")
 			}
 			return n
-		}, nil},
+		}, nil, func(lh *telemetry.Hist) {
+			for _, h := range probe {
+				start := time.Now()
+				f.Contains(h)
+				lh.Record(h, uint64(time.Since(start)))
+			}
+		}},
 		{"lookup-rand", func() uint64 {
 			sink := 0
 			for _, h := range absent {
@@ -149,13 +182,27 @@ func runKernelGeom(cfg KernelConfig, geom string, mk func() kernelFilter) []Kern
 			}
 			_ = sink
 			return n
-		}, nil},
+		}, nil, func(lh *telemetry.Hist) {
+			for _, h := range absent {
+				start := time.Now()
+				f.Contains(h)
+				lh.Record(h, uint64(time.Since(start)))
+			}
+		}},
 		{"contains-batch", func() uint64 {
 			for lo := 0; lo < len(probe); lo += cfg.Batch {
 				f.ContainsBatch(probe[lo:min(lo+cfg.Batch, len(probe))], dst)
 			}
 			return n
-		}, nil},
+		}, nil, func(lh *telemetry.Hist) {
+			for lo := 0; lo < len(probe); lo += cfg.Batch {
+				b := probe[lo:min(lo+cfg.Batch, len(probe))]
+				start := time.Now()
+				f.ContainsBatch(b, dst)
+				d := uint64(time.Since(start))
+				lh.RecordN(uint64(lo), d/uint64(len(b)), uint64(len(b)), d)
+			}
+		}},
 		{"remove", func() uint64 {
 			for _, h := range probe {
 				if !f.Remove(h) {
@@ -163,13 +210,27 @@ func runKernelGeom(cfg KernelConfig, geom string, mk func() kernelFilter) []Kern
 				}
 			}
 			return n
-		}, refill},
+		}, refill, func(lh *telemetry.Hist) {
+			for _, h := range probe {
+				start := time.Now()
+				f.Remove(h)
+				lh.Record(h, uint64(time.Since(start)))
+			}
+		}},
 		{"remove-batch", func() uint64 {
 			for lo := 0; lo < len(probe); lo += cfg.Batch {
 				f.RemoveBatch(probe[lo:min(lo+cfg.Batch, len(probe))])
 			}
 			return n
-		}, refill},
+		}, refill, func(lh *telemetry.Hist) {
+			for lo := 0; lo < len(probe); lo += cfg.Batch {
+				b := probe[lo:min(lo+cfg.Batch, len(probe))]
+				start := time.Now()
+				f.RemoveBatch(b)
+				d := uint64(time.Since(start))
+				lh.RecordN(uint64(lo), d/uint64(len(b)), uint64(len(b)), d)
+			}
+		}},
 	}
 
 	// Sampling is interleaved: round r times every kernel once, rather than
@@ -195,6 +256,18 @@ func runKernelGeom(cfg KernelConfig, geom string, mk func() kernelFilter) []Kern
 	}
 	for i := range out {
 		out[i].Mops, out[i].CI95 = analysis.MeanCI95(out[i].Samples)
+	}
+	// One latency pass per kernel, after every throughput sample is in: the
+	// per-op clock reads make this pass slower than a throughput rep, and
+	// running it last keeps that perturbation out of the Mops samples.
+	for i, s := range specs {
+		var lh telemetry.Hist
+		s.lat(&lh)
+		if s.restore != nil {
+			s.restore()
+		}
+		sum := lh.Snapshot().Summary()
+		out[i].Latency = &sum
 	}
 	return out
 }

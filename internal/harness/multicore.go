@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"vqf/internal/core"
+	"vqf/internal/telemetry"
 	"vqf/internal/workload"
 )
 
@@ -54,6 +55,11 @@ type MulticorePoint struct {
 	InsertEff float64 `json:"insert_efficiency"`
 	LookupEff float64 `json:"lookup_efficiency"`
 	BatchEff  float64 `json:"batch_efficiency"`
+	// LookupLatency is the per-op lookup latency digest at this thread
+	// count, from a dedicated sampled pass run after the throughput
+	// measurements (every 16th op is timed, so the clock reads cannot
+	// depress the Mops columns).
+	LookupLatency *telemetry.Summary `json:"lookup_latency_ns,omitempty"`
 }
 
 // MulticoreVariant is one filter variant's scaling series.
@@ -134,6 +140,7 @@ func RunMulticore(cfg MulticoreConfig) []MulticoreVariant {
 			p.BatchMops = bestOf(cfg.Repeat, func() float64 {
 				return mcBatchLookups(prefilled, probe)
 			})
+			p.LookupLatency = mcLookupLatency(v.contains(prefilled), keys, t, cfg.OpsPerThread, cfg.Seed)
 			if i == 0 {
 				base = p
 			}
@@ -237,6 +244,39 @@ func mcLookups(contains func(uint64) bool, keys []uint64, t, opsPerThread int, s
 	}
 	wg.Wait()
 	return mops(uint64(t)*uint64(opsPerThread), time.Since(start))
+}
+
+// mcLookupLatency runs the single-key lookup workload once more with every
+// 16th operation individually timed into a shared concurrent histogram, and
+// returns the quantile digest. Sampling keeps the two clock reads off 15 of
+// 16 ops, so the contention profile the timed ops observe stays close to
+// the untimed throughput run's.
+func mcLookupLatency(contains func(uint64) bool, keys []uint64, t, opsPerThread int, seed uint64) *telemetry.Summary {
+	var lh telemetry.Hist
+	var wg sync.WaitGroup
+	for w := 0; w < t; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := workload.NewStream(seed ^ uint64(w+1)*0x9e3779b97f4a7c15)
+			for i := 0; i < opsPerThread; i++ {
+				h := s.Next()
+				if i&1 == 0 {
+					h = keys[h%uint64(len(keys))]
+				}
+				if i&15 == 0 {
+					start := time.Now()
+					contains(h)
+					lh.Record(h, uint64(time.Since(start)))
+				} else {
+					contains(h)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	sum := lh.Snapshot().Summary()
+	return &sum
 }
 
 // mcBatchLookups measures one whole-batch ContainsBatch call; the filter's

@@ -4,6 +4,7 @@ import (
 	"math/bits"
 
 	"vqf/internal/hashing"
+	"vqf/internal/telemetry"
 )
 
 // MaxKicks bounds the cuckoo-eviction walk used when both candidate buckets
@@ -145,6 +146,7 @@ func (f *Filter8) evictInsert(b2 uint64, bucket uint, fp uint8) bool {
 		f.blocks[mv.blk].remove(mv.iBucket, mv.iFp)
 		f.blocks[mv.blk].insert(mv.vBucket, mv.vFp)
 	}
+	telemetry.Global().Record(telemetry.EvEvictionRollback, uint64(len(chain)), b2, 0)
 	return false
 }
 
@@ -293,6 +295,7 @@ func (f *Filter16) evictInsert(b2 uint64, bucket uint, fp uint16) bool {
 		f.blocks[mv.blk].remove(mv.iBucket, mv.iFp)
 		f.blocks[mv.blk].insert(mv.vBucket, mv.vFp)
 	}
+	telemetry.Global().Record(telemetry.EvEvictionRollback, uint64(len(chain)), b2, 0)
 	return false
 }
 

@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"vqf/internal/telemetry"
+)
+
+// Latency exposition: the sampled per-operation latency histograms from
+// internal/telemetry rendered as native Prometheus histograms
+// (vqf_op_latency_seconds with filter/op labels, cumulative le buckets in
+// seconds). Only occupied buckets are emitted — the telemetry bucket table
+// has 304 fixed edges and a filter's latencies typically span a dozen of
+// them, so sparse emission keeps scrape size proportional to the observed
+// range while the cumulative-bucket semantics stay exact.
+
+// LatencySeries is one (filter, op) latency histogram to expose.
+type LatencySeries struct {
+	Filter string
+	Shard  string // optional shard="i" label, as NamedSnapshot.Shard
+	Op     string // "insert", "lookup", "remove", "insert_batch", ...
+	Hist   telemetry.HistSnapshot
+}
+
+func (s *LatencySeries) labels(extra string) string {
+	out := fmt.Sprintf("{filter=%q,op=%q", s.Filter, s.Op)
+	if s.Shard != "" {
+		out += fmt.Sprintf(",shard=%q", s.Shard)
+	}
+	return out + extra + "}"
+}
+
+// WriteLatency renders the series as one Prometheus histogram metric.
+// Series with zero observations are skipped entirely (a filter with
+// sampling disabled exposes no latency series rather than empty ones).
+func WriteLatency(w io.Writer, series []LatencySeries) error {
+	const name = "vqf_op_latency_seconds"
+	any := false
+	for i := range series {
+		if series[i].Hist.Count > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "# HELP %s Sampled per-operation latency (batch ops record per-key amortized latency).\n# TYPE %s histogram\n", name, name); err != nil {
+		return err
+	}
+	for i := range series {
+		s := &series[i]
+		if s.Hist.Count == 0 {
+			continue
+		}
+		cum := uint64(0)
+		for b, c := range s.Hist.Counts {
+			if c == 0 {
+				continue
+			}
+			cum += c
+			le := strconv.FormatFloat(float64(telemetry.BucketUpper(b))/1e9, 'g', -1, 64)
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, s.labels(fmt.Sprintf(",le=%q", le)), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n%s_sum%s %s\n%s_count%s %d\n",
+			name, s.labels(`,le="+Inf"`), cum,
+			name, s.labels(""), formatValue(float64(s.Hist.Sum)/1e9),
+			name, s.labels(""), s.Hist.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NamedGauge is one labeled sample of a standalone gauge metric.
+type NamedGauge struct {
+	Name  string
+	Value float64
+}
+
+// WriteGauge renders one gauge metric with a filter label per sample;
+// used for derived metrics (shard imbalance) that no Snapshot field
+// carries. No output when gauges is empty.
+func WriteGauge(w io.Writer, metric, help string, gauges []NamedGauge) error {
+	if len(gauges) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", metric, help, metric); err != nil {
+		return err
+	}
+	for _, g := range gauges {
+		if _, err := fmt.Fprintf(w, "%s{filter=%q} %s\n", metric, g.Name, formatValue(g.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -17,10 +17,30 @@ import (
 // ContentType is the Content-Type header value for WriteMetrics output.
 const ContentType = "text/plain; version=0.0.4; charset=utf-8"
 
-// NamedSnapshot pairs a filter's exposition label with its snapshot.
+// NamedSnapshot pairs a filter's exposition label set with its snapshot.
+// Shard, when non-empty, adds a shard="<i>" label — the per-shard series
+// of a sharded filter, alongside the aggregate series without the label.
 type NamedSnapshot struct {
-	Name string
-	Snap Snapshot
+	Name  string
+	Shard string
+	Snap  Snapshot
+}
+
+// labels renders the snapshot's label set, without a trailing separator:
+// {filter="name"} or {filter="name",shard="i"}.
+func (n *NamedSnapshot) labels() string {
+	if n.Shard == "" {
+		return fmt.Sprintf("{filter=%q}", n.Name)
+	}
+	return fmt.Sprintf("{filter=%q,shard=%q}", n.Name, n.Shard)
+}
+
+// labelsLE is labels with a trailing le bucket-boundary label.
+func (n *NamedSnapshot) labelsLE(le string) string {
+	if n.Shard == "" {
+		return fmt.Sprintf("{filter=%q,le=%q}", n.Name, le)
+	}
+	return fmt.Sprintf("{filter=%q,shard=%q,le=%q}", n.Name, n.Shard, le)
 }
 
 // metricDef is one exposition metric: its name, type, help string, and how
@@ -87,8 +107,8 @@ func WriteMetrics(w io.Writer, snaps []NamedSnapshot) error {
 			return err
 		}
 		for i := range snaps {
-			if _, err := fmt.Fprintf(w, "%s{filter=%q} %s\n",
-				def.name, snaps[i].Name, formatValue(def.value(&snaps[i].Snap))); err != nil {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n",
+				def.name, snaps[i].labels(), formatValue(def.value(&snaps[i].Snap))); err != nil {
 				return err
 			}
 		}
@@ -105,12 +125,12 @@ func WriteMetrics(w io.Writer, snaps []NamedSnapshot) error {
 		for slots, blocks := range occ.Histogram {
 			cum += blocks
 			occupied += uint64(slots) * blocks
-			if _, err := fmt.Fprintf(w, "%s_bucket{filter=%q,le=\"%d\"} %d\n", hist, snaps[i].Name, slots, cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", hist, snaps[i].labelsLE(strconv.Itoa(slots)), cum); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket{filter=%q,le=\"+Inf\"} %d\n%s_sum{filter=%q} %d\n%s_count{filter=%q} %d\n",
-			hist, snaps[i].Name, cum, hist, snaps[i].Name, occupied, hist, snaps[i].Name, occ.Blocks); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n%s_sum%s %d\n%s_count%s %d\n",
+			hist, snaps[i].labelsLE("+Inf"), cum, hist, snaps[i].labels(), occupied, hist, snaps[i].labels(), occ.Blocks); err != nil {
 			return err
 		}
 	}

@@ -93,6 +93,37 @@ type CascadeSnapshot struct {
 	Levels    []Snapshot `json:"levels"`
 }
 
+// ShardedSnapshot is the structural snapshot of a sharded filter: the
+// merged aggregate, one Snapshot per shard (in shard-index order), and the
+// shard-heat imbalance metric. Imbalance is max/mean over per-shard item
+// counts: 1.0 is a perfectly balanced filter, NumShards is the worst case
+// (all items in one shard), and 0 means the filter is empty. A uniform
+// hash keeps it within a few percent of 1; sustained higher values mean
+// the workload's hashes are skewed in their top (shard-selector) bits.
+type ShardedSnapshot struct {
+	Aggregate Snapshot   `json:"aggregate"`
+	Shards    []Snapshot `json:"shards"`
+	Imbalance float64    `json:"imbalance"`
+}
+
+// BuildShardedSnapshot assembles a ShardedSnapshot and computes the
+// imbalance metric from the per-shard counts.
+func BuildShardedSnapshot(aggregate Snapshot, shards []Snapshot) ShardedSnapshot {
+	s := ShardedSnapshot{Aggregate: aggregate, Shards: shards}
+	var total, max uint64
+	for i := range shards {
+		total += shards[i].Count
+		if shards[i].Count > max {
+			max = shards[i].Count
+		}
+	}
+	if total > 0 && len(shards) > 0 {
+		mean := float64(total) / float64(len(shards))
+		s.Imbalance = float64(max) / mean
+	}
+	return s
+}
+
 // BuildSnapshot assembles a Snapshot from the primitive readings every
 // introspectable filter exposes.
 func BuildSnapshot(count, capacity, sizeBytes uint64, fprFullLoad float64, occs []uint, slotsPerBlock uint, ops OpCounts) Snapshot {

@@ -1,6 +1,10 @@
 package swar
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"vqf/internal/telemetry"
+)
 
 // Kernel dispatch. On amd64 the whole-block match kernels have a second
 // implementation in SSE2 assembly (match_amd64.s): three 16-byte unaligned
@@ -23,7 +27,26 @@ import "sync/atomic"
 // exactly when they exist for this GOARCH (and the build is not purego).
 var useAsm atomic.Bool
 
-func init() { useAsm.Store(hasAsm) }
+func init() {
+	useAsm.Store(hasAsm)
+	recordDispatch()
+}
+
+// recordDispatch logs the current kernel selection (asm on/off, fused
+// probe availability, whether asm exists at all) to the global event ring,
+// so a process's event stream shows which implementation its numbers came
+// from — at init and again on every SetAsmKernels toggle.
+func recordDispatch() {
+	telemetry.Global().Record(telemetry.EvAsmDispatch,
+		b2u(AsmKernelsEnabled()), b2u(FastProbeEnabled()), b2u(hasAsm))
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
 
 // HasAsmKernels reports whether this build contains assembly match kernels
 // (amd64 without the purego tag).
@@ -40,6 +63,7 @@ func AsmKernelsEnabled() bool { return hasAsm && useAsm.Load() }
 // one implementation or the other, which agree bit-for-bit).
 func SetAsmKernels(enable bool) bool {
 	useAsm.Store(enable && hasAsm)
+	recordDispatch()
 	return AsmKernelsEnabled()
 }
 

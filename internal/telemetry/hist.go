@@ -1,0 +1,203 @@
+// Package telemetry is the latency and rare-event observation substrate
+// shared by every filter variant: sampled per-operation latency recording
+// into log-bucketed HDR-style histograms, a bounded lock-free ring of
+// structured rare events, and runtime/trace annotations — all stdlib-only
+// and zero-alloc on the hot path.
+//
+// The histograms follow the HDR ("high dynamic range") layout: values are
+// nanoseconds, bucket boundaries grow geometrically by octave, and each
+// octave is split into 2^subBits linear sub-buckets, bounding the relative
+// quantile error at 2^-subBits (12.5%) across the whole 1 ns – ~18 min
+// range with a fixed 304-bucket table. Recording is striped over small
+// banks of atomic counters so concurrent recorders on different keys
+// usually touch different cache lines; snapshots sum the stripes with
+// atomic loads and never block recorders.
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram geometry. subBits linear sub-buckets per octave bound the
+// relative error of any reconstructed quantile at 2^-subBits; maxExp caps
+// the recordable value at 2^maxExp-1 ns (~18 minutes) — anything larger is
+// clamped into the top bucket rather than dropped.
+const (
+	subBits  = 3
+	subCount = 1 << subBits
+	maxExp   = 40
+	// HistBuckets is the fixed bucket-table size: subCount buckets for
+	// values below subCount, then subCount per octave for octaves
+	// subBits..maxExp-1.
+	HistBuckets = (maxExp - subBits + 1) * subCount
+)
+
+// maxValue is the largest recordable value; larger inputs clamp to it.
+const maxValue = uint64(1)<<maxExp - 1
+
+// BucketIndex returns the histogram bucket holding value v (nanoseconds).
+// Buckets are monotone in v: BucketIndex(a) <= BucketIndex(b) for a <= b.
+func BucketIndex(v uint64) int {
+	if v < subCount {
+		return int(v)
+	}
+	if v > maxValue {
+		v = maxValue
+	}
+	top := bits.Len64(v) - 1 // >= subBits
+	return (top-subBits+1)*subCount + int((v>>(top-subBits))&(subCount-1))
+}
+
+// BucketUpper returns the largest value that lands in bucket i — the
+// inclusive upper edge used for Prometheus le="..." boundaries and for
+// quantile reconstruction (quantiles report a bucket's upper edge, so they
+// over-estimate by at most one bucket width).
+func BucketUpper(i int) uint64 {
+	if i < subCount {
+		return uint64(i)
+	}
+	oct := i / subCount // 1-based octave group
+	sub := uint64(i % subCount)
+	top := oct + subBits - 1
+	lower := uint64(1)<<top + sub<<(top-subBits)
+	return lower + uint64(1)<<(top-subBits) - 1
+}
+
+// histStripes spreads concurrent recorders over independent counter banks.
+// Recording is already decimated by sampling, so a small stripe count
+// suffices; the selector is the operation's key hash.
+const (
+	histStripes    = 4
+	histStripeMask = histStripes - 1
+)
+
+// histStripe is one bank: a full bucket table plus the value sum. Stripes
+// are held in an array inside Hist, so they are contiguous; the table is
+// large enough (2.4 KiB) that cross-stripe false sharing is confined to
+// the boundary lines.
+type histStripe struct {
+	counts [HistBuckets]atomic.Uint64
+	sum    atomic.Uint64
+}
+
+// Hist is a mergeable concurrent latency histogram. The zero value is
+// ready to use. Record never allocates and never blocks; Snapshot sums
+// the stripes with atomic loads and can run alongside recorders.
+type Hist struct {
+	s [histStripes]histStripe
+}
+
+// Record adds one observation of v nanoseconds on the stripe selected by
+// sel (any well-distributed value; callers pass the operation's key hash).
+func (h *Hist) Record(sel, v uint64) {
+	st := &h.s[sel&histStripeMask]
+	st.counts[BucketIndex(v)].Add(1)
+	st.sum.Add(v)
+}
+
+// RecordN adds n observations of v nanoseconds whose true total is sum —
+// the batch form: one timed batch call of n keys records n per-key
+// observations of the amortized latency while keeping the exact total.
+func (h *Hist) RecordN(sel, v, n, sum uint64) {
+	st := &h.s[sel&histStripeMask]
+	st.counts[BucketIndex(v)].Add(n)
+	st.sum.Add(sum)
+}
+
+// Snapshot returns a consistent-enough copy of the histogram: each bucket
+// is summed with atomic loads, so counts recorded during the scan may or
+// may not appear, but every returned bucket value is exact and monotone
+// across successive snapshots.
+func (h *Hist) Snapshot() HistSnapshot {
+	var out HistSnapshot
+	out.Counts = make([]uint64, HistBuckets)
+	for i := range h.s {
+		st := &h.s[i]
+		for b := 0; b < HistBuckets; b++ {
+			out.Counts[b] += st.counts[b].Load()
+		}
+		out.Sum += st.sum.Load()
+	}
+	for _, c := range out.Counts {
+		out.Count += c
+	}
+	return out
+}
+
+// HistSnapshot is a point-in-time reading of a Hist: per-bucket counts
+// (indexed by BucketIndex, upper edges from BucketUpper), the observation
+// count, and the exact value sum.
+type HistSnapshot struct {
+	Counts []uint64 `json:"-"`
+	Count  uint64   `json:"count"`
+	Sum    uint64   `json:"sum_ns"`
+}
+
+// Merge returns the bucket-wise sum of two snapshots (histograms of the
+// same fixed geometry always merge exactly).
+func (s HistSnapshot) Merge(other HistSnapshot) HistSnapshot {
+	if s.Counts == nil {
+		return other
+	}
+	if other.Counts == nil {
+		return s
+	}
+	m := HistSnapshot{Counts: make([]uint64, HistBuckets), Count: s.Count + other.Count, Sum: s.Sum + other.Sum}
+	copy(m.Counts, s.Counts)
+	for i, c := range other.Counts {
+		m.Counts[i] += c
+	}
+	return m
+}
+
+// Quantile returns the upper edge of the bucket containing the p-th
+// (0 < p <= 1) observation, in nanoseconds — an over-estimate by at most
+// one bucket width (relative error <= 2^-subBits). Returns 0 on an empty
+// snapshot.
+func (s HistSnapshot) Quantile(p float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(p * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			return BucketUpper(i)
+		}
+	}
+	return BucketUpper(HistBuckets - 1)
+}
+
+// Summary is the compact quantile digest embedded in snapshots and bench
+// artifacts: observation count, mean, and the p50/p90/p99/p999 upper-edge
+// quantiles, all in nanoseconds.
+type Summary struct {
+	Count  uint64  `json:"count"`
+	MeanNs float64 `json:"mean_ns"`
+	P50    uint64  `json:"p50_ns"`
+	P90    uint64  `json:"p90_ns"`
+	P99    uint64  `json:"p99_ns"`
+	P999   uint64  `json:"p999_ns"`
+}
+
+// Summary digests the snapshot into its standard quantile set.
+func (s HistSnapshot) Summary() Summary {
+	out := Summary{Count: s.Count}
+	if s.Count == 0 {
+		return out
+	}
+	out.MeanNs = float64(s.Sum) / float64(s.Count)
+	out.P50 = s.Quantile(0.50)
+	out.P90 = s.Quantile(0.90)
+	out.P99 = s.Quantile(0.99)
+	out.P999 = s.Quantile(0.999)
+	return out
+}

@@ -1,0 +1,252 @@
+package telemetry
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketMath checks the bucket table's structural invariants: indices
+// are monotone in the value, BucketUpper inverts BucketIndex, edges are
+// strictly increasing, and the relative bucket width is bounded by
+// 2^-subBits.
+func TestBucketMath(t *testing.T) {
+	if BucketIndex(0) != 0 || BucketIndex(maxValue) != HistBuckets-1 {
+		t.Fatalf("range: BucketIndex(0)=%d, BucketIndex(max)=%d of %d buckets",
+			BucketIndex(0), BucketIndex(maxValue), HistBuckets)
+	}
+	if BucketIndex(maxValue+1) != HistBuckets-1 || BucketIndex(^uint64(0)) != HistBuckets-1 {
+		t.Fatal("values beyond maxValue must clamp into the top bucket")
+	}
+	prev := uint64(0)
+	for i := 0; i < HistBuckets; i++ {
+		up := BucketUpper(i)
+		if i > 0 && up <= prev {
+			t.Fatalf("bucket %d: upper edge %d not above previous %d", i, up, prev)
+		}
+		if got := BucketIndex(up); got != i {
+			t.Fatalf("bucket %d: BucketIndex(BucketUpper)=%d", i, got)
+		}
+		if got := BucketIndex(prev + 1); i > 0 && got != i {
+			t.Fatalf("bucket %d: lower edge %d maps to bucket %d", i, prev+1, got)
+		}
+		// Width bound: (upper - lower + 1) / lower <= 2^-subBits for the
+		// geometric octaves.
+		if i >= 2*subCount {
+			lower := prev + 1
+			if width := up - lower + 1; width*subCount > lower {
+				t.Fatalf("bucket %d: width %d exceeds %d/%d", i, width, lower, subCount)
+			}
+		}
+		prev = up
+	}
+	// Spot-check the documented layout: values below subCount are exact.
+	for v := uint64(0); v < subCount; v++ {
+		if BucketIndex(v) != int(v) || BucketUpper(int(v)) != v {
+			t.Fatalf("sub-%d value %d not exact", subCount, v)
+		}
+	}
+}
+
+// TestQuantileVsOracle records a heavy-tailed sample into a Hist and
+// checks every standard quantile against the sorted-sample oracle: the
+// histogram answer must land in the oracle value's bucket or the next one
+// (the "within one bucket" accuracy contract).
+func TestQuantileVsOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h Hist
+	raw := make([]uint64, 200_000)
+	for i := range raw {
+		// Log-uniform over ~3 decades with a spiky tail, like a latency mix
+		// of cache hits and fallback paths.
+		v := uint64(50 + rng.Intn(200))
+		if rng.Intn(100) == 0 {
+			v = uint64(5_000 + rng.Intn(100_000))
+		}
+		raw[i] = v
+		h.Record(uint64(rng.Int63()), v)
+	}
+	snap := h.Snapshot()
+	if snap.Count != uint64(len(raw)) {
+		t.Fatalf("count %d want %d", snap.Count, len(raw))
+	}
+	sort.Slice(raw, func(i, j int) bool { return raw[i] < raw[j] })
+	for _, p := range []float64{0.5, 0.9, 0.99, 0.999} {
+		rank := int(p * float64(len(raw)))
+		if rank < 1 {
+			rank = 1
+		}
+		oracle := raw[rank-1]
+		got := snap.Quantile(p)
+		db := BucketIndex(got) - BucketIndex(oracle)
+		if db < 0 || db > 1 {
+			t.Errorf("p%g: hist %d (bucket %d) vs oracle %d (bucket %d): delta %d buckets",
+				p*100, got, BucketIndex(got), oracle, BucketIndex(oracle), db)
+		}
+	}
+	sum := uint64(0)
+	for _, v := range raw {
+		sum += v
+	}
+	if snap.Sum != sum {
+		t.Fatalf("sum %d want %d", snap.Sum, sum)
+	}
+}
+
+// TestHistConcurrentMerge hammers one Hist from several goroutines while a
+// reader snapshots mid-flight, then verifies the final snapshot holds
+// exactly the recorded observations and that merging per-goroutine
+// histograms reproduces it bucket for bucket. Run under -race this is the
+// histogram-recording race gate.
+func TestHistConcurrentMerge(t *testing.T) {
+	const workers = 8
+	const perWorker = 50_000
+	var shared Hist
+	locals := make([]*Hist, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		locals[w] = &Hist{}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWorker; i++ {
+				sel := uint64(rng.Int63())
+				v := uint64(rng.Intn(1 << 20))
+				shared.Record(sel, v)
+				locals[w].Record(sel, v)
+			}
+		}(w)
+	}
+	// Concurrent reader: snapshots must stay monotone and never exceed the
+	// final total.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		prev := uint64(0)
+		for i := 0; i < 100; i++ {
+			c := shared.Snapshot().Count
+			if c < prev {
+				t.Errorf("snapshot count went backwards: %d after %d", c, prev)
+				return
+			}
+			prev = c
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	want := HistSnapshot{}
+	for _, l := range locals {
+		want = want.Merge(l.Snapshot())
+	}
+	got := shared.Snapshot()
+	if got.Count != workers*perWorker || got.Count != want.Count || got.Sum != want.Sum {
+		t.Fatalf("totals: shared %d/%d, merged %d/%d", got.Count, got.Sum, want.Count, want.Sum)
+	}
+	for i := range got.Counts {
+		if got.Counts[i] != want.Counts[i] {
+			t.Fatalf("bucket %d: shared %d merged %d", i, got.Counts[i], want.Counts[i])
+		}
+	}
+}
+
+// TestRecordZeroAlloc is the hot-path allocation guard: the sampled record
+// call — gate check plus histogram record — must not allocate, on either
+// gate flavor.
+func TestRecordZeroAlloc(t *testing.T) {
+	for _, concurrent := range []bool{false, true} {
+		r := NewRecorder(1, concurrent)
+		h := uint64(0)
+		if n := testing.AllocsPerRun(1000, func() {
+			h += 0x9e3779b97f4a7c15
+			if r.Sample(h) {
+				r.Record(OpLookup, h, 123*time.Nanosecond)
+			}
+		}); n != 0 {
+			t.Fatalf("concurrent=%v: %v allocs per sampled record", concurrent, n)
+		}
+		if n := testing.AllocsPerRun(1000, func() {
+			r.RecordBatch(OpLookupBatch, h, time.Millisecond, 1024)
+		}); n != 0 {
+			t.Fatalf("concurrent=%v: %v allocs per batch record", concurrent, n)
+		}
+	}
+	// Disabled recorder: the nil path must also be alloc-free.
+	var nilRec *Recorder
+	if n := testing.AllocsPerRun(1000, func() {
+		if nilRec.Sample(42) {
+			t.Fatal("nil recorder sampled")
+		}
+	}); n != 0 {
+		t.Fatalf("nil recorder: %v allocs", n)
+	}
+}
+
+// TestSamplerRates checks both gate flavors against their contracts: the
+// sequential countdown is exactly 1-in-rate; the concurrent phase-rotated
+// gate is 1-in-rate in expectation over uniform hashes.
+func TestSamplerRates(t *testing.T) {
+	if r := NewRecorder(0, false); r != nil {
+		t.Fatal("rate 0 must disable the recorder")
+	}
+	if NewRecorder(48, true).Rate() != 64 {
+		t.Fatal("rates must round up to a power of two")
+	}
+
+	seq := NewRecorder(64, false)
+	hits := 0
+	for i := 0; i < 64*100; i++ {
+		if seq.Sample(uint64(i)) {
+			hits++
+		}
+	}
+	if hits != 100 {
+		t.Fatalf("sequential gate: %d samples in %d ops at rate 64", hits, 64*100)
+	}
+
+	conc := NewRecorder(64, true)
+	rng := rand.New(rand.NewSource(11))
+	hits = 0
+	const ops = 1 << 20
+	for i := 0; i < ops; i++ {
+		if conc.Sample(uint64(rng.Int63())) {
+			hits++
+		}
+	}
+	want := ops / 64
+	if hits < want/2 || hits > want*2 {
+		t.Fatalf("concurrent gate: %d samples in %d ops at rate 64 (want ~%d)", hits, ops, want)
+	}
+
+	// Rate 1 always samples on both flavors.
+	for _, concurrent := range []bool{false, true} {
+		always := NewRecorder(1, concurrent)
+		for i := 0; i < 1000; i++ {
+			if !always.Sample(uint64(rng.Int63())) {
+				t.Fatalf("concurrent=%v: rate 1 skipped an op", concurrent)
+			}
+		}
+	}
+}
+
+// TestPhaseRotation: a single hot key must not be permanently stuck
+// unsampled — each recorded sample rotates the phase, so over enough
+// distinct sampled keys the hot key's slice comes around.
+func TestPhaseRotation(t *testing.T) {
+	r := NewRecorder(8, true)
+	rng := rand.New(rand.NewSource(3))
+	hot := uint64(0xdeadbeefcafef00d)
+	hotHits := 0
+	for i := 0; i < 1<<16; i++ {
+		r.Sample(uint64(rng.Int63())) // background traffic rotates the phase
+		if r.Sample(hot) {
+			hotHits++
+		}
+	}
+	if hotHits == 0 {
+		t.Fatal("hot key never sampled despite phase rotation")
+	}
+}

@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Op identifies which latency histogram an observation lands in. Single-key
+// and batch forms are kept separate: batch observations are per-key
+// amortized latencies and would otherwise drown the single-key tail.
+type Op uint8
+
+const (
+	OpInsert Op = iota
+	OpLookup
+	OpRemove
+	OpInsertBatch
+	OpLookupBatch
+	OpRemoveBatch
+	numRecOps
+)
+
+// DefaultSamplingRate is the 1-in-N latency sampling rate filters use
+// unless configured otherwise: sparse enough that the gate (not the timer)
+// is the only per-operation cost, dense enough that a p999 stabilizes
+// within a few million operations.
+const DefaultSamplingRate = 64
+
+// gateStripes spreads the concurrent sampling gate's phase counters so
+// recorders on different keys don't share a counter line.
+const (
+	gateStripes    = 16
+	gateStripeMask = gateStripes - 1
+)
+
+// gate is one cache-line-padded sampling phase counter.
+type gate struct {
+	n atomic.Uint64
+	_ [120]byte
+}
+
+// Recorder bundles a filter's sampling gate and its per-op latency
+// histograms. A nil *Recorder is valid and records nothing (sampling
+// disabled); all methods are nil-safe.
+//
+// The gate implements the cheap counter scheme the <2% overhead budget
+// demands, in two flavors matching the host filter's threading contract:
+//
+//   - Sequential filters use an exact countdown (one non-atomic decrement
+//     and a predictable branch per operation): precisely every rate-th
+//     call samples.
+//
+//   - Concurrent filters cannot use a shared plain counter (racy) and an
+//     atomic RMW per operation would cost more than the whole sampling
+//     budget, so the gate is phase-rotated hashing: an operation samples
+//     iff (hash ^ phase)·M has its top log2(rate) bits zero, where phase
+//     is a striped counter bumped only on the rare sampled path (with a
+//     plain atomic load+store — lossy under races, which only perturbs the
+//     phase, never the rate). For any fixed phase exactly a 1/rate slice
+//     of the hash space samples, and each recorded sample rotates the
+//     phase so no key is permanently stuck sampled or unsampled. The hot
+//     path costs one atomic load (a plain MOV on amd64), one multiply and
+//     one compare.
+type Recorder struct {
+	rate       uint64
+	shift      uint // 64 - log2(rate); x·M >> shift == 0 samples
+	concurrent bool
+	left       uint64 // sequential countdown
+	gates      [gateStripes]gate
+	hists      [numRecOps]Hist
+}
+
+// NewRecorder returns a recorder sampling 1 in rate operations (rate is
+// rounded up to a power of two; 1 samples every operation), or nil when
+// rate <= 0 (sampling disabled — the hot path then costs one nil check).
+// concurrent selects the thread-safe gate; pass false only for filters
+// with a single-goroutine contract.
+func NewRecorder(rate int, concurrent bool) *Recorder {
+	if rate <= 0 {
+		return nil
+	}
+	p := uint64(1)
+	lg := uint(0)
+	for p < uint64(rate) {
+		p <<= 1
+		lg++
+	}
+	return &Recorder{rate: p, shift: 64 - lg, concurrent: concurrent, left: 1}
+}
+
+// Rate returns the effective (power-of-two) sampling rate, 0 for nil.
+func (r *Recorder) Rate() int {
+	if r == nil {
+		return 0
+	}
+	return int(r.rate)
+}
+
+// Sample reports whether this operation should be timed. h is the
+// operation's key hash (used by the concurrent gate; ignored by the
+// sequential one). Never allocates.
+func (r *Recorder) Sample(h uint64) bool {
+	if r == nil {
+		return false
+	}
+	if !r.concurrent {
+		r.left--
+		if r.left != 0 {
+			return false
+		}
+		r.left = r.rate
+		return true
+	}
+	g := &r.gates[(h>>32)&gateStripeMask]
+	phase := g.n.Load()
+	if ((h^phase)*0x9e3779b97f4a7c15)>>r.shift != 0 {
+		return false
+	}
+	g.n.Store(phase + 1)
+	return true
+}
+
+// Record adds one timed single-key operation. sel is the key hash (stripe
+// selector). Never allocates.
+func (r *Recorder) Record(op Op, sel uint64, d time.Duration) {
+	if r == nil || d < 0 {
+		return
+	}
+	r.hists[op].Record(sel, uint64(d))
+}
+
+// RecordBatch adds one timed batch call of n keys: n per-key amortized
+// observations keeping the exact total. Batch calls are always recorded
+// (no gate) — the timer cost amortizes over the whole batch.
+func (r *Recorder) RecordBatch(op Op, sel uint64, d time.Duration, n int) {
+	if r == nil || n <= 0 || d < 0 {
+		return
+	}
+	r.hists[op].RecordN(sel, uint64(d)/uint64(n), uint64(n), uint64(d))
+}
+
+// Snapshot returns op's histogram snapshot (empty for nil recorders).
+func (r *Recorder) Snapshot(op Op) HistSnapshot {
+	if r == nil {
+		return HistSnapshot{}
+	}
+	return r.hists[op].Snapshot()
+}

@@ -1,0 +1,37 @@
+package telemetry
+
+import (
+	"context"
+	"runtime/trace"
+)
+
+// runtime/trace annotations. Both helpers are nops (returning a shared
+// no-op closure, no allocation) unless the process is actively tracing,
+// so they can sit on warm paths; when `go test -trace` / trace.Start is
+// live, filter growth and batch phases show up as tasks and regions in
+// `go tool trace`.
+
+var noopEnd = func() {}
+
+// Region opens a trace region named name and returns its end function.
+func Region(name string) func() {
+	if !trace.IsEnabled() {
+		return noopEnd
+	}
+	return trace.StartRegion(context.Background(), name).End
+}
+
+// Task opens a trace task (with a same-named region for interval
+// rendering) and returns its end function. Used around filter growth so
+// the pauses the cascade introduces are attributable in `go tool trace`.
+func Task(name string) func() {
+	if !trace.IsEnabled() {
+		return noopEnd
+	}
+	ctx, task := trace.NewTask(context.Background(), name)
+	reg := trace.StartRegion(ctx, name)
+	return func() {
+		reg.End()
+		task.End()
+	}
+}

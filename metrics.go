@@ -3,9 +3,9 @@ package vqf
 import (
 	"bytes"
 	"expvar"
-	"fmt"
 	"net/http"
-	"sort"
+	"sync"
+	"sync/atomic"
 
 	"vqf/internal/stats"
 )
@@ -61,28 +61,27 @@ const MetricsContentType = stats.ContentType
 // An Elastic source exports its aggregate under the given name plus one
 // series per cascade level under "name.level<i>" — the level set follows
 // the filter's growth from scrape to scrape.
+//
+// Sharded sources (NewSharded, NewShardedElastic) additionally export the
+// whole metric set once per shard with a shard="<i>" label, plus a
+// vqf_shard_imbalance gauge (max/mean of per-shard item counts, the heat
+// skew indicator). Sources with latency sampling enabled export their
+// per-operation histograms as vqf_op_latency_seconds{filter,op} with
+// sparse cumulative buckets in seconds.
 func MetricsHandler(sources map[string]Source) http.Handler {
-	names := make([]string, 0, len(sources))
-	for name := range sources {
-		names = append(names, name)
-	}
-	sort.Strings(names)
+	names := sortedNames(sources)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		snaps := make([]stats.NamedSnapshot, 0, len(names))
-		for _, name := range names {
-			if cs, ok := sources[name].(cascadeSource); ok {
-				cascade := cs.CascadeSnapshot()
-				snaps = append(snaps, stats.NamedSnapshot{Name: name, Snap: cascade.Aggregate})
-				for i, lvl := range cascade.Levels {
-					snaps = append(snaps, stats.NamedSnapshot{
-						Name: fmt.Sprintf("%s.level%d", name, i), Snap: lvl})
-				}
-				continue
-			}
-			snaps = append(snaps, stats.NamedSnapshot{Name: name, Snap: sources[name].Snapshot()})
-		}
+		snaps, gauges, lat := collectMetrics(names, sources)
 		var buf bytes.Buffer
-		if err := stats.WriteMetrics(&buf, snaps); err != nil {
+		err := stats.WriteMetrics(&buf, snaps)
+		if err == nil {
+			err = stats.WriteGauge(&buf, "vqf_shard_imbalance",
+				"Max/mean of per-shard item counts (1 = balanced).", gauges)
+		}
+		if err == nil {
+			err = stats.WriteLatency(&buf, lat)
+		}
+		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
@@ -91,12 +90,32 @@ func MetricsHandler(sources map[string]Source) http.Handler {
 	})
 }
 
+// expvarSlots holds the sources behind the expvar names this package has
+// published. expvar offers no Unpublish, so re-publishing a name swaps the
+// source inside the already-registered variable instead of calling
+// expvar.Publish again (which would panic on the duplicate).
+var (
+	expvarMu    sync.Mutex
+	expvarSlots = map[string]*atomic.Pointer[Source]{}
+)
+
 // PublishExpvar publishes f's snapshot under the given expvar name, making
 // it visible on the standard /debug/vars endpoint as a JSON object. Each
-// read of the variable takes a fresh snapshot. Like expvar.Publish, it
-// panics if the name is already registered, so call it once per filter.
+// read of the variable takes a fresh snapshot. Publishing a name this
+// package already published replaces that variable's source (a rebuilt
+// filter after a config reload, for example) rather than panicking; names
+// registered directly with expvar.Publish by other code still collide.
 func PublishExpvar(name string, f Source) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if slot, ok := expvarSlots[name]; ok {
+		slot.Store(&f)
+		return
+	}
+	slot := &atomic.Pointer[Source]{}
+	slot.Store(&f)
+	expvarSlots[name] = slot
 	expvar.Publish(name, expvar.Func(func() any {
-		return f.Snapshot()
+		return (*slot.Load()).Snapshot()
 	}))
 }

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"vqf/internal/core"
+	"vqf/internal/telemetry"
 )
 
 // Serialization of the public types: a small envelope (payload kind and
@@ -155,6 +156,7 @@ func Read(r io.Reader) (*Filter, error) {
 	default:
 		return nil, fmt.Errorf("vqf: stream holds %s", kindName(kind))
 	}
+	f.initObservability(telemetry.DefaultSamplingRate, false)
 	return f, nil
 }
 
@@ -188,6 +190,7 @@ func ReadConcurrent(r io.Reader) (*Filter, error) {
 	default:
 		return nil, fmt.Errorf("vqf: stream holds %s", kindName(kind))
 	}
+	f.initObservability(telemetry.DefaultSamplingRate, true)
 	return f, nil
 }
 
@@ -203,6 +206,7 @@ func readShardedFilter(r io.Reader, seed uint64) (*Filter, error) {
 	} else {
 		f.impl, f.fpr = s16, fprFor(true)
 	}
+	f.initObservability(telemetry.DefaultSamplingRate, true)
 	return f, nil
 }
 

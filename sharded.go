@@ -1,9 +1,12 @@
 package vqf
 
 import (
+	"time"
+
 	"vqf/internal/core"
 	"vqf/internal/elastic"
 	"vqf/internal/minifilter"
+	"vqf/internal/telemetry"
 )
 
 // NewSharded returns a concurrent filter sized for n items and split into
@@ -35,6 +38,7 @@ func NewSharded(n uint64, nshards int, opts ...Option) *Filter {
 		f.impl = core.NewSharded16(slots, nshards, coreOpts)
 		f.fpr = 2 * float64(minifilter.B16Slots) / float64(minifilter.B16Buckets) / 65536
 	}
+	f.initObservability(c.latencyRate, true)
 	return f
 }
 
@@ -65,7 +69,9 @@ func NewShardedElastic(nshards int, opts ...Option) *Elastic {
 	if err != nil {
 		panic(err)
 	}
-	return &Elastic{impl: impl, seed: c.seed}
+	e := &Elastic{impl: impl, seed: c.seed}
+	e.initObservability(c.latencyRate, true)
+	return e
 }
 
 // NumShards returns the elastic filter's shard count (1 unless built by
@@ -92,15 +98,20 @@ type batchFilter interface {
 // substantially faster than a loop over AddHash for large batches. On
 // concurrent filters it is safe alongside any other operations.
 func (f *Filter) AddHashBatch(hs []uint64) int {
-	if b, ok := f.impl.(batchFilter); ok {
-		return b.InsertBatch(hs)
-	}
+	end := telemetry.Region("vqf.batch.insert")
+	start := time.Now()
 	n := 0
-	for _, h := range hs {
-		if f.impl.Insert(h) {
-			n++
+	if b, ok := f.impl.(batchFilter); ok {
+		n = b.InsertBatch(hs)
+	} else {
+		for _, h := range hs {
+			if f.impl.Insert(h) {
+				n++
+			}
 		}
 	}
+	f.rec.RecordBatch(telemetry.OpInsertBatch, 0, time.Since(start), len(hs))
+	end()
 	return n
 }
 
@@ -108,31 +119,42 @@ func (f *Filter) AddHashBatch(hs []uint64) int {
 // input order. The result reuses dst if it has sufficient capacity (dst may
 // be nil). On concurrent filters lookups run lock-free.
 func (f *Filter) ContainsHashBatch(hs []uint64, dst []bool) []bool {
+	end := telemetry.Region("vqf.batch.lookup")
+	start := time.Now()
+	var out []bool
 	if b, ok := f.impl.(batchFilter); ok {
-		return b.ContainsBatch(hs, dst)
+		out = b.ContainsBatch(hs, dst)
+	} else {
+		out = dst
+		if cap(out) < len(hs) {
+			out = make([]bool, len(hs))
+		}
+		out = out[:len(hs)]
+		for i, h := range hs {
+			out[i] = f.impl.Contains(h)
+		}
 	}
-	out := dst
-	if cap(out) < len(hs) {
-		out = make([]bool, len(hs))
-	}
-	out = out[:len(hs)]
-	for i, h := range hs {
-		out[i] = f.impl.Contains(h)
-	}
+	f.rec.RecordBatch(telemetry.OpLookupBatch, 0, time.Since(start), len(hs))
+	end()
 	return out
 }
 
 // RemoveHashBatch removes one instance of each pre-hashed key of hs and
 // returns the number found and removed.
 func (f *Filter) RemoveHashBatch(hs []uint64) int {
-	if b, ok := f.impl.(batchFilter); ok {
-		return b.RemoveBatch(hs)
-	}
+	end := telemetry.Region("vqf.batch.remove")
+	start := time.Now()
 	n := 0
-	for _, h := range hs {
-		if f.impl.Remove(h) {
-			n++
+	if b, ok := f.impl.(batchFilter); ok {
+		n = b.RemoveBatch(hs)
+	} else {
+		for _, h := range hs {
+			if f.impl.Remove(h) {
+				n++
+			}
 		}
 	}
+	f.rec.RecordBatch(telemetry.OpRemoveBatch, 0, time.Since(start), len(hs))
+	end()
 	return n
 }

@@ -26,11 +26,13 @@ package vqf
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"vqf/internal/core"
 	"vqf/internal/hashing"
 	"vqf/internal/minifilter"
 	"vqf/internal/stats"
+	"vqf/internal/telemetry"
 )
 
 // ErrFull is returned by Add when both candidate blocks for the key are full.
@@ -57,13 +59,17 @@ type Filter struct {
 	impl hashedFilter
 	seed uint64
 	fpr  float64
+	rec  *telemetry.Recorder
+	ring *telemetry.Ring
 }
 
 type config struct {
-	fpr        float64
-	seed       uint64
-	noShortcut bool
-	sizingLoad float64
+	fpr         float64
+	seed        uint64
+	noShortcut  bool
+	sizingLoad  float64
+	latencyRate int
+	latencySet  bool
 
 	// Elastic-only knobs (see NewElastic); ignored by New/NewConcurrent.
 	initialCap    uint64
@@ -141,6 +147,9 @@ func buildConfig(opts []Option) (config, error) {
 	for _, o := range opts {
 		o(&c)
 	}
+	if !c.latencySet {
+		c.latencyRate = telemetry.DefaultSamplingRate
+	}
 	if c.fpr < 1.0/(1<<17) {
 		return c, fmt.Errorf("vqf: false-positive rate %g below supported minimum 2^-17", c.fpr)
 	}
@@ -148,6 +157,18 @@ func buildConfig(opts []Option) (config, error) {
 		return c, fmt.Errorf("vqf: sizing load factor %g outside (0, 0.93]", c.sizingLoad)
 	}
 	return c, nil
+}
+
+// initObservability attaches the filter's latency recorder and event ring.
+// concurrent selects the thread-safe sampling gate; it must match the
+// impl's threading contract. Called from every constructor, including the
+// deserializing ones (which use the default sampling rate).
+func (f *Filter) initObservability(rate int, concurrent bool) {
+	f.rec = telemetry.NewRecorder(rate, concurrent)
+	f.ring = telemetry.NewRing(telemetry.DefaultRingSize)
+	if h, ok := f.impl.(interface{ SetEventRing(*telemetry.Ring) }); ok {
+		h.SetEventRing(f.ring)
+	}
 }
 
 // fpr8Cutoff is the 8-bit geometry's analytic false-positive rate,
@@ -173,6 +194,7 @@ func New(n uint64, opts ...Option) *Filter {
 		f.impl = core.NewFilter16(slots, coreOpts)
 		f.fpr = 2 * float64(minifilter.B16Slots) / float64(minifilter.B16Buckets) / 65536
 	}
+	f.initObservability(c.latencyRate, false)
 	return f
 }
 
@@ -193,6 +215,7 @@ func NewConcurrent(n uint64, opts ...Option) *Filter {
 		f.impl = core.NewCFilter16(slots, coreOpts)
 		f.fpr = 2 * float64(minifilter.B16Slots) / float64(minifilter.B16Buckets) / 65536
 	}
+	f.initObservability(c.latencyRate, true)
 	return f
 }
 
@@ -211,7 +234,15 @@ func (f *Filter) AddUint64(key uint64) error { return f.AddHash(hashing.HashUint
 // AddHash inserts a pre-hashed 64-bit key. The hash must be uniformly
 // distributed (use AddString/AddUint64/Add for raw keys).
 func (f *Filter) AddHash(h uint64) error {
-	if !f.impl.Insert(h) {
+	var ok bool
+	if f.rec.Sample(h) {
+		start := time.Now()
+		ok = f.impl.Insert(h)
+		f.rec.Record(telemetry.OpInsert, h, time.Since(start))
+	} else {
+		ok = f.impl.Insert(h)
+	}
+	if !ok {
 		return ErrFull
 	}
 	return nil
@@ -219,39 +250,55 @@ func (f *Filter) AddHash(h uint64) error {
 
 // Contains reports whether key may be in the filter: true for every added
 // key, and false with probability ≥ 1−ε for keys never added.
-func (f *Filter) Contains(key []byte) bool { return f.impl.Contains(f.hash(key)) }
+func (f *Filter) Contains(key []byte) bool { return f.ContainsHash(f.hash(key)) }
 
 // ContainsString queries a string key.
 func (f *Filter) ContainsString(key string) bool {
-	return f.impl.Contains(hashing.HashString(key, f.seed))
+	return f.ContainsHash(hashing.HashString(key, f.seed))
 }
 
 // ContainsUint64 queries a uint64 key.
 func (f *Filter) ContainsUint64(key uint64) bool {
-	return f.impl.Contains(hashing.HashUint64(key, f.seed))
+	return f.ContainsHash(hashing.HashUint64(key, f.seed))
 }
 
 // ContainsHash queries a pre-hashed 64-bit key.
-func (f *Filter) ContainsHash(h uint64) bool { return f.impl.Contains(h) }
+func (f *Filter) ContainsHash(h uint64) bool {
+	if f.rec.Sample(h) {
+		start := time.Now()
+		found := f.impl.Contains(h)
+		f.rec.Record(telemetry.OpLookup, h, time.Since(start))
+		return found
+	}
+	return f.impl.Contains(h)
+}
 
 // Remove deletes one previously added instance of key. It returns false if
 // key's fingerprint is not present. Only keys that were actually added may be
 // removed; removing an arbitrary key can evict a colliding key's fingerprint
 // (a property shared by every deletion-capable filter).
-func (f *Filter) Remove(key []byte) bool { return f.impl.Remove(f.hash(key)) }
+func (f *Filter) Remove(key []byte) bool { return f.RemoveHash(f.hash(key)) }
 
 // RemoveString removes a string key.
 func (f *Filter) RemoveString(key string) bool {
-	return f.impl.Remove(hashing.HashString(key, f.seed))
+	return f.RemoveHash(hashing.HashString(key, f.seed))
 }
 
 // RemoveUint64 removes a uint64 key.
 func (f *Filter) RemoveUint64(key uint64) bool {
-	return f.impl.Remove(hashing.HashUint64(key, f.seed))
+	return f.RemoveHash(hashing.HashUint64(key, f.seed))
 }
 
 // RemoveHash removes a pre-hashed 64-bit key.
-func (f *Filter) RemoveHash(h uint64) bool { return f.impl.Remove(h) }
+func (f *Filter) RemoveHash(h uint64) bool {
+	if f.rec.Sample(h) {
+		start := time.Now()
+		ok := f.impl.Remove(h)
+		f.rec.Record(telemetry.OpRemove, h, time.Since(start))
+		return ok
+	}
+	return f.impl.Remove(h)
+}
 
 // Count returns the number of items currently stored (added minus removed).
 func (f *Filter) Count() uint64 { return f.impl.Count() }
