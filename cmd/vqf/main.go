@@ -19,6 +19,11 @@
 //
 // A serialized filter (from `save` or -out) can be reopened with -in,
 // skipping the build entirely.
+//
+// Two subcommands administer a running vqfd daemon over its HTTP API:
+//
+//	vqf snapshot [-addr http://127.0.0.1:7071]   persist the daemon's filters now
+//	vqf restore  [-addr http://127.0.0.1:7071]   reload them from the last snapshot
 package main
 
 import (
@@ -29,9 +34,46 @@ import (
 	"strings"
 
 	"vqf"
+	"vqf/internal/service"
 )
 
+// runDaemonCmd handles the vqfd-administration subcommands; it returns
+// false when argv names no subcommand (the legacy flag path applies).
+func runDaemonCmd(args []string) bool {
+	if len(args) == 0 || (args[0] != "snapshot" && args[0] != "restore") {
+		return false
+	}
+	cmd := args[0]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:7071", "vqfd admin HTTP base URL")
+	fs.Parse(args[1:])
+	admin := service.NewAdmin(*addr)
+	switch cmd {
+	case "snapshot":
+		res, err := admin.Snapshot()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vqf snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("snapshot: %d filter(s), %d bytes → %s\n", res.Filters, res.Bytes, res.Dir)
+	case "restore":
+		res, err := admin.Restore()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vqf restore: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("restore: %d filter(s) loaded\n", res.Filters)
+		for _, w := range res.Warnings {
+			fmt.Fprintf(os.Stderr, "vqf restore: warning: %s\n", w)
+		}
+	}
+	return true
+}
+
 func main() {
+	if runDaemonCmd(os.Args[1:]) {
+		return
+	}
 	n := flag.Uint64("n", 1_000_000, "expected number of keys")
 	fpr := flag.Float64("fpr", 0.0047, "target false-positive rate")
 	load := flag.String("load", "", "file of newline-delimited keys to add")

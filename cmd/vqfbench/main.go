@@ -21,6 +21,7 @@
 //	table4   multi-threaded insert scaling (Table 4)
 //	concurrent reader-scaling sweep, locked vs optimistic lookups (writes JSON)
 //	observe  telemetry-layer overhead and quantile accuracy (writes JSON)
+//	service  vqfd daemon protocols: HTTP/JSON vs binary batches (writes JSON)
 //	elastic  online-growth cascade: throughput and FPR across growth events (writes JSON)
 //	maxload  maximum load factor per design variant (§3.4, §6.2)
 //	choices  block-occupancy dispersion: two-choice vs single (Theorem 1)
@@ -68,6 +69,7 @@ type config struct {
 	oracleOps      int
 	oracleUniverse int
 	oracleDir      string
+	conns          int
 	cpuprofile     string
 	memprofile     string
 	mutexprofile   string
@@ -101,6 +103,7 @@ func main() {
 	fs.IntVar(&cfg.oracleOps, "oracle-ops", 8000, "oracle: operations per trace")
 	fs.IntVar(&cfg.oracleUniverse, "oracle-universe", 2000, "oracle: distinct keys per trace")
 	fs.StringVar(&cfg.oracleDir, "oracle-dir", "oracle-repros", "oracle: directory for shrunk repro traces (empty skips)")
+	fs.IntVar(&cfg.conns, "conns", 8, "concurrent client connections for the service experiment")
 	fs.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&cfg.memprofile, "memprofile", "", "write an end-of-run heap profile to this file")
 	fs.StringVar(&cfg.mutexprofile, "mutexprofile", "", "write an end-of-run mutex-contention profile to this file")
@@ -109,7 +112,7 @@ func main() {
 	fs.StringVar(&cfg.kernelsImpl, "kernels-impl", "auto",
 		"kernel implementation: auto (assembly where built in), asm (require assembly), generic (portable Go)")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: vqfbench [flags] <experiment>\n\nexperiments: table1 fig2 fig3 table2 fig4 fig5 fig6 table3 table4 concurrent elastic maxload maxloadscale choices ablation kernels kernelgate multicore observe oracle all\n\nflags:\n")
+		fmt.Fprintf(os.Stderr, "usage: vqfbench [flags] <experiment>\n\nexperiments: table1 fig2 fig3 table2 fig4 fig5 fig6 table3 table4 concurrent elastic maxload maxloadscale choices ablation kernels kernelgate multicore observe oracle service all\n\nflags:\n")
 		fs.PrintDefaults()
 	}
 	fs.Parse(os.Args[1:])
@@ -161,6 +164,7 @@ func main() {
 		"multicore":    runMulticore,
 		"observe":      runObserve,
 		"oracle":       runOracle,
+		"service":      runService,
 	}
 	if cmd == "all" {
 		for _, name := range []string{"table1", "fig2", "fig3", "table2", "fig4",

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"vqf/internal/harness"
+	"vqf/internal/service"
+	"vqf/internal/workload"
+)
+
+// The service experiment measures the vqfd daemon end to end: an
+// in-process server on loopback, a sharded filter prefilled to ~70%, and
+// a closed-loop multi-connection client sweep over protocol × batch size.
+// The headline ratio — binary batched vs HTTP per-key — is the design
+// argument for the second listener: the batched wire path must deliver at
+// least 5× the single-key HTTP throughput or the run fails loudly.
+
+// serviceDoc is the BENCH_service.json schema.
+type serviceDoc struct {
+	Experiment string                 `json:"experiment"`
+	Env        harness.BenchEnv       `json:"env"`
+	Log2Slots  uint                   `json:"log2_slots"`
+	Conns      int                    `json:"conns"`
+	Ops        int                    `json:"ops"`
+	Seed       uint64                 `json:"seed"`
+	Prefill    uint64                 `json:"prefill_items"`
+	Points     []harness.ServicePoint `json:"points"`
+	// SpeedupBinary512VsHTTP1 is binary@batch512 Mops over http@batch1 Mops.
+	SpeedupBinary512VsHTTP1 float64 `json:"speedup_binary512_vs_http1"`
+}
+
+// serviceBatches is the batch-size grid, shared with the docs.
+var serviceBatches = []int{1, 64, 512}
+
+func runService(cfg config) {
+	srv, err := service.New(service.Config{
+		HTTPAddr:   "127.0.0.1:0",
+		BinaryAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vqfbench: service: %v\n", err)
+		os.Exit(1)
+	}
+	if err := srv.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "vqfbench: service: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	const filterName = "bench"
+	nSlots := uint64(1) << cfg.logSlotsCache
+	prefill := nSlots * 70 / 100
+	info, err := srv.Registry().Create(service.Spec{
+		Name: filterName, Kind: service.KindSharded, Capacity: nSlots, Seed: cfg.seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vqfbench: service: create: %v\n", err)
+		os.Exit(1)
+	}
+	// Prefill through the service itself (binary client, large batches) so
+	// the measured filter took the same path a real daemon's would.
+	loader, err := service.Dial(srv.BinaryAddr())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vqfbench: service: dial: %v\n", err)
+		os.Exit(1)
+	}
+	keys := workload.NewStream(cfg.seed).Keys(int(prefill))
+	for lo := 0; lo < len(keys); lo += 1 << 14 {
+		hi := lo + 1<<14
+		if hi > len(keys) {
+			hi = len(keys)
+		}
+		if _, err := loader.Insert(filterName, keys[lo:hi]); err != nil {
+			fmt.Fprintf(os.Stderr, "vqfbench: service: prefill: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	loader.Close()
+
+	httpBase := "http://" + srv.HTTPAddr()
+	fmt.Printf("Service protocols: closed-loop Contains, %d conns, %d ops per cell (2^%d slots sharded @%d shards, %.0f%% full; NumCPU=%d)\n",
+		cfg.conns, cfg.queries, cfg.logSlotsCache, info.Shards, 100*float64(prefill)/float64(nSlots), runtime.NumCPU())
+
+	// measureHTTP issues batched Contains over the JSON data plane, one
+	// Admin client per connection.
+	measureHTTP := func(batch int) (harness.ServicePoint, error) {
+		admins := make([]*service.Admin, cfg.conns)
+		for i := range admins {
+			admins[i] = service.NewAdmin(httpBase)
+		}
+		return harness.RunServiceLoad(harness.ServiceConfig{
+			Protocol: "http", Conns: cfg.conns, Ops: cfg.queries, Batch: batch, Seed: cfg.seed,
+		}, func(conn int, keys []uint64) error {
+			_, err := admins[conn].ContainsU64(filterName, keys)
+			return err
+		})
+	}
+	// measureBinary issues the same workload over the binary batch
+	// protocol, one connection and reusable result buffer per goroutine.
+	measureBinary := func(batch int) (harness.ServicePoint, error) {
+		clients := make([]*service.Client, cfg.conns)
+		founds := make([][]bool, cfg.conns)
+		for i := range clients {
+			c, err := service.Dial(srv.BinaryAddr())
+			if err != nil {
+				return harness.ServicePoint{}, err
+			}
+			defer c.Close()
+			clients[i] = c
+		}
+		return harness.RunServiceLoad(harness.ServiceConfig{
+			Protocol: "binary", Conns: cfg.conns, Ops: cfg.queries, Batch: batch, Seed: cfg.seed,
+		}, func(conn int, keys []uint64) error {
+			found, err := clients[conn].Contains(filterName, keys, founds[conn])
+			founds[conn] = found
+			return err
+		})
+	}
+
+	var points []harness.ServicePoint
+	t := harness.NewTable("protocol", "batch", "Mops", "req-p50", "req-p99")
+	measure := func(run func(int) (harness.ServicePoint, error), batch int) {
+		p, err := run(batch)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vqfbench: service: %v\n", err)
+			os.Exit(1)
+		}
+		points = append(points, p)
+		t.AddRow(p.Protocol, p.Batch, fmt.Sprintf("%.3f", p.Mops),
+			fmt.Sprintf("%dns", p.RequestLatency.P50), fmt.Sprintf("%dns", p.RequestLatency.P99))
+	}
+	for _, b := range serviceBatches {
+		measure(measureHTTP, b)
+	}
+	for _, b := range serviceBatches {
+		measure(measureBinary, b)
+	}
+	emit(cfg, t)
+
+	mops := func(proto string, batch int) float64 {
+		for _, p := range points {
+			if p.Protocol == proto && p.Batch == batch {
+				return p.Mops
+			}
+		}
+		return 0
+	}
+	speedup := mops("binary", 512) / mops("http", 1)
+	fmt.Printf("binary@512 vs http@1: %.1fx\n", speedup)
+	if speedup < 5 {
+		fmt.Fprintf(os.Stderr, "vqfbench: service: batched binary path is only %.1fx the single-key HTTP path (want >=5x)\n", speedup)
+		os.Exit(1)
+	}
+
+	writeJSON(cfg, "service", serviceDoc{
+		Experiment:              "service-protocols",
+		Env:                     harness.CaptureEnv(),
+		Log2Slots:               cfg.logSlotsCache,
+		Conns:                   cfg.conns,
+		Ops:                     cfg.queries,
+		Seed:                    cfg.seed,
+		Prefill:                 prefill,
+		Points:                  points,
+		SpeedupBinary512VsHTTP1: speedup,
+	})
+}

@@ -207,6 +207,68 @@ func (e *Elastic) RemoveHash(h uint64) bool {
 	return e.impl.Remove(h)
 }
 
+// AddHashBatch inserts a slice of pre-hashed keys and returns the number
+// inserted. Unlike Filter.AddHashBatch the count is always len(hs): the
+// cascade grows instead of filling, so elastic inserts never fail (the
+// signature matches for batch-caller parity).
+func (e *Elastic) AddHashBatch(hs []uint64) int {
+	end := telemetry.Region("vqf.batch.insert")
+	start := time.Now()
+	n := 0
+	for _, h := range hs {
+		if e.impl.Insert(h) {
+			n++
+		}
+	}
+	e.rec.RecordBatch(telemetry.OpInsertBatch, 0, time.Since(start), len(hs))
+	end()
+	return n
+}
+
+// ContainsHashBatch reports membership for each pre-hashed key of hs, in
+// input order, reusing dst when it has sufficient capacity (dst may be
+// nil). The cascade resolves the batch level by level with a shrinking
+// working set — keys found in the newest level never touch the older ones
+// — so it is substantially faster than a loop over ContainsHash.
+func (e *Elastic) ContainsHashBatch(hs []uint64, dst []bool) []bool {
+	end := telemetry.Region("vqf.batch.lookup")
+	start := time.Now()
+	var out []bool
+	if b, ok := e.impl.(interface {
+		ContainsBatch(hs []uint64, dst []bool) []bool
+	}); ok {
+		out = b.ContainsBatch(hs, dst)
+	} else {
+		out = dst
+		if cap(out) < len(hs) {
+			out = make([]bool, len(hs))
+		}
+		out = out[:len(hs)]
+		for i, h := range hs {
+			out[i] = e.impl.Contains(h)
+		}
+	}
+	e.rec.RecordBatch(telemetry.OpLookupBatch, 0, time.Since(start), len(hs))
+	end()
+	return out
+}
+
+// RemoveHashBatch removes one instance of each pre-hashed key of hs and
+// returns the number found and removed.
+func (e *Elastic) RemoveHashBatch(hs []uint64) int {
+	end := telemetry.Region("vqf.batch.remove")
+	start := time.Now()
+	n := 0
+	for _, h := range hs {
+		if e.impl.Remove(h) {
+			n++
+		}
+	}
+	e.rec.RecordBatch(telemetry.OpRemoveBatch, 0, time.Since(start), len(hs))
+	end()
+	return n
+}
+
 // Count returns the number of items currently stored across all levels.
 func (e *Elastic) Count() uint64 { return e.impl.Count() }
 

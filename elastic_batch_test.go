@@ -1,0 +1,77 @@
+package vqf
+
+import "testing"
+
+// TestElasticBatchParity checks the Elastic batch methods against their
+// single-key counterparts: same insert counts, identical membership
+// answers (across several growth events so the cascade path is exercised),
+// and matching remove counts.
+func TestElasticBatchParity(t *testing.T) {
+	const n = 60_000 // far beyond the 4096 initial capacity: multiple growths
+	batched := NewElastic(WithSeed(3))
+	single := NewElastic(WithSeed(3))
+
+	hs := make([]uint64, n)
+	rng := uint64(0x1234_5678_9abc_def0)
+	for i := range hs {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		hs[i] = rng
+	}
+
+	if got := batched.AddHashBatch(hs); got != n {
+		t.Fatalf("AddHashBatch inserted %d/%d", got, n)
+	}
+	for _, h := range hs {
+		if err := single.AddHash(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if batched.Count() != single.Count() {
+		t.Fatalf("counts diverge: batch %d, single %d", batched.Count(), single.Count())
+	}
+	if batched.Levels() < 2 {
+		t.Fatalf("only %d level(s); the test did not exercise the cascade", batched.Levels())
+	}
+
+	// Membership parity on stored keys and on a disjoint negative stream.
+	probe := make([]uint64, 2*n)
+	copy(probe, hs)
+	for i := n; i < len(probe); i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		probe[i] = rng
+	}
+	got := batched.ContainsHashBatch(probe, nil)
+	for i, h := range probe {
+		if want := single.ContainsHash(h); got[i] != want {
+			t.Fatalf("probe %d: batch says %v, single says %v", i, got[i], want)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !got[i] {
+			t.Fatalf("stored key %d missing from batch lookup", i)
+		}
+	}
+
+	// Result-buffer reuse must not change answers.
+	reused := batched.ContainsHashBatch(probe[:100], got[:0])
+	for i := range reused {
+		if reused[i] != single.ContainsHash(probe[i]) {
+			t.Fatalf("reused-buffer probe %d diverged", i)
+		}
+	}
+
+	// Remove parity on a slice of stored keys.
+	if got, want := batched.RemoveHashBatch(hs[:5000]), 0; got < want {
+		t.Fatalf("RemoveHashBatch returned %d", got)
+	}
+	for _, h := range hs[:5000] {
+		single.RemoveHash(h)
+	}
+	if batched.Count() != single.Count() {
+		t.Fatalf("counts diverge after removes: batch %d, single %d", batched.Count(), single.Count())
+	}
+}

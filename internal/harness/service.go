@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vqf/internal/telemetry"
+	"vqf/internal/workload"
+)
+
+// The service experiment measures the daemon's two wire protocols under a
+// closed-loop multi-connection load: each connection issues one request,
+// waits for the acknowledgment, and immediately issues the next, so
+// measured throughput includes the full network round trip, framing and
+// server-side batch execution — the number a remote client actually sees.
+// The driver here is protocol-agnostic (the harness cannot import the
+// service package: the root package's in-package tests import the harness,
+// and the service hosts root-package filters); cmd/vqfbench supplies the
+// per-protocol issue functions.
+
+// ServiceConfig parameterizes RunServiceLoad.
+type ServiceConfig struct {
+	// Protocol labels the measurement ("http", "binary").
+	Protocol string
+	// Conns is the number of concurrent closed-loop connections.
+	Conns int
+	// Ops is the total number of keys one measurement issues (split across
+	// connections, grouped into Batch-sized requests).
+	Ops int
+	// Batch is the number of keys per request.
+	Batch int
+	// Seed generates the query key stream; use the stream that prefilled
+	// the filter so lookups hit.
+	Seed uint64
+}
+
+// ServicePoint is one (protocol, batch size) measurement.
+type ServicePoint struct {
+	Protocol string  `json:"protocol"`
+	Batch    int     `json:"batch"`
+	Conns    int     `json:"conns"`
+	Ops      int     `json:"ops"`
+	Seconds  float64 `json:"seconds"`
+	// Mops is end-to-end keys per microsecond across all connections.
+	Mops float64 `json:"mops"`
+	// RequestLatency digests per-request (not per-key) round-trip latency.
+	RequestLatency telemetry.Summary `json:"request_latency"`
+}
+
+// RunServiceLoad drives one closed-loop measurement: Conns goroutines
+// split a shared key stream into Batch-sized requests, each goroutine
+// issuing its next request the moment the previous one is acknowledged.
+// issue is called with the connection index and that request's keys; a
+// non-nil return is a transport failure and aborts the run. Per-request
+// round-trip latency lands in a concurrent histogram; throughput is
+// end-to-end keys over wall time.
+func RunServiceLoad(cfg ServiceConfig, issue func(conn int, keys []uint64) error) (ServicePoint, error) {
+	keys := workload.NewStream(cfg.Seed).Keys(cfg.Ops)
+	var next atomic.Int64
+	var hist telemetry.Hist
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Conns; c++ {
+		wg.Add(1)
+		go func(conn int) {
+			defer wg.Done()
+			sel := uint64(conn)
+			for firstErr.Load() == nil {
+				lo := int(next.Add(int64(cfg.Batch))) - cfg.Batch
+				if lo >= len(keys) {
+					return
+				}
+				hi := lo + cfg.Batch
+				if hi > len(keys) {
+					hi = len(keys)
+				}
+				t0 := time.Now()
+				if err := issue(conn, keys[lo:hi]); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				hist.Record(sel, uint64(time.Since(t0)))
+				sel += 0x9e3779b97f4a7c15 // spread stripe selection per request
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return ServicePoint{}, err
+	}
+	return ServicePoint{
+		Protocol:       cfg.Protocol,
+		Batch:          cfg.Batch,
+		Conns:          cfg.Conns,
+		Ops:            cfg.Ops,
+		Seconds:        elapsed.Seconds(),
+		Mops:           float64(cfg.Ops) / elapsed.Seconds() / 1e6,
+		RequestLatency: hist.Snapshot().Summary(),
+	}, nil
+}

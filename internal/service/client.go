@@ -1,0 +1,302 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client speaks the binary data-plane protocol to a vqfd. It is the
+// shared client code the examples, the CLI and the load harness build
+// on. A Client is NOT safe for concurrent use — it owns one connection
+// and its reusable buffers; use one Client per goroutine (they are
+// cheap: one TCP connection and a few KiB of scratch each).
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	// out accumulates the encoded request; in holds response payloads.
+	out  []byte
+	in   []byte
+	resp response
+}
+
+// Dial connects a binary-protocol client to addr (host:port).
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) // request-response: don't Nagle-delay small frames
+	}
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 64<<10),
+		bw:   bufio.NewWriterSize(conn, 64<<10),
+	}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// do sends one request frame and reads its response.
+func (c *Client) do(op, flags byte, name string, keys []uint64, vals []byte) (*response, error) {
+	out, err := appendRequest(c.out[:0], op, flags, name, keys, vals)
+	c.out = out
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.bw.Write(out); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	payload, err := readFrame(c.br, c.in, DefaultMaxFrameBytes)
+	c.in = payload[:cap(payload)]
+	if err != nil {
+		return nil, err
+	}
+	if err := parseResponse(payload, &c.resp); err != nil {
+		return nil, err
+	}
+	if c.resp.status != statusOK {
+		return &c.resp, fmt.Errorf("service: %s %q: %s", opName(op), name, statusText(c.resp.status))
+	}
+	return &c.resp, nil
+}
+
+// opName names a wire op for error messages.
+func opName(op byte) string {
+	switch op {
+	case opInsert:
+		return "insert"
+	case opContains:
+		return "contains"
+	case opRemove:
+		return "remove"
+	case opPut:
+		return "put"
+	case opGet:
+		return "get"
+	case opPing:
+		return "ping"
+	}
+	return fmt.Sprintf("op%d", op)
+}
+
+// Ping round-trips an empty frame (liveness check).
+func (c *Client) Ping() error {
+	_, err := c.do(opPing, 0, "", nil, nil)
+	return err
+}
+
+// Insert inserts a batch of raw 64-bit keys into the named filter,
+// returning how many were stored (the rest hit full blocks).
+func (c *Client) Insert(name string, keys []uint64) (int, error) {
+	resp, err := c.do(opInsert, 0, name, keys, nil)
+	if err != nil {
+		return 0, err
+	}
+	return int(resp.count), nil
+}
+
+// Contains reports membership for a batch of raw keys, in input order.
+// dst is reused when large enough.
+func (c *Client) Contains(name string, keys []uint64, dst []bool) ([]bool, error) {
+	resp, err := c.do(opContains, 0, name, keys, nil)
+	if err != nil {
+		return dst, err
+	}
+	return unpackBools(resp.body, len(keys), dst)
+}
+
+// Remove removes one instance of each raw key, returning how many were
+// found and removed.
+func (c *Client) Remove(name string, keys []uint64) (int, error) {
+	resp, err := c.do(opRemove, 0, name, keys, nil)
+	if err != nil {
+		return 0, err
+	}
+	return int(resp.count), nil
+}
+
+// Put stores key→value pairs on a map filter (vals[i] rides with
+// keys[i]), returning how many were stored.
+func (c *Client) Put(name string, keys []uint64, vals []byte) (int, error) {
+	resp, err := c.do(opPut, 0, name, keys, vals)
+	if err != nil {
+		return 0, err
+	}
+	return int(resp.count), nil
+}
+
+// Update rewrites the values of already-stored keys on a map filter,
+// returning how many keys were found and updated.
+func (c *Client) Update(name string, keys []uint64, vals []byte) (int, error) {
+	resp, err := c.do(opPut, flagUpdate, name, keys, vals)
+	if err != nil {
+		return 0, err
+	}
+	return int(resp.count), nil
+}
+
+// Get looks up values on a map filter: found[i] reports presence,
+// vals[i] the stored byte. Both slices are reused when large enough.
+func (c *Client) Get(name string, keys []uint64, vals []byte, found []bool) ([]byte, []bool, error) {
+	resp, err := c.do(opGet, 0, name, keys, nil)
+	if err != nil {
+		return vals, found, err
+	}
+	bitmap := (len(keys) + 7) / 8
+	if len(resp.body) < bitmap+len(keys) {
+		return vals, found, fmt.Errorf("service: get response body %d bytes for %d keys", len(resp.body), len(keys))
+	}
+	found, err = unpackBools(resp.body[:bitmap], len(keys), found)
+	if err != nil {
+		return vals, found, err
+	}
+	if cap(vals) < len(keys) {
+		vals = make([]byte, len(keys))
+	}
+	vals = vals[:len(keys)]
+	copy(vals, resp.body[bitmap:])
+	return vals, found, nil
+}
+
+// Admin speaks the HTTP admin+data API of a vqfd.
+type Admin struct {
+	base string
+	hc   *http.Client
+}
+
+// NewAdmin returns an admin client for the daemon's HTTP base URL
+// (e.g. "http://127.0.0.1:7071").
+func NewAdmin(base string) *Admin {
+	return &Admin{base: strings.TrimRight(base, "/"), hc: &http.Client{Timeout: 60 * time.Second}}
+}
+
+// doJSON performs one JSON request; out may be nil to discard the body.
+func (a *Admin) doJSON(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, a.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := a.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		if json.Unmarshal(msg, &e) == nil && e.Error != "" {
+			return fmt.Errorf("service: %s %s: %s (%s)", method, path, resp.Status, e.Error)
+		}
+		return fmt.Errorf("service: %s %s: %s", method, path, resp.Status)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Create registers a new filter from spec.
+func (a *Admin) Create(spec Spec) (Info, error) {
+	var info Info
+	err := a.doJSON("POST", "/v1/filters", spec, &info)
+	return info, err
+}
+
+// Drop removes the named filter.
+func (a *Admin) Drop(name string) error {
+	return a.doJSON("DELETE", "/v1/filters/"+name, nil, nil)
+}
+
+// List returns every hosted filter's Info.
+func (a *Admin) List() ([]Info, error) {
+	var out struct {
+		Filters []Info `json:"filters"`
+	}
+	err := a.doJSON("GET", "/v1/filters", nil, &out)
+	return out.Filters, err
+}
+
+// Inspect returns one filter's Info.
+func (a *Admin) Inspect(name string) (Info, error) {
+	var info Info
+	err := a.doJSON("GET", "/v1/filters/"+name, nil, &info)
+	return info, err
+}
+
+// SnapshotResult summarizes a snapshot or restore admin call.
+type SnapshotResult struct {
+	Dir      string   `json:"dir"`
+	Filters  int      `json:"filters"`
+	Bytes    int64    `json:"bytes"`
+	Warnings []string `json:"warnings"`
+}
+
+// Snapshot asks the daemon to write a snapshot to its data directory.
+func (a *Admin) Snapshot() (SnapshotResult, error) {
+	var res SnapshotResult
+	err := a.doJSON("POST", "/v1/snapshot", nil, &res)
+	return res, err
+}
+
+// Restore asks the daemon to reload its registry from the last committed
+// snapshot in its data directory.
+func (a *Admin) Restore() (SnapshotResult, error) {
+	var res SnapshotResult
+	err := a.doJSON("POST", "/v1/restore", nil, &res)
+	return res, err
+}
+
+// InsertU64 inserts raw keys over the HTTP data plane (the slow,
+// JSON-encoded path; the binary Client is the fast one).
+func (a *Admin) InsertU64(name string, keys []uint64) (int, error) {
+	var out struct {
+		Inserted int `json:"inserted"`
+	}
+	err := a.doJSON("POST", "/v1/filters/"+name+"/insert", map[string]any{"u64": keys}, &out)
+	return out.Inserted, err
+}
+
+// ContainsU64 queries raw keys over the HTTP data plane.
+func (a *Admin) ContainsU64(name string, keys []uint64) ([]bool, error) {
+	var out struct {
+		Found []bool `json:"found"`
+	}
+	err := a.doJSON("POST", "/v1/filters/"+name+"/contains", map[string]any{"u64": keys}, &out)
+	return out.Found, err
+}
+
+// RemoveU64 removes raw keys over the HTTP data plane.
+func (a *Admin) RemoveU64(name string, keys []uint64) (int, error) {
+	var out struct {
+		Removed int `json:"removed"`
+	}
+	err := a.doJSON("POST", "/v1/filters/"+name+"/remove", map[string]any{"u64": keys}, &out)
+	return out.Removed, err
+}

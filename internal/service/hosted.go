@@ -1,0 +1,433 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"regexp"
+	"runtime"
+	"sync"
+
+	"vqf"
+	"vqf/internal/hashing"
+)
+
+// Kind names a hostable filter variant. The daemon hosts every public
+// filter shape that can round-trip through the serialization envelopes,
+// which is what makes snapshot/warm-restart total over the registry.
+type Kind string
+
+const (
+	// KindPlain is a single-threaded vqf.Filter (vqf.New); the service
+	// serializes access to it with the hosted lock.
+	KindPlain Kind = "plain"
+	// KindConcurrent is a thread-safe vqf.Filter (vqf.NewConcurrent);
+	// data-plane requests run on it concurrently.
+	KindConcurrent Kind = "concurrent"
+	// KindSharded is a sharded concurrent vqf.Filter (vqf.NewSharded):
+	// batch frames fan out over shard-disjoint workers.
+	KindSharded Kind = "sharded"
+	// KindElastic is an online-growing vqf.Elastic (vqf.NewElastic). The
+	// sequential cascade is hosted — it is the variant that serializes —
+	// with access serialized by the hosted lock.
+	KindElastic Kind = "elastic"
+	// KindMap is a value-associating vqf.Map; opPut/opGet carry the value
+	// byte per key.
+	KindMap Kind = "map"
+)
+
+// Kinds lists every hostable kind.
+func Kinds() []Kind {
+	return []Kind{KindPlain, KindConcurrent, KindSharded, KindElastic, KindMap}
+}
+
+// Spec declares one named filter: its kind and construction parameters.
+// It is the create-request body of the admin API and the per-filter
+// record of the snapshot manifest (the hash seed must persist so raw keys
+// hash identically after a warm restart).
+type Spec struct {
+	Name string `json:"name"`
+	Kind Kind   `json:"kind"`
+	// Capacity is the provisioned item count (for KindElastic, the initial
+	// capacity the first level is provisioned for). 0 means 1<<20.
+	Capacity uint64 `json:"capacity,omitempty"`
+	// FPR is the target false-positive rate; 0 means the package default
+	// (the 8-bit geometry's ≈0.0047).
+	FPR float64 `json:"fpr,omitempty"`
+	// Shards is the shard count for KindSharded (0 = GOMAXPROCS).
+	Shards int `json:"shards,omitempty"`
+	// Seed is the hash seed for raw keys; it travels in the manifest.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// nameRe bounds filter names so they are safe as snapshot file names and
+// URL path segments.
+var nameRe = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]{0,127}$`)
+
+// minSupportedFPR mirrors the package's 2^-17 floor so Spec validation
+// rejects what the constructors would panic on.
+const minSupportedFPR = 1.0 / (1 << 17)
+
+// normalize validates the spec and fills defaults in place.
+func (s *Spec) normalize() error {
+	if !nameRe.MatchString(s.Name) {
+		return fmt.Errorf("service: invalid filter name %q (want %s)", s.Name, nameRe)
+	}
+	switch s.Kind {
+	case KindPlain, KindConcurrent, KindSharded, KindElastic, KindMap:
+	default:
+		return fmt.Errorf("service: unknown filter kind %q", s.Kind)
+	}
+	if s.Capacity == 0 {
+		s.Capacity = 1 << 20
+	}
+	if s.Capacity > 1<<34 {
+		return fmt.Errorf("service: capacity %d exceeds the 2^34 hosting limit", s.Capacity)
+	}
+	if s.FPR != 0 && (s.FPR < minSupportedFPR || s.FPR >= 1) {
+		return fmt.Errorf("service: false-positive rate %g outside [2^-17, 1)", s.FPR)
+	}
+	if s.Kind == KindSharded && s.Shards == 0 {
+		s.Shards = runtime.GOMAXPROCS(0)
+	}
+	if s.Kind != KindSharded {
+		s.Shards = 0
+	}
+	return nil
+}
+
+// options renders the spec's construction options.
+func (s *Spec) options() []vqf.Option {
+	opts := []vqf.Option{vqf.WithSeed(s.Seed)}
+	if s.FPR != 0 {
+		opts = append(opts, vqf.WithFalsePositiveRate(s.FPR))
+	}
+	return opts
+}
+
+// Service-level operation errors; the HTTP and binary front ends map them
+// to their own status vocabularies.
+var (
+	ErrNotFound  = errors.New("service: no such filter")
+	ErrExists    = errors.New("service: filter already exists")
+	ErrWrongKind = errors.New("service: operation requires a map filter")
+	ErrDraining  = errors.New("service: server draining")
+)
+
+// hosted is one named filter plus its service-level lock. Exactly one of
+// filter/elastic/kv is non-nil.
+//
+// Locking: snapshotting needs quiescence (WriteTo rejects in-flight
+// writers) and the sequential kinds need mutual exclusion the filter
+// itself does not provide, so every hosted filter carries a RWMutex.
+// Data-plane ops on internally thread-safe kinds (concurrent, sharded)
+// take the read side — they exclude only snapshots, not each other — and
+// sequential kinds (plain, elastic, map) take the write side. Snapshot
+// always takes the write side. Per-op deadlines are enforced at the lock:
+// a request that waited past its deadline (queued behind a snapshot or a
+// long batch) is rejected before touching the filter.
+type hosted struct {
+	spec       Spec
+	threadSafe bool
+	mu         sync.RWMutex
+	filter     *vqf.Filter
+	elastic    *vqf.Elastic
+	kv         *vqf.Map
+}
+
+// newHosted constructs the filter a spec describes. The spec must be
+// normalized.
+func newHosted(spec Spec) (*hosted, error) {
+	h := &hosted{spec: spec}
+	opts := spec.options()
+	switch spec.Kind {
+	case KindPlain:
+		h.filter = vqf.New(spec.Capacity, opts...)
+	case KindConcurrent:
+		h.filter = vqf.NewConcurrent(spec.Capacity, opts...)
+		h.threadSafe = true
+	case KindSharded:
+		h.filter = vqf.NewSharded(spec.Capacity, spec.Shards, opts...)
+		h.threadSafe = true
+	case KindElastic:
+		h.elastic = vqf.NewElastic(append(opts, vqf.WithInitialCapacity(spec.Capacity))...)
+	case KindMap:
+		h.kv = vqf.NewMap(spec.Capacity, opts...)
+	default:
+		return nil, fmt.Errorf("service: unknown filter kind %q", spec.Kind)
+	}
+	return h, nil
+}
+
+// lockOp acquires the data-plane side of the hosted lock, honoring ctx's
+// deadline: if the deadline passed while waiting for the lock the lock is
+// released again and the context error returned.
+func (h *hosted) lockOp(ctx context.Context) (unlock func(), err error) {
+	if h.threadSafe {
+		h.mu.RLock()
+		unlock = h.mu.RUnlock
+	} else {
+		h.mu.Lock()
+		unlock = h.mu.Unlock
+	}
+	if err := ctx.Err(); err != nil {
+		unlock()
+		return nil, err
+	}
+	return unlock, nil
+}
+
+// HashUint64s hashes raw 64-bit keys with the filter's seed into dst
+// (reused when large enough). Safe without the lock: the seed is
+// immutable.
+func (h *hosted) HashUint64s(keys []uint64, dst []uint64) []uint64 {
+	if cap(dst) < len(keys) {
+		dst = make([]uint64, len(keys))
+	}
+	dst = dst[:len(keys)]
+	for i, k := range keys {
+		dst[i] = hashing.HashUint64(k, h.spec.Seed)
+	}
+	return dst
+}
+
+// HashStrings hashes string keys with the filter's seed into dst.
+func (h *hosted) HashStrings(keys []string, dst []uint64) []uint64 {
+	if cap(dst) < len(keys) {
+		dst = make([]uint64, len(keys))
+	}
+	dst = dst[:len(keys)]
+	for i, k := range keys {
+		dst[i] = hashing.HashString(k, h.spec.Seed)
+	}
+	return dst
+}
+
+// Insert inserts pre-hashed keys and returns how many were stored (the
+// rest hit full blocks). On a map filter, keys are stored with value 0.
+func (h *hosted) Insert(ctx context.Context, hs []uint64) (int, error) {
+	unlock, err := h.lockOp(ctx)
+	if err != nil {
+		return 0, err
+	}
+	defer unlock()
+	switch {
+	case h.filter != nil:
+		return h.filter.AddHashBatch(hs), nil
+	case h.elastic != nil:
+		return h.elastic.AddHashBatch(hs), nil
+	default:
+		n := 0
+		for _, kh := range hs {
+			if h.kv.PutHash(kh, 0) == nil {
+				n++
+			}
+		}
+		return n, nil
+	}
+}
+
+// Contains reports membership for pre-hashed keys into dst (reused when
+// large enough).
+func (h *hosted) Contains(ctx context.Context, hs []uint64, dst []bool) ([]bool, error) {
+	unlock, err := h.lockOp(ctx)
+	if err != nil {
+		return dst, err
+	}
+	defer unlock()
+	switch {
+	case h.filter != nil:
+		return h.filter.ContainsHashBatch(hs, dst), nil
+	case h.elastic != nil:
+		return h.elastic.ContainsHashBatch(hs, dst), nil
+	default:
+		if cap(dst) < len(hs) {
+			dst = make([]bool, len(hs))
+		}
+		dst = dst[:len(hs)]
+		for i, kh := range hs {
+			_, dst[i] = h.kv.GetHash(kh)
+		}
+		return dst, nil
+	}
+}
+
+// Remove removes one instance of each pre-hashed key, returning how many
+// were found.
+func (h *hosted) Remove(ctx context.Context, hs []uint64) (int, error) {
+	unlock, err := h.lockOp(ctx)
+	if err != nil {
+		return 0, err
+	}
+	defer unlock()
+	switch {
+	case h.filter != nil:
+		return h.filter.RemoveHashBatch(hs), nil
+	case h.elastic != nil:
+		return h.elastic.RemoveHashBatch(hs), nil
+	default:
+		n := 0
+		for _, kh := range hs {
+			if h.kv.DeleteHash(kh) {
+				n++
+			}
+		}
+		return n, nil
+	}
+}
+
+// Put stores (or with update, rewrites) key→value pairs on a map filter,
+// returning how many succeeded.
+func (h *hosted) Put(ctx context.Context, hs []uint64, vals []byte, update bool) (int, error) {
+	if h.kv == nil {
+		return 0, ErrWrongKind
+	}
+	unlock, err := h.lockOp(ctx)
+	if err != nil {
+		return 0, err
+	}
+	defer unlock()
+	n := 0
+	for i, kh := range hs {
+		if update {
+			if h.kv.UpdateHash(kh, vals[i]) {
+				n++
+			}
+		} else if h.kv.PutHash(kh, vals[i]) == nil {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Get looks up values on a map filter: found[i] reports presence and
+// vals[i] the stored byte (0 when absent). Both slices are reused when
+// large enough.
+func (h *hosted) Get(ctx context.Context, hs []uint64, vals []byte, found []bool) ([]byte, []bool, error) {
+	if h.kv == nil {
+		return vals, found, ErrWrongKind
+	}
+	unlock, err := h.lockOp(ctx)
+	if err != nil {
+		return vals, found, err
+	}
+	defer unlock()
+	if cap(vals) < len(hs) {
+		vals = make([]byte, len(hs))
+	}
+	vals = vals[:len(hs)]
+	if cap(found) < len(hs) {
+		found = make([]bool, len(hs))
+	}
+	found = found[:len(hs)]
+	for i, kh := range hs {
+		vals[i], found[i] = h.kv.GetHash(kh)
+	}
+	return vals, found, nil
+}
+
+// Count returns the hosted filter's stored-item count.
+func (h *hosted) Count() uint64 {
+	switch {
+	case h.filter != nil:
+		return h.filter.Count()
+	case h.elastic != nil:
+		return h.elastic.Count()
+	default:
+		return h.kv.Count()
+	}
+}
+
+// Capacity returns the hosted filter's current slot capacity.
+func (h *hosted) Capacity() uint64 {
+	switch {
+	case h.filter != nil:
+		return h.filter.Capacity()
+	case h.elastic != nil:
+		return h.elastic.Capacity()
+	default:
+		return h.kv.Capacity()
+	}
+}
+
+// SizeBytes returns the hosted filter's memory footprint.
+func (h *hosted) SizeBytes() uint64 {
+	switch {
+	case h.filter != nil:
+		return h.filter.SizeBytes()
+	case h.elastic != nil:
+		return h.elastic.SizeBytes()
+	default:
+		return h.kv.SizeBytes()
+	}
+}
+
+// Source returns the filter as a metrics source (every kind implements
+// vqf.Source).
+func (h *hosted) Source() vqf.Source {
+	switch {
+	case h.filter != nil:
+		return h.filter
+	case h.elastic != nil:
+		return h.elastic
+	default:
+		return h.kv
+	}
+}
+
+// EventSource returns the filter's event ring, or nil for kinds without
+// one (vqf.Map).
+func (h *hosted) EventSource() vqf.EventSource {
+	switch {
+	case h.filter != nil:
+		return h.filter
+	case h.elastic != nil:
+		return h.elastic
+	default:
+		return nil
+	}
+}
+
+// writeTo serializes the hosted filter through its envelope. The caller
+// must hold the write lock (quiescence: WriteTo rejects in-flight
+// writers).
+func (h *hosted) writeTo(w io.Writer) (int64, error) {
+	switch {
+	case h.filter != nil:
+		return h.filter.WriteTo(w)
+	case h.elastic != nil:
+		return h.elastic.WriteTo(w)
+	default:
+		return h.kv.WriteTo(w)
+	}
+}
+
+// readHosted deserializes a filter of the spec's kind from r, wrapping it
+// as a hosted filter. It is the warm-restart counterpart of writeTo: each
+// kind dispatches to the envelope reader that reconstructs the variant
+// the daemon hosts for that kind.
+func readHosted(spec Spec, r io.Reader) (*hosted, error) {
+	h := &hosted{spec: spec}
+	var err error
+	switch spec.Kind {
+	case KindPlain:
+		h.filter, err = vqf.Read(r)
+	case KindConcurrent:
+		h.filter, err = vqf.ReadConcurrent(r)
+		h.threadSafe = true
+	case KindSharded:
+		h.filter, err = vqf.Read(r) // sharded streams always load sharded
+		h.threadSafe = true
+	case KindElastic:
+		h.elastic, err = vqf.ReadElastic(r)
+	case KindMap:
+		h.kv, err = vqf.NewMapFromReader(r)
+	default:
+		return nil, fmt.Errorf("service: unknown filter kind %q", spec.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
