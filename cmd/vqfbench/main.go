@@ -23,6 +23,7 @@
 //	observe  telemetry-layer overhead and quantile accuracy (writes JSON)
 //	service  vqfd daemon protocols: HTTP/JSON vs binary batches (writes JSON)
 //	elastic  online-growth cascade: throughput and FPR across growth events (writes JSON)
+//	compact  cascade compaction: negative-lookup recovery after churn (writes JSON)
 //	maxload  maximum load factor per design variant (§3.4, §6.2)
 //	choices  block-occupancy dispersion: two-choice vs single (Theorem 1)
 //	ablation SWAR vs scalar block operations (§7.7 analog)
@@ -112,7 +113,7 @@ func main() {
 	fs.StringVar(&cfg.kernelsImpl, "kernels-impl", "auto",
 		"kernel implementation: auto (assembly where built in), asm (require assembly), generic (portable Go)")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: vqfbench [flags] <experiment>\n\nexperiments: table1 fig2 fig3 table2 fig4 fig5 fig6 table3 table4 concurrent elastic maxload maxloadscale choices ablation kernels kernelgate multicore observe oracle service all\n\nflags:\n")
+		fmt.Fprintf(os.Stderr, "usage: vqfbench [flags] <experiment>\n\nexperiments: table1 fig2 fig3 table2 fig4 fig5 fig6 table3 table4 concurrent elastic compact maxload maxloadscale choices ablation kernels kernelgate multicore observe oracle service all\n\nflags:\n")
 		fs.PrintDefaults()
 	}
 	fs.Parse(os.Args[1:])
@@ -155,6 +156,7 @@ func main() {
 		"table4":       runTable4,
 		"concurrent":   runConcurrent,
 		"elastic":      runElastic,
+		"compact":      runCompact,
 		"maxload":      runMaxLoad,
 		"maxloadscale": runMaxLoadScale,
 		"choices":      runChoices,
@@ -530,6 +532,45 @@ func runElastic(cfg config) {
 		Result     harness.GrowthResult `json:"result"`
 	}{"elastic-growth", harness.CaptureEnv(), cfg.probes, cfg.queries, cfg.seed, res}
 	writeJSON(cfg, "elastic", doc)
+}
+
+func runCompact(cfg config) {
+	// Start far smaller than runElastic so the fill stacks many levels: the
+	// point is a long churned cascade (≥6 levels) whose negative lookups pay
+	// one block probe per level before compaction collapses it.
+	initialSlots := uint64(1) << (cfg.logSlotsCache - 8)
+	totalItems := uint64(1) << cfg.logSlotsCache
+	probes := cfg.probes
+	if probes < 1_000_000 {
+		probes = 1_000_000 // FPR must be measured over at least a million probes
+	}
+	ecfg := elastic.Config{TargetFPR: 1.0 / 256, InitialSlots: initialSlots}
+	fmt.Printf("Cascade compaction: %d items through an initial capacity of %d slots, then 75%% removed oldest-first\n",
+		totalItems, initialSlots)
+	res := harness.RunCompact(ecfg, totalItems, 0.75, probes, cfg.queries, cfg.seed)
+	t := harness.NewTable("phase", "levels", "items", "neg-lookup", "pos-lookup", "measured FPR", "bits/item")
+	for _, row := range []struct {
+		name string
+		s    harness.CompactSide
+	}{{"before", res.Before}, {"after", res.After}} {
+		t.AddRow(row.name, row.s.Levels, row.s.Items, row.s.NegLookupMops, row.s.PosLookupMops,
+			fmt.Sprintf("%.2e", row.s.MeasuredFPR), row.s.BitsPerItem)
+	}
+	emit(cfg, t)
+	if res.Failed {
+		fmt.Println("compaction run FAILED: a live key went missing or an op was rejected")
+	}
+	fmt.Printf("merged %d levels in %.1f ms; negative-lookup speedup %.2fx (FPR budget %.2e)\n",
+		res.LevelsMerged, res.CompactMs, res.NegSpeedup, res.TargetFPR)
+	doc := struct {
+		Experiment string                `json:"experiment"`
+		Env        harness.BenchEnv      `json:"env"`
+		Probes     int                   `json:"probes"`
+		Queries    int                   `json:"queries_per_point"`
+		Seed       uint64                `json:"seed"`
+		Result     harness.CompactResult `json:"result"`
+	}{"cascade-compaction", harness.CaptureEnv(), probes, cfg.queries, cfg.seed, res}
+	writeJSON(cfg, "compact", doc)
 }
 
 func runMaxLoad(cfg config) {

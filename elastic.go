@@ -44,7 +44,8 @@ func (e *Elastic) initObservability(rate int, concurrent bool) {
 	}
 }
 
-// elasticImpl is the shared surface of elastic.Filter and elastic.CFilter.
+// elasticImpl is the shared surface of elastic.Filter, elastic.CFilter and
+// elastic.Sharded.
 type elasticImpl interface {
 	Insert(h uint64) bool
 	Contains(h uint64) bool
@@ -56,7 +57,13 @@ type elasticImpl interface {
 	TargetFPR() float64
 	Stats() stats.OpCounts
 	Snapshot() stats.CascadeSnapshot
+	CompactNow() elastic.CompactionResult
 }
+
+// CompactionResult summarizes one CompactNow call: the cascade depth before
+// and after, and how many source levels were rebuilt away (0 when nothing
+// qualified). On sharded filters the fields are sums over all shards.
+type CompactionResult = elastic.CompactionResult
 
 // CascadeSnapshot is the structural snapshot of an Elastic filter: an
 // aggregate Snapshot plus one Snapshot per level, oldest level first. See
@@ -73,11 +80,13 @@ func elasticConfig(opts []Option) (elastic.Config, config, error) {
 		return elastic.Config{}, c, err
 	}
 	ec := elastic.Config{
-		TargetFPR:     c.fpr,
-		GrowthFactor:  c.growthFactor,
-		TightenRatio:  c.tightenRatio,
-		FillThreshold: c.growThreshold,
-		NoShortcut:    c.noShortcut,
+		TargetFPR:        c.fpr,
+		GrowthFactor:     c.growthFactor,
+		TightenRatio:     c.tightenRatio,
+		FillThreshold:    c.growThreshold,
+		NoShortcut:       c.noShortcut,
+		CompactMinLevels: c.compactMinLevels,
+		CompactMaxLoad:   c.compactMaxLoad,
 	}
 	if err := ec.Validate(); err != nil {
 		return ec, c, err
@@ -306,6 +315,20 @@ func (e *Elastic) Snapshot() Snapshot { return e.impl.Snapshot().Aggregate }
 // count, each level's occupancy, load factor and FPR estimate. On
 // concurrent filters it is safe alongside live traffic.
 func (e *Elastic) CascadeSnapshot() CascadeSnapshot { return e.impl.Snapshot() }
+
+// CompactNow merges runs of old, sparse cascade levels into right-sized
+// replacements, cutting the per-negative-lookup level count after
+// insert/remove churn. Membership is preserved exactly (every key a merged
+// level answered true for stays true) and the cascade-wide false-positive
+// budget is untouched: each merged level inherits the summed budget of the
+// levels it replaces. The newest (actively filling) level is never merged.
+//
+// On concurrent and sharded filters the call is safe alongside live
+// traffic — lookups stay lock-free throughout and the merged levels are
+// published with the same atomic swap growth uses; removes racing the
+// compaction are reconciled so they can never resurrect in the merged
+// level. Use WithAutoCompaction to trigger compaction automatically.
+func (e *Elastic) CompactNow() CompactionResult { return e.impl.CompactNow() }
 
 // WriteTo serializes the cascade (config, every level's blocks, and the
 // hash seed). Only filters created with NewElastic serialize, matching

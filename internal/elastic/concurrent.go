@@ -23,8 +23,27 @@ type CFilter struct {
 	cfg    Config
 	levels atomic.Pointer[[]*level]
 	ring   *telemetry.Ring
-	// growMu serializes growth; insert and lookup paths never take it.
+	// growMu serializes growth and compaction; insert and lookup paths
+	// never take it.
 	growMu sync.Mutex
+	// sched is the next schedule index growth will build (see Filter.sched);
+	// guarded by growMu.
+	sched int
+
+	// removeMu orders removes against a compaction's freeze barrier: every
+	// Remove runs under the read side, and compaction takes the write side
+	// once to publish its frozen-level set (so later removes log themselves)
+	// and once to drain in-flight removes before reconciling and swapping
+	// the level list. Contains and Insert never touch it.
+	removeMu sync.RWMutex
+	// compact, while non-nil, is the in-flight compaction's removal-log
+	// state; see compactState.
+	compact atomic.Pointer[compactState]
+	// compacting gates the automatic trigger so it never stacks background
+	// compaction goroutines.
+	compacting       atomic.Bool
+	compactions      atomic.Uint64
+	compactionLevels atomic.Uint64
 }
 
 // NewConcurrent creates an empty thread-safe cascade with one level.
@@ -33,7 +52,7 @@ func NewConcurrent(cfg Config) (*CFilter, error) {
 		return nil, err
 	}
 	cfg.Concurrent = true
-	f := &CFilter{cfg: cfg}
+	f := &CFilter{cfg: cfg, sched: 1}
 	ls := []*level{newLevel(cfg, 0)}
 	f.levels.Store(&ls)
 	return f, nil
@@ -52,29 +71,37 @@ func (f *CFilter) Insert(h uint64) bool {
 		if lvl.filter.Count() < lvl.trigger && lvl.filter.Insert(h) {
 			return true
 		}
-		if !f.grow(len(ls)) {
+		if !f.grow(lvl) {
 			return false
 		}
 	}
 }
 
-// grow appends a new level if the cascade still has seenLevels levels; a
-// concurrent grower who got there first makes this a no-op. It returns
-// false only at the MaxLevels backstop.
-func (f *CFilter) grow(seenLevels int) bool {
+// grow appends a new level if seen is still the newest level; a concurrent
+// grower who got there first makes this a no-op. The identity check is
+// against the newest level pointer, not the list length: compaction can
+// SHRINK the list while preserving the newest level, and a length check
+// would then mistake the shrink for someone else's growth (or worse, a
+// grow-then-compact for no change). It returns false only at the
+// MaxLevels/schedule backstop.
+func (f *CFilter) grow(seen *level) bool {
 	f.growMu.Lock()
-	defer f.growMu.Unlock()
 	ls := *f.levels.Load()
-	if len(ls) != seenLevels {
+	if ls[len(ls)-1] != seen {
+		f.growMu.Unlock()
 		return true // someone else grew; caller retries against the new list
 	}
-	if len(ls) >= MaxLevels {
+	if len(ls) >= MaxLevels || f.sched >= schedCap {
+		f.growMu.Unlock()
 		return false
 	}
 	next := make([]*level, len(ls)+1)
 	copy(next, ls)
-	next[len(ls)] = buildLevel(f.cfg, len(ls), f.ring, telemetry.EvElasticSwap)
+	next[len(ls)] = buildLevel(f.cfg, f.sched, f.ring, telemetry.EvElasticSwap)
+	f.sched++
 	f.levels.Store(&next)
+	f.growMu.Unlock()
+	f.maybeCompact()
 	return true
 }
 
@@ -92,15 +119,40 @@ func (f *CFilter) Contains(h uint64) bool {
 }
 
 // Remove deletes one previously inserted instance of h, searching levels
-// newest-first. Safe for concurrent use.
+// newest-first. Safe for concurrent use, including concurrent with a
+// compaction: the read side of removeMu brackets the whole operation so a
+// compaction's barriers order every remove entirely before or entirely
+// after its freeze point, and a remove that lands in a level the compaction
+// is rebuilding appends h to the removal log, which the compaction
+// reconciles against the merged level before publishing it — a racing
+// remove can therefore never resurrect in the merged level.
 func (f *CFilter) Remove(h uint64) bool {
+	f.removeMu.RLock()
+	st := f.compact.Load()
 	ls := *f.levels.Load()
+	hit := -1
 	for i := len(ls) - 1; i >= 0; i-- {
 		if ls[i].filter.Remove(h) {
-			return true
+			hit = i
+			if st != nil {
+				if _, frozen := st.frozen[ls[i]]; frozen {
+					st.mu.Lock()
+					st.log = append(st.log, h)
+					st.mu.Unlock()
+				}
+			}
+			break
 		}
 	}
-	return false
+	f.removeMu.RUnlock()
+	if hit < 0 {
+		return false
+	}
+	if hit < len(ls)-1 {
+		// A frozen level just got sparser; check the auto trigger.
+		f.maybeCompact()
+	}
+	return true
 }
 
 // Count returns the number of items stored across all levels.
@@ -126,5 +178,8 @@ func (f *CFilter) Stats() stats.OpCounts { return sumStats(*f.levels.Load()) }
 // traffic: the level list is an immutable copy and each level's occupancy
 // scan uses the optimistic block protocol.
 func (f *CFilter) Snapshot() stats.CascadeSnapshot {
-	return snapshotLevels(f.cfg.TargetFPR, *f.levels.Load())
+	cs := snapshotLevels(f.cfg.TargetFPR, *f.levels.Load())
+	cs.Compactions = f.compactions.Load()
+	cs.CompactionLevelsMerged = f.compactionLevels.Load()
+	return cs
 }

@@ -76,6 +76,19 @@ type Config struct {
 	// NoShortcut disables the §6.2 single-block insertion shortcut on every
 	// level.
 	NoShortcut bool
+	// CompactMinLevels enables automatic compaction: when the cascade has at
+	// least this many levels AND the non-newest levels' mean load factor is
+	// at or below CompactMaxLoad, a compaction runs (synchronously after the
+	// triggering growth or remove on the sequential filter, in a background
+	// goroutine on the concurrent ones). Zero disables the automatic
+	// trigger; CompactNow always works. Must be 0 or in [3, MaxLevels].
+	CompactMinLevels int
+	// CompactMaxLoad is the occupancy-ratio threshold of the automatic
+	// trigger: compaction fires only while the frozen (non-newest) levels'
+	// combined count/capacity is at or below it, i.e. while they are sparse
+	// enough that merging wins back space and probe misses. Default 0.5;
+	// must be in (0, 1].
+	CompactMaxLoad float64
 }
 
 // Validate fills defaulted fields and rejects out-of-range values.
@@ -92,6 +105,9 @@ func (c *Config) Validate() error {
 	if c.FillThreshold == 0 {
 		c.FillThreshold = 0.85
 	}
+	if c.CompactMaxLoad == 0 {
+		c.CompactMaxLoad = 0.5
+	}
 	switch {
 	case !(c.TargetFPR > 0 && c.TargetFPR < 1):
 		return fmt.Errorf("elastic: target FPR %g outside (0, 1)", c.TargetFPR)
@@ -103,11 +119,18 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("elastic: tighten ratio %g outside (0, 0.9]", c.TightenRatio)
 	case c.FillThreshold <= 0 || c.FillThreshold > 0.93:
 		return fmt.Errorf("elastic: fill threshold %g outside (0, 0.93]", c.FillThreshold)
+	case c.CompactMinLevels != 0 && (c.CompactMinLevels < 3 || c.CompactMinLevels > MaxLevels):
+		return fmt.Errorf("elastic: compact min levels %d outside {0} ∪ [3, %d]", c.CompactMinLevels, MaxLevels)
+	case c.CompactMaxLoad <= 0 || c.CompactMaxLoad > 1:
+		return fmt.Errorf("elastic: compact max load %g outside (0, 1]", c.CompactMaxLoad)
 	}
 	return nil
 }
 
 // coreFilter is the operation surface shared by the four core variants.
+// The iteration quartet (IterateHashes/CandidateBlocks/CountAtBlock/
+// NumBlocks) is what compaction rebuilds levels through; see
+// internal/core/iterate.go for the canonical-hash soundness argument.
 type coreFilter interface {
 	Insert(h uint64) bool
 	Contains(h uint64) bool
@@ -118,6 +141,10 @@ type coreFilter interface {
 	Stats() stats.OpCounts
 	BlockOccupancies() []uint
 	SlotsPerBlock() uint
+	IterateHashes(yield func(h uint64) bool) bool
+	CandidateBlocks(h uint64) (uint64, uint64)
+	CountAtBlock(b, h uint64) uint64
+	NumBlocks() uint64
 }
 
 // level is one member of the cascade. Once a level stops being the newest
@@ -220,7 +247,16 @@ func newLevel(c Config, i int) *level {
 type Filter struct {
 	cfg    Config
 	levels []*level
-	ring   *telemetry.Ring
+	// sched is the next schedule index growth will build. It only ever
+	// increases: compaction shrinks the level LIST but never reuses a
+	// schedule slot, which keeps the budget invariant exact — live levels
+	// hold Σ_{i<sched} εᵢ between them (merges preserve budget sums) and
+	// future levels get Σ_{i≥sched} εᵢ, totalling ε.
+	sched int
+	ring  *telemetry.Ring
+	// compactions / compactionLevels are lifetime totals for telemetry.
+	compactions      uint64
+	compactionLevels uint64
 
 	// scratch backs ContainsBatch's shrinking working set (batch.go).
 	scratch cascadeScratch
@@ -232,7 +268,7 @@ func New(cfg Config) (*Filter, error) {
 		return nil, err
 	}
 	cfg.Concurrent = false
-	return &Filter{cfg: cfg, levels: []*level{newLevel(cfg, 0)}}, nil
+	return &Filter{cfg: cfg, levels: []*level{newLevel(cfg, 0)}, sched: 1}, nil
 }
 
 // Insert adds the pre-hashed key h, growing the cascade when the newest
@@ -244,10 +280,12 @@ func (f *Filter) Insert(h uint64) bool {
 		if lvl.filter.Count() < lvl.trigger && lvl.filter.Insert(h) {
 			return true
 		}
-		if len(f.levels) >= MaxLevels {
+		if len(f.levels) >= MaxLevels || f.sched >= schedCap {
 			return false
 		}
-		f.levels = append(f.levels, buildLevel(f.cfg, len(f.levels), f.ring, telemetry.EvElasticGrow))
+		f.levels = append(f.levels, buildLevel(f.cfg, f.sched, f.ring, telemetry.EvElasticGrow))
+		f.sched++
+		f.maybeCompact()
 	}
 }
 
@@ -268,6 +306,10 @@ func (f *Filter) Contains(h uint64) bool {
 func (f *Filter) Remove(h uint64) bool {
 	for i := len(f.levels) - 1; i >= 0; i-- {
 		if f.levels[i].filter.Remove(h) {
+			if i < len(f.levels)-1 {
+				// A frozen level just got sparser; check the auto trigger.
+				f.maybeCompact()
+			}
 			return true
 		}
 	}
@@ -295,7 +337,10 @@ func (f *Filter) Stats() stats.OpCounts { return sumStats(f.levels) }
 // Snapshot returns the cascade's structural snapshot: an aggregate plus one
 // per-level snapshot, newest level last.
 func (f *Filter) Snapshot() stats.CascadeSnapshot {
-	return snapshotLevels(f.cfg.TargetFPR, f.levels)
+	cs := snapshotLevels(f.cfg.TargetFPR, f.levels)
+	cs.Compactions = f.compactions
+	cs.CompactionLevelsMerged = f.compactionLevels
+	return cs
 }
 
 func sumCounts(ls []*level) uint64 {

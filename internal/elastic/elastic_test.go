@@ -263,10 +263,11 @@ func TestReadRejectsLevelGeometryMismatch(t *testing.T) {
 	var buf bytes.Buffer
 	f.WriteTo(&buf)
 	data := append([]byte(nil), buf.Bytes()...)
-	// First level's core header follows the cascade header; its block count
-	// sits 8 bytes in. Halve it — still a power of two, still fewer bytes
-	// than remain, but inconsistent with the config.
-	off := elasticHeaderBytes + 8
+	// First level's core header follows the cascade header and the level
+	// record; its block count sits 8 bytes in. Halve it — still a power of
+	// two, still fewer bytes than remain, but inconsistent with the level
+	// record's declared geometry.
+	off := elasticHeaderBytes + levelRecordBytes + 8
 	nb := binary.LittleEndian.Uint64(data[off:])
 	binary.LittleEndian.PutUint64(data[off:], nb/2)
 	if _, err := Read(bytes.NewReader(data)); err == nil {

@@ -5,25 +5,39 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/bits"
 
 	"vqf/internal/core"
+	"vqf/internal/minifilter"
 )
 
 // Cascade serialization: a header carrying the Config (everything needed to
-// regrow the cascade deterministically) followed by each level's core
-// filter stream, oldest first. Per-level budgets, triggers and geometries
-// are pure functions of (Config, level index), so they are recomputed on
-// read rather than stored; the core streams' own magic numbers then enforce
-// that each level has the geometry the config dictates.
+// regrow the cascade deterministically) followed by each level's stream,
+// oldest first.
+//
+// Version 1 cascades were pure growth products: per-level budgets, triggers
+// and geometries were pure functions of (Config, level index) and were
+// recomputed on read. Compaction broke that purity — a merged level's
+// budget is the sum of the budgets it replaced and its size is chosen from
+// its live count, neither derivable from an index — so version 2 prefixes
+// each level's core stream with a small record carrying the level's kind,
+// block count, budget and trigger, plus the cascade's next schedule index
+// in the header (the schedule keeps advancing while compaction keeps the
+// level list short, so the level count no longer implies it). Version 1
+// streams are still read.
 //
 // Only sequential cascades serialize, matching the core filters.
 
 const (
 	magicElastic   = 0x45465156 // "VQFE"
-	elasticVersion = 1
-	// elasticHeaderBytes: magic(4) version(2) levels(2) flags(2) pad(6)
-	// targetFPR(8) growth(8) tighten(8) fill(8) initialSlots(8).
-	elasticHeaderBytes = 4 + 2 + 2 + 2 + 6 + 8 + 8 + 8 + 8 + 8
+	elasticVersion = 2
+	// elasticHeaderBytes: magic(4) version(2) levels(2) flags(2) sched(2)
+	// pad(4) targetFPR(8) growth(8) tighten(8) fill(8) initialSlots(8).
+	// Version 1 wrote zeros over the sched field (it was padding).
+	elasticHeaderBytes = 4 + 2 + 2 + 2 + 2 + 4 + 8 + 8 + 8 + 8 + 8
+
+	// levelRecordBytes: kind(1) blocksLog2(1) pad(6) budget(8) trigger(8).
+	levelRecordBytes = 1 + 1 + 6 + 8 + 8
 
 	eflagNoShortcut = 1 << 0
 )
@@ -39,6 +53,7 @@ func (f *Filter) WriteTo(w io.Writer) (int64, error) {
 		flags |= eflagNoShortcut
 	}
 	binary.LittleEndian.PutUint16(hdr[8:], flags)
+	binary.LittleEndian.PutUint16(hdr[10:], uint16(f.sched))
 	binary.LittleEndian.PutUint64(hdr[16:], math.Float64bits(f.cfg.TargetFPR))
 	binary.LittleEndian.PutUint64(hdr[24:], math.Float64bits(f.cfg.GrowthFactor))
 	binary.LittleEndian.PutUint64(hdr[32:], math.Float64bits(f.cfg.TightenRatio))
@@ -49,6 +64,15 @@ func (f *Filter) WriteTo(w io.Writer) (int64, error) {
 	}
 	n := int64(len(hdr))
 	for _, lvl := range f.levels {
+		var rec [levelRecordBytes]byte
+		rec[0] = lvl.kind
+		rec[1] = byte(bits.TrailingZeros64(lvl.filter.NumBlocks()))
+		binary.LittleEndian.PutUint64(rec[8:], math.Float64bits(lvl.budget))
+		binary.LittleEndian.PutUint64(rec[16:], lvl.trigger)
+		if _, err := w.Write(rec[:]); err != nil {
+			return n, err
+		}
+		n += int64(len(rec))
 		wt, ok := lvl.filter.(io.WriterTo)
 		if !ok {
 			return n, fmt.Errorf("elastic: level filter %T does not serialize", lvl.filter)
@@ -62,11 +86,35 @@ func (f *Filter) WriteTo(w io.Writer) (int64, error) {
 	return n, nil
 }
 
-// Read deserializes a cascade written by WriteTo. The header's config is
-// validated with the same rules as New, the level count is capped at
-// MaxLevels, and every level stream passes through the core readers'
-// structural audits, so adversarial input fails cleanly instead of
-// allocating absurd amounts or corrupting later operations.
+// readLevelStream reads one core filter stream of the given kind, checking
+// it against the expected slot count, and wraps it in a level.
+func readLevelStream(r io.Reader, kind uint8, slots uint64, budget float64, trigger uint64) (*level, error) {
+	lvl := &level{kind: kind, budget: budget, trigger: trigger, geomFPR: FPR16Full}
+	if kind == 8 {
+		lvl.geomFPR = FPR8Full
+		impl, err := core.ReadFilter8Sized(r, slots)
+		if err != nil {
+			return nil, err
+		}
+		lvl.filter = impl
+	} else {
+		impl, err := core.ReadFilter16Sized(r, slots)
+		if err != nil {
+			return nil, err
+		}
+		lvl.filter = impl
+	}
+	return lvl, nil
+}
+
+// Read deserializes a cascade written by WriteTo (either version). The
+// header's config is validated with the same rules as New, the level count
+// is capped at MaxLevels, and every level stream passes through the core
+// readers' structural audits, so adversarial input fails cleanly instead of
+// allocating absurd amounts or corrupting later operations. Version 2
+// additionally audits the per-level records: budgets must be positive and
+// sum to at most the configured ε, triggers must fit the level, and the
+// schedule index must cover every level ever built.
 func Read(r io.Reader) (*Filter, error) {
 	var hdr [elasticHeaderBytes]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -75,11 +123,13 @@ func Read(r io.Reader) (*Filter, error) {
 	if binary.LittleEndian.Uint32(hdr[0:]) != magicElastic {
 		return nil, fmt.Errorf("%w: bad cascade magic", core.ErrBadFormat)
 	}
-	if v := binary.LittleEndian.Uint16(hdr[4:]); v != elasticVersion {
-		return nil, fmt.Errorf("%w: unsupported cascade version %d", core.ErrBadFormat, v)
+	version := binary.LittleEndian.Uint16(hdr[4:])
+	if version != 1 && version != 2 {
+		return nil, fmt.Errorf("%w: unsupported cascade version %d", core.ErrBadFormat, version)
 	}
 	nlevels := int(binary.LittleEndian.Uint16(hdr[6:]))
 	flags := binary.LittleEndian.Uint16(hdr[8:])
+	sched := int(binary.LittleEndian.Uint16(hdr[10:]))
 	cfg := Config{
 		TargetFPR:     math.Float64frombits(binary.LittleEndian.Uint64(hdr[16:])),
 		GrowthFactor:  math.Float64frombits(binary.LittleEndian.Uint64(hdr[24:])),
@@ -95,32 +145,64 @@ func Read(r io.Reader) (*Filter, error) {
 		return nil, fmt.Errorf("%w: %v", core.ErrBadFormat, err)
 	}
 	f := &Filter{cfg: cfg, levels: make([]*level, 0, nlevels)}
-	for i := 0; i < nlevels; i++ {
-		_, trigger, allocSlots := levelSizing(cfg, i)
-		lvl := &level{
-			kind:    levelKind(cfg, i),
-			budget:  levelBudget(cfg, i),
-			trigger: trigger,
-			geomFPR: FPR16Full,
+
+	if version == 1 {
+		// Pure growth product: rebuild every level's parameters from its
+		// index; the next schedule index is the level count.
+		f.sched = nlevels
+		for i := 0; i < nlevels; i++ {
+			_, trigger, allocSlots := levelSizing(cfg, i)
+			lvl, err := readLevelStream(r, levelKind(cfg, i), allocSlots, levelBudget(cfg, i), trigger)
+			if err != nil {
+				return nil, fmt.Errorf("level %d: %w", i, err)
+			}
+			f.levels = append(f.levels, lvl)
 		}
-		// Level geometry is a pure function of (config, index): a stream whose
-		// block count disagrees with the declared config is forged or corrupt,
-		// and the sized readers reject it before allocating the claimed size.
-		if lvl.kind == 8 {
-			lvl.geomFPR = FPR8Full
-			impl, err := core.ReadFilter8Sized(r, allocSlots)
-			if err != nil {
-				return nil, fmt.Errorf("level %d: %w", i, err)
-			}
-			lvl.filter = impl
-		} else {
-			impl, err := core.ReadFilter16Sized(r, allocSlots)
-			if err != nil {
-				return nil, fmt.Errorf("level %d: %w", i, err)
-			}
-			lvl.filter = impl
+		return f, nil
+	}
+
+	if sched < nlevels || sched > schedCap {
+		return nil, fmt.Errorf("%w: cascade schedule index %d outside [%d, %d]", core.ErrBadFormat, sched, nlevels, schedCap)
+	}
+	f.sched = sched
+	var budgetSum float64
+	for i := 0; i < nlevels; i++ {
+		var rec [levelRecordBytes]byte
+		if _, err := io.ReadFull(r, rec[:]); err != nil {
+			return nil, fmt.Errorf("level %d: %w: %v", i, core.ErrBadFormat, err)
+		}
+		kind := rec[0]
+		blocksLog2 := rec[1]
+		budget := math.Float64frombits(binary.LittleEndian.Uint64(rec[8:]))
+		trigger := binary.LittleEndian.Uint64(rec[16:])
+		if kind != 8 && kind != 16 {
+			return nil, fmt.Errorf("%w: level %d fingerprint kind %d", core.ErrBadFormat, i, kind)
+		}
+		if blocksLog2 > 40 {
+			return nil, fmt.Errorf("%w: level %d block count 2^%d", core.ErrBadFormat, i, blocksLog2)
+		}
+		if !(budget > 0 && budget < 1) {
+			return nil, fmt.Errorf("%w: level %d budget %g outside (0, 1)", core.ErrBadFormat, i, budget)
+		}
+		budgetSum += budget
+		spb := uint64(minifilter.B16Slots)
+		if kind == 8 {
+			spb = minifilter.B8Slots
+		}
+		slots := (uint64(1) << blocksLog2) * spb
+		if trigger < 1 || trigger > slots {
+			return nil, fmt.Errorf("%w: level %d trigger %d outside [1, %d]", core.ErrBadFormat, i, trigger, slots)
+		}
+		lvl, err := readLevelStream(r, kind, slots, budget, trigger)
+		if err != nil {
+			return nil, fmt.Errorf("level %d: %w", i, err)
 		}
 		f.levels = append(f.levels, lvl)
+	}
+	// Budgets must not overspend the cascade's ε; the tiny slack absorbs
+	// float summation error (merges store exact sums of schedule terms).
+	if budgetSum > cfg.TargetFPR*(1+1e-9) {
+		return nil, fmt.Errorf("%w: level budgets sum to %g, exceeding target FPR %g", core.ErrBadFormat, budgetSum, cfg.TargetFPR)
 	}
 	return f, nil
 }

@@ -144,10 +144,14 @@ func (f *Sharded) ShardSnapshots() []stats.Snapshot {
 
 // Snapshot returns the sharded cascade's structural snapshot. Levels[i]
 // merges level i across every shard that has one — shards share a config,
-// so level i has the same geometry in every shard and the merge is exact.
-// The aggregate follows the CascadeSnapshot convention: FPRFullLoad is the
-// configured budget ε, FPREstimate the sum of merged per-level estimates,
-// and Occupancy the newest level's merged distribution.
+// so level i has the same geometry in every shard and the merge is exact
+// as long as the shards have compacted in lockstep (CompactNow compacts
+// all shards together; independent auto-triggered compactions can briefly
+// misalign level indices, making the per-level merge approximate until the
+// shards converge). The aggregate gauges are always exact. The aggregate
+// follows the CascadeSnapshot convention: FPRFullLoad is the configured
+// budget ε, FPREstimate the sum of merged per-level estimates, and
+// Occupancy the newest level's merged distribution.
 func (f *Sharded) Snapshot() stats.CascadeSnapshot {
 	subs := make([]stats.CascadeSnapshot, len(f.shards))
 	depth := 0
@@ -158,6 +162,10 @@ func (f *Sharded) Snapshot() stats.CascadeSnapshot {
 		}
 	}
 	cs := stats.CascadeSnapshot{Levels: make([]stats.Snapshot, depth)}
+	for _, sub := range subs {
+		cs.Compactions += sub.Compactions
+		cs.CompactionLevelsMerged += sub.CompactionLevelsMerged
+	}
 	var fprSum float64
 	for lvl := 0; lvl < depth; lvl++ {
 		var merged stats.Snapshot

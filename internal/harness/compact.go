@@ -1,0 +1,146 @@
+package harness
+
+import (
+	"time"
+
+	"vqf/internal/elastic"
+	"vqf/internal/workload"
+)
+
+// The compaction experiment: drive an elastic cascade through insert/remove
+// churn until it carries many sparse frozen levels, measure negative-lookup
+// throughput (the cost compaction exists to restore — every negative probe
+// pays one cache miss per level), compact, and measure again. The
+// before/after pair quantifies the claim that cascade compaction recovers
+// the short-cascade lookup profile after churn without spending any of the
+// false-positive budget.
+
+// CompactSide is the measurement taken on one side of the compaction.
+type CompactSide struct {
+	Levels        int     `json:"levels"`
+	Items         uint64  `json:"items"`
+	NegLookupMops float64 `json:"neg_lookup_mops"` // never-inserted keys
+	PosLookupMops float64 `json:"pos_lookup_mops"` // live keys
+	MeasuredFPR   float64 `json:"measured_fpr"`    // over `probes` fresh keys
+	BitsPerItem   float64 `json:"bits_per_item"`
+}
+
+// CompactResult is a full churn-compact-measure run. The JSON tags are the
+// schema of BENCH_compact.json.
+type CompactResult struct {
+	TargetFPR    float64     `json:"target_fpr"`
+	InitialSlots uint64      `json:"initial_slots"`
+	TotalItems   uint64      `json:"total_items"`
+	RemovedFrac  float64     `json:"removed_frac"`
+	Before       CompactSide `json:"before"`
+	After        CompactSide `json:"after"`
+	LevelsMerged int         `json:"levels_merged"`
+	CompactMs    float64     `json:"compact_ms"`
+	// NegSpeedup is After.NegLookupMops / Before.NegLookupMops, the
+	// headline number (target ≥2 on a cascade churned to ≥6 levels).
+	NegSpeedup float64 `json:"neg_speedup"`
+	// Failed is set if any live key went missing or an insert failed.
+	Failed bool `json:"failed,omitempty"`
+}
+
+// RunCompact fills a sequential elastic cascade with totalItems keys
+// (growing it through several levels), removes removedFrac of them oldest
+// first (hollowing out the frozen levels), measures both lookup paths and
+// the realized FPR, compacts, re-verifies every live key and measures
+// again. queries bounds the per-side lookup op count; probes the fresh-key
+// FPR sample.
+func RunCompact(cfg elastic.Config, totalItems uint64, removedFrac float64, probes, queries int, seed uint64) CompactResult {
+	if err := cfg.Validate(); err != nil {
+		panic("harness: compact config: " + err.Error())
+	}
+	f, err := elastic.New(cfg)
+	if err != nil {
+		panic("harness: compact config: " + err.Error())
+	}
+	res := CompactResult{
+		TargetFPR:    cfg.TargetFPR,
+		InitialSlots: cfg.InitialSlots,
+		TotalItems:   totalItems,
+		RemovedFrac:  removedFrac,
+	}
+
+	ins := workload.NewStream(seed)
+	keys := make([]uint64, 0, totalItems)
+	for uint64(len(keys)) < totalItems {
+		h := ins.Next()
+		if !f.Insert(h) {
+			res.Failed = true
+			return res
+		}
+		keys = append(keys, h)
+	}
+	cut := int(float64(len(keys)) * removedFrac)
+	for _, h := range keys[:cut] {
+		if !f.Remove(h) {
+			res.Failed = true
+			return res
+		}
+	}
+	live := keys[cut:]
+
+	side := func(negSeed uint64) CompactSide {
+		s := CompactSide{Levels: f.NumLevels(), Items: f.Count()}
+		if n := f.Count(); n > 0 {
+			s.BitsPerItem = float64(f.SizeBytes()) * 8 / float64(n)
+		}
+
+		qn := queries
+		if qn > len(live) {
+			qn = len(live)
+		}
+		t0 := time.Now()
+		got := 0
+		for i := 0; i < qn; i++ {
+			if f.Contains(live[i]) {
+				got++
+			}
+		}
+		s.PosLookupMops = mops(uint64(qn), time.Since(t0))
+		if got != qn {
+			res.Failed = true
+		}
+
+		// Negative throughput and FPR share one fresh-key pass: with a
+		// realized FPR around 2^-8 virtually every probe is a true negative,
+		// so the timing is the negative-lookup cost.
+		neg := workload.NewStream(negSeed)
+		t0 = time.Now()
+		fps := 0
+		for i := 0; i < probes; i++ {
+			if f.Contains(neg.Next()) {
+				fps++
+			}
+		}
+		s.NegLookupMops = mops(uint64(probes), time.Since(t0))
+		s.MeasuredFPR = float64(fps) / float64(probes)
+		return s
+	}
+
+	// The same fresh-key stream on both sides: any probe that flips from
+	// negative to positive across the compaction would be a correctness bug,
+	// and identical streams also make the FPR numbers directly comparable.
+	negSeed := seed ^ 0xdeadbeefcafef00d
+	res.Before = side(negSeed)
+
+	t0 := time.Now()
+	cr := f.CompactNow()
+	res.CompactMs = float64(time.Since(t0).Microseconds()) / 1000
+	res.LevelsMerged = cr.LevelsMerged
+
+	for _, h := range live {
+		if !f.Contains(h) {
+			res.Failed = true
+			return res
+		}
+	}
+	res.After = side(negSeed)
+	if res.Before.NegLookupMops > 0 {
+		res.NegSpeedup = res.After.NegLookupMops / res.Before.NegLookupMops
+	}
+	return res
+}

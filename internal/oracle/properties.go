@@ -17,7 +17,7 @@ type Property struct {
 	Check   func(Subject, Trace) error
 }
 
-// Properties returns the oracle's five equivalence properties.
+// Properties returns the oracle's six equivalence properties.
 func Properties() []Property {
 	return []Property{
 		{Name: "differential", Check: checkDifferential},
@@ -25,6 +25,7 @@ func Properties() []Property {
 		{Name: "optimistic-equiv", Applies: func(s Subject) bool { return s.Concurrent }, Check: checkOptimisticEquivalence},
 		{Name: "serialize-identity", Applies: func(s Subject) bool { return s.Name == "filter8" }, Check: checkSerializeIdentity},
 		{Name: "elastic-equiv", Applies: func(s Subject) bool { return s.Name == "elastic" }, Check: checkElasticEquivalence},
+		{Name: "iterate-rebuild", Applies: hasIterate, Check: checkIterateRebuild},
 	}
 }
 
@@ -50,6 +51,66 @@ func hasAnyBatch(s Subject) bool {
 		return true
 	}
 	return false
+}
+
+// hashIterator is the fingerprint-iteration surface the core VQF filters
+// expose: yield every stored fingerprint as a canonical hash that range-
+// reduces back to the same (block, bucket, fingerprint).
+type hashIterator interface {
+	IterateHashes(yield func(h uint64) bool) bool
+}
+
+func hasIterate(s Subject) bool {
+	inst, err := s.New(1024)
+	if err != nil {
+		return false
+	}
+	_, ok := inst.(hashIterator)
+	return ok
+}
+
+// checkIterateRebuild replays the trace, then iterates the end-state filter
+// and re-inserts every yielded canonical hash into a fresh instance of the
+// same subject. The rebuild must accept every hash, hold exactly the same
+// count, and answer positive for every key the original held — the
+// iterator's contract is that its output is a lossless re-insertable image
+// of the stored fingerprints.
+func checkIterateRebuild(s Subject, tr Trace) error {
+	inst, err := s.New(tr.NSlots)
+	if err != nil {
+		return fmt.Errorf("constructing %s(%d): %v", s.Name, tr.NSlots, err)
+	}
+	m := newModel()
+	if err := replay(s, inst, m, tr); err != nil {
+		return err
+	}
+	src := inst.(hashIterator)
+	dst, err := s.New(tr.NSlots)
+	if err != nil {
+		return fmt.Errorf("constructing rebuild target: %v", err)
+	}
+	var insertFail error
+	n := uint64(0)
+	src.IterateHashes(func(h uint64) bool {
+		if !dst.Insert(h) {
+			insertFail = fmt.Errorf("rebuild rejected yielded hash %#x at count %d", h, n)
+			return false
+		}
+		n++
+		return true
+	})
+	if insertFail != nil {
+		return insertFail
+	}
+	if dst.Count() != inst.Count() {
+		return fmt.Errorf("rebuild holds %d fingerprints, source %d", dst.Count(), inst.Count())
+	}
+	for _, k := range m.liveKeys() {
+		if !dst.Contains(k) {
+			return fmt.Errorf("rebuild lost live key %#x", k)
+		}
+	}
+	return nil
 }
 
 // replay drives one instance and the exact model through the trace,

@@ -300,3 +300,18 @@ func (a *Admin) RemoveU64(name string, keys []uint64) (int, error) {
 	err := a.doJSON("POST", "/v1/filters/"+name+"/remove", map[string]any{"u64": keys}, &out)
 	return out.Removed, err
 }
+
+// CompactResult reports one admin-triggered cascade compaction.
+type CompactResult struct {
+	LevelsBefore int `json:"levels_before"`
+	LevelsAfter  int `json:"levels_after"`
+	LevelsMerged int `json:"levels_merged"`
+}
+
+// Compact asks the daemon to compact an elastic filter's cascade, merging
+// runs of sparse old levels. Non-elastic filters report an error.
+func (a *Admin) Compact(name string) (CompactResult, error) {
+	var res CompactResult
+	err := a.doJSON("POST", "/v1/filters/"+name+"/compact", map[string]any{}, &res)
+	return res, err
+}

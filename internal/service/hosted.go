@@ -109,10 +109,11 @@ func (s *Spec) options() []vqf.Option {
 // Service-level operation errors; the HTTP and binary front ends map them
 // to their own status vocabularies.
 var (
-	ErrNotFound  = errors.New("service: no such filter")
-	ErrExists    = errors.New("service: filter already exists")
-	ErrWrongKind = errors.New("service: operation requires a map filter")
-	ErrDraining  = errors.New("service: server draining")
+	ErrNotFound   = errors.New("service: no such filter")
+	ErrExists     = errors.New("service: filter already exists")
+	ErrWrongKind  = errors.New("service: operation requires a map filter")
+	ErrNotElastic = errors.New("service: operation requires an elastic filter")
+	ErrDraining   = errors.New("service: server draining")
 )
 
 // hosted is one named filter plus its service-level lock. Exactly one of
@@ -325,6 +326,23 @@ func (h *hosted) Get(ctx context.Context, hs []uint64, vals []byte, found []bool
 		vals[i], found[i] = h.kv.GetHash(kh)
 	}
 	return vals, found, nil
+}
+
+// Compact runs a cascade compaction on an elastic filter, merging runs of
+// sparse old levels; ErrNotElastic for every other kind. It takes the
+// write side of the hosted lock — the hosted cascade is the sequential
+// variant, and holding the write side also means a snapshot can never
+// observe a half-spliced level list.
+func (h *hosted) Compact(ctx context.Context) (vqf.CompactionResult, error) {
+	if h.elastic == nil {
+		return vqf.CompactionResult{}, ErrNotElastic
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return vqf.CompactionResult{}, err
+	}
+	return h.elastic.CompactNow(), nil
 }
 
 // Count returns the hosted filter's stored-item count.

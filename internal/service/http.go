@@ -27,6 +27,7 @@ import (
 //	POST /v1/filters/{name}/remove    {"keys":[...], "u64":[...]}            → {"removed":n}
 //	POST /v1/filters/{name}/put       {"u64":[...], "values":[0..255], "update":bool} → {"stored":n}
 //	POST /v1/filters/{name}/get       {"keys":[...], "u64":[...]}            → {"found":[bool],"values":[n]}
+//	POST /v1/filters/{name}/compact   {}                                     → {"levels_before","levels_after","levels_merged"}
 //
 // Observability: /metrics (Prometheus text) and /debug/vqf/events (JSON)
 // are rebuilt from the live registry per scrape, so filters created after
@@ -82,7 +83,7 @@ func opError(w http.ResponseWriter, err error) {
 		httpError(w, http.StatusNotFound, "%v", err)
 	case errors.Is(err, ErrExists):
 		httpError(w, http.StatusConflict, "%v", err)
-	case errors.Is(err, ErrWrongKind):
+	case errors.Is(err, ErrWrongKind), errors.Is(err, ErrNotElastic):
 		httpError(w, http.StatusBadRequest, "%v", err)
 	case errors.Is(err, errTimeout):
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
@@ -222,6 +223,17 @@ func (s *Server) handleData(w http.ResponseWriter, r *http.Request) {
 			ints[i] = int(v)
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"found": found, "values": ints})
+	case "compact":
+		res, err := h.Compact(ctx)
+		if err != nil {
+			opError(w, wrap(err))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]int{
+			"levels_before": res.LevelsBefore,
+			"levels_after":  res.LevelsAfter,
+			"levels_merged": res.LevelsMerged,
+		})
 	default:
 		httpError(w, http.StatusNotFound, "unknown data op %q", r.PathValue("op"))
 	}

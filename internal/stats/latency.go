@@ -99,3 +99,28 @@ func WriteGauge(w io.Writer, metric, help string, gauges []NamedGauge) error {
 	}
 	return nil
 }
+
+// NamedCounter is one labeled sample of a standalone cumulative counter
+// metric (monotone over the source's lifetime).
+type NamedCounter struct {
+	Name  string
+	Value uint64
+}
+
+// WriteCounter renders one counter metric with a filter label per sample;
+// used for lifecycle counters (compactions) that live outside the
+// per-level Snapshot set. No output when samples is empty.
+func WriteCounter(w io.Writer, metric, help string, samples []NamedCounter) error {
+	if len(samples) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", metric, help, metric); err != nil {
+		return err
+	}
+	for _, s := range samples {
+		if _, err := fmt.Fprintf(w, "%s{filter=%q} %d\n", metric, s.Name, s.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -91,6 +91,11 @@ type Snapshot struct {
 type CascadeSnapshot struct {
 	Aggregate Snapshot   `json:"aggregate"`
 	Levels    []Snapshot `json:"levels"`
+	// Compactions counts completed compaction passes that merged at least
+	// one run; CompactionLevelsMerged counts the source levels those passes
+	// rebuilt away. Both are monotone counters over the filter's lifetime.
+	Compactions            uint64 `json:"compactions"`
+	CompactionLevelsMerged uint64 `json:"compaction_levels_merged"`
 }
 
 // ShardedSnapshot is the structural snapshot of a sharded filter: the

@@ -34,6 +34,12 @@ const (
 	// claimed no work — the shard partition was too skewed to feed the
 	// pool. A = idle workers, B = pool size, C = batch keys.
 	EvShardClaimStall
+	// EvCompactStart: a cascade compaction began. A = levels before,
+	// B = live items in the frozen (non-newest) levels.
+	EvCompactStart
+	// EvCompactFinish: a cascade compaction finished. A = levels merged
+	// away, B = levels after, C = duration ns.
+	EvCompactFinish
 	numEventKinds
 )
 
@@ -45,6 +51,8 @@ var eventKindNames = [numEventKinds]string{
 	"eviction-rollback",
 	"asm-dispatch",
 	"shard-claim-stall",
+	"compact-start",
+	"compact-finish",
 }
 
 // String returns the event kind's stable identifier (used in JSON).

@@ -71,12 +71,20 @@ const MetricsContentType = stats.ContentType
 func MetricsHandler(sources map[string]Source) http.Handler {
 	names := sortedNames(sources)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		snaps, gauges, lat := collectMetrics(names, sources)
+		snaps, gauges, compact, lat := collectMetrics(names, sources)
 		var buf bytes.Buffer
 		err := stats.WriteMetrics(&buf, snaps)
 		if err == nil {
 			err = stats.WriteGauge(&buf, "vqf_shard_imbalance",
 				"Max/mean of per-shard item counts (1 = balanced).", gauges)
+		}
+		if err == nil {
+			err = stats.WriteCounter(&buf, "vqf_compactions_total",
+				"Completed cascade compaction passes that merged levels.", compact.passes)
+		}
+		if err == nil {
+			err = stats.WriteCounter(&buf, "vqf_compaction_levels_merged_total",
+				"Source levels rebuilt away by cascade compactions.", compact.levels)
 		}
 		if err == nil {
 			err = stats.WriteLatency(&buf, lat)

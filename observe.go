@@ -208,10 +208,18 @@ func appendShardSeries(snaps []stats.NamedSnapshot, gauges []stats.NamedGauge, n
 	return snaps, gauges
 }
 
+// compactCounters carries the compaction-lifecycle counter samples for the
+// cascades in one metrics collection pass.
+type compactCounters struct {
+	passes []stats.NamedCounter
+	levels []stats.NamedCounter
+}
+
 // collectMetrics assembles the exposition series for a sorted name list:
 // per-filter snapshots (with per-level series for cascades and per-shard
-// series for sharded filters), imbalance gauges, and latency histograms.
-func collectMetrics(names []string, sources map[string]Source) (snaps []stats.NamedSnapshot, gauges []stats.NamedGauge, lat []stats.LatencySeries) {
+// series for sharded filters), imbalance gauges, compaction counters, and
+// latency histograms.
+func collectMetrics(names []string, sources map[string]Source) (snaps []stats.NamedSnapshot, gauges []stats.NamedGauge, compact compactCounters, lat []stats.LatencySeries) {
 	for _, name := range names {
 		src := sources[name]
 		switch {
@@ -222,6 +230,10 @@ func collectMetrics(names []string, sources map[string]Source) (snaps []stats.Na
 				snaps = append(snaps, stats.NamedSnapshot{
 					Name: name + ".level" + strconv.Itoa(i), Snap: lvl})
 			}
+			compact.passes = append(compact.passes,
+				stats.NamedCounter{Name: name, Value: cascade.Compactions})
+			compact.levels = append(compact.levels,
+				stats.NamedCounter{Name: name, Value: cascade.CompactionLevelsMerged})
 		default:
 			snaps = append(snaps, stats.NamedSnapshot{Name: name, Snap: src.Snapshot()})
 		}
@@ -234,7 +246,7 @@ func collectMetrics(names []string, sources map[string]Source) (snaps []stats.Na
 			lat = append(lat, latencySeries(name, ls.latencyRecorder())...)
 		}
 	}
-	return snaps, gauges, lat
+	return snaps, gauges, compact, lat
 }
 
 func isCascade(src Source) bool {

@@ -72,10 +72,12 @@ type config struct {
 	latencySet  bool
 
 	// Elastic-only knobs (see NewElastic); ignored by New/NewConcurrent.
-	initialCap    uint64
-	growthFactor  float64
-	tightenRatio  float64
-	growThreshold float64
+	initialCap       uint64
+	growthFactor     float64
+	tightenRatio     float64
+	growThreshold    float64
+	compactMinLevels int
+	compactMaxLoad   float64
 }
 
 // Option configures New and NewConcurrent.
@@ -132,6 +134,23 @@ func WithTightenRatio(r float64) Option {
 // (0, 0.93]). Only NewElastic and NewConcurrentElastic use it.
 func WithGrowthThreshold(t float64) Option {
 	return func(c *config) { c.growThreshold = t }
+}
+
+// WithAutoCompaction enables automatic cascade compaction on elastic
+// filters: whenever the cascade has at least minLevels levels and the
+// frozen (non-newest) levels are loaded at or below the maxLoad fraction
+// of their combined capacity, qualifying runs of old levels are merged
+// into right-sized replacements, restoring negative-lookup speed after
+// insert/remove churn (see Elastic.CompactNow). minLevels must be in
+// [3, 64]; maxLoad in (0, 1], or 0 for the default 0.5. On concurrent and
+// sharded filters the compaction runs in a background goroutine; on
+// sequential filters it runs inline in the triggering operation. Only
+// NewElastic, NewConcurrentElastic and NewShardedElastic use it.
+func WithAutoCompaction(minLevels int, maxLoad float64) Option {
+	return func(c *config) {
+		c.compactMinLevels = minLevels
+		c.compactMaxLoad = maxLoad
+	}
 }
 
 // WithSizingLoadFactor sets the load factor the filter is provisioned for:
