@@ -24,6 +24,7 @@
 //	service  vqfd daemon protocols: HTTP/JSON vs binary batches (writes JSON)
 //	elastic  online-growth cascade: throughput and FPR across growth events (writes JSON)
 //	compact  cascade compaction: negative-lookup recovery after churn (writes JSON)
+//	freeze   frozen tier: churned vs compacted vs fuse-frozen cascade (writes JSON)
 //	maxload  maximum load factor per design variant (§3.4, §6.2)
 //	choices  block-occupancy dispersion: two-choice vs single (Theorem 1)
 //	ablation SWAR vs scalar block operations (§7.7 analog)
@@ -113,7 +114,7 @@ func main() {
 	fs.StringVar(&cfg.kernelsImpl, "kernels-impl", "auto",
 		"kernel implementation: auto (assembly where built in), asm (require assembly), generic (portable Go)")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: vqfbench [flags] <experiment>\n\nexperiments: table1 fig2 fig3 table2 fig4 fig5 fig6 table3 table4 concurrent elastic compact maxload maxloadscale choices ablation kernels kernelgate multicore observe oracle service all\n\nflags:\n")
+		fmt.Fprintf(os.Stderr, "usage: vqfbench [flags] <experiment>\n\nexperiments: table1 fig2 fig3 table2 fig4 fig5 fig6 table3 table4 concurrent elastic compact freeze maxload maxloadscale choices ablation kernels kernelgate multicore observe oracle service all\n\nflags:\n")
 		fs.PrintDefaults()
 	}
 	fs.Parse(os.Args[1:])
@@ -157,6 +158,7 @@ func main() {
 		"concurrent":   runConcurrent,
 		"elastic":      runElastic,
 		"compact":      runCompact,
+		"freeze":       runFreeze,
 		"maxload":      runMaxLoad,
 		"maxloadscale": runMaxLoadScale,
 		"choices":      runChoices,
@@ -571,6 +573,54 @@ func runCompact(cfg config) {
 		Result     harness.CompactResult `json:"result"`
 	}{"cascade-compaction", harness.CaptureEnv(), probes, cfg.queries, cfg.seed, res}
 	writeJSON(cfg, "compact", doc)
+}
+
+func runFreeze(cfg config) {
+	// The lsmstore churn: fill an 8-level cascade to ~90% of the next growth
+	// trigger, then drop the oldest 85% of keys the way an LSM store retires
+	// runs — every 16th old key survives as a long-lived straggler. Two
+	// identically churned twins are then maintained both ways: CompactNow
+	// (the all-VQF baseline) versus FreezeNow on the churned state (the
+	// mixed VQF/fuse tier). The headline is bits/item against the churned
+	// cascade and negative-lookup throughput against the compacted one.
+	initialSlots := uint64(1) << (cfg.logSlotsCache - 8)
+	// 195× the initial budget lands inside the 8-level regime (growth to a
+	// 9th level would fire near 217×), so the insert-target level — the one
+	// a freeze can never take — is well loaded when the churn stops.
+	totalItems := initialSlots * 195
+	probes := cfg.probes
+	if probes < 1_000_000 {
+		probes = 1_000_000 // FPR must be measured over at least a million probes
+	}
+	ecfg := elastic.Config{TargetFPR: 1.0 / 256, InitialSlots: initialSlots}
+	fmt.Printf("Frozen tier: %d items through an initial capacity of %d slots, 85%% of runs retired oldest-first\n"+
+		"(1/%d long-lived survivors), then compact vs freeze on churned twins\n",
+		totalItems, initialSlots, harness.SurvivorStride)
+	res := harness.RunFreeze(ecfg, totalItems, 0.85, probes, cfg.queries, cfg.seed)
+	t := harness.NewTable("phase", "levels", "fuse", "items", "neg-lookup", "pos-lookup", "measured FPR", "bits/item")
+	for _, row := range []struct {
+		name string
+		s    harness.FreezeSide
+	}{{"churned", res.Churned}, {"compacted", res.Compacted}, {"frozen", res.Frozen}} {
+		t.AddRow(row.name, row.s.Levels, row.s.FuseLevels, row.s.Items, row.s.NegLookupMops,
+			row.s.PosLookupMops, fmt.Sprintf("%.2e", row.s.MeasuredFPR), row.s.BitsPerItem)
+	}
+	emit(cfg, t)
+	if res.Failed {
+		fmt.Println("freeze run FAILED: a live key went missing or an op was rejected")
+	}
+	fmt.Printf("froze %d levels into %d fuse levels in %.1f ms; bits/item %.2fx of churned, neg-lookup %.2fx of compacted (FPR budget %.2e)\n",
+		res.LevelsFrozen, res.FuseLevels, res.FreezeMs,
+		res.BitsRatioVsChurned, res.NegRatioVsCompacted, res.TargetFPR)
+	doc := struct {
+		Experiment string               `json:"experiment"`
+		Env        harness.BenchEnv     `json:"env"`
+		Probes     int                  `json:"probes"`
+		Queries    int                  `json:"queries_per_point"`
+		Seed       uint64               `json:"seed"`
+		Result     harness.FreezeResult `json:"result"`
+	}{"frozen-tier", harness.CaptureEnv(), probes, cfg.queries, cfg.seed, res}
+	writeJSON(cfg, "freeze", doc)
 }
 
 func runMaxLoad(cfg config) {

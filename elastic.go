@@ -58,12 +58,19 @@ type elasticImpl interface {
 	Stats() stats.OpCounts
 	Snapshot() stats.CascadeSnapshot
 	CompactNow() elastic.CompactionResult
+	FreezeNow() elastic.FreezeResult
 }
 
 // CompactionResult summarizes one CompactNow call: the cascade depth before
 // and after, and how many source levels were rebuilt away (0 when nothing
 // qualified). On sharded filters the fields are sums over all shards.
 type CompactionResult = elastic.CompactionResult
+
+// FreezeResult summarizes one FreezeNow call: the cascade depth before and
+// after, how many source VQF levels were frozen or dropped, and how many
+// immutable fuse levels they became. On sharded filters the fields are sums
+// over all shards.
+type FreezeResult = elastic.FreezeResult
 
 // CascadeSnapshot is the structural snapshot of an Elastic filter: an
 // aggregate Snapshot plus one Snapshot per level, oldest level first. See
@@ -87,6 +94,9 @@ func elasticConfig(opts []Option) (elastic.Config, config, error) {
 		NoShortcut:       c.noShortcut,
 		CompactMinLevels: c.compactMinLevels,
 		CompactMaxLoad:   c.compactMaxLoad,
+		AutoFreeze:       c.autoFreeze,
+		FreezeMinAge:     c.freezeMinAge,
+		FreezeMaxLoad:    c.freezeMaxLoad,
 	}
 	if err := ec.Validate(); err != nil {
 		return ec, c, err
@@ -329,6 +339,23 @@ func (e *Elastic) CascadeSnapshot() CascadeSnapshot { return e.impl.Snapshot() }
 // compaction are reconciled so they can never resurrect in the merged
 // level. Use WithAutoCompaction to trigger compaction automatically.
 func (e *Elastic) CompactNow() CompactionResult { return e.impl.CompactNow() }
+
+// FreezeNow rebuilds every qualifying run of old VQF levels into immutable
+// binary-fuse levels: ~30–40% fewer bits per item and a single probe per
+// lookup instead of two block scans, at the cost of update support —
+// removes against a frozen level go to a tombstone ledger, and once
+// tombstones cover a quarter of a level's population it thaws back into
+// live form automatically. Membership is preserved exactly and the
+// cascade-wide false-positive budget is untouched: each fuse level inherits
+// the summed budget of the levels it replaces, and runs that cannot meet
+// their budget in the fuse representation are left as they are. The newest
+// (actively filling) level is never frozen.
+//
+// On concurrent and sharded filters the call is safe alongside live
+// traffic, reusing the compaction protocol: lookups stay lock-free and
+// removes racing the freeze are reconciled against the new level. Use
+// WithAutoFreeze to trigger freezing automatically.
+func (e *Elastic) FreezeNow() FreezeResult { return e.impl.FreezeNow() }
 
 // WriteTo serializes the cascade (config, every level's blocks, and the
 // hash seed). Only filters created with NewElastic serialize, matching

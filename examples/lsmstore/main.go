@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"vqf"
@@ -110,6 +111,32 @@ func main() {
 	fmt.Printf("compacted runs 0+1: new run holds %d keys at load factor %.3f\n",
 		newR.filter.Count(), newR.filter.LoadFactor())
 
+	// Sealing a run: runs behind the compaction frontier are immutable —
+	// an LSM store's defining property — so their per-run filters never see
+	// another insert. A mutable VQF pays for update support it no longer
+	// needs; rebuilding the key set as a Frozen binary-fuse filter answers
+	// the same lookups in one probe at a fraction of the bits.
+	oldest := store[len(store)-1]
+	kb := make([][]byte, 0, len(oldest.keys))
+	for k := range oldest.keys {
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], k)
+		kb = append(kb, b[:])
+	}
+	sealed, err := vqf.NewFrozen(kb)
+	if err != nil {
+		panic(err)
+	}
+	for _, b := range kb {
+		if !sealed.Contains(b) {
+			panic("sealed run filter lost a key")
+		}
+	}
+	mutableBits := float64(oldest.filter.SizeBytes()) * 8 / float64(oldest.filter.Count())
+	fmt.Printf("sealed oldest run: %.2f bits/key frozen vs %.2f mutable (%.0f%% drop) at FPR %.1e\n",
+		sealed.BitsPerItem(), mutableBits, 100*(1-sealed.BitsPerItem()/mutableBits),
+		sealed.FalsePositiveRate())
+
 	// Store-wide ingest filter: per-run filters answer "is it in THIS run",
 	// but an absent key still pays one filter probe per run. A single filter
 	// over the whole store short-circuits those, yet the store's eventual size
@@ -133,4 +160,34 @@ func main() {
 		ingest.Count(), ingest.Levels(), keysPerRun, float64(ingest.SizeBytes())*8/float64(ingest.Count()))
 	fmt.Printf("absent-key lookups skipping every run: %d/%d (FPR budget %.1e)\n",
 		skipped, lookups, ingest.FalsePositiveRate())
+
+	// The frozen tier under churn. As the store ages, whole runs are
+	// retired: their keys leave the ingest filter, but the cascade levels
+	// that held them keep their allocated space — sparse VQF levels full of
+	// dead slots. A handful of long-lived keys (here 1 in 16) survives every
+	// retirement, so the levels cannot simply be dropped. FreezeNow rebuilds
+	// those sparse old levels into immutable binary-fuse levels sized for
+	// exactly the surviving keys, reclaiming the dead space while the
+	// false-positive budget and every live key stay intact.
+	retired := allKeys[: 6*keysPerRun : 6*keysPerRun]
+	for i, k := range retired {
+		if i%16 == 0 {
+			continue // long-lived key: carried forward by the run rewrite
+		}
+		if !ingest.RemoveUint64(k) {
+			panic("retiring a run lost track of a key")
+		}
+	}
+	churnedBits := float64(ingest.SizeBytes()) * 8 / float64(ingest.Count())
+	fr := ingest.FreezeNow()
+	frozenBits := float64(ingest.SizeBytes()) * 8 / float64(ingest.Count())
+	for i := 0; i < len(retired); i += 16 {
+		if !ingest.ContainsUint64(retired[i]) {
+			panic("freeze lost a long-lived key")
+		}
+	}
+	fmt.Printf("retired runs 0-5 (1/16 keys live on): %d keys rattling in %d levels, %.1f bits/key\n",
+		ingest.Count(), fr.LevelsBefore, churnedBits)
+	fmt.Printf("froze %d sparse levels into %d fuse levels: %d levels, %.1f bits/key (%.0f%% drop)\n",
+		fr.LevelsFrozen, fr.FuseLevels, ingest.Levels(), frozenBits, 100*(1-frozenBits/churnedBits))
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"math/bits"
 
+	"vqf/internal/hashing"
 	"vqf/internal/minifilter"
 	"vqf/internal/swar"
 )
@@ -52,6 +53,52 @@ func CanonicalHash16(b uint64, bucket uint, fp uint16) uint64 {
 // duplicating the rule.
 func BlocksFor(nslots, slotsPerBlock uint64) uint64 {
 	return blocksFor(nslots, slotsPerBlock)
+}
+
+// FoldHash8 returns the canonical representative hash of h's candidate
+// block PAIR under the given block mask (mask = blocks−1, power of two
+// minus one): the canonical hash anchored at the smaller of the two
+// xor-linked candidate blocks. Every hash indistinguishable from h to an
+// 8-bit-fingerprint filter of that size — including any canonical hash
+// iterated from a LARGER xor-linked filter that stored h — folds to the
+// same representative: the candidate pair is closed under mask truncation
+// (see the package comment), and min() picks the same element regardless of
+// which member the input hash was anchored at. The frozen tier keys its
+// immutable filters by this value, collapsing the two-block probe of the
+// VQF geometry into one exact-match key.
+func FoldHash8(h, mask uint64) uint64 {
+	b1, bucket, fp, tag := split8(h, mask)
+	if b2 := hashing.AltIndex(b1, tag, mask); b2 < b1 {
+		b1 = b2
+	}
+	return CanonicalHash8(b1, bucket, fp)
+}
+
+// CandidatePair8 returns h's two xor-linked candidate block indices in an
+// 8-bit-fingerprint geometry under the given block mask (equal when the tag
+// maps the primary block onto itself). FoldHash8 anchors its representative
+// at the smaller of the two; callers that must enumerate every block a key
+// can occupy — reconcile's stride walk over a frozen fuse level — need both.
+func CandidatePair8(h, mask uint64) (uint64, uint64) {
+	b1, _, _, tag := split8(h, mask)
+	return b1, hashing.AltIndex(b1, tag, mask)
+}
+
+// CandidatePair16 returns h's two candidate block indices in a
+// 16-bit-fingerprint geometry; see CandidatePair8.
+func CandidatePair16(h, mask uint64) (uint64, uint64) {
+	b1, _, _, tag := split16(h, mask)
+	return b1, hashing.AltIndex(b1, tag, mask)
+}
+
+// FoldHash16 returns the canonical pair-representative hash of h for the
+// 16-bit-fingerprint geometry; see FoldHash8.
+func FoldHash16(h, mask uint64) uint64 {
+	b1, bucket, fp, tag := split16(h, mask)
+	if b2 := hashing.AltIndex(b1, tag, mask); b2 < b1 {
+		b1 = b2
+	}
+	return CanonicalHash16(b1, bucket, fp)
 }
 
 // IterateHashes yields one canonical hash per stored fingerprint instance,

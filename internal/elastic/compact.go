@@ -52,13 +52,18 @@ type CompactionResult struct {
 // compactRun is one contiguous candidate range [lo, hi) of the level list.
 type compactRun struct{ lo, hi int }
 
-// compactRuns returns the maximal runs of ≥2 contiguous same-kind levels
-// among the frozen levels ls[:len(ls)-1] (the newest level still receives
-// inserts and is never merged).
+// compactRuns returns the maximal runs of ≥2 contiguous same-kind VQF
+// levels among the frozen levels ls[:len(ls)-1] (the newest level still
+// receives inserts and is never merged; immutable fuse levels cannot be
+// rebuilt by reinsertion and break runs).
 func compactRuns(ls []*level) []compactRun {
 	var runs []compactRun
 	frozen := len(ls) - 1
 	for lo := 0; lo < frozen; {
+		if !vqfKind(ls[lo].kind) {
+			lo++
+			continue
+		}
 		hi := lo + 1
 		for hi < frozen && ls[hi].kind == ls[lo].kind {
 			hi++
@@ -181,11 +186,15 @@ func shrinkRun(cfg Config, run []*level) (sub []*level, nblocks uint64, ok bool)
 }
 
 // mergePlan is one planned merge: the contiguous sub-run ending at level
-// index hi (exclusive) and the destination's block count.
+// index hi (exclusive) and the destination's block count — or, when drop is
+// set, an all-empty segment to splice out without replacement (building a
+// merged level for zero items would spuriously allocate; the segment's
+// budgets retire into the reclaimed pool instead).
 type mergePlan struct {
 	hi      int
 	sub     []*level
 	nblocks uint64
+	drop    bool
 }
 
 // planRun partitions one candidate run into mergeable segments, newest
@@ -200,11 +209,19 @@ func planRun(cfg Config, r compactRun, ls []*level) []mergePlan {
 	var plans []mergePlan
 	hi := r.hi
 	for hi-r.lo >= 2 {
-		sub, nblocks, ok := shrinkRun(cfg, ls[r.lo:hi])
+		seg := ls[r.lo:hi]
+		if sumCounts(seg) == 0 {
+			// All-empty segment (shrinkRun never selects an empty strict
+			// suffix: empty suffixes always merge, so emptiness only
+			// surfaces for the whole segment): drop it outright.
+			plans = append(plans, mergePlan{hi: hi, sub: seg, drop: true})
+			break
+		}
+		sub, nblocks, ok := shrinkRun(cfg, seg)
 		if !ok {
 			break
 		}
-		plans = append(plans, mergePlan{hi, sub, nblocks})
+		plans = append(plans, mergePlan{hi: hi, sub: sub, nblocks: nblocks})
 		hi -= len(sub)
 	}
 	return plans
@@ -227,12 +244,21 @@ func (f *Filter) CompactNow() CompactionResult {
 	// Splice back to front so earlier run and plan indices stay valid.
 	for i := len(runs) - 1; i >= 0; i-- {
 		for _, p := range planRun(f.cfg, runs[i], f.levels) {
+			lo := p.hi - len(p.sub)
+			if p.drop {
+				for _, l := range p.sub {
+					f.reclaimed += l.budget
+				}
+				f.levels = append(f.levels[:lo], f.levels[p.hi:]...)
+				res.LevelsMerged += len(p.sub)
+				continue
+			}
 			merged := rebuildRun(f.cfg, p.sub, p.nblocks)
 			if merged == nil {
 				continue // rebuild could not fit; sources stay as-is
 			}
 			setLevelRing(merged, f.ring)
-			lo := p.hi - len(p.sub)
+			stampFrozen(merged)
 			f.levels = append(f.levels[:lo+1], f.levels[p.hi:]...)
 			f.levels[lo] = merged
 			res.LevelsMerged += len(p.sub)
@@ -365,13 +391,23 @@ func (f *CFilter) CompactNow() CompactionResult {
 	start := time.Now()
 
 	f.removeMu.Lock()
+	// Sealing inside the barrier shuts the insert fast path on every source:
+	// a stale inserter either fully lands before this critical section (and
+	// the rebuild below sees its instance) or observes sealed and retries.
+	for l := range st.frozen {
+		l.sealed.Store(true)
+	}
 	f.compact.Store(st)
 	f.removeMu.Unlock()
 
 	merged := make([]*level, len(plans))
 	for i := range plans {
+		if plans[i].drop {
+			continue
+		}
 		if m := rebuildRun(f.cfg, plans[i].sub, plans[i].nblocks); m != nil {
 			setLevelRing(m, f.ring)
+			stampFrozen(m)
 			merged[i] = m
 		}
 	}
@@ -379,11 +415,21 @@ func (f *CFilter) CompactNow() CompactionResult {
 	f.removeMu.Lock()
 	next := append([]*level(nil), ls...)
 	for i := range plans {
+		lo := plans[i].hi - len(plans[i].sub)
+		if plans[i].drop {
+			// Empty at plan time stays empty (no level here can gain
+			// fingerprints), so no reconcile is needed.
+			for _, l := range plans[i].sub {
+				f.addReclaimed(l.budget)
+			}
+			next = append(next[:lo], next[plans[i].hi:]...)
+			res.LevelsMerged += len(plans[i].sub)
+			continue
+		}
 		if merged[i] == nil {
 			continue // rebuild could not fit; sources stay live as-is
 		}
 		reconcile(merged[i], plans[i].sub, st.log)
-		lo := plans[i].hi - len(plans[i].sub)
 		next = append(next[:lo+1], next[plans[i].hi:]...)
 		next[lo] = merged[i]
 		res.LevelsMerged += len(plans[i].sub)

@@ -56,18 +56,19 @@ func futureBudget(cfg Config, sched, horizon int) float64 {
 	return s
 }
 
-// checkBudgetInvariant asserts live budgets plus the unspent schedule tail
-// stay within ε (the live part must equal Σ_{i<sched} εᵢ exactly up to
-// float error, since merges preserve sums).
-func checkBudgetInvariant(t *testing.T, cfg Config, ls []*level, sched int) {
+// checkBudgetInvariant asserts live budgets plus the reclaimed pool plus
+// the unspent schedule tail stay within ε (live + reclaimed must equal
+// Σ_{i<sched} εᵢ exactly up to float error: merges and freezes preserve
+// sums, and dropping an emptied level moves its budget to reclaimed).
+func checkBudgetInvariant(t *testing.T, cfg Config, ls []*level, sched int, reclaimed float64) {
 	t.Helper()
-	live := budgetSum(ls)
+	live := budgetSum(ls) + reclaimed
 	var spent float64
 	for i := 0; i < sched; i++ {
 		spent += levelBudget(cfg, i)
 	}
 	if math.Abs(live-spent) > 1e-12 {
-		t.Fatalf("live budgets %g != schedule prefix %g (sched=%d)", live, spent, sched)
+		t.Fatalf("live+reclaimed budgets %g != schedule prefix %g (sched=%d)", live, spent, sched)
 	}
 	if total := live + futureBudget(cfg, sched, sched+200); total > cfg.TargetFPR*(1+1e-9) {
 		t.Fatalf("total budget %g exceeds ε=%g", total, cfg.TargetFPR)
@@ -99,7 +100,7 @@ func TestCompactMergesChurnedCascade(t *testing.T) {
 			t.Fatalf("compaction lost key %#x", k)
 		}
 	}
-	checkBudgetInvariant(t, f.cfg, f.levels, f.sched)
+	checkBudgetInvariant(t, f.cfg, f.levels, f.sched, f.reclaimed)
 
 	// Realized FPR over fresh never-inserted keys stays within the budget.
 	probes := workload.NewStream(999).Keys(300000)
@@ -157,7 +158,7 @@ func TestCompactThenGrow(t *testing.T) {
 	if f.sched <= schedBefore {
 		t.Fatal("growth after compaction did not advance the schedule")
 	}
-	checkBudgetInvariant(t, f.cfg, f.levels, f.sched)
+	checkBudgetInvariant(t, f.cfg, f.levels, f.sched, f.reclaimed)
 	for _, k := range live {
 		if !f.Contains(k) {
 			t.Fatal("lost pre-compaction key after regrowth")
@@ -253,7 +254,7 @@ func TestCompactSerializeRoundTrip(t *testing.T) {
 			t.Fatal("post-reload insert failed")
 		}
 	}
-	checkBudgetInvariant(t, g.cfg, g.levels, g.sched)
+	checkBudgetInvariant(t, g.cfg, g.levels, g.sched, g.reclaimed)
 }
 
 // TestReadV1Stream hand-crafts a version-1 cascade stream (no per-level
@@ -321,7 +322,7 @@ func TestReadRejectsBadLevelRecords(t *testing.T) {
 		mutate(data)
 		return data
 	}
-	rec := elasticHeaderBytes // first level record offset
+	rec := elasticHeaderV3Bytes // first level record offset
 	for name, data := range map[string][]byte{
 		"bad kind":       patch(func(d []byte) { d[rec] = 12 }),
 		"huge blocks":    patch(func(d []byte) { d[rec+1] = 60 }),

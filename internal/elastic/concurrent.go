@@ -44,6 +44,14 @@ type CFilter struct {
 	compacting       atomic.Bool
 	compactions      atomic.Uint64
 	compactionLevels atomic.Uint64
+	// freezing gates the background freeze/thaw goroutines the same way.
+	freezing     atomic.Bool
+	freezes      atomic.Uint64
+	freezeLevels atomic.Uint64
+	thaws        atomic.Uint64
+	// reclaimed holds retired FPR budget as float64 bits; written only
+	// under growMu, read lock-free (see addReclaimed/Reclaimed).
+	reclaimed atomic.Uint64
 }
 
 // NewConcurrent creates an empty thread-safe cascade with one level.
@@ -68,13 +76,40 @@ func (f *CFilter) Insert(h uint64) bool {
 	for {
 		ls := *f.levels.Load()
 		lvl := ls[len(ls)-1]
-		if lvl.filter.Count() < lvl.trigger && lvl.filter.Insert(h) {
+		ok, sealed := f.insertLevel(lvl, h)
+		if ok {
 			return true
+		}
+		if sealed {
+			continue // a structural op retired lvl; reload the list
 		}
 		if !f.grow(lvl) {
 			return false
 		}
 	}
+}
+
+// insertLevel lands h in lvl unless lvl has been sealed as a compaction or
+// freeze source. An inserter can hold a stale level list whose newest entry
+// has since been demoted by growth and selected as a source — and churn can
+// pull such a level's count back under its trigger, re-opening the fast
+// path — so an unchecked raw insert could land in a level the rebuild has
+// already iterated and be dropped at the swap. The removeMu read side
+// orders this exactly against the op's first write barrier (which sets
+// sealed): either the whole section runs before the barrier, in which case
+// the off-lock rebuild is guaranteed to observe the landed insert, or the
+// sealed check fires and the caller retries against the current list.
+// sealed is reported true only for that retry case.
+func (f *CFilter) insertLevel(lvl *level, h uint64) (ok, sealed bool) {
+	f.removeMu.RLock()
+	defer f.removeMu.RUnlock()
+	if lvl.sealed.Load() {
+		return false, true
+	}
+	if lvl.filter.Count() >= lvl.trigger {
+		return false, false
+	}
+	return lvl.filter.Insert(h), false
 }
 
 // grow appends a new level if seen is still the newest level; a concurrent
@@ -99,9 +134,11 @@ func (f *CFilter) grow(seen *level) bool {
 	copy(next, ls)
 	next[len(ls)] = buildLevel(f.cfg, f.sched, f.ring, telemetry.EvElasticSwap)
 	f.sched++
+	stampFrozen(seen) // the superseded newest level just left the insert path
 	f.levels.Store(&next)
 	f.growMu.Unlock()
 	f.maybeCompact()
+	f.maybeFreeze()
 	return true
 }
 
@@ -149,8 +186,12 @@ func (f *CFilter) Remove(h uint64) bool {
 		return false
 	}
 	if hit < len(ls)-1 {
-		// A frozen level just got sparser; check the auto trigger.
+		// A frozen level just got sparser; check the auto triggers.
+		if fl, ok := ls[hit].filter.(*fuseLevel); ok && fl.needsThaw() {
+			f.maybeThaw()
+		}
 		f.maybeCompact()
+		f.maybeFreeze()
 	}
 	return true
 }
@@ -181,5 +222,9 @@ func (f *CFilter) Snapshot() stats.CascadeSnapshot {
 	cs := snapshotLevels(f.cfg.TargetFPR, *f.levels.Load())
 	cs.Compactions = f.compactions.Load()
 	cs.CompactionLevelsMerged = f.compactionLevels.Load()
+	cs.Freezes = f.freezes.Load()
+	cs.FreezeLevelsFrozen = f.freezeLevels.Load()
+	cs.Thaws = f.thaws.Load()
+	cs.BudgetReclaimed = f.Reclaimed()
 	return cs
 }

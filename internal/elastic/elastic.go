@@ -33,6 +33,8 @@ package elastic
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
+	"time"
 
 	"vqf/internal/core"
 	"vqf/internal/minifilter"
@@ -89,6 +91,18 @@ type Config struct {
 	// enough that merging wins back space and probe misses. Default 0.5;
 	// must be in (0, 1].
 	CompactMaxLoad float64
+	// AutoFreeze enables the automatic frozen-tier trigger: after growths
+	// and frozen-level removes, VQF levels that have been out of the insert
+	// path for at least FreezeMinAge and are loaded at or below
+	// FreezeMaxLoad are rebuilt into immutable fuse levels (see freeze.go).
+	// FreezeNow always works regardless.
+	AutoFreeze bool
+	// FreezeMinAge is the minimum time since a level stopped taking inserts
+	// before auto-freeze may take it. Zero freezes immediately.
+	FreezeMinAge time.Duration
+	// FreezeMaxLoad is the load-factor ceiling for auto-freeze eligibility.
+	// Default 1 (any load); must be in (0, 1].
+	FreezeMaxLoad float64
 }
 
 // Validate fills defaulted fields and rejects out-of-range values.
@@ -108,6 +122,9 @@ func (c *Config) Validate() error {
 	if c.CompactMaxLoad == 0 {
 		c.CompactMaxLoad = 0.5
 	}
+	if c.FreezeMaxLoad == 0 {
+		c.FreezeMaxLoad = 1
+	}
 	switch {
 	case !(c.TargetFPR > 0 && c.TargetFPR < 1):
 		return fmt.Errorf("elastic: target FPR %g outside (0, 1)", c.TargetFPR)
@@ -123,6 +140,10 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("elastic: compact min levels %d outside {0} ∪ [3, %d]", c.CompactMinLevels, MaxLevels)
 	case c.CompactMaxLoad <= 0 || c.CompactMaxLoad > 1:
 		return fmt.Errorf("elastic: compact max load %g outside (0, 1]", c.CompactMaxLoad)
+	case c.FreezeMinAge < 0:
+		return fmt.Errorf("elastic: freeze min age %v negative", c.FreezeMinAge)
+	case c.FreezeMaxLoad <= 0 || c.FreezeMaxLoad > 1:
+		return fmt.Errorf("elastic: freeze max load %g outside (0, 1]", c.FreezeMaxLoad)
 	}
 	return nil
 }
@@ -153,14 +174,30 @@ type coreFilter interface {
 // newest level).
 type level struct {
 	filter coreFilter
-	// kind is the fingerprint width in bits (8 or 16).
+	// kind is the fingerprint width in bits (8 or 16) for VQF levels, or a
+	// frozen-tier kind (kindFuse8/kindFuse16, see freeze.go).
 	kind uint8
 	// budget is this level's share εᵢ of the cascade's FPR budget.
 	budget float64
-	// trigger is the item count at which the cascade grows past this level.
+	// trigger is the item count at which the cascade grows past this level
+	// (0 on immutable fuse levels, which take no inserts).
 	trigger uint64
 	// geomFPR is the level geometry's analytic full-load FPR.
 	geomFPR float64
+	// frozenAt is the unix-nano time the level left the insert path (0 =
+	// unknown, treated as old by the auto-freeze gate). Atomic because the
+	// sequential stamp at growth races concurrent snapshot readers only in
+	// the CFilter case, but one representation keeps the code shared.
+	frozenAt atomic.Int64
+	// sealed is set (inside a structural op's first removeMu write barrier)
+	// when the level becomes a compaction or freeze source. A concurrent
+	// insert that loaded a stale level list can still hold a pointer to a
+	// source level whose count dropped back under its trigger; the sealed
+	// check under removeMu's read side (see CFilter.insertLevel) turns that
+	// insert into a retry instead of a silently lost instance. The flag is
+	// never cleared on levels that leave the list, which is what protects
+	// arbitrarily stale inserters.
+	sealed atomic.Bool
 }
 
 // levelBudget returns εᵢ = ε·(1−r)·rⁱ.
@@ -254,9 +291,16 @@ type Filter struct {
 	// future levels get Σ_{i≥sched} εᵢ, totalling ε.
 	sched int
 	ring  *telemetry.Ring
-	// compactions / compactionLevels are lifetime totals for telemetry.
+	// compactions / compactionLevels / freezes / freezeLevels / thaws are
+	// lifetime totals for telemetry.
 	compactions      uint64
 	compactionLevels uint64
+	freezes          uint64
+	freezeLevels     uint64
+	thaws            uint64
+	// reclaimed is FPR budget retired from dropped (emptied) levels; see
+	// Reclaimed.
+	reclaimed float64
 
 	// scratch backs ContainsBatch's shrinking working set (batch.go).
 	scratch cascadeScratch
@@ -283,9 +327,11 @@ func (f *Filter) Insert(h uint64) bool {
 		if len(f.levels) >= MaxLevels || f.sched >= schedCap {
 			return false
 		}
+		stampFrozen(lvl) // the superseded newest level just left the insert path
 		f.levels = append(f.levels, buildLevel(f.cfg, f.sched, f.ring, telemetry.EvElasticGrow))
 		f.sched++
 		f.maybeCompact()
+		f.maybeFreeze()
 	}
 }
 
@@ -307,8 +353,12 @@ func (f *Filter) Remove(h uint64) bool {
 	for i := len(f.levels) - 1; i >= 0; i-- {
 		if f.levels[i].filter.Remove(h) {
 			if i < len(f.levels)-1 {
-				// A frozen level just got sparser; check the auto trigger.
+				// A frozen level just got sparser; check the auto triggers
+				// (maybeThaw rescans, so it tolerates the splices the other
+				// two may perform).
+				f.maybeThaw()
 				f.maybeCompact()
+				f.maybeFreeze()
 			}
 			return true
 		}
@@ -340,6 +390,10 @@ func (f *Filter) Snapshot() stats.CascadeSnapshot {
 	cs := snapshotLevels(f.cfg.TargetFPR, f.levels)
 	cs.Compactions = f.compactions
 	cs.CompactionLevelsMerged = f.compactionLevels
+	cs.Freezes = f.freezes
+	cs.FreezeLevelsFrozen = f.freezeLevels
+	cs.Thaws = f.thaws
+	cs.BudgetReclaimed = f.reclaimed
 	return cs
 }
 

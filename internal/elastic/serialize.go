@@ -6,8 +6,10 @@ import (
 	"io"
 	"math"
 	"math/bits"
+	"sort"
 
 	"vqf/internal/core"
+	"vqf/internal/fuse"
 	"vqf/internal/minifilter"
 )
 
@@ -23,28 +25,38 @@ import (
 // each level's core stream with a small record carrying the level's kind,
 // block count, budget and trigger, plus the cascade's next schedule index
 // in the header (the schedule keeps advancing while compaction keeps the
-// level list short, so the level count no longer implies it). Version 1
-// streams are still read.
+// level list short, so the level count no longer implies it). Version 3
+// adds the frozen tier: the header grows an 8-byte reclaimed-budget field
+// (dropping an emptied level retires its εᵢ; without it a reloaded cascade
+// would violate the budget invariant), and level records may carry the fuse
+// kinds (kindFuse8/kindFuse16) whose streams are fuse levels — see
+// writeFuseLevel. Versions 1 and 2 are still read.
 //
 // Only sequential cascades serialize, matching the core filters.
 
 const (
 	magicElastic   = 0x45465156 // "VQFE"
-	elasticVersion = 2
+	elasticVersion = 3
 	// elasticHeaderBytes: magic(4) version(2) levels(2) flags(2) sched(2)
 	// pad(4) targetFPR(8) growth(8) tighten(8) fill(8) initialSlots(8).
 	// Version 1 wrote zeros over the sched field (it was padding).
-	elasticHeaderBytes = 4 + 2 + 2 + 2 + 2 + 4 + 8 + 8 + 8 + 8 + 8
+	// Version 3 appends reclaimed(8) — elasticHeaderV3Bytes in total.
+	elasticHeaderBytes   = 4 + 2 + 2 + 2 + 2 + 4 + 8 + 8 + 8 + 8 + 8
+	elasticHeaderV3Bytes = elasticHeaderBytes + 8
 
 	// levelRecordBytes: kind(1) blocksLog2(1) pad(6) budget(8) trigger(8).
 	levelRecordBytes = 1 + 1 + 6 + 8 + 8
+
+	// fuseLevelHeaderBytes: srcKind(1) fpBits(1) pad(6) baseTotal(8)
+	// vaultN(8) dupeN(8) tombN(8); see writeFuseLevel.
+	fuseLevelHeaderBytes = 1 + 1 + 6 + 8 + 8 + 8 + 8
 
 	eflagNoShortcut = 1 << 0
 )
 
 // WriteTo serializes the cascade. It implements io.WriterTo.
 func (f *Filter) WriteTo(w io.Writer) (int64, error) {
-	var hdr [elasticHeaderBytes]byte
+	var hdr [elasticHeaderV3Bytes]byte
 	binary.LittleEndian.PutUint32(hdr[0:], magicElastic)
 	binary.LittleEndian.PutUint16(hdr[4:], elasticVersion)
 	binary.LittleEndian.PutUint16(hdr[6:], uint16(len(f.levels)))
@@ -59,6 +71,7 @@ func (f *Filter) WriteTo(w io.Writer) (int64, error) {
 	binary.LittleEndian.PutUint64(hdr[32:], math.Float64bits(f.cfg.TightenRatio))
 	binary.LittleEndian.PutUint64(hdr[40:], math.Float64bits(f.cfg.FillThreshold))
 	binary.LittleEndian.PutUint64(hdr[48:], f.cfg.InitialSlots)
+	binary.LittleEndian.PutUint64(hdr[56:], math.Float64bits(f.reclaimed))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return 0, err
 	}
@@ -124,7 +137,7 @@ func Read(r io.Reader) (*Filter, error) {
 		return nil, fmt.Errorf("%w: bad cascade magic", core.ErrBadFormat)
 	}
 	version := binary.LittleEndian.Uint16(hdr[4:])
-	if version != 1 && version != 2 {
+	if version < 1 || version > elasticVersion {
 		return nil, fmt.Errorf("%w: unsupported cascade version %d", core.ErrBadFormat, version)
 	}
 	nlevels := int(binary.LittleEndian.Uint16(hdr[6:]))
@@ -145,6 +158,16 @@ func Read(r io.Reader) (*Filter, error) {
 		return nil, fmt.Errorf("%w: %v", core.ErrBadFormat, err)
 	}
 	f := &Filter{cfg: cfg, levels: make([]*level, 0, nlevels)}
+	if version >= 3 {
+		var ext [8]byte
+		if _, err := io.ReadFull(r, ext[:]); err != nil {
+			return nil, fmt.Errorf("%w: %v", core.ErrBadFormat, err)
+		}
+		f.reclaimed = math.Float64frombits(binary.LittleEndian.Uint64(ext[:]))
+		if !(f.reclaimed >= 0 && f.reclaimed < cfg.TargetFPR) {
+			return nil, fmt.Errorf("%w: reclaimed budget %g outside [0, ε)", core.ErrBadFormat, f.reclaimed)
+		}
+	}
 
 	if version == 1 {
 		// Pure growth product: rebuild every level's parameters from its
@@ -175,7 +198,7 @@ func Read(r io.Reader) (*Filter, error) {
 		blocksLog2 := rec[1]
 		budget := math.Float64frombits(binary.LittleEndian.Uint64(rec[8:]))
 		trigger := binary.LittleEndian.Uint64(rec[16:])
-		if kind != 8 && kind != 16 {
+		if kind != 8 && kind != 16 && (version < 3 || !fuseKind(kind)) {
 			return nil, fmt.Errorf("%w: level %d fingerprint kind %d", core.ErrBadFormat, i, kind)
 		}
 		if blocksLog2 > 40 {
@@ -185,6 +208,17 @@ func Read(r io.Reader) (*Filter, error) {
 			return nil, fmt.Errorf("%w: level %d budget %g outside (0, 1)", core.ErrBadFormat, i, budget)
 		}
 		budgetSum += budget
+		if fuseKind(kind) {
+			if trigger != 0 {
+				return nil, fmt.Errorf("%w: level %d fuse trigger %d nonzero", core.ErrBadFormat, i, trigger)
+			}
+			lvl, err := readFuseLevel(r, kind, uint64(1)<<blocksLog2, budget)
+			if err != nil {
+				return nil, fmt.Errorf("level %d: %w", i, err)
+			}
+			f.levels = append(f.levels, lvl)
+			continue
+		}
 		spb := uint64(minifilter.B16Slots)
 		if kind == 8 {
 			spb = minifilter.B8Slots
@@ -199,10 +233,315 @@ func Read(r io.Reader) (*Filter, error) {
 		}
 		f.levels = append(f.levels, lvl)
 	}
-	// Budgets must not overspend the cascade's ε; the tiny slack absorbs
-	// float summation error (merges store exact sums of schedule terms).
-	if budgetSum > cfg.TargetFPR*(1+1e-9) {
-		return nil, fmt.Errorf("%w: level budgets sum to %g, exceeding target FPR %g", core.ErrBadFormat, budgetSum, cfg.TargetFPR)
+	// Budgets (plus the retired reclaimed pool) must not overspend the
+	// cascade's ε; the tiny slack absorbs float summation error (merges and
+	// freezes store exact sums of schedule terms).
+	if budgetSum+f.reclaimed > cfg.TargetFPR*(1+1e-9) {
+		return nil, fmt.Errorf("%w: level budgets sum to %g, exceeding target FPR %g", core.ErrBadFormat, budgetSum+f.reclaimed, cfg.TargetFPR)
 	}
 	return f, nil
+}
+
+// Fuse level stream: the 40-byte header (srcKind, fpBits, instance total and
+// the three ledger cardinalities), the fuse filter's own self-delimiting
+// stream, then one length-prefixed varint blob carrying the vault's packed
+// keys, the duplicate-instance map and the tombstone ledger — each a sorted
+// delta-coded sequence (first value absolute, then deltas ≥ 1), so the blob
+// compresses like the in-memory vault and the reader gets monotonicity as a
+// free structural audit.
+
+// packedEntry pairs a packed vault key with an associated count (duplicate
+// extras or tombstoned removes).
+type packedEntry struct {
+	p, v uint64
+}
+
+func appendUvarint(b []byte, v uint64) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	return append(b, buf[:binary.PutUvarint(buf[:], v)]...)
+}
+
+// appendEntries delta-codes a sorted (packed, count) sequence.
+func appendEntries(b []byte, es []packedEntry) []byte {
+	var prev uint64
+	for i, e := range es {
+		if i == 0 {
+			b = appendUvarint(b, e.p)
+		} else {
+			b = appendUvarint(b, e.p-prev)
+		}
+		prev = e.p
+		b = appendUvarint(b, e.v)
+	}
+	return b
+}
+
+// WriteTo serializes the fuse level's immutable structures and its current
+// tombstone ledger. Concurrent removes during serialization can make the
+// ledger a sampling snapshot (tombstones are monotone, so every written
+// entry is valid; a racing remove may simply be missed) — callers wanting an
+// exact image serialize a quiesced filter, same as the core filters.
+func (l *fuseLevel) WriteTo(w io.Writer) (int64, error) {
+	var tombs []packedEntry
+	l.tombs.Range(func(key, val any) bool {
+		if r := val.(*tombstone).removed.Load(); r > 0 {
+			tombs = append(tombs, packedEntry{key.(uint64), r})
+		}
+		return true
+	})
+	sort.Slice(tombs, func(i, j int) bool { return tombs[i].p < tombs[j].p })
+	dupes := make([]packedEntry, 0, len(l.dupes))
+	for p, extra := range l.dupes {
+		dupes = append(dupes, packedEntry{p, uint64(extra)})
+	}
+	sort.Slice(dupes, func(i, j int) bool { return dupes[i].p < dupes[j].p })
+
+	var hdr [fuseLevelHeaderBytes]byte
+	hdr[0] = l.srcKind
+	hdr[1] = l.fpBits
+	binary.LittleEndian.PutUint64(hdr[8:], l.baseTotal)
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(l.vault.n))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(len(dupes)))
+	binary.LittleEndian.PutUint64(hdr[32:], uint64(len(tombs)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	n := int64(len(hdr))
+
+	var m int64
+	var err error
+	if l.fpBits == 8 {
+		m, err = l.f8.WriteTo(w)
+	} else {
+		m, err = l.f16.WriteTo(w)
+	}
+	n += m
+	if err != nil {
+		return n, err
+	}
+
+	blob := make([]byte, 0, 2*l.vault.n+16)
+	var prev uint64
+	first := true
+	l.vault.iterate(func(p uint64) bool {
+		if first {
+			blob = appendUvarint(blob, p)
+			first = false
+		} else {
+			blob = appendUvarint(blob, p-prev)
+		}
+		prev = p
+		return true
+	})
+	blob = appendEntries(blob, dupes)
+	blob = appendEntries(blob, tombs)
+
+	var lenbuf [8]byte
+	binary.LittleEndian.PutUint64(lenbuf[:], uint64(len(blob)))
+	if _, err := w.Write(lenbuf[:]); err != nil {
+		return n, err
+	}
+	n += 8
+	if _, err := w.Write(blob); err != nil {
+		return n, err
+	}
+	return n + int64(len(blob)), nil
+}
+
+// blobUvarint decodes one uvarint from blob, erroring on truncation instead
+// of panicking.
+func blobUvarint(blob []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(blob)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: truncated fuse level varint stream", core.ErrBadFormat)
+	}
+	return v, blob[n:], nil
+}
+
+// readEntries decodes a delta-coded (packed, count) sequence, enforcing
+// strictly increasing keys below bound and counts of at least one.
+func readEntries(blob []byte, n, bound uint64, what string) ([]packedEntry, []byte, error) {
+	es := make([]packedEntry, 0, n)
+	var prev uint64
+	var err error
+	for i := uint64(0); i < n; i++ {
+		var d, v uint64
+		if d, blob, err = blobUvarint(blob); err != nil {
+			return nil, nil, err
+		}
+		if i == 0 {
+			prev = d
+		} else {
+			if d == 0 {
+				return nil, nil, fmt.Errorf("%w: fuse level %s keys not strictly increasing", core.ErrBadFormat, what)
+			}
+			prev += d
+		}
+		if prev >= bound {
+			return nil, nil, fmt.Errorf("%w: fuse level %s key %d beyond key space %d", core.ErrBadFormat, what, prev, bound)
+		}
+		if v, blob, err = blobUvarint(blob); err != nil {
+			return nil, nil, err
+		}
+		if v == 0 {
+			return nil, nil, fmt.Errorf("%w: fuse level %s count zero", core.ErrBadFormat, what)
+		}
+		es = append(es, packedEntry{prev, v})
+	}
+	return es, blob, nil
+}
+
+// readFuseLevel reads one frozen fuse level stream, rebuilding the exact
+// in-memory structures and auditing every cross-constraint: the cardinality
+// fields must be mutually consistent (vault + duplicate extras = instance
+// total, tombstones never exceed what they remove from), every ledger key
+// must exist in the vault, and the fuse filter must cover exactly the
+// vault's distinct keys.
+func readFuseLevel(r io.Reader, kind uint8, foldBlocks uint64, budget float64) (*level, error) {
+	var hdr [fuseLevelHeaderBytes]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", core.ErrBadFormat, err)
+	}
+	srcKind := hdr[0]
+	fpBits := hdr[1]
+	if srcKind != 8 && srcKind != 16 {
+		return nil, fmt.Errorf("%w: fuse level source kind %d", core.ErrBadFormat, srcKind)
+	}
+	if fuseKindFor(srcKind) != kind {
+		return nil, fmt.Errorf("%w: fuse level source kind %d under level kind %d", core.ErrBadFormat, srcKind, kind)
+	}
+	if fpBits != 8 && fpBits != 16 {
+		return nil, fmt.Errorf("%w: fuse fingerprint width %d", core.ErrBadFormat, fpBits)
+	}
+	baseTotal := binary.LittleEndian.Uint64(hdr[8:])
+	vaultN := binary.LittleEndian.Uint64(hdr[16:])
+	dupeN := binary.LittleEndian.Uint64(hdr[24:])
+	tombN := binary.LittleEndian.Uint64(hdr[32:])
+	srcBits, buckets := uint64(8), uint64(minifilter.B8Buckets)
+	if srcKind == 16 {
+		srcBits, buckets = 16, minifilter.B16Buckets
+	}
+	bound := (foldBlocks << srcBits) * buckets
+	if vaultN < 1 || vaultN > bound || vaultN > baseTotal {
+		return nil, fmt.Errorf("%w: fuse level vault size %d outside [1, min(%d, %d)]", core.ErrBadFormat, vaultN, bound, baseTotal)
+	}
+	if dupeN > vaultN || tombN > vaultN {
+		return nil, fmt.Errorf("%w: fuse level ledger sizes %d/%d exceed vault %d", core.ErrBadFormat, dupeN, tombN, vaultN)
+	}
+
+	l := &fuseLevel{
+		srcKind:    srcKind,
+		fpBits:     fpBits,
+		foldBlocks: foldBlocks,
+		foldMask:   foldBlocks - 1,
+		baseTotal:  baseTotal,
+	}
+	var fkeys uint64
+	var err error
+	if fpBits == 8 {
+		l.f8, err = fuse.Read8(r)
+		if err == nil {
+			fkeys = l.f8.Keys()
+		}
+	} else {
+		l.f16, err = fuse.Read16(r)
+		if err == nil {
+			fkeys = l.f16.Keys()
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if fkeys != vaultN {
+		return nil, fmt.Errorf("%w: fuse filter holds %d keys, vault %d", core.ErrBadFormat, fkeys, vaultN)
+	}
+
+	var lenbuf [8]byte
+	if _, err := io.ReadFull(r, lenbuf[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", core.ErrBadFormat, err)
+	}
+	blobLen := binary.LittleEndian.Uint64(lenbuf[:])
+	if max := binary.MaxVarintLen64 * (vaultN + 2*dupeN + 2*tombN); blobLen > max {
+		return nil, fmt.Errorf("%w: fuse level blob length %d exceeds bound %d", core.ErrBadFormat, blobLen, max)
+	}
+	blob := make([]byte, blobLen)
+	if _, err := io.ReadFull(r, blob); err != nil {
+		return nil, fmt.Errorf("%w: %v", core.ErrBadFormat, err)
+	}
+
+	keys := make([]uint64, vaultN)
+	var prev uint64
+	for i := range keys {
+		var d uint64
+		if d, blob, err = blobUvarint(blob); err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			prev = d
+		} else {
+			if d == 0 {
+				return nil, fmt.Errorf("%w: fuse level vault keys not strictly increasing", core.ErrBadFormat)
+			}
+			prev += d
+		}
+		if prev >= bound {
+			return nil, fmt.Errorf("%w: fuse level vault key %d beyond key space %d", core.ErrBadFormat, prev, bound)
+		}
+		keys[i] = prev
+	}
+	l.vault = buildVault(keys)
+
+	dupes, blob, err := readEntries(blob, dupeN, bound, "duplicate")
+	if err != nil {
+		return nil, err
+	}
+	var extraSum uint64
+	for _, e := range dupes {
+		if !l.vault.contains(e.p) {
+			return nil, fmt.Errorf("%w: fuse level duplicate key %d not in vault", core.ErrBadFormat, e.p)
+		}
+		if e.v > math.MaxUint32 {
+			return nil, fmt.Errorf("%w: fuse level duplicate count %d overflows", core.ErrBadFormat, e.v)
+		}
+		if l.dupes == nil {
+			l.dupes = make(map[uint64]uint32, len(dupes))
+		}
+		l.dupes[e.p] = uint32(e.v)
+		extraSum += e.v
+	}
+	if vaultN+extraSum != baseTotal {
+		return nil, fmt.Errorf("%w: fuse level instances %d+%d != total %d", core.ErrBadFormat, vaultN, extraSum, baseTotal)
+	}
+
+	tombs, blob, err := readEntries(blob, tombN, bound, "tombstone")
+	if err != nil {
+		return nil, err
+	}
+	var removedSum uint64
+	for _, e := range tombs {
+		inst := l.instances(e.p)
+		if inst == 0 {
+			return nil, fmt.Errorf("%w: fuse level tombstone key %d not in vault", core.ErrBadFormat, e.p)
+		}
+		if e.v > inst {
+			return nil, fmt.Errorf("%w: fuse level tombstone removes %d of %d instances", core.ErrBadFormat, e.v, inst)
+		}
+		t := &tombstone{base: inst}
+		t.removed.Store(e.v)
+		l.tombs.Store(e.p, t)
+		removedSum += e.v
+	}
+	if len(blob) != 0 {
+		return nil, fmt.Errorf("%w: fuse level blob has %d trailing bytes", core.ErrBadFormat, len(blob))
+	}
+	l.tombTotal.Store(removedSum)
+	l.live.Store(baseTotal - removedSum)
+
+	canonFPR := 2 * float64(baseTotal) / (float64(foldBlocks) * float64(buckets) * float64(uint64(1)<<srcBits))
+	return &level{
+		filter:  l,
+		kind:    kind,
+		budget:  budget,
+		geomFPR: canonFPR + math.Pow(2, -float64(fpBits)),
+	}, nil
 }

@@ -165,6 +165,10 @@ func (f *Sharded) Snapshot() stats.CascadeSnapshot {
 	for _, sub := range subs {
 		cs.Compactions += sub.Compactions
 		cs.CompactionLevelsMerged += sub.CompactionLevelsMerged
+		cs.Freezes += sub.Freezes
+		cs.FreezeLevelsFrozen += sub.FreezeLevelsFrozen
+		cs.Thaws += sub.Thaws
+		cs.BudgetReclaimed += sub.BudgetReclaimed
 	}
 	var fprSum float64
 	for lvl := 0; lvl < depth; lvl++ {

@@ -1,0 +1,512 @@
+// Package fuse implements static 3-wise binary fuse filters ("Binary Fuse
+// Filters: Fast and Smaller Than Xor Filters", Graf & Lemire), the immutable
+// cold tier behind the elastic cascade's frozen levels. A filter is built
+// once from a complete key set and answers Contains forever after with a
+// single fingerprint comparison against the xor of three array cells; there
+// is no insert, no remove, and no per-slot metadata, which is what brings
+// the space overhead down to ≈1.13·w bits per key at fingerprint width w
+// against the VQF's w/α + metadata.
+//
+// Keys are opaque 64-bit values (the elastic tier feeds canonical VQF hashes
+// through here; see internal/core/iterate.go). Duplicate keys cannot be
+// represented — Build deduplicates defensively after repeated peeling
+// failures, but callers that track multiplicities must do so outside the
+// filter.
+package fuse
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+
+	"vqf/internal/hashing"
+)
+
+// ErrBuildFailed reports that peeling failed for every attempted seed. With
+// deduplicated keys the per-attempt failure probability is well under 1%, so
+// hitting the attempt cap in practice means the key slice is pathological
+// (e.g. adversarially constructed against the mixer).
+var ErrBuildFailed = errors.New("fuse: build failed to find a peelable seed")
+
+// maxBuildIterations bounds the reseed-and-retry loop; dedupeAtIteration is
+// when a stubborn build sorts and deduplicates its private key copy (the
+// reference implementations' remedy for the overwhelmingly common cause of
+// repeated failure).
+const (
+	maxBuildIterations = 100
+	dedupeAtIteration  = 10
+)
+
+type fpuint interface{ ~uint8 | ~uint16 }
+
+// filter is the generic core shared by the 8- and 16-bit variants. The
+// segment layout follows the paper: the array is segmentCount+2 segments of
+// segmentLength cells, a key's first cell index lands uniformly in the first
+// segmentCount segments, and its other two cells sit in the following two
+// segments at xor-perturbed offsets — the locality that makes the 3-cell
+// probe touch three nearby-ish cache lines instead of three random ones.
+type filter[F fpuint] struct {
+	seed               uint64
+	segmentLength      uint32
+	segmentLengthMask  uint32
+	segmentCount       uint32
+	segmentCountLength uint32
+	fingerprints       []F
+	keys               uint64 // distinct keys built in
+}
+
+// calcSegmentLength is the paper's tuning for 3-wise fuse graphs, capped so
+// one segment stays comfortably inside L2.
+func calcSegmentLength(size uint32) uint32 {
+	if size == 0 {
+		return 4
+	}
+	sl := uint32(1) << uint(math.Floor(math.Log(float64(size))/math.Log(3.33)+2.25))
+	if sl < 1 {
+		sl = 1
+	}
+	if sl > 262144 {
+		sl = 262144
+	}
+	return sl
+}
+
+// calcSizeFactor is the paper's array-size multiplier: asymptotically 1.125,
+// larger for small filters where peeling needs more slack.
+func calcSizeFactor(size uint32) float64 {
+	if size < 2 {
+		return 2
+	}
+	return math.Max(1.125, 0.875+0.25*math.Log(1e6)/math.Log(float64(size)))
+}
+
+// layout initializes the segment geometry for size keys and allocates the
+// fingerprint array.
+func (f *filter[F]) layout(size uint32) {
+	f.segmentLength = calcSegmentLength(size)
+	f.segmentLengthMask = f.segmentLength - 1
+	capacity := uint32(math.Round(float64(size) * calcSizeFactor(size)))
+	initCount := (capacity+f.segmentLength-1)/f.segmentLength - 2
+	arrayLength := (initCount + 2) * f.segmentLength
+	segmentCount := (arrayLength + f.segmentLength - 1) / f.segmentLength
+	if segmentCount <= 2 {
+		segmentCount = 1
+	} else {
+		segmentCount -= 2
+	}
+	arrayLength = (segmentCount + 2) * f.segmentLength
+	f.segmentCount = segmentCount
+	f.segmentCountLength = segmentCount * f.segmentLength
+	f.fingerprints = make([]F, arrayLength)
+}
+
+// cells derives a key hash's three cell indices: the high word of
+// hash·segmentCountLength picks the base segment, the next two segments get
+// xor-perturbed offsets from independent hash bits.
+func (f *filter[F]) cells(hash uint64) (h0, h1, h2 uint32) {
+	hi, _ := bits.Mul64(hash, uint64(f.segmentCountLength))
+	h0 = uint32(hi)
+	h1 = h0 + f.segmentLength
+	h2 = h1 + f.segmentLength
+	h1 ^= uint32(hash>>18) & f.segmentLengthMask
+	h2 ^= uint32(hash) & f.segmentLengthMask
+	return
+}
+
+func fingerprintOf[F fpuint](hash uint64) F {
+	return F(hash ^ (hash >> 32))
+}
+
+// contains probes the three cells of k and compares fingerprints. An empty
+// filter answers false outright — its all-zero array would otherwise match
+// the ~2⁻ʷ of keys whose fingerprint is zero.
+func (f *filter[F]) contains(k uint64) bool {
+	if f.keys == 0 {
+		return false
+	}
+	hash := hashing.Mix64Seeded(k, f.seed)
+	fp := fingerprintOf[F](hash)
+	h0, h1, h2 := f.cells(hash)
+	return fp^f.fingerprints[h0]^f.fingerprints[h1]^f.fingerprints[h2] == 0
+}
+
+// batchTile is the working-set size of the two-pass batched probe: hashes
+// are mixed for a whole tile first, then the probe loop runs with the mixer
+// out of the way — the same split-the-dependency-chain discipline as the
+// core filters' radix-batched sweeps, with the tile small enough to live on
+// the stack so steady-state batches allocate nothing.
+const batchTile = 256
+
+// containsBatch answers membership for every key of ks in input order,
+// reusing dst when it has capacity.
+func (f *filter[F]) containsBatch(ks []uint64, dst []bool) []bool {
+	if cap(dst) < len(ks) {
+		dst = make([]bool, len(ks))
+	}
+	out := dst[:len(ks)]
+	if f.keys == 0 {
+		for i := range out {
+			out[i] = false
+		}
+		return out
+	}
+	var hashes [batchTile]uint64
+	for base := 0; base < len(ks); base += batchTile {
+		n := len(ks) - base
+		if n > batchTile {
+			n = batchTile
+		}
+		for i := 0; i < n; i++ {
+			hashes[i] = hashing.Mix64Seeded(ks[base+i], f.seed)
+		}
+		for i := 0; i < n; i++ {
+			hash := hashes[i]
+			h0, h1, h2 := f.cells(hash)
+			out[base+i] = fingerprintOf[F](hash)^f.fingerprints[h0]^f.fingerprints[h1]^f.fingerprints[h2] == 0
+		}
+	}
+	return out
+}
+
+// buildSeed is the deterministic per-attempt seed schedule. Builds must be
+// reproducible (serialized filters round-trip byte-identically), so the
+// schedule is a fixed mixer walk rather than a random source.
+func buildSeed(iteration int) uint64 {
+	return hashing.Mix64(uint64(iteration+1) * 0x9e3779b97f4a7c15)
+}
+
+// populate runs the peeling construction: count and xor-aggregate every
+// key's hash into its three cells, repeatedly peel cells holding exactly one
+// key, then assign fingerprints in reverse peel order so each key's xor
+// identity holds. On a failed peel it reseeds and retries; at
+// dedupeAtIteration it deduplicates a private copy of the keys.
+func (f *filter[F]) populate(keys []uint64) error {
+	if len(keys) == 0 {
+		f.keys = 0
+		return nil
+	}
+	size := uint32(len(keys))
+	f.layout(size)
+	capacity := uint32(len(f.fingerprints))
+
+	alone := make([]uint32, capacity)
+	// t2count packs a cell's key count (high 6 bits) with the xor of the
+	// cell-role indices (0/1/2) of those keys: when the count drops to one,
+	// the low bits name which of the remaining key's three cells this is.
+	t2count := make([]uint8, capacity)
+	t2hash := make([]uint64, capacity)
+	reverseOrder := make([]uint64, size+1)
+	reverseH := make([]uint8, size)
+
+	deduped := false
+	for iteration := 0; ; iteration++ {
+		if iteration == maxBuildIterations {
+			return ErrBuildFailed
+		}
+		if iteration == dedupeAtIteration && !deduped {
+			keys = dedupe(keys)
+			size = uint32(len(keys))
+			f.keys = 0
+			f.layout(size)
+			capacity = uint32(len(f.fingerprints))
+			alone = make([]uint32, capacity)
+			t2count = make([]uint8, capacity)
+			t2hash = make([]uint64, capacity)
+			reverseOrder = make([]uint64, size+1)
+			reverseH = make([]uint8, size)
+			deduped = true
+		}
+		f.seed = buildSeed(iteration)
+
+		overflow := false
+		for _, k := range keys {
+			hash := hashing.Mix64Seeded(k, f.seed)
+			h0, h1, h2 := f.cells(hash)
+			t2count[h0] += 4
+			t2hash[h0] ^= hash
+			t2count[h1] += 4
+			t2count[h1] ^= 1
+			t2hash[h1] ^= hash
+			t2count[h2] += 4
+			t2count[h2] ^= 2
+			t2hash[h2] ^= hash
+			// 64+ keys in one cell wraps the packed count; only massive key
+			// duplication gets there. Abort to the dedupe/retry path rather
+			// than corrupt the counts.
+			if t2count[h0] < 4 || t2count[h1] < 4 || t2count[h2] < 4 {
+				overflow = true
+				break
+			}
+		}
+
+		stacksize := uint32(0)
+		if !overflow {
+			alonePos := 0
+			for i := uint32(0); i < capacity; i++ {
+				if t2count[i]>>2 == 1 {
+					alone[alonePos] = i
+					alonePos++
+				}
+			}
+			for alonePos > 0 {
+				alonePos--
+				index := alone[alonePos]
+				if t2count[index]>>2 != 1 {
+					continue
+				}
+				hash := t2hash[index]
+				found := t2count[index] & 3
+				reverseH[stacksize] = found
+				reverseOrder[stacksize] = hash
+				stacksize++
+				h0, h1, h2 := f.cells(hash)
+				cellAt := [5]uint32{h0, h1, h2, h0, h1}
+				for off := uint8(1); off <= 2; off++ {
+					other := cellAt[found+off]
+					role := found + off
+					if role >= 3 {
+						role -= 3
+					}
+					t2count[other] -= 4
+					t2count[other] ^= role
+					t2hash[other] ^= hash
+					if t2count[other]>>2 == 1 {
+						alone[alonePos] = other
+						alonePos++
+					}
+				}
+			}
+		}
+
+		if stacksize == size {
+			// Full peel: assign fingerprints newest-peeled first, so the two
+			// cells each key shares with later-peeled keys are final when its
+			// own cell is written.
+			for i := int(size) - 1; i >= 0; i-- {
+				hash := reverseOrder[i]
+				fp := fingerprintOf[F](hash)
+				h0, h1, h2 := f.cells(hash)
+				found := reverseH[i]
+				cellAt := [5]uint32{h0, h1, h2, h0, h1}
+				f.fingerprints[cellAt[found]] = fp ^
+					f.fingerprints[cellAt[found+1]] ^ f.fingerprints[cellAt[found+2]]
+			}
+			f.keys = uint64(size)
+			return nil
+		}
+
+		for i := range t2count {
+			t2count[i] = 0
+			t2hash[i] = 0
+		}
+	}
+}
+
+// dedupe returns a sorted copy of keys with duplicates removed; the caller's
+// slice is left untouched.
+func dedupe(keys []uint64) []uint64 {
+	cp := append([]uint64(nil), keys...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	out := cp[:0]
+	for i, k := range cp {
+		if i == 0 || k != cp[i-1] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Filter8 is a static binary fuse filter with 8-bit fingerprints (FPR ≈ 2⁻⁸),
+// mirroring the VQF cascade's 8-bit level geometry class.
+type Filter8 struct{ f filter[uint8] }
+
+// Filter16 is a static binary fuse filter with 16-bit fingerprints
+// (FPR ≈ 2⁻¹⁶), mirroring the 16-bit level geometry class.
+type Filter16 struct{ f filter[uint16] }
+
+// Build8 constructs an 8-bit filter over keys (order-insensitive; the slice
+// is not retained). Duplicate keys are tolerated but collapse to one
+// membership entry.
+func Build8(keys []uint64) (*Filter8, error) {
+	fl := &Filter8{}
+	if err := fl.f.populate(keys); err != nil {
+		return nil, err
+	}
+	return fl, nil
+}
+
+// Build16 constructs a 16-bit filter over keys; see Build8.
+func Build16(keys []uint64) (*Filter16, error) {
+	fl := &Filter16{}
+	if err := fl.f.populate(keys); err != nil {
+		return nil, err
+	}
+	return fl, nil
+}
+
+// Contains reports whether k may be in the set: always true for built-in
+// keys, true with probability ≈2⁻⁸ otherwise. Safe for concurrent use (the
+// filter is immutable).
+func (fl *Filter8) Contains(k uint64) bool { return fl.f.contains(k) }
+
+// Contains reports whether k may be in the set; false positives ≈2⁻¹⁶.
+func (fl *Filter16) Contains(k uint64) bool { return fl.f.contains(k) }
+
+// ContainsBatch answers membership for every key of ks in input order,
+// reusing dst when it has capacity (dst may be nil). Safe for concurrent use.
+func (fl *Filter8) ContainsBatch(ks []uint64, dst []bool) []bool {
+	return fl.f.containsBatch(ks, dst)
+}
+
+// ContainsBatch answers membership for every key of ks; see Filter8.
+func (fl *Filter16) ContainsBatch(ks []uint64, dst []bool) []bool {
+	return fl.f.containsBatch(ks, dst)
+}
+
+// Keys returns the number of distinct keys the filter was built over.
+func (fl *Filter8) Keys() uint64 { return fl.f.keys }
+
+// Keys returns the number of distinct keys the filter was built over.
+func (fl *Filter16) Keys() uint64 { return fl.f.keys }
+
+// SizeBytes returns the fingerprint array's footprint.
+func (fl *Filter8) SizeBytes() uint64 { return uint64(len(fl.f.fingerprints)) }
+
+// SizeBytes returns the fingerprint array's footprint.
+func (fl *Filter16) SizeBytes() uint64 { return 2 * uint64(len(fl.f.fingerprints)) }
+
+// BitsPerKey returns the realized space cost, ≈1.13·8 for a large filter.
+func (fl *Filter8) BitsPerKey() float64 { return bitsPerKey(fl.SizeBytes(), fl.f.keys) }
+
+// BitsPerKey returns the realized space cost, ≈1.13·16 for a large filter.
+func (fl *Filter16) BitsPerKey() float64 { return bitsPerKey(fl.SizeBytes(), fl.f.keys) }
+
+func bitsPerKey(sizeBytes, keys uint64) float64 {
+	if keys == 0 {
+		return 0
+	}
+	return float64(sizeBytes) * 8 / float64(keys)
+}
+
+// Serialization: a fixed header followed by the fingerprint array in
+// little-endian cell order. The geometry fields are audited on read so a
+// corrupt or adversarial stream fails cleanly.
+const (
+	magicFuse       = 0x46465156 // "VQFF"
+	fuseVersion     = 1
+	fuseHeaderBytes = 4 + 2 + 2 + 8 + 4 + 4 + 8 // magic, version, fpBits, seed, segLen, segCount, keys
+	maxArrayLength  = 1 << 32
+)
+
+func (f *filter[F]) writeTo(w io.Writer, fpBits uint16) (int64, error) {
+	var hdr [fuseHeaderBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:], magicFuse)
+	binary.LittleEndian.PutUint16(hdr[4:], fuseVersion)
+	binary.LittleEndian.PutUint16(hdr[6:], fpBits)
+	binary.LittleEndian.PutUint64(hdr[8:], f.seed)
+	binary.LittleEndian.PutUint32(hdr[16:], f.segmentLength)
+	binary.LittleEndian.PutUint32(hdr[20:], f.segmentCount)
+	binary.LittleEndian.PutUint64(hdr[24:], f.keys)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	n := int64(len(hdr))
+	if f.keys == 0 {
+		return n, nil
+	}
+	buf := make([]byte, len(f.fingerprints)*int(fpBits)/8)
+	if fpBits == 8 {
+		for i, fp := range f.fingerprints {
+			buf[i] = byte(fp)
+		}
+	} else {
+		for i, fp := range f.fingerprints {
+			binary.LittleEndian.PutUint16(buf[2*i:], uint16(fp))
+		}
+	}
+	m, err := w.Write(buf)
+	return n + int64(m), err
+}
+
+func readFilter[F fpuint](r io.Reader, wantBits uint16) (*filter[F], error) {
+	var hdr [fuseHeaderBytes]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("fuse: short header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != magicFuse {
+		return nil, errors.New("fuse: bad magic")
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:]); v != fuseVersion {
+		return nil, fmt.Errorf("fuse: unsupported version %d", v)
+	}
+	if got := binary.LittleEndian.Uint16(hdr[6:]); got != wantBits {
+		return nil, fmt.Errorf("fuse: fingerprint width %d, want %d", got, wantBits)
+	}
+	f := &filter[F]{
+		seed:          binary.LittleEndian.Uint64(hdr[8:]),
+		segmentLength: binary.LittleEndian.Uint32(hdr[16:]),
+		segmentCount:  binary.LittleEndian.Uint32(hdr[20:]),
+		keys:          binary.LittleEndian.Uint64(hdr[24:]),
+	}
+	if f.keys == 0 {
+		return f, nil
+	}
+	if f.segmentLength == 0 || f.segmentLength&(f.segmentLength-1) != 0 || f.segmentLength > 262144 {
+		return nil, fmt.Errorf("fuse: segment length %d", f.segmentLength)
+	}
+	if f.segmentCount == 0 {
+		return nil, errors.New("fuse: zero segment count")
+	}
+	arrayLength := (uint64(f.segmentCount) + 2) * uint64(f.segmentLength)
+	if arrayLength > maxArrayLength {
+		return nil, fmt.Errorf("fuse: array length %d exceeds cap", arrayLength)
+	}
+	if f.keys > arrayLength {
+		return nil, fmt.Errorf("fuse: %d keys exceed array length %d", f.keys, arrayLength)
+	}
+	f.segmentLengthMask = f.segmentLength - 1
+	f.segmentCountLength = f.segmentCount * f.segmentLength
+	f.fingerprints = make([]F, arrayLength)
+	buf := make([]byte, int(arrayLength)*int(wantBits)/8)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("fuse: short fingerprint array: %w", err)
+	}
+	if wantBits == 8 {
+		for i := range f.fingerprints {
+			f.fingerprints[i] = F(buf[i])
+		}
+	} else {
+		for i := range f.fingerprints {
+			f.fingerprints[i] = F(binary.LittleEndian.Uint16(buf[2*i:]))
+		}
+	}
+	return f, nil
+}
+
+// WriteTo serializes the filter; it implements io.WriterTo.
+func (fl *Filter8) WriteTo(w io.Writer) (int64, error) { return fl.f.writeTo(w, 8) }
+
+// WriteTo serializes the filter; it implements io.WriterTo.
+func (fl *Filter16) WriteTo(w io.Writer) (int64, error) { return fl.f.writeTo(w, 16) }
+
+// Read8 deserializes a Filter8 written by WriteTo.
+func Read8(r io.Reader) (*Filter8, error) {
+	f, err := readFilter[uint8](r, 8)
+	if err != nil {
+		return nil, err
+	}
+	return &Filter8{f: *f}, nil
+}
+
+// Read16 deserializes a Filter16 written by WriteTo.
+func Read16(r io.Reader) (*Filter16, error) {
+	f, err := readFilter[uint16](r, 16)
+	if err != nil {
+		return nil, err
+	}
+	return &Filter16{f: *f}, nil
+}

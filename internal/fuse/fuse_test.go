@@ -1,0 +1,200 @@
+package fuse
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"vqf/internal/hashing"
+)
+
+// randKeys derives n keys from a seed-tagged input space; distinct seeds
+// give disjoint key sets (Mix64 is a bijection, so the inputs must not
+// overlap — the seed goes in the high bits, the index in the low).
+func randKeys(n int, seed uint64) []uint64 {
+	ks := make([]uint64, n)
+	for i := range ks {
+		ks[i] = hashing.Mix64(seed<<40 + uint64(i) + 1)
+	}
+	return ks
+}
+
+func TestNoFalseNegatives8(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 100, 10000, 100000} {
+		keys := randKeys(n, 0x1234)
+		fl, err := Build8(keys)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if fl.Keys() != uint64(n) {
+			t.Fatalf("n=%d: Keys()=%d", n, fl.Keys())
+		}
+		for _, k := range keys {
+			if !fl.Contains(k) {
+				t.Fatalf("n=%d: false negative for %#x", n, k)
+			}
+		}
+	}
+}
+
+func TestNoFalseNegatives16(t *testing.T) {
+	keys := randKeys(50000, 0xabcd)
+	fl, err := Build16(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if !fl.Contains(k) {
+			t.Fatalf("false negative for %#x", k)
+		}
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	keys := randKeys(100000, 0x5555)
+	fl8, err := Build8(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl16, err := Build16(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const probes = 200000
+	fp8, fp16 := 0, 0
+	for i := 0; i < probes; i++ {
+		k := hashing.Mix64(0x9999<<40 + uint64(i))
+		if fl8.Contains(k) {
+			fp8++
+		}
+		if fl16.Contains(k) {
+			fp16++
+		}
+	}
+	// ≈ probes·2⁻⁸ ≈ 781 and ≈ probes·2⁻¹⁶ ≈ 3; allow 4σ-ish slack.
+	if got, want := float64(fp8)/probes, math.Pow(2, -8); got > 1.5*want {
+		t.Errorf("8-bit FPR %g, want ≈%g", got, want)
+	}
+	if fp16 > 20 {
+		t.Errorf("16-bit false positives %d over %d probes", fp16, probes)
+	}
+}
+
+func TestBitsPerKey(t *testing.T) {
+	keys := randKeys(1<<20, 0x777)
+	fl, err := Build8(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bpk := fl.BitsPerKey(); bpk > 9.5 {
+		t.Errorf("8-bit filter at %g bits/key, want ≤ 9.5", bpk)
+	}
+}
+
+func TestBatchMatchesSingle(t *testing.T) {
+	keys := randKeys(5000, 0x31415)
+	fl, err := Build16(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := append(append([]uint64(nil), keys[:700]...), randKeys(700, 0x282)...)
+	var dst []bool
+	dst = fl.ContainsBatch(probe, dst)
+	for i, k := range probe {
+		if dst[i] != fl.Contains(k) {
+			t.Fatalf("batch[%d] = %v, single = %v", i, dst[i], fl.Contains(k))
+		}
+	}
+	// dst reuse must not reallocate.
+	again := fl.ContainsBatch(probe[:100], dst)
+	if &again[0] != &dst[0] {
+		t.Error("batch did not reuse dst")
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	base := randKeys(1000, 0x99)
+	keys := append(append([]uint64(nil), base...), base[:500]...) // heavy duplication
+	fl, err := Build8(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range base {
+		if !fl.Contains(k) {
+			t.Fatalf("false negative for duplicated key %#x", k)
+		}
+	}
+	if fl.Keys() != 1000 {
+		t.Errorf("Keys() = %d after dedupe, want 1000", fl.Keys())
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 5000} {
+		keys := randKeys(n, 0x4242)
+		fl, err := Build16(keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := fl.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		first := append([]byte(nil), buf.Bytes()...)
+		got, err := Read16(&buf)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for _, k := range keys {
+			if !got.Contains(k) {
+				t.Fatalf("n=%d: false negative after round trip", n)
+			}
+		}
+		var buf2 bytes.Buffer
+		if _, err := got.WriteTo(&buf2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, buf2.Bytes()) {
+			t.Fatalf("n=%d: re-serialization not byte-identical", n)
+		}
+	}
+}
+
+func TestReadRejectsCorrupt(t *testing.T) {
+	keys := randKeys(100, 0x1)
+	fl, _ := Build8(keys)
+	var buf bytes.Buffer
+	if _, err := fl.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	if _, err := Read16(bytes.NewReader(good)); err == nil {
+		t.Error("Read16 accepted an 8-bit stream")
+	}
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xff // magic
+	if _, err := Read8(bytes.NewReader(bad)); err == nil {
+		t.Error("accepted bad magic")
+	}
+	if _, err := Read8(bytes.NewReader(good[:20])); err == nil {
+		t.Error("accepted truncated stream")
+	}
+	bad = append([]byte(nil), good...)
+	bad[16] = 3 // non-power-of-two segment length
+	if _, err := Read8(bytes.NewReader(bad)); err == nil {
+		t.Error("accepted non-power-of-two segment length")
+	}
+}
+
+func TestEmptyFilterAnswersFalse(t *testing.T) {
+	fl, err := Build8(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if fl.Contains(hashing.Mix64(uint64(i))) {
+			t.Fatal("empty filter answered true")
+		}
+	}
+}

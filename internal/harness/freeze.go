@@ -1,0 +1,194 @@
+package harness
+
+import (
+	"time"
+
+	"vqf/internal/elastic"
+	"vqf/internal/workload"
+)
+
+// The freeze experiment: drive an elastic cascade through an lsmstore-style
+// churn — totalItems keys inserted in order, then the oldest removedFrac of
+// them deleted the way an LSM store drops obsolete runs, except that every
+// SurvivorStride-th old key lives on (the long-lived keys every run rewrite
+// carries forward). That leaves the old levels sparse: mostly dead slots
+// with a thin population of survivors, the exact state the frozen tier is
+// for.
+//
+// Two cascades are built from the identical key stream and churned
+// identically, then maintained two different ways:
+//
+//   - the all-VQF cascade runs CompactNow, merging the sparse old runs into
+//     one dense VQF level — the best a mutable-only cascade can do;
+//   - the mixed-tier cascade runs FreezeNow directly on the churned state,
+//     rebuilding the sparse old runs into one immutable binary-fuse level
+//     and dropping the empty ones.
+//
+// Freezing must act on the *churned* cascade: compaction first would pack
+// the survivors into a dense VQF level that a fuse rebuild (which pays a
+// vault of canonical keys for removability) cannot beat. The comparison
+// quantifies the frozen tier's claim: same keys, same false-positive
+// budget, a fraction of the churned cascade's bits per item, and no
+// negative-lookup regression versus the compacted all-VQF cascade.
+
+// SurvivorStride is the long-lived-key period of the churn: within the
+// removed oldest prefix, every SurvivorStride-th key is kept.
+const SurvivorStride = 16
+
+// FreezeSide is the measurement taken at one phase of the run.
+type FreezeSide struct {
+	Levels        int     `json:"levels"`
+	FuseLevels    int     `json:"fuse_levels"`
+	Items         uint64  `json:"items"`
+	NegLookupMops float64 `json:"neg_lookup_mops"` // never-inserted keys
+	PosLookupMops float64 `json:"pos_lookup_mops"` // live keys
+	MeasuredFPR   float64 `json:"measured_fpr"`    // over `probes` fresh keys
+	BitsPerItem   float64 `json:"bits_per_item"`
+}
+
+// FreezeResult is a full churn/compact-vs-freeze run. The JSON tags are the
+// schema of BENCH_freeze.json.
+type FreezeResult struct {
+	TargetFPR    float64    `json:"target_fpr"`
+	InitialSlots uint64     `json:"initial_slots"`
+	TotalItems   uint64     `json:"total_items"`
+	RemovedFrac  float64    `json:"removed_frac"`
+	Churned      FreezeSide `json:"churned"`   // after churn, before any maintenance
+	Compacted    FreezeSide `json:"compacted"` // after CompactNow (all-VQF baseline)
+	Frozen       FreezeSide `json:"frozen"`    // after FreezeNow on the churned twin (mixed VQF/fuse)
+	LevelsFrozen int        `json:"levels_frozen"`
+	FuseLevels   int        `json:"fuse_levels"`
+	FreezeMs     float64    `json:"freeze_ms"`
+	// BitsRatioVsChurned is Frozen.BitsPerItem / Churned.BitsPerItem, the
+	// headline space number (target ≤0.60 at equal measured FPR). Both
+	// sides hold the same keys, so this is exactly the byte ratio.
+	BitsRatioVsChurned float64 `json:"bits_ratio_vs_churned"`
+	// NegRatioVsCompacted is Frozen.NegLookupMops / Compacted.NegLookupMops
+	// (target ≥1: freezing must not give back compaction's lookup win).
+	NegRatioVsCompacted float64 `json:"neg_ratio_vs_compacted"`
+	// Failed is set if any live key went missing or an op was rejected.
+	Failed bool `json:"failed,omitempty"`
+}
+
+// RunFreeze builds two identical sequential cascades from the same key
+// stream, churns both (oldest removedFrac removed, every SurvivorStride-th
+// old key surviving), then compacts one (the all-VQF baseline) and freezes
+// the other (the mixed VQF/fuse tier). Every live key is re-verified after
+// each structural pass. queries bounds the per-side positive-lookup op
+// count; probes the fresh-key FPR/negative-lookup sample.
+func RunFreeze(cfg elastic.Config, totalItems uint64, removedFrac float64, probes, queries int, seed uint64) FreezeResult {
+	if err := cfg.Validate(); err != nil {
+		panic("harness: freeze config: " + err.Error())
+	}
+	res := FreezeResult{
+		TargetFPR:    cfg.TargetFPR,
+		InitialSlots: cfg.InitialSlots,
+		TotalItems:   totalItems,
+		RemovedFrac:  removedFrac,
+	}
+	build := func() *elastic.Filter {
+		f, err := elastic.New(cfg)
+		if err != nil {
+			panic("harness: freeze config: " + err.Error())
+		}
+		return f
+	}
+	allVQF, mixed := build(), build()
+
+	ins := workload.NewStream(seed)
+	keys := make([]uint64, 0, totalItems)
+	for uint64(len(keys)) < totalItems {
+		h := ins.Next()
+		if !allVQF.Insert(h) || !mixed.Insert(h) {
+			res.Failed = true
+			return res
+		}
+		keys = append(keys, h)
+	}
+	cut := int(float64(len(keys)) * removedFrac)
+	live := make([]uint64, 0, len(keys)-cut+cut/SurvivorStride)
+	for i, h := range keys[:cut] {
+		if i%SurvivorStride == 0 {
+			live = append(live, h) // long-lived key: survives the run drop
+			continue
+		}
+		if !allVQF.Remove(h) || !mixed.Remove(h) {
+			res.Failed = true
+			return res
+		}
+	}
+	live = append(live, keys[cut:]...)
+
+	side := func(f *elastic.Filter, fuseLevels int, negSeed uint64) FreezeSide {
+		s := FreezeSide{Levels: f.NumLevels(), FuseLevels: fuseLevels, Items: f.Count()}
+		if n := f.Count(); n > 0 {
+			s.BitsPerItem = float64(f.SizeBytes()) * 8 / float64(n)
+		}
+
+		qn := queries
+		if qn > len(live) {
+			qn = len(live)
+		}
+		t0 := time.Now()
+		got := 0
+		for i := 0; i < qn; i++ {
+			if f.Contains(live[i]) {
+				got++
+			}
+		}
+		s.PosLookupMops = mops(uint64(qn), time.Since(t0))
+		if got != qn {
+			res.Failed = true
+		}
+
+		// One fresh-key pass serves both the negative-lookup timing and the
+		// FPR estimate (virtually every probe is a true negative).
+		neg := workload.NewStream(negSeed)
+		t0 = time.Now()
+		fps := 0
+		for i := 0; i < probes; i++ {
+			if f.Contains(neg.Next()) {
+				fps++
+			}
+		}
+		s.NegLookupMops = mops(uint64(probes), time.Since(t0))
+		s.MeasuredFPR = float64(fps) / float64(probes)
+		return s
+	}
+
+	// The same fresh-key stream on every side keeps the FPR numbers directly
+	// comparable and would expose any probe flipping negative→positive
+	// across a structural pass.
+	negSeed := seed ^ 0xdeadbeefcafef00d
+	res.Churned = side(allVQF, 0, negSeed)
+
+	allVQF.CompactNow()
+	for _, h := range live {
+		if !allVQF.Contains(h) {
+			res.Failed = true
+			return res
+		}
+	}
+	res.Compacted = side(allVQF, 0, negSeed)
+
+	t0 := time.Now()
+	fr := mixed.FreezeNow()
+	res.FreezeMs = float64(time.Since(t0).Microseconds()) / 1000
+	res.LevelsFrozen = fr.LevelsFrozen
+	res.FuseLevels = fr.FuseLevels
+	for _, h := range live {
+		if !mixed.Contains(h) {
+			res.Failed = true
+			return res
+		}
+	}
+	res.Frozen = side(mixed, fr.FuseLevels, negSeed)
+
+	if res.Churned.BitsPerItem > 0 {
+		res.BitsRatioVsChurned = res.Frozen.BitsPerItem / res.Churned.BitsPerItem
+	}
+	if res.Compacted.NegLookupMops > 0 {
+		res.NegRatioVsCompacted = res.Frozen.NegLookupMops / res.Compacted.NegLookupMops
+	}
+	return res
+}

@@ -3,10 +3,12 @@ package oracle
 import (
 	"bytes"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"vqf"
+	"vqf/internal/elastic"
 )
 
 // A Property is one equivalence check replayed over (subject, trace) pairs.
@@ -17,7 +19,7 @@ type Property struct {
 	Check   func(Subject, Trace) error
 }
 
-// Properties returns the oracle's six equivalence properties.
+// Properties returns the oracle's seven equivalence properties.
 func Properties() []Property {
 	return []Property{
 		{Name: "differential", Check: checkDifferential},
@@ -26,6 +28,7 @@ func Properties() []Property {
 		{Name: "serialize-identity", Applies: func(s Subject) bool { return s.Name == "filter8" }, Check: checkSerializeIdentity},
 		{Name: "elastic-equiv", Applies: func(s Subject) bool { return s.Name == "elastic" }, Check: checkElasticEquivalence},
 		{Name: "iterate-rebuild", Applies: hasIterate, Check: checkIterateRebuild},
+		{Name: "freeze-equiv", Applies: hasFreeze, Check: checkFreezeEquivalence},
 	}
 }
 
@@ -108,6 +111,81 @@ func checkIterateRebuild(s Subject, tr Trace) error {
 	for _, k := range m.liveKeys() {
 		if !dst.Contains(k) {
 			return fmt.Errorf("rebuild lost live key %#x", k)
+		}
+	}
+	return nil
+}
+
+// freezer is the frozen-tier surface the elastic cascades expose: rebuild
+// qualifying retired levels into immutable fuse levels.
+type freezer interface {
+	FreezeNow() elastic.FreezeResult
+}
+
+func hasFreeze(s Subject) bool {
+	inst, err := s.New(1024)
+	if err != nil {
+		return false
+	}
+	_, ok := inst.(freezer)
+	return ok
+}
+
+// checkFreezeEquivalence is the frozen tier's ground-truth property: replay
+// the trace, force a full freeze pass, and the cascade must still be
+// semantically the same filter — no false negative for any live key, the
+// exact model count, and fresh-key FPR within the budget allowance. Then
+// remove half the live keys (every one must succeed against the now-frozen
+// tier, tombstones included, possibly thawing levels back to VQF) and audit
+// the surviving half plus the exact count again.
+func checkFreezeEquivalence(s Subject, tr Trace) error {
+	inst, err := s.New(tr.NSlots)
+	if err != nil {
+		return fmt.Errorf("constructing %s(%d): %v", s.Name, tr.NSlots, err)
+	}
+	m := newModel()
+	if err := replay(s, inst, m, tr); err != nil {
+		return err
+	}
+	inst.(freezer).FreezeNow()
+	live := m.liveKeys()
+	sort.Slice(live, func(i, j int) bool { return live[i] < live[j] })
+	for _, k := range live {
+		if !inst.Contains(k) {
+			return fmt.Errorf("post-freeze false negative for live key %#x", k)
+		}
+	}
+	if got, want := inst.Count(), uint64(m.count()); got != want {
+		return fmt.Errorf("post-freeze Count() = %d, exact model holds %d", got, want)
+	}
+	if s.FPRBound > 0 {
+		hits := 0
+		for i := 0; i < fprProbes; i++ {
+			if inst.Contains(probeKeyFor(tr.NSlots^0xf0e2, i)) {
+				hits++
+			}
+		}
+		if limit := int(4*s.FPRBound*fprProbes) + 10; hits > limit {
+			return fmt.Errorf("post-freeze %d/%d fresh-key hits, limit %d (bound %g)",
+				hits, fprProbes, limit, s.FPRBound)
+		}
+	}
+	// Remove half the live keys: each must land exactly once (the frozen
+	// tier's vault keeps removes exact), and enough of them pushes fuse
+	// levels through their tombstone threshold and back to VQF.
+	cut := len(live) / 2
+	for _, k := range live[:cut] {
+		if !inst.Remove(k) {
+			return fmt.Errorf("post-freeze remove of live key %#x failed", k)
+		}
+		m.remove(k)
+	}
+	if got, want := inst.Count(), uint64(m.count()); got != want {
+		return fmt.Errorf("post-thaw Count() = %d, exact model holds %d", got, want)
+	}
+	for _, k := range live[cut:] {
+		if !inst.Contains(k) {
+			return fmt.Errorf("post-thaw false negative for live key %#x", k)
 		}
 	}
 	return nil

@@ -108,6 +108,21 @@ func Subjects() []Subject {
 			New: func(n uint64) (Instance, error) {
 				return wrap(elastic.NewConcurrent(elastic.Config{TargetFPR: 1.0 / 128, InitialSlots: 1 << 10}))
 			}},
+		// The frozen-tier subjects run the same cascade with the most
+		// aggressive freeze policy expressible (no age gate, any load), so
+		// every growth immediately rebuilds old levels into fuse levels and
+		// the whole trace — removes, queries, duplicate churn — exercises the
+		// immutable tier's vault, tombstone and thaw paths.
+		{Name: "elastic-frozen", FPRBound: 1.0 / 128,
+			New: func(n uint64) (Instance, error) {
+				return wrap(elastic.New(elastic.Config{TargetFPR: 1.0 / 128, InitialSlots: 1 << 9,
+					AutoFreeze: true, FreezeMaxLoad: 1}))
+			}},
+		{Name: "elastic-frozen-concurrent", Concurrent: true, FPRBound: 1.0 / 128,
+			New: func(n uint64) (Instance, error) {
+				return wrap(elastic.NewConcurrent(elastic.Config{TargetFPR: 1.0 / 128, InitialSlots: 1 << 9,
+					AutoFreeze: true, FreezeMaxLoad: 1}))
+			}},
 		{Name: "rsqf8", FPRBound: 0.008,
 			New: func(n uint64) (Instance, error) { return wrap(rsqf.NewForSlots(n, 8)) }},
 		{Name: "rsqf16", FPRBound: 1e-4,

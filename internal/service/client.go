@@ -315,3 +315,19 @@ func (a *Admin) Compact(name string) (CompactResult, error) {
 	err := a.doJSON("POST", "/v1/filters/"+name+"/compact", map[string]any{}, &res)
 	return res, err
 }
+
+// FreezeResult reports one admin-triggered freeze pass.
+type FreezeResult struct {
+	LevelsBefore int `json:"levels_before"`
+	LevelsAfter  int `json:"levels_after"`
+	LevelsFrozen int `json:"levels_frozen"`
+	FuseLevels   int `json:"fuse_levels"`
+}
+
+// Freeze asks the daemon to rebuild an elastic filter's qualifying old
+// levels into immutable fuse levels. Non-elastic filters report an error.
+func (a *Admin) Freeze(name string) (FreezeResult, error) {
+	var res FreezeResult
+	err := a.doJSON("POST", "/v1/filters/"+name+"/freeze", map[string]any{}, &res)
+	return res, err
+}

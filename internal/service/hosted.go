@@ -345,6 +345,20 @@ func (h *hosted) Compact(ctx context.Context) (vqf.CompactionResult, error) {
 	return h.elastic.CompactNow(), nil
 }
 
+// Freeze rebuilds an elastic filter's qualifying old levels into immutable
+// fuse levels; ErrNotElastic for every other kind. Locking matches Compact.
+func (h *hosted) Freeze(ctx context.Context) (vqf.FreezeResult, error) {
+	if h.elastic == nil {
+		return vqf.FreezeResult{}, ErrNotElastic
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return vqf.FreezeResult{}, err
+	}
+	return h.elastic.FreezeNow(), nil
+}
+
 // Count returns the hosted filter's stored-item count.
 func (h *hosted) Count() uint64 {
 	switch {

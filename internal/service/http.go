@@ -28,6 +28,7 @@ import (
 //	POST /v1/filters/{name}/put       {"u64":[...], "values":[0..255], "update":bool} → {"stored":n}
 //	POST /v1/filters/{name}/get       {"keys":[...], "u64":[...]}            → {"found":[bool],"values":[n]}
 //	POST /v1/filters/{name}/compact   {}                                     → {"levels_before","levels_after","levels_merged"}
+//	POST /v1/filters/{name}/freeze    {}                                     → {"levels_before","levels_after","levels_frozen","fuse_levels"}
 //
 // Observability: /metrics (Prometheus text) and /debug/vqf/events (JSON)
 // are rebuilt from the live registry per scrape, so filters created after
@@ -233,6 +234,18 @@ func (s *Server) handleData(w http.ResponseWriter, r *http.Request) {
 			"levels_before": res.LevelsBefore,
 			"levels_after":  res.LevelsAfter,
 			"levels_merged": res.LevelsMerged,
+		})
+	case "freeze":
+		res, err := h.Freeze(ctx)
+		if err != nil {
+			opError(w, wrap(err))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]int{
+			"levels_before": res.LevelsBefore,
+			"levels_after":  res.LevelsAfter,
+			"levels_frozen": res.LevelsFrozen,
+			"fuse_levels":   res.FuseLevels,
 		})
 	default:
 		httpError(w, http.StatusNotFound, "unknown data op %q", r.PathValue("op"))

@@ -96,6 +96,17 @@ type CascadeSnapshot struct {
 	// rebuilt away. Both are monotone counters over the filter's lifetime.
 	Compactions            uint64 `json:"compactions"`
 	CompactionLevelsMerged uint64 `json:"compaction_levels_merged"`
+	// Freezes counts completed freeze passes that rebuilt at least one run
+	// into the immutable fuse tier; FreezeLevelsFrozen counts the source
+	// VQF levels those passes retired; Thaws counts fuse levels rebuilt
+	// back into live form after tombstone pressure. All monotone.
+	Freezes            uint64 `json:"freezes"`
+	FreezeLevelsFrozen uint64 `json:"freeze_levels_frozen"`
+	Thaws              uint64 `json:"thaws"`
+	// BudgetReclaimed is the false-positive budget retired from dropped
+	// (emptied) levels — part of the cascade invariant
+	// Σ level budgets + BudgetReclaimed + future schedule = ε.
+	BudgetReclaimed float64 `json:"budget_reclaimed"`
 }
 
 // ShardedSnapshot is the structural snapshot of a sharded filter: the

@@ -40,6 +40,13 @@ const (
 	// EvCompactFinish: a cascade compaction finished. A = levels merged
 	// away, B = levels after, C = duration ns.
 	EvCompactFinish
+	// EvFreezeStart: a cascade freeze (frozen VQF runs rebuilding into
+	// immutable fuse levels) began. A = levels before, B = live items in
+	// the qualifying runs.
+	EvFreezeStart
+	// EvFreezeFinish: a cascade freeze finished. A = source levels frozen
+	// away, B = levels after, C = duration ns.
+	EvFreezeFinish
 	numEventKinds
 )
 
@@ -53,6 +60,8 @@ var eventKindNames = [numEventKinds]string{
 	"shard-claim-stall",
 	"compact-start",
 	"compact-finish",
+	"freeze-start",
+	"freeze-finish",
 }
 
 // String returns the event kind's stable identifier (used in JSON).

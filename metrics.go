@@ -87,6 +87,18 @@ func MetricsHandler(sources map[string]Source) http.Handler {
 				"Source levels rebuilt away by cascade compactions.", compact.levels)
 		}
 		if err == nil {
+			err = stats.WriteCounter(&buf, "vqf_freezes_total",
+				"Completed freeze passes that built immutable fuse levels.", compact.freezes)
+		}
+		if err == nil {
+			err = stats.WriteCounter(&buf, "vqf_freeze_levels_frozen_total",
+				"Source VQF levels retired into the frozen tier.", compact.frozen)
+		}
+		if err == nil {
+			err = stats.WriteCounter(&buf, "vqf_thaws_total",
+				"Fuse levels rebuilt back into live form after tombstone pressure.", compact.thaws)
+		}
+		if err == nil {
 			err = stats.WriteLatency(&buf, lat)
 		}
 		if err != nil {

@@ -208,11 +208,14 @@ func appendShardSeries(snaps []stats.NamedSnapshot, gauges []stats.NamedGauge, n
 	return snaps, gauges
 }
 
-// compactCounters carries the compaction-lifecycle counter samples for the
-// cascades in one metrics collection pass.
+// compactCounters carries the compaction- and freeze-lifecycle counter
+// samples for the cascades in one metrics collection pass.
 type compactCounters struct {
-	passes []stats.NamedCounter
-	levels []stats.NamedCounter
+	passes  []stats.NamedCounter
+	levels  []stats.NamedCounter
+	freezes []stats.NamedCounter
+	frozen  []stats.NamedCounter
+	thaws   []stats.NamedCounter
 }
 
 // collectMetrics assembles the exposition series for a sorted name list:
@@ -234,6 +237,12 @@ func collectMetrics(names []string, sources map[string]Source) (snaps []stats.Na
 				stats.NamedCounter{Name: name, Value: cascade.Compactions})
 			compact.levels = append(compact.levels,
 				stats.NamedCounter{Name: name, Value: cascade.CompactionLevelsMerged})
+			compact.freezes = append(compact.freezes,
+				stats.NamedCounter{Name: name, Value: cascade.Freezes})
+			compact.frozen = append(compact.frozen,
+				stats.NamedCounter{Name: name, Value: cascade.FreezeLevelsFrozen})
+			compact.thaws = append(compact.thaws,
+				stats.NamedCounter{Name: name, Value: cascade.Thaws})
 		default:
 			snaps = append(snaps, stats.NamedSnapshot{Name: name, Snap: src.Snapshot()})
 		}

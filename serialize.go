@@ -23,6 +23,7 @@ const (
 	kindMap     = 0x4b // 'K': value-associating filter (Map)
 	kindElastic = 0x45 // 'E': elastic cascade
 	kindSharded = 0x53 // 'S': sharded concurrent filter
+	kindFrozen  = 0x46 // 'F': standalone immutable binary fuse filter
 )
 
 // envelopeBytes is the envelope header size: magic(4) version(2) kind(2)
@@ -52,6 +53,8 @@ func kindName(kind uint16) string {
 		return "an Elastic filter (use vqf.ReadElastic)"
 	case kindSharded:
 		return "a sharded Filter (use vqf.Read or vqf.ReadConcurrent)"
+	case kindFrozen:
+		return "a Frozen filter (use vqf.ReadFrozen)"
 	}
 	return fmt.Sprintf("unknown kind %d", kind)
 }

@@ -78,6 +78,9 @@ type config struct {
 	growThreshold    float64
 	compactMinLevels int
 	compactMaxLoad   float64
+	autoFreeze       bool
+	freezeMinAge     time.Duration
+	freezeMaxLoad    float64
 }
 
 // Option configures New and NewConcurrent.
@@ -150,6 +153,25 @@ func WithAutoCompaction(minLevels int, maxLoad float64) Option {
 	return func(c *config) {
 		c.compactMinLevels = minLevels
 		c.compactMaxLoad = maxLoad
+	}
+}
+
+// WithAutoFreeze enables the automatic frozen tier on elastic filters:
+// cascade levels that have been out of the insert path for at least minAge
+// and are loaded at or below the maxLoad fraction of their capacity are
+// rebuilt into immutable binary-fuse levels — ~30–40% smaller and one probe
+// instead of two per lookup, at the cost of tombstone-based removes (see
+// Elastic.FreezeNow). minAge must be ≥ 0 (0 freezes any superseded level
+// immediately); maxLoad in (0, 1], or 0 for the default 1 (any load
+// qualifies). On concurrent and sharded filters the freeze runs in a
+// background goroutine; on sequential filters it runs inline in the
+// triggering operation. Only NewElastic, NewConcurrentElastic and
+// NewShardedElastic use it.
+func WithAutoFreeze(minAge time.Duration, maxLoad float64) Option {
+	return func(c *config) {
+		c.autoFreeze = true
+		c.freezeMinAge = minAge
+		c.freezeMaxLoad = maxLoad
 	}
 }
 
